@@ -1,0 +1,96 @@
+// Section 4.2 analysis: database calls and runtime vs input error rate.
+//
+// Best case (error-free): N/batch-size database calls. Worst case (every
+// row failing, e.g. reloading duplicate data): the loader degenerates to
+// singleton inserts — N calls — because each error breaks the batch, skips
+// one row, and repacks. This bench sweeps the error rate between those
+// extremes and also measures the literal worst case (a full re-load).
+#include "bench_util.h"
+
+namespace {
+
+using namespace skybench;
+
+FigureTable g_calls("Error recovery: database calls per 1000 rows",
+                    "injected error rate", "calls per 1000 input rows");
+FigureTable g_time("Error recovery: runtime vs error rate (100 MB)",
+                   "injected error rate", "runtime (simulated seconds)");
+
+const std::vector<double> kErrorRates = {0.0, 0.01, 0.05, 0.10, 0.25, 0.50};
+
+void bench_error_rate(benchmark::State& state) {
+  const double rate = static_cast<double>(state.range(0)) / 1000.0;
+  for (auto _ : state) {
+    SimRepository repo = SimRepository::create();
+    const auto file = make_file(100, /*seed=*/1000, /*unit_id=*/100, rate);
+    sky::core::BulkLoaderOptions options;
+    options.write_audit_row = false;
+    const auto report = run_bulk(repo, file, options);
+    const double seconds = normalized_seconds(report.elapsed);
+    state.SetIterationTime(seconds);
+    const double rows =
+        static_cast<double>(report.rows_parsed + report.parse_errors);
+    g_calls.add("calls", rate, static_cast<double>(report.db_calls) / rows * 1000.0);
+    g_time.add("runtime", rate, seconds);
+    state.counters["skipped"] = static_cast<double>(report.total_skipped());
+  }
+}
+
+double g_reload_calls_per_1000 = 0;
+
+void bench_full_reload(benchmark::State& state) {
+  for (auto _ : state) {
+    SimRepository repo = SimRepository::create();
+    const auto file = make_file(20, /*seed=*/1001, /*unit_id=*/101);
+    sky::core::BulkLoaderOptions options;
+    options.write_audit_row = false;
+    // First pass loads everything...
+    sky::core::FileLoadReport first = run_bulk(repo, file, options);
+    if (first.total_skipped() != 0) std::abort();
+    // ...second pass: every row is a duplicate primary key.
+    const sky::core::FileLoadReport second = run_bulk(repo, file, options);
+    state.SetIterationTime(normalized_seconds(second.elapsed));
+    g_reload_calls_per_1000 = static_cast<double>(second.db_calls) /
+                              static_cast<double>(second.rows_parsed) * 1000.0;
+    state.counters["calls_per_row"] =
+        static_cast<double>(second.db_calls) /
+        static_cast<double>(second.rows_parsed);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  for (const double rate : kErrorRates) {
+    benchmark::RegisterBenchmark("error_recovery/rate", bench_error_rate)
+        ->Arg(static_cast<int64_t>(rate * 1000))
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kSecond);
+  }
+  benchmark::RegisterBenchmark("error_recovery/full_reload", bench_full_reload)
+      ->Iterations(1)
+      ->UseManualTime()
+      ->Unit(benchmark::kSecond);
+  benchmark::RunSpecifiedBenchmarks();
+  g_calls.print();
+  g_time.print();
+
+  const double clean_calls = g_calls.value("calls", 0.0);
+  std::printf("\nerror-free: %.1f calls/1000 rows (ideal 1000/40 = 25)\n",
+              clean_calls);
+  std::printf("full re-load (all duplicates): %.1f calls/1000 rows "
+              "(worst case ~1000)\n",
+              g_reload_calls_per_1000);
+  shape_check(clean_calls < 30.0,
+              "best case approaches N/batch-size database calls");
+  shape_check(g_reload_calls_per_1000 > 950.0,
+              "worst case degenerates to ~one call per row");
+  shape_check(g_calls.value("calls", 0.5) > g_calls.value("calls", 0.05) &&
+                  g_calls.value("calls", 0.05) > clean_calls,
+              "call count grows monotonically with error rate");
+  shape_check(g_time.value("runtime", 0.25) > g_time.value("runtime", 0.0),
+              "errors slow loading (extra round trips per skipped row)");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Figure 4: runtime of bulk vs non-bulk loading, single loading process,
+// data sizes 200-1200 MB, batch-size 40, full constraints, empty database.
+//
+// Paper result: both approaches scale linearly with input size; bulk loading
+// is 7-9x faster than row-at-a-time inserts (not 40x — per-row server work
+// does not amortize with the round trips).
+#include "bench_util.h"
+
+namespace {
+
+using namespace skybench;
+
+FigureTable g_figure("Figure 4: Bulk vs Non-Bulk Loading",
+                     "data size (MB)", "runtime (simulated seconds)");
+
+const std::vector<double> kSizesMb = {200, 400, 600, 800, 1000, 1200};
+
+void bench_bulk(benchmark::State& state) {
+  const double mb = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    SimRepository repo = SimRepository::create();
+    const auto file = make_file(mb, /*seed=*/1700 + static_cast<uint64_t>(state.range(0)),
+                                /*unit_id=*/40 + state.range(0) / 100);
+    sky::core::BulkLoaderOptions options;
+    options.batch_size = 40;
+    options.write_audit_row = false;
+    const auto report = run_bulk(repo, file, options);
+    const double seconds = normalized_seconds(report.elapsed);
+    state.SetIterationTime(seconds);
+    g_figure.add("bulk", mb, seconds);
+    state.counters["db_calls"] =
+        static_cast<double>(report.db_calls);
+    state.counters["rows"] = static_cast<double>(report.rows_loaded);
+  }
+}
+
+void bench_non_bulk(benchmark::State& state) {
+  const double mb = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    SimRepository repo = SimRepository::create();
+    const auto file = make_file(mb, /*seed=*/1700 + static_cast<uint64_t>(state.range(0)),
+                                /*unit_id=*/40 + state.range(0) / 100);
+    const auto report = run_non_bulk(repo, file);
+    const double seconds = normalized_seconds(report.elapsed);
+    state.SetIterationTime(seconds);
+    g_figure.add("non-bulk", mb, seconds);
+    state.counters["db_calls"] = static_cast<double>(report.db_calls);
+  }
+}
+
+void register_benchmarks() {
+  for (const double mb : kSizesMb) {
+    benchmark::RegisterBenchmark("fig4/bulk", bench_bulk)
+        ->Arg(static_cast<int64_t>(mb))
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kSecond);
+    benchmark::RegisterBenchmark("fig4/non_bulk", bench_non_bulk)
+        ->Arg(static_cast<int64_t>(mb))
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kSecond);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  register_benchmarks();
+  benchmark::RunSpecifiedBenchmarks();
+  g_figure.print();
+
+  // Paper shape: speedup 7-9x at every size; both curves linear in size.
+  double min_speedup = 1e9, max_speedup = 0;
+  for (const double mb : kSizesMb) {
+    const double speedup =
+        g_figure.value("non-bulk", mb) / g_figure.value("bulk", mb);
+    min_speedup = std::min(min_speedup, speedup);
+    max_speedup = std::max(max_speedup, speedup);
+  }
+  std::printf("\nbulk speedup across sizes: %.2fx .. %.2fx\n", min_speedup,
+              max_speedup);
+  shape_check(min_speedup >= 6.0 && max_speedup <= 10.0,
+              "bulk loading is ~7-9x faster than non-bulk at batch-size 40");
+  const double linearity_bulk =
+      g_figure.value("bulk", 1200) / g_figure.value("bulk", 200);
+  const double linearity_nonbulk =
+      g_figure.value("non-bulk", 1200) / g_figure.value("non-bulk", 200);
+  shape_check(linearity_bulk > 4.8 && linearity_bulk < 7.2 &&
+                  linearity_nonbulk > 4.8 && linearity_nonbulk < 7.2,
+              "runtime of both approaches is proportional to input size");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 5: effect of batch size on runtime, loading a 200 MB data set with
+// a single bulk loader.
+//
+// Paper result: increasing the batch size first helps (round trips
+// amortize), the benefit flattens, and the optimum lies between 40 and 50 —
+// beyond it, per-batch marshalling costs outweigh the savings.
+#include "bench_util.h"
+
+namespace {
+
+using namespace skybench;
+
+FigureTable g_figure("Figure 5: Effect of Batch Size (200 MB data set)",
+                     "batch size", "runtime (simulated seconds)");
+
+const std::vector<int64_t> kBatchSizes = {10, 20, 30, 40, 50, 60};
+
+void bench_batch(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  for (auto _ : state) {
+    SimRepository repo = SimRepository::create();
+    const auto file = make_file(200, /*seed=*/500, /*unit_id=*/50);
+    sky::core::BulkLoaderOptions options;
+    options.batch_size = batch;
+    options.write_audit_row = false;
+    const auto report = run_bulk(repo, file, options);
+    const double seconds = normalized_seconds(report.elapsed);
+    state.SetIterationTime(seconds);
+    g_figure.add("runtime", static_cast<double>(batch), seconds);
+    state.counters["db_calls"] = static_cast<double>(report.db_calls);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  for (const int64_t batch : kBatchSizes) {
+    benchmark::RegisterBenchmark("fig5/batch", bench_batch)
+        ->Arg(batch)
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kSecond);
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  g_figure.print();
+
+  // Paper shape: runtime decreases from batch 10, optimum in 40-50, and the
+  // curve does not keep improving at 60.
+  double best_batch = 0, best_time = 1e18;
+  for (const int64_t batch : kBatchSizes) {
+    const double t = g_figure.value("runtime", static_cast<double>(batch));
+    if (t < best_time) {
+      best_time = t;
+      best_batch = static_cast<double>(batch);
+    }
+  }
+  std::printf("\noptimal batch size: %.0f (%.1f s)\n", best_batch, best_time);
+  shape_check(best_batch >= 40 && best_batch <= 50,
+              "optimal batch size lies in the 40-50 range");
+  shape_check(g_figure.value("runtime", 10) > g_figure.value("runtime", 40),
+              "small batches are clearly slower than the optimum");
+  shape_check(g_figure.value("runtime", 60) >= best_time,
+              "benefit lessens beyond the optimum");
+  return 0;
+}

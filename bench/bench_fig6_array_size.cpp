@@ -1,0 +1,66 @@
+// Figure 6: effect of array size on runtime, loading a 200 MB data set.
+//
+// Paper result: larger arrays amortize per-cycle overhead (array
+// construction/teardown, statement re-preparation, trailing partial
+// batches), but past ~1000 rows the array-set footprint exceeds client
+// memory and paging erases the benefit — the optimum sits near 1000.
+#include "bench_util.h"
+
+namespace {
+
+using namespace skybench;
+
+FigureTable g_figure("Figure 6: Effect of Array Size (200 MB data set)",
+                     "array size", "runtime (simulated seconds)");
+
+const std::vector<int64_t> kArraySizes = {250, 500, 750, 1000, 1250, 1500};
+
+void bench_array(benchmark::State& state) {
+  const int64_t array_size = state.range(0);
+  for (auto _ : state) {
+    SimRepository repo = SimRepository::create();
+    const auto file = make_file(200, /*seed=*/600, /*unit_id=*/60);
+    sky::core::BulkLoaderOptions options;
+    options.batch_size = 40;
+    options.array_config.default_rows = array_size;
+    options.write_audit_row = false;
+    const auto report = run_bulk(repo, file, options);
+    const double seconds = normalized_seconds(report.elapsed);
+    state.SetIterationTime(seconds);
+    g_figure.add("runtime", static_cast<double>(array_size), seconds);
+    state.counters["cycles"] = static_cast<double>(report.flush_cycles);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  for (const int64_t array_size : kArraySizes) {
+    benchmark::RegisterBenchmark("fig6/array", bench_array)
+        ->Arg(array_size)
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kSecond);
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  g_figure.print();
+
+  double best_array = 0, best_time = 1e18;
+  for (const int64_t array_size : kArraySizes) {
+    const double t =
+        g_figure.value("runtime", static_cast<double>(array_size));
+    if (t < best_time) {
+      best_time = t;
+      best_array = static_cast<double>(array_size);
+    }
+  }
+  std::printf("\noptimal array size: %.0f (%.1f s)\n", best_array, best_time);
+  shape_check(best_array >= 750 && best_array <= 1250,
+              "optimal array size is near 1000");
+  shape_check(g_figure.value("runtime", 250) > best_time,
+              "small arrays pay per-cycle overhead");
+  shape_check(g_figure.value("runtime", 1500) > best_time,
+              "beyond the optimum, client paging erases the benefit");
+  return 0;
+}

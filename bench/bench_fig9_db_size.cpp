@@ -1,0 +1,124 @@
+// Figure 9: effect of existing database size on bulk-loading runtime —
+// load a 200 MB data set into repositories preloaded to 50..300 GB.
+//
+// Paper result: with secondary indices disabled, loading time is flat as the
+// database grows (the PK B+tree deepens only logarithmically); the
+// production repository kept loading at full speed past 1.5 TB.
+//
+// Preload uses the engine's sorted bulk-build fast path at a reduced row
+// density (SKYLOADER_PRELOAD_DENSITY rows per preloaded GB, default 8000);
+// the measured quantity — per-insert work against the preexisting data — is
+// governed by index depth, which grows with log(rows), so the flatness of
+// the curve is preserved at any density.
+#include "bench_util.h"
+
+#include "htm/htm.h"
+
+namespace {
+
+using namespace skybench;
+
+FigureTable g_figure("Figure 9: Effect of Database Size (200 MB data set)",
+                     "database size (GB)", "runtime (simulated seconds)");
+
+const std::vector<int64_t> kDbSizesGb = {50, 100, 150, 200, 250, 300};
+
+int64_t preload_rows_per_gb() {
+  const char* env = std::getenv("SKYLOADER_PRELOAD_DENSITY");
+  if (env != nullptr && std::atoll(env) > 0) return std::atoll(env);
+  return 8000;
+}
+
+// Preload the repository with FK-consistent frames/objects rows, PK-sorted.
+void preload(SimRepository& repo, int64_t gigabytes) {
+  const int64_t object_rows = gigabytes * preload_rows_per_gb();
+  const int64_t frame_rows = std::max<int64_t>(1, object_rows / 40);
+  const uint32_t observations = repo.engine->table_id("observations").value();
+  const uint32_t ccds = repo.engine->table_id("ccd_columns").value();
+  const uint32_t frames = repo.engine->table_id("ccd_frames").value();
+  const uint32_t objects = repo.engine->table_id("objects").value();
+  const uint32_t states = repo.engine->table_id("telescope_states").value();
+  // Preload ids live far above generator unit ids (no collisions).
+  const int64_t base = 1LL << 58;
+  using sky::db::Value;
+  auto must = [](const sky::Status& status) {
+    if (!status.is_ok()) std::abort();
+  };
+  must(repo.engine->bulk_load_sorted(
+      states, {{Value::i64(base), Value::f64(10), Value::f64(0),
+                Value::f64(40)}}));
+  must(repo.engine->bulk_load_sorted(
+      observations,
+      {{Value::i64(base), Value::i64(1), Value::i64(1), Value::i64(1),
+        Value::i64(base), Value::timestamp(1), Value::f64(1.5),
+        Value::f64(0.5)}}));
+  must(repo.engine->bulk_load_sorted(
+      ccds, {{Value::i64(base), Value::i64(base), Value::i32(0),
+              Value::f64(10), Value::f64(0), Value::f64(0.873)}}));
+  std::vector<sky::db::Row> frame_batch;
+  frame_batch.reserve(static_cast<size_t>(frame_rows));
+  for (int64_t f = 0; f < frame_rows; ++f) {
+    frame_batch.push_back({Value::i64(base + f), Value::i64(base),
+                           Value::i32(1), Value::i32(static_cast<int32_t>(f)),
+                           Value::timestamp(f), Value::f64(60),
+                           Value::f64(1.2), Value::f64(20.5)});
+  }
+  must(repo.engine->bulk_load_sorted(frames, frame_batch));
+  std::vector<sky::db::Row> object_batch;
+  object_batch.reserve(static_cast<size_t>(object_rows));
+  for (int64_t o = 0; o < object_rows; ++o) {
+    const double ra = static_cast<double>(o % 360000) / 1000.0;
+    object_batch.push_back(
+        {Value::i64(base + o), Value::i64(base + o % frame_rows),
+         Value::f64(ra), Value::f64(10.0), Value::f64(20.0), Value::f64(0.01),
+         Value::f64(100.0), Value::f64(2.0), Value::f64(0.1), Value::f64(1),
+         Value::f64(1),
+         Value::i64(static_cast<int64_t>(
+             sky::htm::htm_id_radec(ra, 10.0, 14)))});
+  }
+  must(repo.engine->bulk_load_sorted(objects, object_batch));
+}
+
+void bench_db_size(benchmark::State& state) {
+  const int64_t gigabytes = state.range(0);
+  for (auto _ : state) {
+    SimRepository repo = SimRepository::create();
+    preload(repo, gigabytes);
+    const auto file = make_file(200, /*seed=*/900, /*unit_id=*/90);
+    sky::core::BulkLoaderOptions options;
+    options.write_audit_row = false;
+    const auto report = run_bulk(repo, file, options);
+    const double seconds = normalized_seconds(report.elapsed);
+    state.SetIterationTime(seconds);
+    g_figure.add("runtime", static_cast<double>(gigabytes), seconds);
+    state.counters["preexisting_rows"] =
+        static_cast<double>(repo.engine->total_rows());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  for (const int64_t gigabytes : kDbSizesGb) {
+    benchmark::RegisterBenchmark("fig9/db_size", bench_db_size)
+        ->Arg(gigabytes)
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kSecond);
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  g_figure.print();
+
+  double min_time = 1e18, max_time = 0;
+  for (const int64_t gigabytes : kDbSizesGb) {
+    const double t = g_figure.value("runtime", static_cast<double>(gigabytes));
+    min_time = std::min(min_time, t);
+    max_time = std::max(max_time, t);
+  }
+  const double spread_pct = (max_time - min_time) / min_time * 100.0;
+  std::printf("\nruntime spread across 50-300 GB: %.2f%%\n", spread_pct);
+  shape_check(spread_pct < 5.0,
+              "database size has no significant impact on loading time");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Error recovery demo: the paper's Example 1, executable.
+//
+// Loads a catalog file with injected errors (malformed numerics, missing
+// fields, duplicate primary keys, dangling foreign keys, out-of-range
+// values) and shows the bulk loader skipping exactly the bad rows and
+// resuming — batch by batch — without losing any good data.
+//
+//   $ ./error_recovery_demo [error_rate]
+#include <cstdio>
+#include <cstdlib>
+
+#include "catalog/generator.h"
+#include "catalog/pq_schema.h"
+#include "client/session.h"
+#include "core/bulk_loader.h"
+#include "db/engine.h"
+
+using namespace sky;
+
+int main(int argc, char** argv) {
+  const double error_rate = argc > 1 ? std::atof(argv[1]) : 0.03;
+
+  const db::Schema schema = catalog::make_pq_schema();
+  db::Engine engine(schema);
+  client::DirectSession session(engine);
+  core::BulkLoaderOptions options;  // batch-size 40, array-size 1000
+  core::BulkLoader loader(session, schema, options);
+  {
+    const auto reference = loader.load_text(
+        "reference.cat", catalog::CatalogGenerator::reference_file().text);
+    if (!reference.is_ok()) return 1;
+  }
+
+  catalog::FileSpec spec;
+  spec.name = "dirty_night.cat";
+  spec.seed = 77;
+  spec.unit_id = 9;
+  spec.target_bytes = 512 * 1024;
+  spec.error_rate = error_rate;
+  const auto file = catalog::CatalogGenerator::generate(spec);
+  std::printf("catalog file: %lld rows, %lld corrupted (%.1f%% injected)\n",
+              static_cast<long long>(file.data_lines),
+              static_cast<long long>(file.injected_errors),
+              error_rate * 100);
+
+  const auto report = loader.load_text(spec.name, file.text);
+  if (!report.is_ok()) return 1;
+
+  std::printf("\n%s\n", report->summary().c_str());
+  std::printf("\nconservation: %lld parsed = %lld loaded + %lld skipped "
+              "(+ %lld parse errors on %lld lines)\n",
+              static_cast<long long>(report->rows_parsed),
+              static_cast<long long>(report->rows_loaded),
+              static_cast<long long>(report->rows_skipped_server),
+              static_cast<long long>(report->parse_errors),
+              static_cast<long long>(report->lines_read));
+
+  // Show a sample of the error log, grouped by failure kind.
+  std::printf("\nfirst errors by kind:\n");
+  std::map<std::string, int> seen_kinds;
+  for (const core::LoadError& error : report->errors) {
+    const std::string kind(error_code_name(error.status.code()));
+    if (seen_kinds[kind]++ == 0) {
+      std::printf("  [%s] %s%s%s\n    -> %s\n", kind.c_str(),
+                  error.table.empty() ? "" : error.table.c_str(),
+                  error.table.empty() ? "" : ": ",
+                  error.detail.substr(0, 70).c_str(),
+                  error.status.message().substr(0, 90).c_str());
+    }
+  }
+  std::printf("\nerror histogram:\n");
+  for (const auto& [kind, count] : seen_kinds) {
+    std::printf("  %-24s %6d\n", kind.c_str(), count);
+  }
+
+  // The skipped rows cost one extra round trip each — the section 4.2
+  // analysis — visible in the call count.
+  const double ideal_calls =
+      static_cast<double>(report->rows_parsed) / 40.0;
+  std::printf("\ndatabase calls: %lld (error-free ideal ~%.0f; each skipped "
+              "row adds one)\n",
+              static_cast<long long>(report->db_calls), ideal_calls);
+
+  const Status audit = engine.verify_integrity();
+  std::printf("integrity audit after dirty load: %s\n",
+              audit.to_string().c_str());
+  return audit.is_ok() ? 0 : 1;
+}

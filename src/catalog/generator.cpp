@@ -1,0 +1,377 @@
+#include "catalog/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "catalog/pq_schema.h"
+#include "common/strings.h"
+
+namespace sky::catalog {
+
+namespace {
+
+// A tiny Feistel network over 24 bits: a deterministic permutation used to
+// scramble object-id assignment order (the "unsorted input" ablation) while
+// keeping ids unique. 24 bits = up to ~16.7M objects per file.
+constexpr uint32_t kObjectOrdinalBits = 24;
+constexpr int64_t kObjectIdStride = 1LL << (kObjectOrdinalBits + 1);
+
+uint32_t feistel24(uint32_t value, uint64_t key) {
+  uint32_t left = (value >> 12) & 0xFFF;
+  uint32_t right = value & 0xFFF;
+  for (int round = 0; round < 3; ++round) {
+    const uint32_t f = static_cast<uint32_t>(
+        (right * 0x9E3Bu + (key >> (round * 12)) + 0x7F4Au) & 0xFFFu);
+    const uint32_t new_right = left ^ f;
+    left = right;
+    right = new_right;
+  }
+  return (left << 12) | right;
+}
+
+bool is_detail_tag(std::string_view tag) {
+  return tag == "OBJ" || tag == "FNG" || tag == "MOM" || tag == "FLG" ||
+         tag == "DET" || tag == "MAT";
+}
+
+class LineWriter {
+ public:
+  explicit LineWriter(GeneratedFile& out, double error_rate,
+                      const ErrorMix& mix, Rng& rng,
+                      bool detail_rows_only = true)
+      : out_(out), error_rate_(error_rate), rng_(rng),
+        detail_rows_only_(detail_rows_only) {
+    const double total = mix.bad_numeric + mix.missing_field +
+                         mix.duplicate_pk + mix.dangling_fk +
+                         mix.out_of_range;
+    weights_ = {mix.bad_numeric / total, mix.missing_field / total,
+                mix.duplicate_pk / total, mix.dangling_fk / total,
+                mix.out_of_range / total};
+  }
+
+  // Emit one row. `fields` excludes the tag. The first field is the primary
+  // key; `fk_field` (index into fields) points at a parent id eligible for
+  // dangling-FK corruption (-1 if none); `range_field` points at a value
+  // with a range check eligible for out-of-range corruption (-1 if none).
+  void emit(std::string_view tag, std::vector<std::string> fields,
+            int fk_field = -1, int range_field = -1) {
+    bool corrupted = false;
+    if (error_rate_ > 0 && (!detail_rows_only_ || is_detail_tag(tag)) &&
+        rng_.bernoulli(error_rate_)) {
+      corrupted = corrupt(tag, fields, fk_field, range_field);
+    }
+    std::string line(tag);
+    for (const std::string& field : fields) {
+      line.push_back('|');
+      line.append(field);
+    }
+    line.push_back('\n');
+    out_.text.append(line);
+    ++out_.data_lines;
+    if (corrupted) {
+      ++out_.injected_errors;
+    } else {
+      ++out_.clean_rows_per_table[std::string(table_for_tag(tag))];
+      last_pk_[std::string(tag)] = fields[0];
+    }
+  }
+
+ private:
+  bool corrupt(std::string_view tag, std::vector<std::string>& fields,
+               int fk_field, int range_field) {
+    switch (rng_.pick_weighted(weights_)) {
+      case 0: {  // bad numeric: clobber a non-PK field
+        const size_t target = fields.size() > 1
+                                  ? 1 + static_cast<size_t>(rng_.uniform_int(
+                                            0, static_cast<int64_t>(
+                                                   fields.size()) - 2))
+                                  : 0;
+        fields[target] = "###";
+        return true;
+      }
+      case 1:  // missing field
+        fields.pop_back();
+        return true;
+      case 2: {  // duplicate PK: reuse the previous key for this tag
+        const auto it = last_pk_.find(std::string(tag));
+        if (it == last_pk_.end()) {
+          fields[0] = "###";  // no prior row yet; degrade to parse error
+          return true;
+        }
+        fields[0] = it->second;
+        return true;
+      }
+      case 3:  // dangling FK
+        if (fk_field >= 0) {
+          fields[static_cast<size_t>(fk_field)] = "999999999999999";
+          return true;
+        }
+        fields[0] = "###";
+        return true;
+      default:  // out of range
+        if (range_field >= 0) {
+          fields[static_cast<size_t>(range_field)] = "12345.678";
+          return true;
+        }
+        fields[0] = "###";
+        return true;
+    }
+  }
+
+  GeneratedFile& out_;
+  double error_rate_;
+  Rng& rng_;
+  bool detail_rows_only_;
+  std::vector<double> weights_;
+  std::map<std::string, std::string> last_pk_;
+};
+
+std::string fmt_f(double v) { return str_format("%.6f", v); }
+std::string fmt_i(int64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+GeneratedFile CatalogGenerator::reference_file() {
+  GeneratedFile out;
+  out.text = "# Palomar-Quest reference tables (synthetic)\n";
+  Rng rng(0xBEEF);
+  ErrorMix mix;
+  LineWriter writer(out, 0.0, mix, rng);
+  for (int64_t s = 1; s <= kSurveyCount; ++s) {
+    writer.emit("SUR", {fmt_i(s), "palomar-quest-" + fmt_i(s),
+                        fmt_i(1059696000000000 + s)});
+  }
+  for (int64_t o = 1; o <= kObserverCount; ++o) {
+    writer.emit("OBR", {fmt_i(o), "observer-" + fmt_i(o), "caltech/yale"});
+  }
+  const double wavelengths[] = {354.3, 477.0, 623.1, 762.5};
+  for (int f = 1; f <= kFilterCount; ++f) {
+    writer.emit("FIL", {fmt_i(f), "filter-" + fmt_i(f),
+                        fmt_f(wavelengths[f - 1])});
+  }
+  for (int64_t p = 1; p <= kPipelineCount; ++p) {
+    writer.emit("PIP", {fmt_i(p), "extract-" + fmt_i(p), "v2." + fmt_i(p)});
+    for (int64_t k = 0; k < 3; ++k) {
+      writer.emit("PAR", {fmt_i(p * 100 + k), fmt_i(p),
+                          "threshold-" + fmt_i(k),
+                          fmt_f(1.5 + static_cast<double>(k))});
+    }
+  }
+  for (int64_t r = 1; r <= kRegionCount; ++r) {
+    const double ra0 = static_cast<double>(r - 1) * 45.0;
+    writer.emit("REG", {fmt_i(r), fmt_f(ra0), fmt_f(ra0 + 45.0),
+                        fmt_f(-25.0), fmt_f(25.0)});
+  }
+  return out;
+}
+
+GeneratedFile CatalogGenerator::generate(const FileSpec& spec) {
+  GeneratedFile out;
+  out.text = "# Palomar-Quest catalog file " + spec.name + "\n";
+  out.text.reserve(static_cast<size_t>(spec.target_bytes) + 4096);
+  Rng rng(spec.seed);
+  LineWriter writer(out, spec.error_rate, spec.error_mix, rng,
+                    spec.restrict_errors_to_detail_rows);
+
+  const int64_t unit = spec.unit_id;
+  const int64_t base_time = 1104537600000000 + unit * 60'000'000;
+
+  // Telescope state + observation header.
+  writer.emit("TST", {fmt_i(unit), fmt_f(rng.uniform_range(-5, 25)),
+                      fmt_f(rng.uniform_range(-200, 200)),
+                      fmt_f(rng.uniform_range(5, 95))});
+  writer.emit("OBS",
+              {fmt_i(unit), fmt_i(rng.uniform_int(1, kSurveyCount)),
+               fmt_i(rng.uniform_int(1, kRegionCount)),
+               fmt_i(rng.uniform_int(1, kObserverCount)), fmt_i(unit),
+               fmt_i(base_time), fmt_f(rng.uniform_range(1.0, 2.5)),
+               fmt_f(rng.uniform())});
+  const int64_t n_logs = rng.uniform_int(1, 3);
+  for (int64_t l = 0; l < n_logs; ++l) {
+    writer.emit("LOG", {fmt_i(unit * 10 + l), fmt_i(unit),
+                        fmt_i(base_time + l * 1000), fmt_i(l % 5),
+                        "start sequence " + fmt_i(l)});
+  }
+
+  const double ra_base = rng.uniform_range(0.0, 315.0);
+  const double dec_base = rng.uniform_range(-20.0, 20.0);
+
+  // CCD columns round-robin; frames keep coming until the byte target.
+  std::vector<int64_t> ccd_ids;
+  for (int c = 0; c < spec.ccds; ++c) {
+    const int64_t ccd_id = unit * 10 + c;
+    ccd_ids.push_back(ccd_id);
+    writer.emit("CCD",
+                {fmt_i(ccd_id), fmt_i(unit),
+                 fmt_i((unit * spec.ccds + c) % 112),
+                 fmt_f(ra_base + c * 0.25), fmt_f(dec_base), fmt_f(0.873)},
+                /*fk_field=*/1);
+    const int64_t n_defects = rng.uniform_int(0, 2);
+    for (int64_t d = 0; d < n_defects; ++d) {
+      writer.emit("DEF", {fmt_i(ccd_id * 10 + d), fmt_i(ccd_id),
+                          fmt_i(rng.uniform_int(0, 2047)),
+                          fmt_i(rng.uniform_int(0, 4095)), "hot-pixel"},
+                  /*fk_field=*/1);
+    }
+  }
+
+  uint32_t object_counter = 0;
+  int64_t frame_seq = 0;
+  while (static_cast<int64_t>(out.text.size()) < spec.target_bytes) {
+    const int64_t ccd_id =
+        ccd_ids[static_cast<size_t>(frame_seq) % ccd_ids.size()];
+    const int64_t frame_id = ccd_id * 100000 + frame_seq;
+    ++frame_seq;
+    // Palomar-Quest is a drift-scan survey: the sky sweeps across the CCDs
+    // at the sidereal rate, so consecutive frames advance smoothly in RA
+    // (spatially clustered objects — and clustered htmids).
+    const double frame_ra =
+        std::fmod(ra_base + static_cast<double>(frame_seq) * 0.035, 358.0);
+    const double frame_dec =
+        dec_base +
+        0.25 * static_cast<double>(static_cast<int64_t>(frame_seq) %
+                                   static_cast<int64_t>(ccd_ids.size()));
+    writer.emit("FRM",
+                {fmt_i(frame_id), fmt_i(ccd_id),
+                 fmt_i(rng.uniform_int(1, kFilterCount)), fmt_i(frame_seq),
+                 fmt_i(base_time + frame_seq * 140'000'000),
+                 fmt_f(rng.uniform_range(30, 180)),
+                 fmt_f(rng.uniform_range(0.6, 3.0)),
+                 fmt_f(rng.uniform_range(19, 22))},
+                /*fk_field=*/1, /*range_field=*/5);
+    // "A row of frame information is followed by four rows of frame
+    // aperture information."
+    for (int a = 0; a < 4; ++a) {
+      writer.emit("APR",
+                  {fmt_i(frame_id * 10 + a), fmt_i(frame_id), fmt_i(a),
+                   fmt_f(2.0 + a * 1.5), fmt_f(rng.uniform_range(1.4, 2.2)),
+                   fmt_f(rng.uniform_range(24.5, 26.5))},
+                  /*fk_field=*/1, /*range_field=*/3);
+    }
+    writer.emit("AST",
+                {fmt_i(frame_id), fmt_i(frame_id), fmt_f(frame_ra),
+                 fmt_f(frame_dec), fmt_f(-2.4e-4), fmt_f(1.1e-6),
+                 fmt_f(-1.2e-6), fmt_f(2.4e-4),
+                 fmt_f(rng.uniform_range(0.05, 0.4))},
+                /*fk_field=*/1);
+    writer.emit("PHO",
+                {fmt_i(frame_id), fmt_i(frame_id),
+                 fmt_f(rng.uniform_range(24.0, 27.0)),
+                 fmt_f(rng.uniform_range(0.005, 0.05)),
+                 fmt_f(rng.uniform_range(0.05, 0.3)),
+                 fmt_f(rng.uniform_range(-0.1, 0.1))},
+                /*fk_field=*/1);
+    writer.emit("CAL",
+                {fmt_i(frame_id), fmt_i(frame_id),
+                 fmt_i(rng.uniform_int(1, kPipelineCount)),
+                 fmt_i(base_time + frame_seq * 150'000'000),
+                 fmt_f(rng.uniform())},
+                /*fk_field=*/1, /*range_field=*/4);
+
+    // Objects: each followed by four finger rows, then detail rows.
+    const int64_t n_objects = rng.uniform_int(20, 60);
+    std::vector<int64_t> frame_object_ids;
+    for (int64_t i = 0; i < n_objects; ++i) {
+      const uint32_t ordinal = object_counter++;
+      const uint32_t scrambled = spec.shuffle_object_ids
+                                     ? feistel24(ordinal, spec.seed)
+                                     : ordinal;
+      const int64_t object_id =
+          unit * kObjectIdStride + static_cast<int64_t>(scrambled);
+      frame_object_ids.push_back(object_id);
+      // Objects lie within the frame's ~0.25-degree field of view.
+      const double ra = std::clamp(frame_ra + rng.uniform_range(-0.12, 0.12),
+                                   0.0, 360.0);
+      const double dec =
+          std::clamp(frame_dec + rng.uniform_range(-0.12, 0.12), -90.0, 90.0);
+      const double mag = std::clamp(rng.normal(20.0, 2.0), -4.9, 39.9);
+      writer.emit("OBJ",
+                  {fmt_i(object_id), fmt_i(frame_id), fmt_f(ra), fmt_f(dec),
+                   fmt_f(mag), fmt_f(rng.uniform_range(0.001, 0.5)),
+                   fmt_f(std::pow(10.0, (25.0 - mag) / 2.5)),
+                   fmt_f(rng.uniform_range(1.0, 6.0)), fmt_f(rng.uniform()),
+                   fmt_f(rng.uniform_range(0, 2048)),
+                   fmt_f(rng.uniform_range(0, 4096))},
+                  /*fk_field=*/1, /*range_field=*/3);
+      // "A row of object information is followed by four rows of finger
+      // information."
+      for (int f = 0; f < 4; ++f) {
+        writer.emit("FNG",
+                    {fmt_i(object_id * 10 + f), fmt_i(object_id), fmt_i(f),
+                     fmt_f(rng.uniform_range(10, 1e5)),
+                     fmt_i(rng.uniform_int(1, 400)),
+                     fmt_f(rng.uniform_range(2, 100))},
+                    /*fk_field=*/1, /*range_field=*/2);
+      }
+      writer.emit("MOM",
+                  {fmt_i(object_id), fmt_i(object_id),
+                   fmt_f(rng.uniform_range(0.5, 8)),
+                   fmt_f(rng.uniform_range(0.5, 8)),
+                   fmt_f(rng.uniform_range(-2, 2)),
+                   fmt_f(rng.uniform_range(-90, 90))},
+                  /*fk_field=*/1);
+      writer.emit("FLG",
+                  {fmt_i(object_id), fmt_i(object_id),
+                   fmt_i(rng.bernoulli(0.02) ? 1 : 0),
+                   fmt_i(rng.bernoulli(0.08) ? 1 : 0),
+                   fmt_i(rng.bernoulli(0.05) ? 1 : 0)},
+                  /*fk_field=*/1, /*range_field=*/2);
+      const int64_t n_detections = rng.uniform_int(1, 2);
+      for (int64_t d = 0; d < n_detections; ++d) {
+        writer.emit("DET",
+                    {fmt_i(object_id * 4 + d), fmt_i(object_id),
+                     fmt_i(rng.uniform_int(1, kFilterCount)),
+                     fmt_f(mag + rng.uniform_range(-0.05, 0.05)),
+                     fmt_f(rng.uniform_range(0.001, 0.5)),
+                     fmt_i(base_time + frame_seq * 160'000'000 + d)},
+                    /*fk_field=*/1, /*range_field=*/3);
+      }
+      // Occasional cross-match against an earlier object in this file.
+      if (frame_object_ids.size() > 1 && rng.bernoulli(0.05)) {
+        const int64_t prior = frame_object_ids[static_cast<size_t>(
+            rng.uniform_int(0,
+                            static_cast<int64_t>(frame_object_ids.size()) -
+                                2))];
+        writer.emit("MAT",
+                    {fmt_i(object_id), fmt_i(object_id), fmt_i(prior),
+                     fmt_f(rng.uniform_range(0.1, 5.0)),
+                     fmt_f(rng.uniform())},
+                    /*fk_field=*/1, /*range_field=*/3);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<FileSpec> CatalogGenerator::observation_specs(uint64_t seed,
+                                                          int64_t night_id,
+                                                          int64_t total_bytes,
+                                                          double error_rate) {
+  Rng rng(seed ^ 0x0B5E55ED);
+  // Deterministic size skew: weights in [0.4, 1.9] normalized to the total.
+  std::vector<double> weights;
+  weights.reserve(kFilesPerObservation);
+  double weight_sum = 0;
+  for (int f = 0; f < kFilesPerObservation; ++f) {
+    const double w = 0.4 + 1.5 * rng.uniform();
+    weights.push_back(w);
+    weight_sum += w;
+  }
+  std::vector<FileSpec> specs;
+  specs.reserve(kFilesPerObservation);
+  for (int f = 0; f < kFilesPerObservation; ++f) {
+    FileSpec spec;
+    spec.name = str_format("night%lld_file%02d.cat",
+                           static_cast<long long>(night_id), f);
+    spec.seed = seed + static_cast<uint64_t>(f) * 0x9E37u + 1;
+    spec.unit_id = night_id * 100 + f;
+    spec.target_bytes = static_cast<int64_t>(
+        static_cast<double>(total_bytes) * weights[static_cast<size_t>(f)] /
+        weight_sum);
+    spec.error_rate = error_rate;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+}  // namespace sky::catalog

@@ -1,0 +1,88 @@
+// Synthetic Palomar-Quest catalog data.
+//
+// Stands in for the real survey's derived catalog files (the paper's data
+// source we cannot have). Reproduces what the loader actually sees:
+//   * tagged ASCII rows, multiple tables interleaved in one file, with the
+//     paper's pattern (frame -> 4 apertures, object -> 4 fingers, ...),
+//   * 28 self-contained files per observation whose sizes vary (the load
+//     balancing motivation in section 4.4),
+//   * primary keys emitted in ascending order ("presorted as a byproduct of
+//     extraction", section 4.5.4) with an option to scramble them,
+//   * injectable data errors — malformed numerics, missing fields,
+//     duplicate primary keys, dangling foreign keys, out-of-range values —
+//     at a controlled rate ("missing and/or invalid values ... errors are
+//     detected during bulk loads fairly often", section 4.3).
+// Everything is deterministic from the seed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace sky::catalog {
+
+// Relative frequency of each injected error kind (normalized internally).
+struct ErrorMix {
+  double bad_numeric = 0.35;   // "###" in a numeric field -> parse error
+  double missing_field = 0.15; // truncated row -> parse error
+  double duplicate_pk = 0.25;  // repeated key -> PK violation at the server
+  double dangling_fk = 0.10;   // nonexistent parent -> FK violation
+  double out_of_range = 0.15;  // dec=123 etc. -> check violation
+};
+
+struct FileSpec {
+  std::string name;
+  uint64_t seed = 1;
+  // Distinct per file; every id in the file derives from it, so files are
+  // self-contained and can load in parallel in any order.
+  int64_t unit_id = 0;
+  int64_t target_bytes = 256 * 1024;
+  int ccds = 4;
+  double error_rate = 0.0;
+  ErrorMix error_mix{};
+  // By default errors are injected only into high-volume detail rows (OBJ,
+  // FNG, MOM, FLG, DET, MAT): corrupting a structural header (OBS, CCD,
+  // FRM) cascades to everything beneath it — realistic, but it turns the
+  // error-rate dial into a cliff. Set false to corrupt any row.
+  bool restrict_errors_to_detail_rows = true;
+  // Scramble object primary keys (breaks the presort; ablation 4.5.4).
+  bool shuffle_object_ids = false;
+};
+
+struct GeneratedFile {
+  std::string text;
+  int64_t data_lines = 0;
+  int64_t injected_errors = 0;
+  // Clean (uncorrupted) rows emitted per table name.
+  std::map<std::string, int64_t> clean_rows_per_table;
+};
+
+class CatalogGenerator {
+ public:
+  // The reference-table seed file (surveys, observers, filters, pipelines,
+  // pipeline params, sky regions) every repository load starts from.
+  static GeneratedFile reference_file();
+
+  // One nightly catalog file.
+  static GeneratedFile generate(const FileSpec& spec);
+
+  // The 28 file specs of one observation, sizes varying deterministically
+  // around total_bytes / 28 (between roughly 0.4x and 1.9x the mean).
+  static std::vector<FileSpec> observation_specs(uint64_t seed,
+                                                 int64_t night_id,
+                                                 int64_t total_bytes,
+                                                 double error_rate = 0.0);
+
+  // Reference-table id domains (generator and tests share them).
+  static constexpr int64_t kSurveyCount = 2;
+  static constexpr int64_t kObserverCount = 5;
+  static constexpr int kFilterCount = 4;
+  static constexpr int64_t kPipelineCount = 2;
+  static constexpr int64_t kRegionCount = 8;
+};
+
+}  // namespace sky::catalog

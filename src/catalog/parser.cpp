@@ -1,0 +1,122 @@
+#include "catalog/parser.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "catalog/pq_schema.h"
+#include "common/strings.h"
+#include "htm/htm.h"
+
+namespace sky::catalog {
+
+CatalogParser::CatalogParser(const db::Schema& schema) {
+  for (const TagMapping& mapping : tag_mappings()) {
+    const auto table_id = schema.table_id(mapping.table);
+    if (!table_id.is_ok()) continue;  // schema without this table
+    TableInfo info;
+    info.table_id = table_id.value();
+    info.def = &schema.table(info.table_id);
+    info.computed_htmid_column = info.def->column_index("htmid");
+    info.ra_column = info.def->column_index("ra");
+    info.dec_column = info.def->column_index("dec");
+    for (size_t c = 0; c < info.def->columns.size(); ++c) {
+      const std::string& name = info.def->columns[c].name;
+      if (name == "mag" || name == "mag_err") {
+        info.mag_precision_columns.push_back(static_cast<int>(c));
+      }
+    }
+    by_tag_.emplace_back(std::string(mapping.tag), std::move(info));
+  }
+  std::sort(by_tag_.begin(), by_tag_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
+const CatalogParser::TableInfo* CatalogParser::info_for_tag(
+    std::string_view tag) const {
+  const auto it = std::lower_bound(
+      by_tag_.begin(), by_tag_.end(), tag,
+      [](const auto& entry, std::string_view key) { return entry.first < key; });
+  if (it == by_tag_.end() || it->first != tag) return nullptr;
+  return &it->second;
+}
+
+bool CatalogParser::is_data_line(std::string_view line) {
+  const std::string_view stripped = trim(line);
+  return !stripped.empty() && stripped[0] != '#';
+}
+
+Result<ParsedRow> CatalogParser::parse_line(std::string_view line) {
+  ++stats_.lines;
+  const std::string_view stripped = trim(line);
+  if (stripped.empty() || stripped[0] == '#') {
+    ++stats_.comment_lines;
+    return Status(ErrorCode::kInvalidArgument, "not a data line");
+  }
+  const std::vector<std::string_view> fields = split(stripped, '|');
+  const TableInfo* info = info_for_tag(fields[0]);
+  if (info == nullptr) {
+    ++stats_.parse_errors;
+    return Status(ErrorCode::kParseError,
+                  "unknown row tag: " + std::string(fields[0]));
+  }
+  // Every column appears in the file except computed ones.
+  const size_t expected_fields =
+      info->def->columns.size() - (info->computed_htmid_column >= 0 ? 1 : 0);
+  if (fields.size() - 1 != expected_fields) {
+    ++stats_.parse_errors;
+    return Status(ErrorCode::kParseError,
+                  str_format("%s row has %zu fields, expected %zu",
+                             std::string(fields[0]).c_str(),
+                             fields.size() - 1, expected_fields));
+  }
+
+  ParsedRow parsed;
+  parsed.table_id = info->table_id;
+  parsed.row.reserve(info->def->columns.size());
+  size_t next_field = 1;
+  for (size_t c = 0; c < info->def->columns.size(); ++c) {
+    if (static_cast<int>(c) == info->computed_htmid_column) {
+      parsed.row.push_back(db::Value::null());  // filled below
+      continue;
+    }
+    const auto value = db::Value::parse_as(info->def->columns[c].type,
+                                           fields[next_field]);
+    if (!value.is_ok()) {
+      ++stats_.parse_errors;
+      return Status(ErrorCode::kParseError,
+                    info->def->name + "." + info->def->columns[c].name + ": " +
+                        value.status().message());
+    }
+    parsed.row.push_back(*value);
+    ++next_field;
+  }
+
+  // Transformation: normalize magnitude precision to 4 decimals.
+  for (const int c : info->mag_precision_columns) {
+    db::Value& value = parsed.row[static_cast<size_t>(c)];
+    if (!value.is_null() && value.is_f64()) {
+      value = db::Value::f64(std::round(value.as_f64() * 1e4) / 1e4);
+    }
+  }
+
+  // Computation: htmid from (ra, dec).
+  if (info->computed_htmid_column >= 0) {
+    const db::Value& ra = parsed.row[static_cast<size_t>(info->ra_column)];
+    const db::Value& dec = parsed.row[static_cast<size_t>(info->dec_column)];
+    if (ra.is_null() || dec.is_null() || !ra.is_f64() || !dec.is_f64() ||
+        !(ra.as_f64() >= 0.0 && ra.as_f64() <= 360.0) ||
+        !(dec.as_f64() >= -90.0 && dec.as_f64() <= 90.0)) {
+      // Leave htmid NULL: the NOT NULL constraint rejects the row server-side,
+      // exactly the kind of data error the bulk loader must skip over.
+    } else {
+      parsed.row[static_cast<size_t>(info->computed_htmid_column)] =
+          db::Value::i64(static_cast<int64_t>(
+              htm::htm_id_radec(ra.as_f64(), dec.as_f64(), kHtmDepth)));
+      ++stats_.htmids_computed;
+    }
+  }
+  ++stats_.data_rows;
+  return parsed;
+}
+
+}  // namespace sky::catalog

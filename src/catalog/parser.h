@@ -1,0 +1,76 @@
+// Catalog row parsing: the "parse, validate, transform, compute" step of
+// the loading pipeline (paper section 4.1, step 2).
+//
+// Catalog files are ASCII, one row per line: TAG|field|field|...  The tag
+// selects the destination table; fields appear in the table's column order.
+// The parser:
+//   * parses fields by declared column type (type conversion),
+//   * normalizes precision on magnitude-like columns (transformation),
+//   * computes derived values the repository needs — the object htmid from
+//     (ra, dec) via the HTM library (computation).
+// Structural problems (unknown tag, wrong arity, malformed numbers) are
+// client-side parse errors; domain violations (range checks, duplicate or
+// dangling keys) are intentionally left for the database constraints, which
+// is where the paper's error-recovery machinery engages.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "db/row.h"
+#include "db/schema.h"
+
+namespace sky::catalog {
+
+struct ParsedRow {
+  uint32_t table_id = 0;
+  db::Row row;
+};
+
+struct ParserStats {
+  int64_t lines = 0;
+  int64_t data_rows = 0;
+  int64_t comment_lines = 0;
+  int64_t parse_errors = 0;
+  int64_t htmids_computed = 0;
+};
+
+class CatalogParser {
+ public:
+  // The schema must be the PQ schema (or any schema whose tables match the
+  // tag mapping); tag tables are resolved once at construction.
+  explicit CatalogParser(const db::Schema& schema);
+
+  // Parse one line. Returns a row ready for insertion, or:
+  //   * kNotFound status with empty message "comment" semantics — instead we
+  //     expose is_data_line() so callers can skip blanks/comments cheaply.
+  //   * kParseError for malformed data rows (counted; callers typically
+  //     record and skip, mirroring client-side validation).
+  Result<ParsedRow> parse_line(std::string_view line);
+
+  // Cheap pre-check: should parse_line be called for this line at all?
+  static bool is_data_line(std::string_view line);
+
+  const ParserStats& stats() const { return stats_; }
+
+  // HTM depth used for computed object htmids.
+  static constexpr int kHtmDepth = 14;
+
+ private:
+  struct TableInfo {
+    uint32_t table_id = 0;
+    const db::TableDef* def = nullptr;
+    int computed_htmid_column = -1;  // objects.htmid
+    int ra_column = -1;
+    int dec_column = -1;
+    std::vector<int> mag_precision_columns;  // rounded to 4 decimals
+  };
+
+  const TableInfo* info_for_tag(std::string_view tag) const;
+
+  std::vector<std::pair<std::string, TableInfo>> by_tag_;  // sorted by tag
+  ParserStats stats_;
+};
+
+}  // namespace sky::catalog

@@ -1,0 +1,61 @@
+// The Palomar-Quest repository data model.
+//
+// The paper shows (Fig. 1) a 23-table model and names a handful of tables:
+// observations, ccd_columns, ccd_frames, ccd_frame_apertures, objects, plus
+// "finger" detail rows; it describes the interleave pattern ("a row of frame
+// information is followed by four rows of frame aperture information, and a
+// row of object information is followed by four rows of finger information")
+// and the size skew (static metadata tables under 100 rows; objects beyond a
+// billion). We reconstruct a plausible 23-table model around those anchors;
+// table count, FK chains, row-size ratios, and the interleave pattern are
+// preserved. See DESIGN.md for the substitution note.
+//
+// Layout (parent -> child):
+//   reference data : surveys, observers, filters, pipelines,
+//                    pipeline_params, sky_regions
+//   per observation: telescope_states, observations, observation_logs,
+//                    ccd_columns, ccd_defects, ccd_frames,
+//                    ccd_frame_apertures, frame_astrometry,
+//                    frame_photometry, frame_calibrations
+//   per object     : objects, fingers, object_moments, object_flags,
+//                    detections, match_pairs
+//   bookkeeping    : load_audit (written by the loader itself)
+//
+// The objects table carries the two study indexes from the paper's Fig. 8:
+//   idx_htmid    — single large-integer attribute (kept during loading)
+//   idx_radecmag — composite over three float attributes (delayed by
+//                  default; rebuilt after the catch-up phase)
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "db/schema.h"
+
+namespace sky::catalog {
+
+constexpr std::string_view kIndexHtmid = "idx_htmid";
+constexpr std::string_view kIndexRaDecMag = "idx_radecmag";
+
+// Number of catalog files per observation (28 image data sets per
+// observation, 4 CCDs each; 112 CCDs total).
+constexpr int kFilesPerObservation = 28;
+constexpr int kCcdsPerFile = 4;
+
+// Build the full 23-table schema. `composite_index_enabled` controls whether
+// idx_radecmag starts enabled (paper default: disabled during loading).
+db::Schema make_pq_schema();
+
+// Row tags as they appear in catalog files, one per loadable table.
+struct TagMapping {
+  std::string_view tag;
+  std::string_view table;
+};
+
+// Tag -> table mapping in schema (parent-first) order.
+const std::array<TagMapping, 22>& tag_mappings();  // load_audit has no tag
+
+// Convenience: table name for a tag (empty if unknown).
+std::string_view table_for_tag(std::string_view tag);
+
+}  // namespace sky::catalog

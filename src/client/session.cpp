@@ -1,0 +1,83 @@
+#include "client/session.h"
+
+#include <chrono>
+
+namespace sky::client {
+
+namespace {
+Nanos real_now() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+DirectSession::DirectSession(db::Engine& engine)
+    : engine_(engine), start_real_(real_now()) {}
+
+DirectSession::~DirectSession() {
+  // An abandoned open transaction is rolled back (connection close).
+  if (txn_.has_value()) {
+    const Status status = engine_.rollback(*txn_);
+    (void)status;
+  }
+}
+
+uint64_t DirectSession::ensure_transaction() {
+  if (!txn_.has_value()) txn_ = engine_.begin_transaction();
+  return *txn_;
+}
+
+Result<uint32_t> DirectSession::prepare_insert(std::string_view table_name) {
+  return engine_.table_id(table_name);
+}
+
+BatchOutcome DirectSession::execute_batch(uint32_t table,
+                                          std::span<const db::Row> rows) {
+  const uint64_t txn = ensure_transaction();
+  const db::BatchResult result = engine_.insert_batch(txn, table, rows);
+  ++stats_.db_calls;
+  ++stats_.batch_calls;
+  stats_.rows_sent += static_cast<int64_t>(rows.size());
+  stats_.rows_applied += result.rows_applied;
+  if (result.error.has_value()) ++stats_.failed_calls;
+  return BatchOutcome{result.rows_applied, result.error};
+}
+
+Status DirectSession::execute_single(uint32_t table, const db::Row& row) {
+  const uint64_t txn = ensure_transaction();
+  db::OpCosts costs;
+  const Status status = engine_.insert_row(txn, table, row, costs);
+  ++stats_.db_calls;
+  ++stats_.single_calls;
+  stats_.rows_sent += 1;
+  if (status.is_ok()) {
+    stats_.rows_applied += 1;
+  } else {
+    ++stats_.failed_calls;
+  }
+  return status;
+}
+
+Status DirectSession::commit() {
+  if (!txn_.has_value()) return ok_status();
+  const auto result = engine_.commit(*txn_);
+  txn_.reset();
+  ++stats_.db_calls;
+  ++stats_.commits;
+  return result.status();
+}
+
+void DirectSession::client_compute(Nanos duration) {
+  // Real compute already consumed real time; nothing to charge.
+  (void)duration;
+}
+
+void DirectSession::note_buffered_rows(int64_t rows, int64_t footprint_bytes) {
+  (void)rows;
+  (void)footprint_bytes;
+}
+
+Nanos DirectSession::now() const { return real_now() - start_real_; }
+
+}  // namespace sky::client

@@ -1,0 +1,48 @@
+#include "client/sim_server.h"
+
+#include <algorithm>
+
+namespace sky::client {
+
+SimServer::SimServer(sim::Environment& env, db::Engine& engine,
+                     ServerConfig config)
+    : env_(env),
+      engine_(engine),
+      config_(config),
+      stall_rng_(config.stall_seed) {
+  const int nodes = std::max(1, config_.nodes);
+  const int cpus_per_node = std::max(1, config_.cpus / nodes);
+  for (int n = 0; n < nodes; ++n) {
+    node_cpus_.push_back(std::make_unique<sim::Resource>(
+        env_, cpus_per_node, "node-" + std::to_string(n) + "-cpus"));
+  }
+  table_last_writer_.assign(
+      static_cast<size_t>(engine_.schema().table_count()), -1);
+  transaction_slots_ = std::make_unique<sim::Resource>(
+      env_, config_.transaction_slots, "txn-slots");
+  batch_gate_ = std::make_unique<sim::Resource>(
+      env_, config_.batch_gate_slots, "batch-gate");
+  const int table_count = engine_.schema().table_count();
+  itl_.reserve(static_cast<size_t>(table_count));
+  for (int t = 0; t < table_count; ++t) {
+    itl_.push_back(std::make_unique<sim::Resource>(
+        env_, config_.itl_slots_per_table,
+        "itl-" + engine_.schema().table(static_cast<uint32_t>(t)).name));
+  }
+  devices_.reserve(static_cast<size_t>(config_.device_layout.physical_devices));
+  for (int d = 0; d < config_.device_layout.physical_devices; ++d) {
+    devices_.push_back(std::make_unique<sim::Resource>(
+        env_, 1, "raid-" + std::to_string(d)));
+  }
+}
+
+int64_t SimServer::note_table_writer(uint32_t table_id, int node,
+                                     int64_t pages_touched) {
+  if (node_count() == 1) return 0;
+  int& last = table_last_writer_[table_id];
+  const bool transfer = last >= 0 && last != node;
+  last = node;
+  return transfer ? pages_touched : 0;
+}
+
+}  // namespace sky::client

@@ -1,0 +1,226 @@
+#include "client/sim_session.h"
+
+#include <algorithm>
+
+namespace sky::client {
+
+SimSession::SimSession(SimServer& server)
+    : server_(server),
+      node_(server.assign_node()),
+      start_time_(server.env().now()) {}
+
+SimSession::~SimSession() {
+  if (txn_.has_value()) {
+    const Status status = server_.engine().rollback(*txn_);
+    (void)status;
+    server_.transaction_slots().release();
+  }
+}
+
+Result<uint32_t> SimSession::prepare_insert(std::string_view table_name) {
+  return server_.engine().table_id(table_name);
+}
+
+uint64_t SimSession::ensure_transaction() {
+  if (!txn_.has_value()) {
+    // The concurrent-transaction limit: queue for a slot in virtual time.
+    const Nanos before = server_.env().now();
+    server_.transaction_slots().acquire();
+    stats_.lock_wait_time += server_.env().now() - before;
+    txn_ = server_.engine().begin_transaction();
+  }
+  return *txn_;
+}
+
+void SimSession::charge_io(const storage::IoTally& io) {
+  const CostModel& costs = server_.costs();
+  for (int role = 0; role < storage::kIoRoleCount; ++role) {
+    const int64_t writes = io.pages_written[static_cast<size_t>(role)];
+    const int64_t reads = io.pages_read[static_cast<size_t>(role)];
+    if (writes == 0 && reads == 0) continue;
+    const Nanos duration =
+        writes * costs.per_page_write + reads * costs.per_page_read;
+    sim::Resource& device =
+        server_.device_for(static_cast<storage::IoRole>(role));
+    const Nanos before = server_.env().now();
+    device.acquire();
+    stats_.io_time += server_.env().now() - before;
+    server_.env().delay(duration);
+    stats_.io_time += duration;
+    device.release();
+  }
+  if (io.log_bytes_flushed > 0) {
+    const Nanos duration = costs.log_flush_base +
+                           io.log_bytes_flushed * costs.per_log_kb / 1024;
+    sim::Resource& device = server_.device_for(storage::IoRole::kLog);
+    const Nanos before = server_.env().now();
+    device.acquire();
+    stats_.io_time += server_.env().now() - before;
+    server_.env().delay(duration);
+    stats_.io_time += duration;
+    device.release();
+  }
+}
+
+db::BatchResult SimSession::server_call(uint32_t table,
+                                        std::span<const db::Row> rows) {
+  sim::Environment& env = server_.env();
+  const CostModel& costs = server_.costs();
+  const uint64_t txn = ensure_transaction();
+
+  // Client-side marshalling: per-call overhead plus array binding that grows
+  // with the batch size.
+  const auto n = static_cast<int64_t>(rows.size());
+  const Nanos marshal =
+      costs.client_call_overhead +
+      n * n * costs.client_marshal_per_row_per_batchrow;
+  env.delay(marshal);
+  stats_.client_time += marshal;
+
+  // Request wire latency.
+  env.delay(costs.wire_latency);
+  stats_.network_time += costs.wire_latency;
+
+  // Instance-wide concurrent-transaction gate, then the per-table ITL slot.
+  // Queueing at either marks the batch as lock-contended.
+  sim::Resource& gate = server_.batch_gate();
+  const Nanos gate_before = env.now();
+  const int64_t gate_depth = gate.queue_depth();
+  const bool gate_queued = !gate.try_acquire();
+  if (gate_queued) gate.acquire();
+  stats_.lock_wait_time += env.now() - gate_before;
+
+  sim::Resource& itl = server_.itl(table);
+  const Nanos itl_before = env.now();
+  bool itl_queued = !itl.try_acquire();
+  if (itl_queued) itl.acquire();
+  stats_.lock_wait_time += env.now() - itl_before;
+  itl_queued = itl_queued || gate_queued;
+
+  // A CPU on this session's cluster node runs the call.
+  sim::Resource& cpus = server_.node_cpus(node_);
+  const Nanos cpu_before = env.now();
+  cpus.acquire();
+  stats_.server_time += env.now() - cpu_before;
+
+  const db::BatchResult result =
+      server_.engine().insert_batch(txn, table, rows);
+
+  Nanos server_time =
+      costs.server_call_overhead + costs.server_cpu_time(result.costs);
+
+  // Cluster hosting: if another node last wrote this table, its current
+  // blocks ship across the interconnect before this insert proceeds.
+  if (server_.node_count() > 1 && result.rows_applied > 0) {
+    const int64_t hot_pages = 1 + result.costs.heap_pages_opened +
+                              result.costs.index_leaf_splits;
+    const int64_t shipped =
+        server_.note_table_writer(table, node_, hot_pages);
+    server_time += shipped * server_.config().cache_fusion_per_page;
+  }
+  if (itl_queued) {
+    // Lock-management escalation grows with how deep the lock queue was:
+    // longer waiter chains mean more lock-manager work per grant.
+    const double depth_factor =
+        static_cast<double>(1 + (gate_queued ? gate_depth : 0));
+    server_time += static_cast<Nanos>(
+        static_cast<double>(server_time) *
+        server_.config().lock_escalation_factor * depth_factor);
+  }
+  env.delay(server_time);
+  stats_.server_time += server_time;
+
+  cpus.release();
+  itl.release();
+  gate.release();
+
+  // Device I/O implied by the call (dirty evictions, DBWR flushes, reads).
+  charge_io(result.costs.io);
+
+  // Occasional long stall when lock queues formed (observed "very
+  // infrequent ... stalls and dramatic degradation", section 5.4).
+  if (itl_queued && server_.draw_stall()) {
+    env.delay(server_.config().stall_duration);
+    stats_.stall_time += server_.config().stall_duration;
+  }
+
+  // Reply wire latency.
+  env.delay(costs.wire_latency);
+  stats_.network_time += costs.wire_latency;
+  return result;
+}
+
+BatchOutcome SimSession::execute_batch(uint32_t table,
+                                       std::span<const db::Row> rows) {
+  const db::BatchResult result = server_call(table, rows);
+  ++stats_.db_calls;
+  ++stats_.batch_calls;
+  stats_.rows_sent += static_cast<int64_t>(rows.size());
+  stats_.rows_applied += result.rows_applied;
+  if (result.error.has_value()) ++stats_.failed_calls;
+  return BatchOutcome{result.rows_applied, result.error};
+}
+
+Status SimSession::execute_single(uint32_t table, const db::Row& row) {
+  const db::BatchResult result =
+      server_call(table, std::span<const db::Row>(&row, 1));
+  ++stats_.db_calls;
+  ++stats_.single_calls;
+  stats_.rows_sent += 1;
+  if (result.error.has_value()) {
+    ++stats_.failed_calls;
+    return result.error->status;
+  }
+  stats_.rows_applied += 1;
+  return ok_status();
+}
+
+Status SimSession::commit() {
+  if (!txn_.has_value()) return ok_status();
+  sim::Environment& env = server_.env();
+  const CostModel& costs = server_.costs();
+
+  env.delay(costs.client_call_overhead + costs.wire_latency);
+  stats_.client_time += costs.client_call_overhead;
+  stats_.network_time += costs.wire_latency;
+
+  sim::Resource& cpus = server_.node_cpus(node_);
+  const Nanos cpu_before = env.now();
+  cpus.acquire();
+  stats_.server_time += env.now() - cpu_before;
+  const auto result = server_.engine().commit(*txn_);
+  env.delay(costs.server_call_overhead);
+  stats_.server_time += costs.server_call_overhead;
+  cpus.release();
+
+  if (result.is_ok()) {
+    charge_io(result->costs.io);
+  }
+
+  env.delay(costs.wire_latency);
+  stats_.network_time += costs.wire_latency;
+
+  txn_.reset();
+  server_.transaction_slots().release();
+  ++stats_.db_calls;
+  ++stats_.commits;
+  return result.status();
+}
+
+void SimSession::client_compute(Nanos duration) {
+  server_.env().delay(duration);
+  stats_.client_time += duration;
+}
+
+void SimSession::note_buffered_rows(int64_t rows, int64_t footprint_bytes) {
+  const CostModel& costs = server_.costs();
+  const bool paging = footprint_bytes > costs.client_array_memory_bytes;
+  const Nanos per_row = paging ? costs.per_paged_row : costs.per_buffered_row;
+  const Nanos duration = rows * per_row;
+  server_.env().delay(duration);
+  stats_.client_time += duration;
+}
+
+Nanos SimSession::now() const { return server_.env().now() - start_time_; }
+
+}  // namespace sky::client

@@ -1,0 +1,44 @@
+// SimSession: a loader's connection to the SimServer, in virtual time.
+//
+// Must be used from within a sim::Environment process. Each database call
+// walks the full path: client marshalling -> wire -> transaction/ITL slots
+// -> server CPU -> real engine work -> priced server time -> device I/O ->
+// reply. The loader code on top is identical to real mode.
+#pragma once
+
+#include "client/session.h"
+#include "client/sim_server.h"
+
+namespace sky::client {
+
+class SimSession final : public Session {
+ public:
+  explicit SimSession(SimServer& server);
+  ~SimSession() override;
+
+  Result<uint32_t> prepare_insert(std::string_view table_name) override;
+  BatchOutcome execute_batch(uint32_t table,
+                             std::span<const db::Row> rows) override;
+  Status execute_single(uint32_t table, const db::Row& row) override;
+  Status commit() override;
+  void client_compute(Nanos duration) override;
+  void note_buffered_rows(int64_t rows, int64_t footprint_bytes) override;
+  Nanos now() const override;
+  const SessionStats& stats() const override { return stats_; }
+
+ private:
+  uint64_t ensure_transaction();
+  // Charge device time for the call's I/O tally (queues on each involved
+  // physical device in turn).
+  void charge_io(const storage::IoTally& io);
+  // One server visit: slots -> CPU -> engine call -> priced delay -> I/O.
+  db::BatchResult server_call(uint32_t table, std::span<const db::Row> rows);
+
+  SimServer& server_;
+  int node_ = 0;  // cluster node this session is attached to
+  std::optional<uint64_t> txn_;
+  SessionStats stats_;
+  Nanos start_time_ = 0;
+};
+
+}  // namespace sky::client

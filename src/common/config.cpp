@@ -1,0 +1,128 @@
+#include "common/config.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace sky {
+
+Result<Config> Config::parse(std::string_view text) {
+  Config config;
+  std::string section;
+  int line_number = 0;
+  for (std::string_view line : split(text, '\n')) {
+    ++line_number;
+    const std::string_view stripped = trim(line);
+    if (stripped.empty() || stripped[0] == '#' || stripped[0] == ';') {
+      continue;
+    }
+    if (stripped.front() == '[') {
+      if (stripped.back() != ']') {
+        return Status(ErrorCode::kParseError,
+                      str_format("config line %d: unterminated section header",
+                                 line_number));
+      }
+      section = std::string(trim(stripped.substr(1, stripped.size() - 2)));
+      continue;
+    }
+    const size_t eq = stripped.find('=');
+    if (eq == std::string_view::npos) {
+      return Status(ErrorCode::kParseError,
+                    str_format("config line %d: expected key = value",
+                               line_number));
+    }
+    const std::string key(trim(stripped.substr(0, eq)));
+    const std::string value(trim(stripped.substr(eq + 1)));
+    if (key.empty()) {
+      return Status(ErrorCode::kParseError,
+                    str_format("config line %d: empty key", line_number));
+    }
+    config.set(section, key, value);
+  }
+  return config;
+}
+
+Result<Config> Config::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status(ErrorCode::kIoError, "cannot open config file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+void Config::set(const std::string& section, const std::string& key,
+                 const std::string& value) {
+  values_[{section, key}] = value;
+}
+
+bool Config::has(const std::string& section, const std::string& key) const {
+  return values_.count({section, key}) > 0;
+}
+
+std::string Config::get_string(const std::string& section,
+                               const std::string& key,
+                               const std::string& fallback) const {
+  const auto it = values_.find({section, key});
+  return it == values_.end() ? fallback : it->second;
+}
+
+int64_t Config::get_int(const std::string& section, const std::string& key,
+                        int64_t fallback) const {
+  const auto it = values_.find({section, key});
+  if (it == values_.end()) return fallback;
+  const auto parsed = parse_int64(it->second);
+  return parsed.is_ok() ? parsed.value() : fallback;
+}
+
+double Config::get_double(const std::string& section, const std::string& key,
+                          double fallback) const {
+  const auto it = values_.find({section, key});
+  if (it == values_.end()) return fallback;
+  const auto parsed = parse_double(it->second);
+  return parsed.is_ok() ? parsed.value() : fallback;
+}
+
+bool Config::get_bool(const std::string& section, const std::string& key,
+                      bool fallback) const {
+  const auto it = values_.find({section, key});
+  if (it == values_.end()) return fallback;
+  const std::string lowered = to_lower(it->second);
+  if (lowered == "true" || lowered == "1" || lowered == "yes" ||
+      lowered == "on") {
+    return true;
+  }
+  if (lowered == "false" || lowered == "0" || lowered == "no" ||
+      lowered == "off") {
+    return false;
+  }
+  return fallback;
+}
+
+std::vector<std::string> Config::keys(const std::string& section) const {
+  std::vector<std::string> out;
+  for (const auto& [section_key, value] : values_) {
+    if (section_key.first == section) out.push_back(section_key.second);
+  }
+  return out;
+}
+
+std::string Config::to_string() const {
+  std::string out;
+  std::string current_section = "\x01";  // sentinel: differs from any real one
+  for (const auto& [section_key, value] : values_) {
+    if (section_key.first != current_section) {
+      current_section = section_key.first;
+      if (!current_section.empty()) {
+        out += "[" + current_section + "]\n";
+      }
+    }
+    out += section_key.second + " = " + value + "\n";
+  }
+  return out;
+}
+
+}  // namespace sky

@@ -1,0 +1,58 @@
+// INI-style configuration files.
+//
+// The paper's future-work section (4.3) proposes a configuration file to
+// control per-table array sizes in the array-set structure; we implement that
+// extension. Format:
+//
+//   # comment
+//   [section]
+//   key = value
+//
+// Keys outside any section live in the "" section. Lookups are typed and
+// return defaults when absent.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sky {
+
+class Config {
+ public:
+  Config() = default;
+
+  static Result<Config> parse(std::string_view text);
+  static Result<Config> load_file(const std::string& path);
+
+  void set(const std::string& section, const std::string& key,
+           const std::string& value);
+
+  bool has(const std::string& section, const std::string& key) const;
+
+  std::string get_string(const std::string& section, const std::string& key,
+                         const std::string& fallback = "") const;
+  int64_t get_int(const std::string& section, const std::string& key,
+                  int64_t fallback) const;
+  double get_double(const std::string& section, const std::string& key,
+                    double fallback) const;
+  bool get_bool(const std::string& section, const std::string& key,
+                bool fallback) const;
+
+  // All keys present in a section, in insertion-independent (sorted) order.
+  std::vector<std::string> keys(const std::string& section) const;
+
+  // Serialize back to INI text (sorted; round-trips through parse()).
+  std::string to_string() const;
+
+ private:
+  // (section, key) -> value
+  std::map<std::pair<std::string, std::string>, std::string> values_;
+};
+
+}  // namespace sky

@@ -1,0 +1,76 @@
+#include "common/csv.h"
+
+namespace sky {
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string csv_encode_row(const std::vector<std::string>& fields) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += csv_escape(fields[i]);
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> csv_decode_row(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      current.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      if (!current.empty()) {
+        return Status(ErrorCode::kParseError,
+                      "quote in the middle of an unquoted CSV field");
+      }
+      in_quotes = true;
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+      ++i;
+      continue;
+    }
+    current.push_back(c);
+    ++i;
+  }
+  if (in_quotes) {
+    return Status(ErrorCode::kParseError, "unterminated quoted CSV field");
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+}  // namespace sky

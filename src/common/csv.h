@@ -1,0 +1,25 @@
+// Minimal CSV codec.
+//
+// Used by the SDSS-style two-phase baseline loader (paper section 6), which
+// splits catalog data into per-table comma-separated-value files before
+// loading, and by benchmark output.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sky {
+
+// Quote a field if it contains comma, quote, or newline (RFC4180-ish).
+std::string csv_escape(std::string_view field);
+
+// Encode one record; no trailing newline.
+std::string csv_encode_row(const std::vector<std::string>& fields);
+
+// Decode one record (a single line without the newline).
+Result<std::vector<std::string>> csv_decode_row(std::string_view line);
+
+}  // namespace sky

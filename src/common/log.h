@@ -1,0 +1,33 @@
+// Minimal thread-safe leveled logger.
+//
+// Loading a night of data is a long-running process; the paper's framework
+// logs per-file progress and per-error diagnostics. Default level is WARN so
+// tests and benches stay quiet; examples raise it to INFO.
+#pragma once
+
+#include <string>
+
+namespace sky {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// Emit a message (already formatted) at the given level.
+void log_message(LogLevel level, const std::string& message);
+
+}  // namespace sky
+
+#define SKY_LOG(level, ...)                                          \
+  do {                                                               \
+    if (static_cast<int>(level) >=                                   \
+        static_cast<int>(::sky::log_level())) {                      \
+      ::sky::log_message(level, ::sky::str_format(__VA_ARGS__));     \
+    }                                                                \
+  } while (false)
+
+#define SKY_DEBUG(...) SKY_LOG(::sky::LogLevel::kDebug, __VA_ARGS__)
+#define SKY_INFO(...) SKY_LOG(::sky::LogLevel::kInfo, __VA_ARGS__)
+#define SKY_WARN(...) SKY_LOG(::sky::LogLevel::kWarn, __VA_ARGS__)
+#define SKY_ERROR(...) SKY_LOG(::sky::LogLevel::kError, __VA_ARGS__)

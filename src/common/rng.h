@@ -1,0 +1,120 @@
+// Deterministic random number generation.
+//
+// All synthetic-data generation and simulation randomness flows through
+// SplitMix64-seeded xoshiro256** streams so every test, example, and benchmark
+// is reproducible bit-for-bit from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace sky {
+
+// SplitMix64: used to expand a single seed into stream state.
+constexpr uint64_t splitmix64(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256**: fast, high-quality, 256-bit state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5EEDull) { reseed(seed); }
+
+  void reseed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  uint64_t next_u64() {
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t uniform_int(int64_t lo, int64_t hi) {
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<int64_t>(next_u64());  // full range
+    return lo + static_cast<int64_t>(next_u64() % span);
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  double uniform_range(double lo, double hi) {
+    return lo + (hi - lo) * uniform();
+  }
+
+  // True with probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  // Standard normal via Box-Muller (one value per call; simple and adequate).
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * mag * std::cos(6.283185307179586 * u2);
+  }
+
+  // Exponential with given mean.
+  double exponential(double mean) {
+    double u = uniform();
+    if (u < 1e-300) u = 1e-300;
+    return -mean * std::log(u);
+  }
+
+  // Derive an independent child stream; used to give each catalog file /
+  // worker its own reproducible randomness regardless of interleaving.
+  Rng fork(uint64_t salt) {
+    uint64_t sm = next_u64() ^ (salt * 0x9E3779B97F4A7C15ULL);
+    Rng child(0);
+    for (auto& word : child.state_) word = splitmix64(sm);
+    return child;
+  }
+
+  // Pick an index in [0, weights.size()) proportionally to weights.
+  size_t pick_weighted(const std::vector<double>& weights) {
+    double total = 0;
+    for (double w : weights) total += w;
+    double r = uniform() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      r -= weights[i];
+      if (r <= 0) return i;
+    }
+    return weights.empty() ? 0 : weights.size() - 1;
+  }
+
+  // Random lowercase identifier of given length (e.g. synthetic names).
+  std::string ident(size_t length) {
+    std::string out;
+    out.reserve(length);
+    for (size_t i = 0; i < length; ++i) {
+      out.push_back(static_cast<char>('a' + (next_u64() % 26)));
+    }
+    return out;
+  }
+
+ private:
+  static constexpr uint64_t rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4] = {};
+};
+
+}  // namespace sky

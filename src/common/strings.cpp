@@ -1,0 +1,127 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace sky {
+
+std::vector<std::string_view> split(std::string_view text, char delim) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = text.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(text.substr(start));
+      break;
+    }
+    out.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+Result<int64_t> parse_int64(std::string_view text) {
+  const std::string_view trimmed = trim(text);
+  if (trimmed.empty()) {
+    return Status(ErrorCode::kParseError, "empty integer field");
+  }
+  // strtoll needs NUL-termination; copy to a small buffer.
+  std::string buf(trimmed);
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(buf.c_str(), &end, 10);
+  if (errno == ERANGE) {
+    return Status(ErrorCode::kParseError, "integer out of range: " + buf);
+  }
+  if (end != buf.c_str() + buf.size()) {
+    return Status(ErrorCode::kParseError, "malformed integer: " + buf);
+  }
+  return static_cast<int64_t>(value);
+}
+
+Result<int32_t> parse_int32(std::string_view text) {
+  SKY_ASSIGN_OR_RETURN(const int64_t wide, parse_int64(text));
+  if (wide < std::numeric_limits<int32_t>::min() ||
+      wide > std::numeric_limits<int32_t>::max()) {
+    return Status(ErrorCode::kParseError,
+                  "integer out of int32 range: " + std::string(trim(text)));
+  }
+  return static_cast<int32_t>(wide);
+}
+
+Result<double> parse_double(std::string_view text) {
+  const std::string_view trimmed = trim(text);
+  if (trimmed.empty()) {
+    return Status(ErrorCode::kParseError, "empty float field");
+  }
+  std::string buf(trimmed);
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(buf.c_str(), &end);
+  if (errno == ERANGE) {
+    return Status(ErrorCode::kParseError, "float out of range: " + buf);
+  }
+  if (end != buf.c_str() + buf.size()) {
+    return Status(ErrorCode::kParseError, "malformed float: " + buf);
+  }
+  return value;
+}
+
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view delim) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out.append(delim);
+    out.append(pieces[i]);
+  }
+  return out;
+}
+
+std::string str_format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace sky

@@ -1,0 +1,36 @@
+// Small string utilities used by the catalog parser, CSV codec, and config
+// reader. All parsing returns Result so malformed input is a data error, not
+// an exception.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sky {
+
+// Split on a single-character delimiter. Keeps empty fields ("a||b" -> 3).
+std::vector<std::string_view> split(std::string_view text, char delim);
+
+std::string_view trim(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+
+std::string to_lower(std::string_view text);
+
+Result<int64_t> parse_int64(std::string_view text);
+Result<int32_t> parse_int32(std::string_view text);
+Result<double> parse_double(std::string_view text);
+
+// Join pieces with a delimiter.
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view delim);
+
+// printf-style formatting into std::string.
+std::string str_format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace sky

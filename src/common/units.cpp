@@ -1,0 +1,53 @@
+#include "common/units.h"
+
+#include <cstdio>
+
+namespace sky {
+
+std::string format_duration(Nanos t) {
+  char buf[64];
+  const bool negative = t < 0;
+  if (negative) t = -t;
+  if (t < kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%s%lldns", negative ? "-" : "",
+                  static_cast<long long>(t));
+  } else if (t < kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%s%.1fus", negative ? "-" : "",
+                  static_cast<double>(t) / kMicrosecond);
+  } else if (t < kSecond) {
+    std::snprintf(buf, sizeof(buf), "%s%.1fms", negative ? "-" : "",
+                  static_cast<double>(t) / kMillisecond);
+  } else if (t < 60 * kSecond) {
+    std::snprintf(buf, sizeof(buf), "%s%.1fs", negative ? "-" : "",
+                  static_cast<double>(t) / kSecond);
+  } else {
+    const long long minutes = t / (60 * kSecond);
+    const double seconds =
+        static_cast<double>(t - minutes * 60 * kSecond) / kSecond;
+    std::snprintf(buf, sizeof(buf), "%s%lldm%04.1fs", negative ? "-" : "",
+                  minutes, seconds);
+  }
+  return buf;
+}
+
+std::string format_bytes(int64_t bytes) {
+  char buf[64];
+  const bool negative = bytes < 0;
+  if (negative) bytes = -bytes;
+  if (bytes < kKiB) {
+    std::snprintf(buf, sizeof(buf), "%s%lld B", negative ? "-" : "",
+                  static_cast<long long>(bytes));
+  } else if (bytes < kMiB) {
+    std::snprintf(buf, sizeof(buf), "%s%.1f KiB", negative ? "-" : "",
+                  static_cast<double>(bytes) / kKiB);
+  } else if (bytes < kGiB) {
+    std::snprintf(buf, sizeof(buf), "%s%.1f MiB", negative ? "-" : "",
+                  static_cast<double>(bytes) / kMiB);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%.2f GiB", negative ? "-" : "",
+                  static_cast<double>(bytes) / kGiB);
+  }
+  return buf;
+}
+
+}  // namespace sky

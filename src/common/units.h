@@ -1,0 +1,32 @@
+// Time and size units shared by the cost model, simulator, and reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sky {
+
+// Virtual (and real) durations are signed nanosecond counts. Signed per the
+// C++ Core Guidelines arithmetic rules; 292 years of range is ample.
+using Nanos = int64_t;
+
+constexpr Nanos kNanosecond = 1;
+constexpr Nanos kMicrosecond = 1000 * kNanosecond;
+constexpr Nanos kMillisecond = 1000 * kMicrosecond;
+constexpr Nanos kSecond = 1000 * kMillisecond;
+
+constexpr double to_seconds(Nanos t) { return static_cast<double>(t) / 1e9; }
+constexpr Nanos from_seconds(double seconds) {
+  return static_cast<Nanos>(seconds * 1e9);
+}
+
+constexpr int64_t kKiB = 1024;
+constexpr int64_t kMiB = 1024 * kKiB;
+constexpr int64_t kGiB = 1024 * kMiB;
+
+// Human-readable rendering, e.g. "2m14.5s", "183ms".
+std::string format_duration(Nanos t);
+// e.g. "1.5 GiB", "200.0 MiB".
+std::string format_bytes(int64_t bytes);
+
+}  // namespace sky

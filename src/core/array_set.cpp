@@ -1,0 +1,83 @@
+#include "core/array_set.h"
+
+namespace sky::core {
+
+Result<ArraySet::Config> ArraySet::Config::from_config(
+    const sky::Config& file, const db::Schema& schema) {
+  Config config;
+  config.default_rows = file.get_int("array_set", "default_rows", 1000);
+  if (config.default_rows <= 0) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "array_set.default_rows must be positive");
+  }
+  if (file.has("array_set", "memory_high_water_bytes")) {
+    config.memory_high_water_bytes =
+        file.get_int("array_set", "memory_high_water_bytes", 0);
+    if (*config.memory_high_water_bytes <= 0) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "array_set.memory_high_water_bytes must be positive");
+    }
+  }
+  for (const std::string& key : file.keys("array_set")) {
+    if (key == "default_rows" || key == "memory_high_water_bytes") continue;
+    if (!schema.has_table(key)) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "array_set config references unknown table: " + key);
+    }
+    const int64_t rows = file.get_int("array_set", key, 0);
+    if (rows <= 0) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "array_set." + key + " must be positive");
+    }
+    config.per_table_rows[key] = rows;
+  }
+  return config;
+}
+
+ArraySet::ArraySet(const db::Schema& schema, Config config)
+    : high_water_bytes_(config.memory_high_water_bytes) {
+  const auto table_count = static_cast<size_t>(schema.table_count());
+  arrays_.resize(table_count);
+  capacities_.resize(table_count, config.default_rows);
+  for (const auto& [table_name, rows] : config.per_table_rows) {
+    const auto table_id = schema.table_id(table_name);
+    if (table_id.is_ok()) capacities_[*table_id] = rows;
+  }
+}
+
+bool ArraySet::append(uint32_t table_id, db::Row row) {
+  auto& array = arrays_[table_id];
+  if (!array.has_value()) {
+    // First row for this table in the current cycle: create its array.
+    array.emplace();
+    array->reserve(static_cast<size_t>(capacities_[table_id]));
+  }
+  footprint_bytes_ += static_cast<int64_t>(db::row_memory_bytes(row));
+  array->push_back(std::move(row));
+  ++buffered_rows_;
+  if (static_cast<int64_t>(array->size()) >= capacities_[table_id]) {
+    flush_needed_ = true;
+  }
+  if (high_water_bytes_.has_value() &&
+      footprint_bytes_ >= *high_water_bytes_) {
+    flush_needed_ = true;
+  }
+  return flush_needed_;
+}
+
+void ArraySet::clear() {
+  for (auto& array : arrays_) array.reset();  // release, don't just empty
+  buffered_rows_ = 0;
+  footprint_bytes_ = 0;
+  flush_needed_ = false;
+}
+
+int ArraySet::active_arrays() const {
+  int count = 0;
+  for (const auto& array : arrays_) {
+    if (array.has_value()) ++count;
+  }
+  return count;
+}
+
+}  // namespace sky::core

@@ -1,0 +1,88 @@
+#include "core/load_report.h"
+
+#include "common/strings.h"
+
+namespace sky::core {
+
+void FileLoadReport::merge_counts(const FileLoadReport& other) {
+  bytes += other.bytes;
+  lines_read += other.lines_read;
+  rows_parsed += other.rows_parsed;
+  parse_errors += other.parse_errors;
+  rows_loaded += other.rows_loaded;
+  rows_skipped_server += other.rows_skipped_server;
+  db_calls += other.db_calls;
+  flush_cycles += other.flush_cycles;
+  commits += other.commits;
+  for (const auto& [table, count] : other.loaded_per_table) {
+    loaded_per_table[table] += count;
+  }
+}
+
+std::string FileLoadReport::summary() const {
+  return str_format(
+      "%s: %lld rows loaded, %lld skipped (%lld parse, %lld constraint), "
+      "%lld db calls, %lld cycles, %lld commits, %s",
+      file_name.c_str(), static_cast<long long>(rows_loaded),
+      static_cast<long long>(total_skipped()),
+      static_cast<long long>(parse_errors),
+      static_cast<long long>(rows_skipped_server),
+      static_cast<long long>(db_calls), static_cast<long long>(flush_cycles),
+      static_cast<long long>(commits), format_duration(elapsed).c_str());
+}
+
+std::string ParallelLoadReport::summary() const {
+  return str_format(
+      "%d workers, %zu files, %lld rows, %s makespan, %.2f MB/s",
+      workers, files.size(), static_cast<long long>(total_rows_loaded),
+      format_duration(makespan).c_str(), throughput_mb_per_s());
+}
+
+std::string render_markdown_report(const ParallelLoadReport& report,
+                                   size_t max_errors) {
+  std::string out;
+  out += "# Load report\n\n";
+  out += "- files: " + std::to_string(report.files.size()) + "\n";
+  out += "- workers: " + std::to_string(report.workers) + "\n";
+  out += "- bytes: " + format_bytes(report.total_bytes) + "\n";
+  out += "- rows loaded: " + std::to_string(report.total_rows_loaded) + "\n";
+  out += "- makespan: " + format_duration(report.makespan) + "\n";
+  out += str_format("- throughput: %.2f MB/s\n", report.throughput_mb_per_s());
+
+  FileLoadReport totals;
+  for (const FileLoadReport& file : report.files) totals.merge_counts(file);
+  out += str_format("- skipped: %lld parse, %lld constraint\n",
+                    static_cast<long long>(totals.parse_errors),
+                    static_cast<long long>(totals.rows_skipped_server));
+
+  out += "\n## Rows per table\n\n| table | rows |\n|---|---|\n";
+  for (const auto& [table, rows] : totals.loaded_per_table) {
+    out += "| " + table + " | " + std::to_string(rows) + " |\n";
+  }
+
+  out += "\n## Worker balance\n\n| worker | files | busy |\n|---|---|---|\n";
+  for (size_t w = 0; w < report.worker_busy.size(); ++w) {
+    const int files_done = w < report.files_per_worker.size()
+                               ? report.files_per_worker[w]
+                               : 0;
+    out += str_format("| %zu | %d | %s |\n", w, files_done,
+                      format_duration(report.worker_busy[w]).c_str());
+  }
+
+  size_t shown = 0;
+  for (const FileLoadReport& file : report.files) {
+    for (const LoadError& error : file.errors) {
+      if (shown == 0) out += "\n## First errors\n\n";
+      if (shown++ >= max_errors) break;
+      out += str_format(
+          "- `%s` %s: %s (%s)\n", file.file_name.c_str(),
+          error.table.empty() ? "(parse)" : error.table.c_str(),
+          error.status.to_string().substr(0, 100).c_str(),
+          error.detail.substr(0, 60).c_str());
+    }
+    if (shown > max_errors) break;
+  }
+  return out;
+}
+
+}  // namespace sky::core

@@ -1,0 +1,45 @@
+// NonBulkLoader: the baseline the paper measures bulk loading against
+// (section 5.1) — "a series of individual SQL insert statements", one
+// database call per row, issued in file order. File order is parent-before-
+// child by construction of the catalog extraction, so no buffering is
+// needed; errors are skipped row by row.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "client/session.h"
+#include "core/load_report.h"
+#include "db/schema.h"
+
+namespace sky::catalog {
+class CatalogParser;
+}
+
+namespace sky::core {
+
+struct NonBulkLoaderOptions {
+  // 0 = commit only at end of file.
+  int64_t commit_every_rows = 0;
+  size_t max_error_details = 1000;
+  Nanos client_parse_cost_per_row = 15 * kMicrosecond;
+};
+
+class NonBulkLoader {
+ public:
+  NonBulkLoader(client::Session& session, const db::Schema& schema,
+                NonBulkLoaderOptions options = {});
+  ~NonBulkLoader();
+
+  Result<FileLoadReport> load_text(std::string_view file_name,
+                                   std::string_view text);
+
+ private:
+  client::Session& session_;
+  const db::Schema& schema_;
+  NonBulkLoaderOptions options_;
+  std::unique_ptr<catalog::CatalogParser> parser_;
+};
+
+}  // namespace sky::core

@@ -1,0 +1,82 @@
+#include "core/tuning.h"
+
+#include "catalog/pq_schema.h"
+#include "common/strings.h"
+
+namespace sky::core {
+
+TuningProfile TuningProfile::production() {
+  TuningProfile profile;
+  profile.name = "skyloader-production";
+  return profile;  // the defaults are the production settings
+}
+
+TuningProfile TuningProfile::untuned_2004() {
+  TuningProfile profile;
+  profile.name = "untuned-2004";
+  profile.bulk = false;
+  profile.batch_size = 1;
+  profile.array_size = 250;
+  profile.parallel_degree = 2;
+  profile.dynamic_assignment = false;
+  profile.commit_every_cycles = 1;
+  profile.commit_every_rows = 100;
+  profile.maintain_htmid_index = true;
+  profile.maintain_composite_index = true;
+  profile.device_layout = storage::DeviceLayout::single_raid();
+  profile.server_cache_pages = 65536;  // large cache, slow DBWR scans
+  profile.presorted_input = false;
+  return profile;
+}
+
+Status TuningProfile::apply_index_policy(db::Engine& engine) const {
+  const auto objects = engine.table_id("objects");
+  if (!objects.is_ok()) return ok_status();  // non-PQ schema: nothing to do
+  SKY_RETURN_IF_ERROR(engine.set_index_enabled(
+      *objects, catalog::kIndexHtmid, maintain_htmid_index));
+  SKY_RETURN_IF_ERROR(engine.set_index_enabled(
+      *objects, catalog::kIndexRaDecMag, maintain_composite_index));
+  return ok_status();
+}
+
+db::EngineOptions TuningProfile::engine_options() const {
+  db::EngineOptions options;
+  options.cache_pages = server_cache_pages;
+  options.device_layout = device_layout;
+  // Simulation models the transaction limit in the server config; keep the
+  // real gate permissive so it never double-counts.
+  options.max_concurrent_transactions = 64;
+  return options;
+}
+
+client::ServerConfig TuningProfile::server_config() const {
+  client::ServerConfig config;
+  config.device_layout = device_layout;
+  return config;
+}
+
+BulkLoaderOptions TuningProfile::bulk_options() const {
+  BulkLoaderOptions options;
+  options.batch_size = bulk ? batch_size : 1;
+  options.array_config.default_rows = array_size;
+  options.commit_every_cycles = commit_every_cycles;
+  return options;
+}
+
+std::string TuningProfile::describe() const {
+  return str_format(
+      "%s: %s, batch=%lld, array=%lld, parallel=%d (%s), commits=%s, "
+      "indexes[htmid=%s composite=%s], %s, cache=%lld pages, %s input",
+      name.c_str(), bulk ? "bulk" : "non-bulk",
+      static_cast<long long>(batch_size), static_cast<long long>(array_size),
+      parallel_degree, dynamic_assignment ? "dynamic" : "static",
+      (commit_every_cycles == 0 && commit_every_rows == 0) ? "infrequent"
+                                                           : "frequent",
+      maintain_htmid_index ? "on" : "off",
+      maintain_composite_index ? "on" : "off",
+      device_layout.describe().c_str(),
+      static_cast<long long>(server_cache_pages),
+      presorted_input ? "presorted" : "unsorted");
+}
+
+}  // namespace sky::core

@@ -1,0 +1,65 @@
+// TuningProfile: the database and system tuning knobs of section 4.5, as a
+// single reproducible configuration object.
+//
+// Two presets bracket the paper's headline claim ("from more than 20 hours
+// to less than 3 hours on the same hardware"):
+//   * untuned_2004()  — the before-state: row-at-a-time inserts, low
+//     parallelism, frequent commits, every index maintained, everything on
+//     one RAID device, a large data cache, unsorted input.
+//   * production()    — the after-state: bulk loading (batch 40, array
+//     1000), 5 parallel loaders with dynamic assignment, infrequent
+//     commits, only the htmid index maintained, data/index/log on separate
+//     devices, a reduced data cache, presorted input.
+#pragma once
+
+#include <string>
+
+#include "client/sim_server.h"
+#include "core/bulk_loader.h"
+#include "db/engine.h"
+
+namespace sky::core {
+
+struct TuningProfile {
+  std::string name;
+
+  // Loading strategy.
+  bool bulk = true;
+  int64_t batch_size = 40;
+  int64_t array_size = 1000;
+  int parallel_degree = 5;
+  bool dynamic_assignment = true;
+  // Bulk: cycles between commits (0 = end of file only).
+  int64_t commit_every_cycles = 0;
+  // Non-bulk: rows between commits (0 = end of file only).
+  int64_t commit_every_rows = 0;
+
+  // Index policy during the catch-up load (section 4.5.1).
+  bool maintain_htmid_index = true;
+  bool maintain_composite_index = false;
+
+  // System layout and memory (sections 4.5.3, 4.5.5).
+  storage::DeviceLayout device_layout =
+      storage::DeviceLayout::separate_raids();
+  int64_t server_cache_pages = 4096;
+
+  // Input presort (section 4.5.4); consumed by the data generator.
+  bool presorted_input = true;
+
+  static TuningProfile production();
+  static TuningProfile untuned_2004();
+
+  // Apply the index policy to the repository's objects table.
+  Status apply_index_policy(db::Engine& engine) const;
+
+  // Engine construction options consistent with this profile.
+  db::EngineOptions engine_options() const;
+  // Sim server config consistent with this profile.
+  client::ServerConfig server_config() const;
+  // Loader options consistent with this profile.
+  BulkLoaderOptions bulk_options() const;
+
+  std::string describe() const;
+};
+
+}  // namespace sky::core

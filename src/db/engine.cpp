@@ -1,0 +1,692 @@
+#include "db/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/strings.h"
+#include "index/key_codec.h"
+
+namespace sky::db {
+
+namespace {
+// Tally the types of the columns behind one inserted index entry (cost-model
+// input: float keys are priced higher than integer keys).
+void count_index_columns(const TableDef& def,
+                         const std::vector<int>& column_indices,
+                         OpCosts& costs) {
+  for (const int idx : column_indices) {
+    switch (def.columns[static_cast<size_t>(idx)].type) {
+      case ColumnType::kDouble:
+        ++costs.index_float_columns;
+        break;
+      case ColumnType::kString:
+        ++costs.index_string_columns;
+        break;
+      default:
+        ++costs.index_int_columns;
+    }
+  }
+}
+}  // namespace
+
+Engine::Engine(Schema schema, EngineOptions options)
+    : schema_(std::move(schema)),
+      options_(options),
+      cache_(options.cache_pages, options.dirty_trigger),
+      wal_(options.retain_wal_records),
+      txn_gate_(std::make_unique<BlockingSlotGate>(
+          options.max_concurrent_transactions)) {
+  tables_.reserve(static_cast<size_t>(schema_.table_count()));
+  uint32_t next_file_id = 0;
+  for (uint32_t id = 0; id < static_cast<uint32_t>(schema_.table_count());
+       ++id) {
+    Table table(id, schema_.table(id));
+    table.heap_cache_file_id = next_file_id++;
+    file_roles_.push_back(storage::IoRole::kData);
+    table.pk_cache_file_id = next_file_id++;
+    file_roles_.push_back(storage::IoRole::kIndex);
+    for (SecondaryIndex& secondary : table.secondaries()) {
+      secondary.cache_file_id = next_file_id++;
+      file_roles_.push_back(storage::IoRole::kIndex);
+    }
+    tables_.push_back(std::move(table));
+  }
+  cache_.set_io_hook([this](storage::CachePageId page,
+                            storage::BufferCache::IoKind kind) {
+    const storage::IoRole role = role_of_file(page.file_id);
+    if (kind == storage::BufferCache::IoKind::kRead) {
+      if (active_costs_ != nullptr) active_costs_->io.add_read(role);
+      global_io_.add_read(role);
+    } else {
+      if (active_costs_ != nullptr) active_costs_->io.add_write(role);
+      global_io_.add_write(role);
+    }
+  });
+}
+
+storage::IoRole Engine::role_of_file(uint32_t file_id) const {
+  if (file_id < file_roles_.size()) return file_roles_[file_id];
+  return storage::IoRole::kData;
+}
+
+// ------------------------------------------------------------ transactions
+
+uint64_t Engine::begin_transaction() {
+  txn_gate_->acquire();
+  const std::scoped_lock lock(mu_);
+  const uint64_t id = next_txn_id_++;
+  transactions_.emplace(id, Transaction{id, {}});
+  return id;
+}
+
+Result<CommitResult> Engine::commit(uint64_t txn_id) {
+  const std::scoped_lock lock(mu_);
+  const auto it = transactions_.find(txn_id);
+  if (it == transactions_.end()) {
+    return Status(ErrorCode::kNotFound, "commit: unknown transaction");
+  }
+  CommitResult result;
+  active_costs_ = &result.costs;
+  wal_.append(storage::WalRecordType::kCommit, txn_id, 0, "");
+  result.wal_bytes_flushed = wal_.flush();
+  result.costs.wal_bytes += result.wal_bytes_flushed;
+  result.costs.io.log_bytes_flushed += result.wal_bytes_flushed;
+  global_io_.log_bytes_flushed += result.wal_bytes_flushed;
+  active_costs_ = nullptr;
+  transactions_.erase(it);
+  txn_gate_->release();
+  return result;
+}
+
+Status Engine::rollback(uint64_t txn_id) {
+  const std::scoped_lock lock(mu_);
+  const auto it = transactions_.find(txn_id);
+  if (it == transactions_.end()) {
+    return Status(ErrorCode::kNotFound, "rollback: unknown transaction");
+  }
+  Transaction& txn = it->second;
+  for (auto undo_it = txn.undo.rbegin(); undo_it != txn.undo.rend();
+       ++undo_it) {
+    Table& table = tables_[undo_it->table_id];
+    const Status heap_status = table.heap().mark_deleted(undo_it->slot);
+    assert(heap_status.is_ok());
+    (void)heap_status;
+    const bool pk_erased = table.pk_tree().erase(undo_it->pk_key);
+    assert(pk_erased);
+    (void)pk_erased;
+    for (const auto& [secondary_idx, key] : undo_it->secondary_keys) {
+      table.secondaries()[secondary_idx].tree.erase(key);
+    }
+    wal_.append(storage::WalRecordType::kRollbackInsert, txn_id,
+                undo_it->table_id, "");
+  }
+  transactions_.erase(it);
+  txn_gate_->release();
+  return ok_status();
+}
+
+// ----------------------------------------------------------------- inserts
+
+BatchResult Engine::insert_batch(uint64_t txn_id, uint32_t tid,
+                                 std::span<const Row> rows) {
+  const std::scoped_lock lock(mu_);
+  BatchResult result;
+  active_costs_ = &result.costs;
+  const storage::CacheEvents cache_before = cache_.events();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Status status = insert_row_locked(txn_id, tid, rows[i], result.costs);
+    if (!status.is_ok()) {
+      // JDBC semantics: earlier rows stay, this row failed, the remainder of
+      // the batch is discarded.
+      result.error = BatchError{i, status};
+      ++result.costs.constraint_failures;
+      break;
+    }
+    ++result.rows_applied;
+  }
+  result.costs.rows_applied = result.rows_applied;
+  result.costs.cache = cache_.events().since(cache_before);
+  active_costs_ = nullptr;
+  return result;
+}
+
+Status Engine::insert_row(uint64_t txn_id, uint32_t tid, const Row& row,
+                          OpCosts& costs) {
+  const std::scoped_lock lock(mu_);
+  active_costs_ = &costs;
+  const storage::CacheEvents cache_before = cache_.events();
+  const Status status = insert_row_locked(txn_id, tid, row, costs);
+  if (status.is_ok()) {
+    costs.rows_applied += 1;
+  } else {
+    ++costs.constraint_failures;
+  }
+  costs.cache += cache_.events().since(cache_before);
+  active_costs_ = nullptr;
+  return status;
+}
+
+Status Engine::validate_row_locked(const Table& table, const Row& row,
+                                   OpCosts& costs) const {
+  const TableDef& def = table.def();
+  if (row.size() != def.columns.size()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  str_format("%s: expected %zu columns, got %zu",
+                             def.name.c_str(), def.columns.size(),
+                             row.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    const ColumnDef& column = def.columns[i];
+    ++costs.check_evals;
+    if (row[i].is_null()) {
+      if (!column.nullable) {
+        return Status(ErrorCode::kConstraintNotNull,
+                      def.name + "." + column.name + " is NOT NULL");
+      }
+      continue;
+    }
+    if (!row[i].matches(column.type)) {
+      return Status(ErrorCode::kTypeMismatch,
+                    def.name + "." + column.name + " expects " +
+                        std::string(column_type_name(column.type)));
+    }
+    if (row[i].is_f64() && std::isnan(row[i].as_f64())) {
+      return Status(ErrorCode::kConstraintCheck,
+                    def.name + "." + column.name + " is NaN");
+    }
+  }
+  for (const CheckConstraint& check : def.checks) {
+    const int idx = def.column_index(check.column);
+    const Value& value = row[static_cast<size_t>(idx)];
+    ++costs.check_evals;
+    if (value.is_null()) continue;
+    const auto numeric = value.numeric();
+    if (!numeric.is_ok()) {
+      return Status(ErrorCode::kConstraintCheck,
+                    "non-numeric value in checked column " + check.column);
+    }
+    if ((check.min.has_value() && *numeric < *check.min) ||
+        (check.max.has_value() && *numeric > *check.max)) {
+      return Status(ErrorCode::kConstraintCheck,
+                    str_format("%s.%s value %g outside [%g, %g]",
+                               def.name.c_str(), check.column.c_str(),
+                               *numeric,
+                               check.min.value_or(-HUGE_VAL),
+                               check.max.value_or(HUGE_VAL)));
+    }
+  }
+  return ok_status();
+}
+
+Status Engine::insert_row_locked(uint64_t txn_id, uint32_t tid, const Row& row,
+                                 OpCosts& costs) {
+  if (tid >= tables_.size()) {
+    return Status(ErrorCode::kNotFound, "insert: bad table id");
+  }
+  const auto txn_it = transactions_.find(txn_id);
+  if (txn_it == transactions_.end()) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "insert: unknown transaction");
+  }
+  Table& table = tables_[tid];
+
+  SKY_RETURN_IF_ERROR(validate_row_locked(table, row, costs));
+
+  // Primary key uniqueness.
+  const std::string pk_key = table.encode_pk_key(row);
+  index::BPlusTree::TouchInfo pk_probe;
+  if (table.pk_tree().lookup_with_touch(pk_key, &pk_probe).has_value()) {
+    costs.index_node_visits += pk_probe.nodes_visited;
+    return Status(ErrorCode::kConstraintPrimaryKey,
+                  table.def().name + ": duplicate primary key " +
+                      row_to_display(row));
+  }
+  costs.index_node_visits += pk_probe.nodes_visited;
+
+  // Foreign keys (probe the parent PK index; read touch on its leaf).
+  for (const ForeignKey& fk : table.def().foreign_keys) {
+    const uint32_t parent_id = schema_.table_id(fk.parent_table).value();
+    const Table& parent = tables_[parent_id];
+    const auto probe =
+        Table::encode_fk_probe(table.def(), fk, row, parent.def());
+    ++costs.fk_checks;
+    if (!probe.has_value()) continue;  // NULL FK passes
+    index::BPlusTree::TouchInfo fk_touch;
+    if (!parent.pk_tree().lookup_with_touch(*probe, &fk_touch).has_value()) {
+      costs.fk_node_visits += fk_touch.nodes_visited;
+      return Status(ErrorCode::kConstraintForeignKey,
+                    table.def().name + ": no parent row in " +
+                        fk.parent_table + " for " + row_to_display(row));
+    }
+    costs.fk_node_visits += fk_touch.nodes_visited;
+    cache_.touch_read({parent.pk_cache_file_id, fk_touch.leaf_page_id});
+  }
+
+  // Unique secondary indexes (enforced only while the index is enabled,
+  // mirroring "constraint enforced via index").
+  for (const SecondaryIndex& secondary : table.secondaries()) {
+    if (!secondary.enabled || !secondary.def.unique) continue;
+    const std::string key =
+        table.encode_index_key(secondary, row, std::nullopt);
+    if (secondary.tree.contains(key)) {
+      return Status(ErrorCode::kConstraintUnique,
+                    table.def().name + ": unique index " +
+                        secondary.def.name + " violated");
+    }
+  }
+
+  // All constraints hold — apply.
+  std::string row_bytes = encode_row(row);
+  costs.heap_bytes += static_cast<int64_t>(row_bytes.size());
+  costs.wal_bytes += static_cast<int64_t>(row_bytes.size());
+  wal_.append(storage::WalRecordType::kInsert, txn_id, tid, row_bytes);
+  const auto appended = table.heap().append(std::move(row_bytes));
+  if (appended.opened_new_page) ++costs.heap_pages_opened;
+  cache_.touch_write({table.heap_cache_file_id, appended.slot.page});
+  const uint64_t row_id = make_row_id(tid, appended.slot);
+
+  index::BPlusTree::TouchInfo pk_touch;
+  const Status pk_status = table.pk_tree().insert(pk_key, row_id, &pk_touch);
+  assert(pk_status.is_ok());  // pre-checked above
+  (void)pk_status;
+  costs.index_updates += 1;
+  costs.index_node_visits += pk_touch.nodes_visited;
+  costs.index_key_bytes += static_cast<int64_t>(pk_key.size());
+  count_index_columns(table.def(), table.pk_column_indices(), costs);
+  if (pk_touch.leaf_split) ++costs.index_leaf_splits;
+  cache_.touch_write({table.pk_cache_file_id, pk_touch.leaf_page_id});
+
+  UndoEntry undo{tid, appended.slot, pk_key, {}};
+  for (size_t s = 0; s < table.secondaries().size(); ++s) {
+    SecondaryIndex& secondary = table.secondaries()[s];
+    if (!secondary.enabled) continue;
+    const std::string key = table.encode_index_key(
+        secondary, row, secondary.def.unique ? std::nullopt
+                                             : std::optional<uint64_t>(row_id));
+    index::BPlusTree::TouchInfo touch;
+    const Status index_status = secondary.tree.insert(key, row_id, &touch);
+    assert(index_status.is_ok());
+    (void)index_status;
+    costs.index_updates += 1;
+    costs.index_node_visits += touch.nodes_visited;
+    costs.index_key_bytes += static_cast<int64_t>(key.size());
+    count_index_columns(table.def(), secondary.column_indices, costs);
+    if (touch.leaf_split) ++costs.index_leaf_splits;
+    cache_.touch_write({secondary.cache_file_id, touch.leaf_page_id});
+    undo.secondary_keys.emplace_back(s, key);
+  }
+  txn_it->second.undo.push_back(std::move(undo));
+  if (insert_observer_) insert_observer_(tid, row_id);
+  return ok_status();
+}
+
+// ------------------------------------------------------------- maintenance
+
+Status Engine::set_index_enabled(uint32_t tid, std::string_view index_name,
+                                 bool enabled) {
+  const std::scoped_lock lock(mu_);
+  if (tid >= tables_.size()) {
+    return Status(ErrorCode::kNotFound, "bad table id");
+  }
+  for (SecondaryIndex& secondary : tables_[tid].secondaries()) {
+    if (secondary.def.name == index_name) {
+      if (secondary.enabled && !enabled) {
+        secondary.tree = index::BPlusTree(secondary.tree.fanout());
+      }
+      secondary.enabled = enabled;
+      return ok_status();
+    }
+  }
+  return Status(ErrorCode::kNotFound,
+                "no such index: " + std::string(index_name));
+}
+
+Status Engine::rebuild_index(uint32_t tid, std::string_view index_name) {
+  const std::scoped_lock lock(mu_);
+  if (tid >= tables_.size()) {
+    return Status(ErrorCode::kNotFound, "bad table id");
+  }
+  Table& table = tables_[tid];
+  for (SecondaryIndex& secondary : table.secondaries()) {
+    if (secondary.def.name != index_name) continue;
+    std::vector<std::pair<std::string, uint64_t>> entries;
+    entries.reserve(static_cast<size_t>(table.heap().row_count()));
+    Status decode_status = ok_status();
+    table.heap().scan([&](storage::SlotId slot, std::string_view bytes) {
+      if (!decode_status.is_ok()) return;
+      const auto row = decode_row(bytes);
+      if (!row.is_ok()) {
+        decode_status = row.status();
+        return;
+      }
+      const uint64_t row_id = make_row_id(tid, slot);
+      entries.emplace_back(
+          table.encode_index_key(secondary, *row,
+                                 secondary.def.unique
+                                     ? std::nullopt
+                                     : std::optional<uint64_t>(row_id)),
+          row_id);
+    });
+    SKY_RETURN_IF_ERROR(decode_status);
+    std::sort(entries.begin(), entries.end());
+    if (secondary.def.unique) {
+      for (size_t i = 1; i < entries.size(); ++i) {
+        if (entries[i - 1].first == entries[i].first) {
+          return Status(ErrorCode::kConstraintUnique,
+                        "rebuild found duplicate keys in unique index " +
+                            std::string(index_name));
+        }
+      }
+    }
+    secondary.enabled = true;
+    return secondary.tree.bulk_build(std::move(entries));
+  }
+  return Status(ErrorCode::kNotFound,
+                "no such index: " + std::string(index_name));
+}
+
+Status Engine::bulk_load_sorted(uint32_t tid, const std::vector<Row>& rows) {
+  const std::scoped_lock lock(mu_);
+  if (tid >= tables_.size()) {
+    return Status(ErrorCode::kNotFound, "bad table id");
+  }
+  Table& table = tables_[tid];
+  if (table.heap().row_count() != 0) {
+    return Status(ErrorCode::kFailedPrecondition,
+                  "bulk_load_sorted requires an empty table");
+  }
+  OpCosts scratch;
+  std::vector<std::pair<std::string, uint64_t>> pk_entries;
+  pk_entries.reserve(rows.size());
+  for (const Row& row : rows) {
+    SKY_RETURN_IF_ERROR(validate_row_locked(table, row, scratch));
+    const auto appended = table.heap().append(encode_row(row));
+    pk_entries.emplace_back(table.encode_pk_key(row),
+                            make_row_id(tid, appended.slot));
+  }
+  // Requires strict PK order; bulk_build rejects violations.
+  SKY_RETURN_IF_ERROR(table.pk_tree().bulk_build(std::move(pk_entries)));
+  for (SecondaryIndex& secondary : table.secondaries()) {
+    if (!secondary.enabled) continue;
+    // Rebuild from heap so preloaded data is indexed too.
+    std::vector<std::pair<std::string, uint64_t>> entries;
+    entries.reserve(rows.size());
+    table.heap().scan([&](storage::SlotId slot, std::string_view bytes) {
+      const auto row = decode_row(bytes);
+      const uint64_t row_id = make_row_id(tid, slot);
+      entries.emplace_back(
+          table.encode_index_key(secondary, *row,
+                                 secondary.def.unique
+                                     ? std::nullopt
+                                     : std::optional<uint64_t>(row_id)),
+          row_id);
+    });
+    std::sort(entries.begin(), entries.end());
+    SKY_RETURN_IF_ERROR(secondary.tree.bulk_build(std::move(entries)));
+  }
+  return ok_status();
+}
+
+// ----------------------------------------------------------------- queries
+
+int64_t Engine::row_count(uint32_t tid) const {
+  const std::scoped_lock lock(mu_);
+  if (tid >= tables_.size()) return 0;
+  return tables_[tid].heap().row_count();
+}
+
+int64_t Engine::total_rows() const {
+  const std::scoped_lock lock(mu_);
+  int64_t total = 0;
+  for (const Table& table : tables_) total += table.heap().row_count();
+  return total;
+}
+
+int64_t Engine::total_heap_bytes() const {
+  const std::scoped_lock lock(mu_);
+  int64_t total = 0;
+  for (const Table& table : tables_) total += table.heap().total_bytes();
+  return total;
+}
+
+std::string Engine::encode_tuple_key(const TableDef& def,
+                                     const std::vector<int>& column_indices,
+                                     const Row& values) const {
+  index::KeyEncoder encoder;
+  for (size_t i = 0; i < values.size() && i < column_indices.size(); ++i) {
+    const int idx = column_indices[i];
+    append_value_to_key(encoder, values[i],
+                        def.columns[static_cast<size_t>(idx)].type);
+  }
+  return encoder.take();
+}
+
+Result<Row> Engine::row_at(const Table& table, uint64_t row_id) const {
+  SKY_ASSIGN_OR_RETURN(const std::string_view bytes,
+                       table.heap().read(row_id_slot(row_id)));
+  return decode_row(bytes);
+}
+
+Result<Row> Engine::pk_lookup(uint32_t tid, const Row& pk_values) const {
+  const std::scoped_lock lock(mu_);
+  if (tid >= tables_.size()) {
+    return Status(ErrorCode::kNotFound, "bad table id");
+  }
+  const Table& table = tables_[tid];
+  if (pk_values.size() != table.pk_column_indices().size()) {
+    return Status(ErrorCode::kInvalidArgument, "pk tuple arity mismatch");
+  }
+  const std::string key =
+      encode_tuple_key(table.def(), table.pk_column_indices(), pk_values);
+  const auto row_id = table.pk_tree().lookup(key);
+  if (!row_id.has_value()) {
+    return Status(ErrorCode::kNotFound, "no row with given primary key");
+  }
+  return row_at(table, *row_id);
+}
+
+Result<std::vector<Row>> Engine::pk_range(uint32_t tid, const Row& lo,
+                                          const Row& hi) const {
+  const std::scoped_lock lock(mu_);
+  if (tid >= tables_.size()) {
+    return Status(ErrorCode::kNotFound, "bad table id");
+  }
+  const Table& table = tables_[tid];
+  const std::string lo_key =
+      encode_tuple_key(table.def(), table.pk_column_indices(), lo);
+  const std::string hi_key =
+      encode_tuple_key(table.def(), table.pk_column_indices(), hi);
+  std::vector<Row> rows;
+  for (const uint64_t row_id : table.pk_tree().range_lookup(lo_key, hi_key)) {
+    SKY_ASSIGN_OR_RETURN(Row row, row_at(table, row_id));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Result<std::vector<Row>> Engine::index_range(uint32_t tid,
+                                             std::string_view index_name,
+                                             const Row& lo,
+                                             const Row& hi) const {
+  const std::scoped_lock lock(mu_);
+  if (tid >= tables_.size()) {
+    return Status(ErrorCode::kNotFound, "bad table id");
+  }
+  const Table& table = tables_[tid];
+  for (const SecondaryIndex& secondary : table.secondaries()) {
+    if (secondary.def.name != index_name) continue;
+    if (!secondary.enabled) {
+      return Status(ErrorCode::kFailedPrecondition,
+                    "index is disabled: " + std::string(index_name));
+    }
+    const std::string lo_key =
+        encode_tuple_key(table.def(), secondary.column_indices, lo);
+    const std::string hi_key =
+        encode_tuple_key(table.def(), secondary.column_indices, hi);
+    std::vector<Row> rows;
+    for (const uint64_t row_id :
+         secondary.tree.range_lookup(lo_key, hi_key)) {
+      SKY_ASSIGN_OR_RETURN(Row row, row_at(table, row_id));
+      rows.push_back(std::move(row));
+    }
+    return rows;
+  }
+  return Status(ErrorCode::kNotFound,
+                "no such index: " + std::string(index_name));
+}
+
+Result<std::vector<Row>> Engine::pk_encoded_range(uint32_t tid,
+                                                  const std::string& lo,
+                                                  const std::string& hi) const {
+  const std::scoped_lock lock(mu_);
+  if (tid >= tables_.size()) {
+    return Status(ErrorCode::kNotFound, "bad table id");
+  }
+  const Table& table = tables_[tid];
+  const std::vector<uint64_t> row_ids =
+      hi.empty() ? table.pk_tree().range_lookup_unbounded(lo)
+                 : table.pk_tree().range_lookup(lo, hi);
+  std::vector<Row> rows;
+  rows.reserve(row_ids.size());
+  for (const uint64_t row_id : row_ids) {
+    SKY_ASSIGN_OR_RETURN(Row row, row_at(table, row_id));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Result<std::vector<Row>> Engine::index_encoded_range(
+    uint32_t tid, std::string_view index_name, const std::string& lo,
+    const std::string& hi) const {
+  const std::scoped_lock lock(mu_);
+  if (tid >= tables_.size()) {
+    return Status(ErrorCode::kNotFound, "bad table id");
+  }
+  const Table& table = tables_[tid];
+  for (const SecondaryIndex& secondary : table.secondaries()) {
+    if (secondary.def.name != index_name) continue;
+    if (!secondary.enabled) {
+      return Status(ErrorCode::kFailedPrecondition,
+                    "index is disabled: " + std::string(index_name));
+    }
+    const std::vector<uint64_t> row_ids =
+        hi.empty() ? secondary.tree.range_lookup_unbounded(lo)
+                   : secondary.tree.range_lookup(lo, hi);
+    std::vector<Row> rows;
+    rows.reserve(row_ids.size());
+    for (const uint64_t row_id : row_ids) {
+      SKY_ASSIGN_OR_RETURN(Row row, row_at(table, row_id));
+      rows.push_back(std::move(row));
+    }
+    return rows;
+  }
+  return Status(ErrorCode::kNotFound,
+                "no such index: " + std::string(index_name));
+}
+
+Result<bool> Engine::index_enabled(uint32_t tid,
+                                   std::string_view index_name) const {
+  const std::scoped_lock lock(mu_);
+  if (tid >= tables_.size()) {
+    return Status(ErrorCode::kNotFound, "bad table id");
+  }
+  for (const SecondaryIndex& secondary : tables_[tid].secondaries()) {
+    if (secondary.def.name == index_name) return secondary.enabled;
+  }
+  return Status(ErrorCode::kNotFound,
+                "no such index: " + std::string(index_name));
+}
+
+std::vector<Row> Engine::scan_collect(
+    uint32_t tid, const std::function<bool(const Row&)>& pred) const {
+  const std::scoped_lock lock(mu_);
+  std::vector<Row> rows;
+  if (tid >= tables_.size()) return rows;
+  tables_[tid].heap().scan([&](storage::SlotId, std::string_view bytes) {
+    auto row = decode_row(bytes);
+    if (row.is_ok() && pred(*row)) rows.push_back(std::move(*row));
+  });
+  return rows;
+}
+
+// --------------------------------------------------------------- telemetry
+
+storage::WalStats Engine::wal_stats() const {
+  const std::scoped_lock lock(mu_);
+  return wal_.stats();
+}
+
+storage::CacheEvents Engine::cache_events() const {
+  const std::scoped_lock lock(mu_);
+  return cache_.events();
+}
+
+storage::IoTally Engine::io_tally() const {
+  const std::scoped_lock lock(mu_);
+  return global_io_;
+}
+
+SlotGate::Stats Engine::txn_gate_stats() const { return txn_gate_->stats(); }
+
+void Engine::set_insert_observer(
+    std::function<void(uint32_t, uint64_t)> observer) {
+  const std::scoped_lock lock(mu_);
+  insert_observer_ = std::move(observer);
+}
+
+Status Engine::verify_integrity() const {
+  const std::scoped_lock lock(mu_);
+  for (const Table& table : tables_) {
+    // Heap rows decode, agree with the PK tree, and satisfy FKs.
+    Status failure = ok_status();
+    int64_t live = 0;
+    table.heap().scan([&](storage::SlotId slot, std::string_view bytes) {
+      if (!failure.is_ok()) return;
+      ++live;
+      const auto row = decode_row(bytes);
+      if (!row.is_ok()) {
+        failure = row.status();
+        return;
+      }
+      const std::string pk_key = table.encode_pk_key(*row);
+      const auto row_id = table.pk_tree().lookup(pk_key);
+      if (!row_id.has_value() ||
+          *row_id != make_row_id(table.id(), slot)) {
+        failure = Status(ErrorCode::kInternal,
+                         table.def().name + ": PK tree disagrees with heap");
+        return;
+      }
+      for (const ForeignKey& fk : table.def().foreign_keys) {
+        const uint32_t parent_id = schema_.table_id(fk.parent_table).value();
+        const auto probe = Table::encode_fk_probe(table.def(), fk, *row,
+                                                  tables_[parent_id].def());
+        if (probe.has_value() &&
+            !tables_[parent_id].pk_tree().contains(*probe)) {
+          failure = Status(ErrorCode::kInternal,
+                           table.def().name + ": dangling FK to " +
+                               fk.parent_table);
+          return;
+        }
+      }
+    });
+    SKY_RETURN_IF_ERROR(failure);
+    if (static_cast<size_t>(live) != table.pk_tree().size()) {
+      return Status(ErrorCode::kInternal,
+                    table.def().name + ": PK tree size mismatch");
+    }
+    SKY_RETURN_IF_ERROR(table.pk_tree().validate());
+    for (const SecondaryIndex& secondary : table.secondaries()) {
+      if (!secondary.enabled) continue;
+      if (secondary.tree.size() != static_cast<size_t>(live)) {
+        return Status(ErrorCode::kInternal,
+                      table.def().name + ": secondary index " +
+                          secondary.def.name + " size mismatch");
+      }
+      SKY_RETURN_IF_ERROR(secondary.tree.validate());
+    }
+  }
+  return ok_status();
+}
+
+}  // namespace sky::db

@@ -1,0 +1,193 @@
+// The embedded relational engine ("stardb") standing in for Oracle 10g.
+//
+// Insert-oriented by design: the Palomar-Quest repository workload is
+// append-only catalog loading plus read-only science queries. Enforces
+// primary-key, foreign-key, NOT NULL, and range-check constraints on every
+// insert; maintains a B+tree per primary key and per enabled secondary
+// index; writes redo to a WAL; tracks page residency in a buffer-cache
+// model; tallies physical I/O per device role.
+//
+// Batch semantics mirror the JDBC core API the paper used (section 4.3):
+// executeBatch applies rows in order and stops at the first failure — rows
+// before the failure remain applied, the failing index is reported, and the
+// rest of the batch is discarded and cannot be re-applied. The bulk-loading
+// algorithm's skip-and-repack recovery is built on exactly this contract.
+//
+// Thread safety: all public methods are safe to call from multiple threads;
+// one engine-wide mutex serializes calls (the database server is the shared
+// resource — contention among parallel loaders is the point of the study).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "db/lock_manager.h"
+#include "db/op_costs.h"
+#include "db/row.h"
+#include "db/schema.h"
+#include "db/table.h"
+#include "storage/buffer_cache.h"
+#include "storage/device.h"
+#include "storage/wal.h"
+
+namespace sky::db {
+
+struct EngineOptions {
+  // Server data cache in 8 KiB pages (section 4.5.5 knob).
+  int64_t cache_pages = 16384;
+  // DBWR dirty-page trigger (fixed count, independent of cache size).
+  int64_t dirty_trigger = 256;
+  // Concurrent-transaction slots (real-mode gate; simulation mode models
+  // the limit in the server model instead and passes a large value here).
+  int64_t max_concurrent_transactions = 64;
+  storage::DeviceLayout device_layout = storage::DeviceLayout::separate_raids();
+  // Keep full WAL records in memory for replay verification (tests only).
+  bool retain_wal_records = false;
+};
+
+struct BatchError {
+  size_t row_index = 0;  // index within the submitted batch
+  Status status;
+};
+
+struct BatchResult {
+  int64_t rows_applied = 0;
+  std::optional<BatchError> error;
+  OpCosts costs;
+};
+
+struct CommitResult {
+  int64_t wal_bytes_flushed = 0;
+  OpCosts costs;
+};
+
+class Engine {
+ public:
+  explicit Engine(Schema schema, EngineOptions options = {});
+
+  const Schema& schema() const { return schema_; }
+  const EngineOptions& options() const { return options_; }
+  Result<uint32_t> table_id(std::string_view name) const {
+    return schema_.table_id(name);
+  }
+
+  // ----------------------------------------------------------- transactions
+  uint64_t begin_transaction();
+  Result<CommitResult> commit(uint64_t txn_id);
+  // Undo every insert of the transaction (reverse order).
+  Status rollback(uint64_t txn_id);
+
+  // ---------------------------------------------------------------- inserts
+  // JDBC executeBatch semantics (see file header).
+  BatchResult insert_batch(uint64_t txn_id, uint32_t table_id,
+                           std::span<const Row> rows);
+  // Single-row insert (the non-bulk baseline path).
+  Status insert_row(uint64_t txn_id, uint32_t table_id, const Row& row,
+                    OpCosts& costs);
+
+  // ------------------------------------------------------------ maintenance
+  // Disable (drop) or enable a secondary index. Disabling clears it;
+  // enabling leaves it empty until rebuild_index().
+  Status set_index_enabled(uint32_t table_id, std::string_view index_name,
+                           bool enabled);
+  // Rebuild a secondary index from the heap (sorted bulk build) — the
+  // "recreate secondary indices after the catch-up load" path.
+  Status rebuild_index(uint32_t table_id, std::string_view index_name);
+
+  // Preload an empty table from PK-sorted rows, bypassing WAL/cache (fast
+  // fixture path for database-size experiments, Fig. 9). Constraints are
+  // still validated structurally (types, arity, strict PK order).
+  Status bulk_load_sorted(uint32_t table_id, const std::vector<Row>& rows);
+
+  // ----------------------------------------------------------------- queries
+  int64_t row_count(uint32_t table_id) const;
+  int64_t total_rows() const;
+  int64_t total_heap_bytes() const;
+  // Look up one row by full primary key.
+  Result<Row> pk_lookup(uint32_t table_id, const Row& pk_values) const;
+  // All rows whose PK is in [lo, hi) — keys built from value tuples.
+  Result<std::vector<Row>> pk_range(uint32_t table_id, const Row& lo,
+                                    const Row& hi) const;
+  // Range over a secondary index: [lo, hi) on the indexed columns.
+  Result<std::vector<Row>> index_range(uint32_t table_id,
+                                       std::string_view index_name,
+                                       const Row& lo, const Row& hi) const;
+  // Full scan with predicate.
+  std::vector<Row> scan_collect(
+      uint32_t table_id, const std::function<bool(const Row&)>& pred) const;
+
+  // Encoded-key range access for the query planner: rows whose PK /
+  // secondary-index key is in [lo, hi); empty `hi` means unbounded. Keys are
+  // built with index::KeyEncoder / db::append_value_to_key in column order.
+  Result<std::vector<Row>> pk_encoded_range(uint32_t table_id,
+                                            const std::string& lo,
+                                            const std::string& hi) const;
+  Result<std::vector<Row>> index_encoded_range(uint32_t table_id,
+                                               std::string_view index_name,
+                                               const std::string& lo,
+                                               const std::string& hi) const;
+  // Is the named secondary index currently enabled?
+  Result<bool> index_enabled(uint32_t table_id,
+                             std::string_view index_name) const;
+
+  // -------------------------------------------------------------- telemetry
+  storage::WalStats wal_stats() const;
+  const std::vector<storage::WalRecord>& wal_records() const {
+    return wal_.records();
+  }
+  storage::CacheEvents cache_events() const;
+  storage::IoTally io_tally() const;
+  SlotGate::Stats txn_gate_stats() const;
+  // Observer invoked (under the engine lock) after each successful insert;
+  // tests use it to audit parent-before-child ordering.
+  void set_insert_observer(std::function<void(uint32_t, uint64_t)> observer);
+
+  // Deep integrity audit (tests): heap/PK agreement, FK closure, secondary
+  // index completeness, row decodability.
+  Status verify_integrity() const;
+
+ private:
+  struct UndoEntry {
+    uint32_t table_id;
+    storage::SlotId slot;
+    std::string pk_key;
+    std::vector<std::pair<size_t, std::string>> secondary_keys;
+  };
+  struct Transaction {
+    uint64_t id;
+    std::vector<UndoEntry> undo;
+  };
+
+  Status insert_row_locked(uint64_t txn_id, uint32_t table_id, const Row& row,
+                           OpCosts& costs);
+  Status validate_row_locked(const Table& table, const Row& row,
+                             OpCosts& costs) const;
+  storage::IoRole role_of_file(uint32_t file_id) const;
+  Result<Row> row_at(const Table& table, uint64_t row_id) const;
+  std::string encode_tuple_key(const TableDef& def,
+                               const std::vector<int>& column_indices,
+                               const Row& values) const;
+
+  mutable std::mutex mu_;
+  Schema schema_;
+  EngineOptions options_;
+  std::vector<Table> tables_;
+  storage::BufferCache cache_;
+  storage::WriteAheadLog wal_;
+  std::unique_ptr<SlotGate> txn_gate_;
+  std::unordered_map<uint64_t, Transaction> transactions_;
+  uint64_t next_txn_id_ = 1;
+  std::vector<storage::IoRole> file_roles_;  // cache file id -> device role
+  OpCosts* active_costs_ = nullptr;          // routed to by the cache IO hook
+  storage::IoTally global_io_;
+  std::function<void(uint32_t, uint64_t)> insert_observer_;
+};
+
+}  // namespace sky::db

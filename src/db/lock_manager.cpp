@@ -1,0 +1,42 @@
+#include "db/lock_manager.h"
+
+#include <cassert>
+#include <chrono>
+
+namespace sky::db {
+
+BlockingSlotGate::BlockingSlotGate(int64_t slots) : available_(slots) {
+  assert(slots > 0);
+}
+
+void BlockingSlotGate::acquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++stats_.acquires;
+  if (available_ > 0) {
+    --available_;
+    return;
+  }
+  ++stats_.waits;
+  const auto start = std::chrono::steady_clock::now();
+  cv_.wait(lock, [this] { return available_ > 0; });
+  --available_;
+  const auto end = std::chrono::steady_clock::now();
+  stats_.total_wait +=
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+          .count();
+}
+
+void BlockingSlotGate::release() {
+  {
+    const std::scoped_lock lock(mu_);
+    ++available_;
+  }
+  cv_.notify_one();
+}
+
+SlotGate::Stats BlockingSlotGate::stats() const {
+  const std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+}  // namespace sky::db

@@ -1,0 +1,61 @@
+// Per-call cost accounting.
+//
+// Every engine call tallies the mechanical work it performed — index descents,
+// pages dirtied, redo bytes, cache misses, device I/O by role. Real-time mode
+// treats these as diagnostics; simulation mode prices them through the client
+// CostModel to produce virtual server time. This is how the paper's
+// figure-level effects (index maintenance cost, commit cost, cache-size
+// effects, device contention) emerge from mechanism rather than curve fit.
+#pragma once
+
+#include <cstdint>
+
+#include "storage/buffer_cache.h"
+#include "storage/device.h"
+
+namespace sky::db {
+
+struct OpCosts {
+  int64_t rows_applied = 0;
+  int64_t index_updates = 0;       // entries inserted across all B+trees
+  int64_t index_node_visits = 0;   // descent steps (CPU)
+  int64_t index_leaf_splits = 0;
+  int64_t index_key_bytes = 0;
+  // Indexed-column counts by type across inserted entries (float keys are
+  // costlier to bind and compare — the paper's Fig. 8 contrast).
+  int64_t index_int_columns = 0;
+  int64_t index_float_columns = 0;
+  int64_t index_string_columns = 0;
+  int64_t heap_pages_opened = 0;
+  int64_t heap_bytes = 0;
+  int64_t fk_checks = 0;
+  int64_t fk_node_visits = 0;
+  int64_t check_evals = 0;         // type / null / range predicate evaluations
+  int64_t constraint_failures = 0;
+  int64_t wal_bytes = 0;
+  storage::CacheEvents cache;      // delta attributable to this call
+  storage::IoTally io;             // physical I/O by device role
+
+  OpCosts& operator+=(const OpCosts& other) {
+    rows_applied += other.rows_applied;
+    index_updates += other.index_updates;
+    index_node_visits += other.index_node_visits;
+    index_leaf_splits += other.index_leaf_splits;
+    index_key_bytes += other.index_key_bytes;
+    index_int_columns += other.index_int_columns;
+    index_float_columns += other.index_float_columns;
+    index_string_columns += other.index_string_columns;
+    heap_pages_opened += other.heap_pages_opened;
+    heap_bytes += other.heap_bytes;
+    fk_checks += other.fk_checks;
+    fk_node_visits += other.fk_node_visits;
+    check_evals += other.check_evals;
+    constraint_failures += other.constraint_failures;
+    wal_bytes += other.wal_bytes;
+    cache += other.cache;
+    io += other.io;
+    return *this;
+  }
+};
+
+}  // namespace sky::db

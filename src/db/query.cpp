@@ -1,0 +1,247 @@
+#include "db/query.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "db/table.h"
+#include "index/key_codec.h"
+
+namespace sky::db {
+
+Result<bool> condition_matches(const TableDef& def, const Condition& cond,
+                               const Row& row) {
+  const int idx = def.column_index(cond.column);
+  if (idx < 0) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "no such column: " + cond.column);
+  }
+  const Value& value = row[static_cast<size_t>(idx)];
+  if (value.is_null()) return false;  // SQL: NULL matches nothing
+  const int cmp = value.compare(cond.value);
+  switch (cond.op) {
+    case Condition::Op::kEq: return cmp == 0;
+    case Condition::Op::kLt: return cmp < 0;
+    case Condition::Op::kLe: return cmp <= 0;
+    case Condition::Op::kGt: return cmp > 0;
+    case Condition::Op::kGe: return cmp >= 0;
+  }
+  return Status(ErrorCode::kInternal, "bad condition op");
+}
+
+namespace {
+
+void append_condition_value(index::KeyEncoder& encoder, const TableDef& def,
+                            const std::string& column, const Value& value) {
+  const int idx = def.column_index(column);
+  append_value_to_key(encoder, value,
+                      def.columns[static_cast<size_t>(idx)].type);
+}
+
+}  // namespace
+
+std::optional<QueryPlanner::AccessPath> QueryPlanner::build_range(
+    const TableDef& def, const std::vector<std::string>& columns,
+    const QuerySpec& spec) const {
+  AccessPath path;
+  index::KeyEncoder prefix;
+  bool any_bound = false;
+
+  for (const std::string& column : columns) {
+    // Conditions on this column.
+    std::optional<size_t> eq;
+    std::vector<size_t> lowers, uppers;
+    for (size_t c = 0; c < spec.conditions.size(); ++c) {
+      const Condition& cond = spec.conditions[c];
+      if (cond.column != column) continue;
+      switch (cond.op) {
+        case Condition::Op::kEq: eq = c; break;
+        case Condition::Op::kGt:
+        case Condition::Op::kGe: lowers.push_back(c); break;
+        case Condition::Op::kLt:
+        case Condition::Op::kLe: uppers.push_back(c); break;
+      }
+    }
+    if (eq.has_value()) {
+      append_condition_value(prefix, def, column,
+                             spec.conditions[*eq].value);
+      path.consumed.push_back(*eq);
+      any_bound = true;
+      continue;  // the next column can extend the prefix
+    }
+    if (lowers.empty() && uppers.empty()) break;  // prefix ends here
+
+    // A range column terminates the prefix. Tightest bounds win; the rest
+    // of the conditions post-filter (we still mark them consumed only if
+    // they defined the bound actually used — simpler: consume one lower and
+    // one upper, leave duplicates to the post-filter).
+    const std::string prefix_key = prefix.buffer();
+    if (!lowers.empty()) {
+      // Pick the largest lower bound.
+      size_t best = lowers[0];
+      for (const size_t c : lowers) {
+        if (spec.conditions[c].value.compare(spec.conditions[best].value) >
+            0) {
+          best = c;
+        }
+      }
+      std::string lo = prefix_key;
+      {
+        index::KeyEncoder value_enc;
+        append_condition_value(value_enc, def, column,
+                               spec.conditions[best].value);
+        lo += value_enc.buffer();
+      }
+      if (spec.conditions[best].op == Condition::Op::kGt) {
+        lo = index::encoded_key_successor(std::move(lo));
+      }
+      path.lo = std::move(lo);
+      path.consumed.push_back(best);
+    } else {
+      path.lo = prefix_key;
+    }
+    if (!uppers.empty()) {
+      size_t best = uppers[0];
+      for (const size_t c : uppers) {
+        if (spec.conditions[c].value.compare(spec.conditions[best].value) <
+            0) {
+          best = c;
+        }
+      }
+      std::string hi = prefix_key;
+      {
+        index::KeyEncoder value_enc;
+        append_condition_value(value_enc, def, column,
+                               spec.conditions[best].value);
+        hi += value_enc.buffer();
+      }
+      if (spec.conditions[best].op == Condition::Op::kLe) {
+        hi = index::encoded_key_successor(std::move(hi));
+      }
+      path.hi = std::move(hi);
+      path.consumed.push_back(best);
+    } else {
+      path.hi = prefix_key.empty()
+                    ? std::string()
+                    : index::encoded_key_successor(prefix_key);
+    }
+    return path;
+  }
+
+  if (!any_bound) return std::nullopt;
+  // Pure equality prefix: [prefix, successor(prefix)).
+  path.lo = prefix.buffer();
+  path.hi = index::encoded_key_successor(prefix.buffer());
+  return path;
+}
+
+QueryPlanner::AccessPath QueryPlanner::choose_path(uint32_t table_id,
+                                                   const TableDef& def,
+                                                   const QuerySpec& spec) const {
+  AccessPath best;  // default: full scan, consumes nothing
+  // Primary key first.
+  if (auto pk_path = build_range(def, def.primary_key, spec)) {
+    pk_path->kind = AccessPath::Kind::kPkRange;
+    if (pk_path->consumed.size() > best.consumed.size()) {
+      best = std::move(*pk_path);
+    }
+  }
+  // Then enabled secondary indexes.
+  for (const IndexDef& index : def.indexes) {
+    const auto enabled = engine_.index_enabled(table_id, index.name);
+    if (!enabled.is_ok() || !*enabled) continue;
+    if (auto index_path = build_range(def, index.columns, spec)) {
+      index_path->kind = AccessPath::Kind::kIndexRange;
+      index_path->index_name = index.name;
+      if (index_path->consumed.size() > best.consumed.size()) {
+        best = std::move(*index_path);
+      }
+    }
+  }
+  return best;
+}
+
+Result<QueryResult> QueryPlanner::execute(const QuerySpec& spec) const {
+  SKY_ASSIGN_OR_RETURN(const uint32_t table_id,
+                       engine_.table_id(spec.table));
+  const TableDef& def = engine_.schema().table(table_id);
+
+  // Validate conditions up front.
+  for (const Condition& cond : spec.conditions) {
+    const int idx = def.column_index(cond.column);
+    if (idx < 0) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "no such column: " + cond.column);
+    }
+    if (cond.value.is_null()) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "NULL condition value on " + cond.column);
+    }
+    if (!cond.value.matches(def.columns[static_cast<size_t>(idx)].type)) {
+      return Status(ErrorCode::kTypeMismatch,
+                    "condition value type mismatch on " + cond.column);
+    }
+  }
+  int order_column = -1;
+  if (spec.order_by.has_value()) {
+    order_column = def.column_index(*spec.order_by);
+    if (order_column < 0) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "no such order_by column: " + *spec.order_by);
+    }
+  }
+
+  const AccessPath path = choose_path(table_id, def, spec);
+  QueryResult result;
+  std::vector<Row> fetched;
+  switch (path.kind) {
+    case AccessPath::Kind::kPkRange: {
+      SKY_ASSIGN_OR_RETURN(
+          fetched, engine_.pk_encoded_range(table_id, path.lo, path.hi));
+      result.plan = "PK RANGE " + def.name;
+      break;
+    }
+    case AccessPath::Kind::kIndexRange: {
+      SKY_ASSIGN_OR_RETURN(fetched,
+                           engine_.index_encoded_range(
+                               table_id, path.index_name, path.lo, path.hi));
+      result.plan = "INDEX RANGE " + path.index_name;
+      break;
+    }
+    case AccessPath::Kind::kFullScan:
+      fetched = engine_.scan_collect(table_id,
+                                     [](const Row&) { return true; });
+      result.plan = "FULL SCAN " + def.name;
+      break;
+  }
+  result.rows_examined = static_cast<int64_t>(fetched.size());
+
+  // Post-filter with every condition (range-consumed ones are already
+  // satisfied; re-checking is cheap and keeps the filter obviously total).
+  for (Row& row : fetched) {
+    bool keep = true;
+    for (const Condition& cond : spec.conditions) {
+      SKY_ASSIGN_OR_RETURN(const bool ok, condition_matches(def, cond, row));
+      if (!ok) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) result.rows.push_back(std::move(row));
+  }
+
+  if (order_column >= 0) {
+    const auto column = static_cast<size_t>(order_column);
+    std::stable_sort(result.rows.begin(), result.rows.end(),
+                     [&](const Row& a, const Row& b) {
+                       const int cmp = a[column].compare(b[column]);
+                       return spec.descending ? cmp > 0 : cmp < 0;
+                     });
+  }
+  if (spec.limit >= 0 &&
+      static_cast<int64_t>(result.rows.size()) > spec.limit) {
+    result.rows.resize(static_cast<size_t>(spec.limit));
+  }
+  return result;
+}
+
+}  // namespace sky::db

@@ -1,0 +1,79 @@
+// A small typed query layer with index selection.
+//
+// The repository "must act as a query engine to support scientific
+// research" while loading continues (paper section 4.5.1) — this is the
+// query side of the index-maintenance trade-off the paper studies. There is
+// no SQL parser (the workload is programmatic); queries are specs of
+// conjunctive conditions with optional ordering and limit. The planner
+// picks an access path:
+//
+//   1. a PK range when the conditions pin a prefix of the primary key,
+//   2. an enabled secondary index range when they pin a prefix of one,
+//   3. a full scan otherwise;
+//
+// index-prefix conditions are consumed by the range; the rest post-filter.
+// The chosen plan is reported for inspection and testing.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "db/engine.h"
+#include "db/row.h"
+
+namespace sky::db {
+
+struct Condition {
+  enum class Op { kEq, kLt, kLe, kGt, kGe };
+  std::string column;
+  Op op = Op::kEq;
+  Value value;
+};
+
+struct QuerySpec {
+  std::string table;
+  std::vector<Condition> conditions;  // conjunction
+  std::optional<std::string> order_by;
+  bool descending = false;
+  int64_t limit = -1;  // -1 = unlimited
+};
+
+struct QueryResult {
+  std::vector<Row> rows;
+  std::string plan;          // e.g. "INDEX RANGE idx_htmid", "FULL SCAN"
+  int64_t rows_examined = 0; // rows fetched before post-filtering
+};
+
+class QueryPlanner {
+ public:
+  explicit QueryPlanner(const Engine& engine) : engine_(engine) {}
+
+  Result<QueryResult> execute(const QuerySpec& spec) const;
+
+ private:
+  struct AccessPath {
+    enum class Kind { kFullScan, kPkRange, kIndexRange } kind =
+        Kind::kFullScan;
+    std::string index_name;          // for kIndexRange
+    std::string lo, hi;              // encoded bounds; hi "" = unbounded
+    std::vector<size_t> consumed;    // condition indices satisfied by range
+  };
+
+  AccessPath choose_path(uint32_t table_id, const TableDef& def,
+                         const QuerySpec& spec) const;
+  // Try to build a range over `columns`; nullopt if the conditions don't
+  // pin a usable prefix.
+  std::optional<AccessPath> build_range(
+      const TableDef& def, const std::vector<std::string>& columns,
+      const QuerySpec& spec) const;
+
+  const Engine& engine_;
+};
+
+// Evaluate one condition against a row (shared with tests).
+Result<bool> condition_matches(const TableDef& def, const Condition& cond,
+                               const Row& row);
+
+}  // namespace sky::db

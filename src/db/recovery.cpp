@@ -1,0 +1,111 @@
+#include "db/recovery.h"
+
+#include <set>
+
+#include "common/strings.h"
+
+namespace sky::db {
+
+Result<std::unique_ptr<Engine>> recover_from_wal(
+    const Schema& schema, const std::vector<storage::WalRecord>& records,
+    EngineOptions options, RecoveryStats* stats) {
+  RecoveryStats local;
+  // Pass 1: which transactions committed? (A rollback record stream undoes
+  // inserts; a transaction with rollback records and no commit is simply
+  // not replayed.)
+  std::set<uint64_t> committed;
+  std::set<uint64_t> seen;
+  for (const storage::WalRecord& record : records) {
+    ++local.records_scanned;
+    seen.insert(record.txn_id);
+    if (record.type == storage::WalRecordType::kCommit) {
+      committed.insert(record.txn_id);
+    }
+  }
+  local.transactions_committed = static_cast<int64_t>(committed.size());
+  local.transactions_discarded =
+      static_cast<int64_t>(seen.size() - committed.size());
+
+  // Pass 2: replay committed inserts in log order (which preserves the
+  // original parent-before-child order). Rollback records cancel the most
+  // recent pending insert of their transaction, so replay tracks a pending
+  // stack per transaction... — in this engine rollback always undoes the
+  // *entire* transaction (Engine::rollback), and such a transaction has no
+  // commit record, so it is already excluded by pass 1.
+  auto engine = std::make_unique<Engine>(schema, options);
+  const uint64_t txn = engine->begin_transaction();
+  for (const storage::WalRecord& record : records) {
+    if (record.type != storage::WalRecordType::kInsert) continue;
+    if (committed.count(record.txn_id) == 0) {
+      ++local.rows_discarded;
+      continue;
+    }
+    SKY_ASSIGN_OR_RETURN(const Row row, decode_row(record.payload));
+    if (record.table_id >= static_cast<uint32_t>(schema.table_count())) {
+      return Status(ErrorCode::kInternal,
+                    "WAL replay: record references unknown table");
+    }
+    OpCosts scratch;
+    const Status status =
+        engine->insert_row(txn, record.table_id, row, scratch);
+    if (!status.is_ok()) {
+      return Status(ErrorCode::kInternal,
+                    "WAL replay: committed insert failed to re-apply: " +
+                        status.to_string());
+    }
+    ++local.rows_replayed;
+  }
+  SKY_RETURN_IF_ERROR(engine->commit(txn).status());
+  if (stats != nullptr) *stats = local;
+  return engine;
+}
+
+Status engines_equivalent(const Engine& a, const Engine& b) {
+  if (a.schema().table_count() != b.schema().table_count()) {
+    return Status(ErrorCode::kFailedPrecondition, "schema table counts differ");
+  }
+  for (uint32_t tid = 0; tid < static_cast<uint32_t>(a.schema().table_count());
+       ++tid) {
+    const TableDef& def = a.schema().table(tid);
+    if (a.row_count(tid) != b.row_count(tid)) {
+      return Status(ErrorCode::kInternal,
+                    str_format("%s: row counts differ (%lld vs %lld)",
+                               def.name.c_str(),
+                               static_cast<long long>(a.row_count(tid)),
+                               static_cast<long long>(b.row_count(tid))));
+    }
+    // Every row of a must exist identically in b (counts equal => bijection
+    // because primary keys are unique).
+    std::vector<int> pk_columns;
+    for (const std::string& pk : def.primary_key) {
+      pk_columns.push_back(def.column_index(pk));
+    }
+    const std::vector<Row> rows_a =
+        a.scan_collect(tid, [](const Row&) { return true; });
+    for (const Row& row : rows_a) {
+      Row pk_values;
+      for (const int idx : pk_columns) {
+        pk_values.push_back(row[static_cast<size_t>(idx)]);
+      }
+      const auto row_b = b.pk_lookup(tid, pk_values);
+      if (!row_b.is_ok()) {
+        return Status(ErrorCode::kInternal,
+                      def.name + ": row missing in second engine: " +
+                          row_to_display(row));
+      }
+      if (row_b->size() != row.size()) {
+        return Status(ErrorCode::kInternal, def.name + ": row arity differs");
+      }
+      for (size_t c = 0; c < row.size(); ++c) {
+        if (row[c].compare((*row_b)[c]) != 0) {
+          return Status(ErrorCode::kInternal,
+                        def.name + ": row content differs at column " +
+                            def.columns[c].name);
+        }
+      }
+    }
+  }
+  return ok_status();
+}
+
+}  // namespace sky::db

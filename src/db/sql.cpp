@@ -1,0 +1,323 @@
+#include "db/sql.h"
+
+#include <cctype>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace sky::db {
+
+namespace {
+
+enum class TokenKind {
+  kIdent,     // bare word (keyword or identifier)
+  kInt,
+  kFloat,
+  kString,    // 'quoted'
+  kOperator,  // = < <= > >=
+  kStar,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  size_t position = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> run() {
+    std::vector<Token> tokens;
+    while (true) {
+      skip_space();
+      if (pos_ >= text_.size()) break;
+      const size_t start = pos_;
+      const char c = text_[pos_];
+      if (c == '*') {
+        ++pos_;
+        tokens.push_back({TokenKind::kStar, "*", start});
+      } else if (c == '\'') {
+        SKY_ASSIGN_OR_RETURN(std::string value, quoted_string());
+        tokens.push_back({TokenKind::kString, std::move(value), start});
+      } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+                 c == '+' || c == '.') {
+        SKY_ASSIGN_OR_RETURN(Token number, number_token(start));
+        tokens.push_back(std::move(number));
+      } else if (c == '=' || c == '<' || c == '>') {
+        std::string op(1, c);
+        ++pos_;
+        if ((c == '<' || c == '>') && pos_ < text_.size() &&
+            text_[pos_] == '=') {
+          op.push_back('=');
+          ++pos_;
+        }
+        tokens.push_back({TokenKind::kOperator, std::move(op), start});
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::string ident;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_')) {
+          ident.push_back(text_[pos_++]);
+        }
+        tokens.push_back({TokenKind::kIdent, std::move(ident), start});
+      } else {
+        return error(start, str_format("unexpected character '%c'", c));
+      }
+    }
+    tokens.push_back({TokenKind::kEnd, "", text_.size()});
+    return tokens;
+  }
+
+ private:
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Result<std::string> quoted_string() {
+    ++pos_;  // opening quote
+    std::string value;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '\'') {
+        if (pos_ < text_.size() && text_[pos_] == '\'') {
+          value.push_back('\'');  // '' escape
+          ++pos_;
+          continue;
+        }
+        return value;
+      }
+      value.push_back(c);
+    }
+    return Status(ErrorCode::kParseError, "unterminated string literal");
+  }
+
+  Result<Token> number_token(size_t start) {
+    std::string number;
+    bool is_float = false;
+    if (text_[pos_] == '-' || text_[pos_] == '+') {
+      number.push_back(text_[pos_++]);
+    }
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        number.push_back(c);
+      } else if (c == '.' || c == 'e' || c == 'E') {
+        is_float = true;
+        number.push_back(c);
+        if ((c == 'e' || c == 'E') && pos_ + 1 < text_.size() &&
+            (text_[pos_ + 1] == '-' || text_[pos_ + 1] == '+')) {
+          number.push_back(text_[++pos_]);
+        }
+      } else {
+        break;
+      }
+      ++pos_;
+    }
+    if (number.empty() || number == "-" || number == "+" || number == ".") {
+      return error(start, "malformed number");
+    }
+    return Token{is_float ? TokenKind::kFloat : TokenKind::kInt, number,
+                 start};
+  }
+
+  Status error(size_t position, const std::string& message) const {
+    return Status(ErrorCode::kParseError,
+                  str_format("query position %zu: %s", position,
+                             message.c_str()));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  Parser(const Schema& schema, std::vector<Token> tokens)
+      : schema_(schema), tokens_(std::move(tokens)) {}
+
+  Result<QuerySpec> run() {
+    QuerySpec spec;
+    SKY_RETURN_IF_ERROR(expect_keyword("SELECT"));
+    if (peek().kind != TokenKind::kStar) {
+      return error("only SELECT * is supported");
+    }
+    advance();
+    SKY_RETURN_IF_ERROR(expect_keyword("FROM"));
+    SKY_ASSIGN_OR_RETURN(spec.table, identifier("table name"));
+    SKY_ASSIGN_OR_RETURN(const uint32_t table_id,
+                         schema_.table_id(spec.table));
+    def_ = &schema_.table(table_id);
+
+    if (at_keyword("WHERE")) {
+      advance();
+      while (true) {
+        SKY_ASSIGN_OR_RETURN(Condition cond, condition());
+        spec.conditions.push_back(std::move(cond));
+        if (!at_keyword("AND")) break;
+        advance();
+      }
+    }
+    if (at_keyword("ORDER")) {
+      advance();
+      SKY_RETURN_IF_ERROR(expect_keyword("BY"));
+      SKY_ASSIGN_OR_RETURN(const std::string column,
+                           identifier("ORDER BY column"));
+      if (def_->column_index(column) < 0) {
+        return error("no such column: " + column);
+      }
+      spec.order_by = column;
+      if (at_keyword("DESC")) {
+        spec.descending = true;
+        advance();
+      } else if (at_keyword("ASC")) {
+        advance();
+      }
+    }
+    if (at_keyword("LIMIT")) {
+      advance();
+      if (peek().kind != TokenKind::kInt) {
+        return error("LIMIT expects an integer");
+      }
+      SKY_ASSIGN_OR_RETURN(spec.limit, parse_int64(peek().text));
+      if (spec.limit < 0) return error("LIMIT must be non-negative");
+      advance();
+    }
+    if (peek().kind != TokenKind::kEnd) {
+      return error("unexpected trailing input: '" + peek().text + "'");
+    }
+    return spec;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[cursor_]; }
+  void advance() { ++cursor_; }
+
+  bool at_keyword(std::string_view keyword) const {
+    return peek().kind == TokenKind::kIdent &&
+           to_lower(peek().text) == to_lower(keyword);
+  }
+
+  Status expect_keyword(std::string_view keyword) {
+    if (!at_keyword(keyword)) {
+      return error("expected " + std::string(keyword) + " before '" +
+                   peek().text + "'");
+    }
+    advance();
+    return ok_status();
+  }
+
+  Result<std::string> identifier(const std::string& what) {
+    if (peek().kind != TokenKind::kIdent) {
+      return error("expected " + what);
+    }
+    std::string name = peek().text;
+    advance();
+    return name;
+  }
+
+  Result<Condition> condition() {
+    Condition cond;
+    SKY_ASSIGN_OR_RETURN(cond.column, identifier("column name"));
+    const int column_idx = def_->column_index(cond.column);
+    if (column_idx < 0) {
+      return error("no such column: " + cond.column);
+    }
+    if (peek().kind != TokenKind::kOperator) {
+      return error("expected comparison operator after " + cond.column);
+    }
+    const std::string op = peek().text;
+    advance();
+    if (op == "=") {
+      cond.op = Condition::Op::kEq;
+    } else if (op == "<") {
+      cond.op = Condition::Op::kLt;
+    } else if (op == "<=") {
+      cond.op = Condition::Op::kLe;
+    } else if (op == ">") {
+      cond.op = Condition::Op::kGt;
+    } else if (op == ">=") {
+      cond.op = Condition::Op::kGe;
+    } else {
+      return error("unsupported operator " + op);
+    }
+    SKY_ASSIGN_OR_RETURN(
+        cond.value,
+        literal(def_->columns[static_cast<size_t>(column_idx)].type,
+                cond.column));
+    return cond;
+  }
+
+  Result<Value> literal(ColumnType column_type, const std::string& column) {
+    const Token& token = peek();
+    switch (token.kind) {
+      case TokenKind::kInt: {
+        SKY_ASSIGN_OR_RETURN(const int64_t value, parse_int64(token.text));
+        advance();
+        switch (column_type) {
+          case ColumnType::kInt32:
+            if (value < INT32_MIN || value > INT32_MAX) {
+              return error("integer literal out of range for " + column);
+            }
+            return Value::i32(static_cast<int32_t>(value));
+          case ColumnType::kInt64:
+          case ColumnType::kTimestamp:
+            return Value::i64(value);
+          case ColumnType::kDouble:
+            // Integer literal against a double column is fine.
+            return Value::f64(static_cast<double>(value));
+          case ColumnType::kString:
+            return error("string column " + column +
+                         " compared to a number");
+        }
+        break;
+      }
+      case TokenKind::kFloat: {
+        SKY_ASSIGN_OR_RETURN(const double value, parse_double(token.text));
+        advance();
+        if (column_type != ColumnType::kDouble) {
+          return error("float literal against non-float column " + column);
+        }
+        return Value::f64(value);
+      }
+      case TokenKind::kString: {
+        if (column_type != ColumnType::kString) {
+          return error("string literal against non-string column " + column);
+        }
+        Value value = Value::str(token.text);
+        advance();
+        return value;
+      }
+      default:
+        break;
+    }
+    return error("expected a literal after the operator");
+  }
+
+  Status error(const std::string& message) const {
+    return Status(ErrorCode::kParseError,
+                  str_format("query position %zu: %s", peek().position,
+                             message.c_str()));
+  }
+
+  const Schema& schema_;
+  const TableDef* def_ = nullptr;
+  std::vector<Token> tokens_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace
+
+Result<QuerySpec> parse_query(const Schema& schema, std::string_view text) {
+  Lexer lexer(text);
+  SKY_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.run());
+  Parser parser(schema, std::move(tokens));
+  return parser.run();
+}
+
+}  // namespace sky::db

@@ -1,0 +1,32 @@
+// A minimal textual query language over the QueryPlanner.
+//
+// The repository's end state (paper section 7) is scientists "submitting
+// queries through web interfaces, as well as programmatically from
+// scientific codes". This parser accepts the conjunctive SELECT subset that
+// workload needs and lowers it to a QuerySpec:
+//
+//   SELECT * FROM <table>
+//     [WHERE <col> <op> <literal> [AND <col> <op> <literal>]*]
+//     [ORDER BY <col> [ASC|DESC]]
+//     [LIMIT <n>]
+//
+// ops: = < <= > >= ; literals: integers, floats, 'single-quoted strings'.
+// Keywords are case-insensitive; identifiers are case-sensitive. Integer
+// literals are coerced to the referenced column's integer width; a float
+// literal against an integer column (or vice versa) is a type error, caught
+// here with a position-annotated message.
+#pragma once
+
+#include <string_view>
+
+#include "common/status.h"
+#include "db/query.h"
+#include "db/schema.h"
+
+namespace sky::db {
+
+// Parse the query text against the schema (for table/column resolution and
+// literal coercion). The result runs through QueryPlanner::execute.
+Result<QuerySpec> parse_query(const Schema& schema, std::string_view text);
+
+}  // namespace sky::db

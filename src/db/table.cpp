@@ -1,0 +1,90 @@
+#include "db/table.h"
+
+#include <cassert>
+
+#include "index/key_codec.h"
+
+namespace sky::db {
+
+void append_value_to_key(index::KeyEncoder& encoder, const Value& value,
+                         ColumnType type) {
+  if (value.is_null()) {
+    encoder.append_null();
+    return;
+  }
+  switch (type) {
+    case ColumnType::kInt32:
+      encoder.append_int32(value.as_i32());
+      return;
+    case ColumnType::kInt64:
+    case ColumnType::kTimestamp:
+      encoder.append_int64(value.as_i64());
+      return;
+    case ColumnType::kDouble:
+      encoder.append_double(value.as_f64());
+      return;
+    case ColumnType::kString:
+      encoder.append_string(value.as_str());
+      return;
+  }
+  assert(false && "unknown column type");
+}
+
+Table::Table(uint32_t table_id, TableDef table_def)
+    : id_(table_id), def_(std::move(table_def)) {
+  pk_column_indices_.reserve(def_.primary_key.size());
+  for (const std::string& pk_col : def_.primary_key) {
+    pk_column_indices_.push_back(def_.column_index(pk_col));
+  }
+  secondaries_.reserve(def_.indexes.size());
+  for (const IndexDef& index_def : def_.indexes) {
+    SecondaryIndex secondary;
+    secondary.def = index_def;
+    for (const std::string& col : index_def.columns) {
+      secondary.column_indices.push_back(def_.column_index(col));
+    }
+    secondaries_.push_back(std::move(secondary));
+  }
+}
+
+std::string Table::encode_pk_key(const Row& row) const {
+  index::KeyEncoder encoder;
+  for (const int idx : pk_column_indices_) {
+    append_value_to_key(encoder, row[static_cast<size_t>(idx)],
+                        def_.columns[static_cast<size_t>(idx)].type);
+  }
+  return encoder.take();
+}
+
+std::string Table::encode_index_key(
+    const SecondaryIndex& index, const Row& row,
+    std::optional<uint64_t> row_id_suffix) const {
+  index::KeyEncoder encoder;
+  for (const int idx : index.column_indices) {
+    append_value_to_key(encoder, row[static_cast<size_t>(idx)],
+                        def_.columns[static_cast<size_t>(idx)].type);
+  }
+  if (!index.def.unique && row_id_suffix.has_value()) {
+    encoder.append_int64(static_cast<int64_t>(*row_id_suffix));
+  }
+  return encoder.take();
+}
+
+std::optional<std::string> Table::encode_fk_probe(const TableDef& child_def,
+                                                  const ForeignKey& fk,
+                                                  const Row& child_row,
+                                                  const TableDef& parent_def) {
+  index::KeyEncoder encoder;
+  for (size_t i = 0; i < fk.columns.size(); ++i) {
+    const int child_idx = child_def.column_index(fk.columns[i]);
+    assert(child_idx >= 0);
+    const Value& value = child_row[static_cast<size_t>(child_idx)];
+    if (value.is_null()) return std::nullopt;  // MATCH SIMPLE semantics
+    const int parent_idx = parent_def.column_index(parent_def.primary_key[i]);
+    append_value_to_key(encoder, value,
+                        parent_def.columns[static_cast<size_t>(parent_idx)].type);
+  }
+  return encoder.take();
+}
+
+}  // namespace sky::db

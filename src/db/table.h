@@ -1,0 +1,87 @@
+// Runtime state of one table: heap storage, primary-key B+tree, secondary
+// indexes. Engine-internal — the public surface is db::Engine.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "db/row.h"
+#include "db/schema.h"
+#include "index/bptree.h"
+#include "index/key_codec.h"
+#include "storage/heap_file.h"
+
+namespace sky::db {
+
+// Row ids pack (table, page, slot): 12 | 32 | 20 bits.
+constexpr uint64_t make_row_id(uint32_t table, storage::SlotId slot) {
+  return (static_cast<uint64_t>(table) << 52) |
+         (static_cast<uint64_t>(slot.page) << 20) |
+         static_cast<uint64_t>(slot.slot);
+}
+constexpr uint32_t row_id_table(uint64_t row_id) {
+  return static_cast<uint32_t>(row_id >> 52);
+}
+constexpr storage::SlotId row_id_slot(uint64_t row_id) {
+  return storage::SlotId{static_cast<uint32_t>((row_id >> 20) & 0xFFFFFFFFu),
+                         static_cast<uint32_t>(row_id & 0xFFFFFu)};
+}
+
+// Encode one value into a key (shared by PK, FK probes, and secondary keys).
+void append_value_to_key(index::KeyEncoder& encoder, const Value& value,
+                         ColumnType type);
+
+struct SecondaryIndex {
+  IndexDef def;
+  std::vector<int> column_indices;
+  index::BPlusTree tree;
+  bool enabled = true;
+  uint32_t cache_file_id = 0;
+};
+
+class Table {
+ public:
+  Table(uint32_t id, TableDef def);
+
+  uint32_t id() const { return id_; }
+  const TableDef& def() const { return def_; }
+
+  std::string encode_pk_key(const Row& row) const;
+  // Key for a secondary index; non-unique indexes get the row id appended to
+  // disambiguate. Returns nullopt when any indexed column is NULL on a
+  // unique index probe? — NULLs participate normally (they encode as NULL).
+  std::string encode_index_key(const SecondaryIndex& index, const Row& row,
+                               std::optional<uint64_t> row_id_suffix) const;
+  // Key a FK child row uses to probe this (parent) table's PK; nullopt if
+  // any referencing value is NULL (SQL MATCH SIMPLE: NULL FK passes).
+  static std::optional<std::string> encode_fk_probe(
+      const TableDef& child_def, const ForeignKey& fk, const Row& child_row,
+      const TableDef& parent_def);
+
+  storage::HeapFile& heap() { return heap_; }
+  const storage::HeapFile& heap() const { return heap_; }
+  index::BPlusTree& pk_tree() { return pk_tree_; }
+  const index::BPlusTree& pk_tree() const { return pk_tree_; }
+  std::vector<SecondaryIndex>& secondaries() { return secondaries_; }
+  const std::vector<SecondaryIndex>& secondaries() const {
+    return secondaries_;
+  }
+  const std::vector<int>& pk_column_indices() const {
+    return pk_column_indices_;
+  }
+
+  uint32_t heap_cache_file_id = 0;
+  uint32_t pk_cache_file_id = 0;
+
+ private:
+  uint32_t id_;
+  TableDef def_;
+  std::vector<int> pk_column_indices_;
+  storage::HeapFile heap_;
+  index::BPlusTree pk_tree_;
+  std::vector<SecondaryIndex> secondaries_;
+};
+
+}  // namespace sky::db

@@ -1,0 +1,430 @@
+#include "index/bptree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sky::index {
+
+struct BPlusTree::Node {
+  explicit Node(bool leaf) : is_leaf(leaf) {}
+  virtual ~Node() = default;
+  const bool is_leaf;
+  uint32_t page_id = 0;  // stable identity for the buffer-cache model
+};
+
+struct BPlusTree::LeafNode final : Node {
+  LeafNode() : Node(true) {}
+  std::vector<std::string> keys;
+  std::vector<uint64_t> values;
+  LeafNode* next = nullptr;
+};
+
+struct BPlusTree::InternalNode final : Node {
+  InternalNode() : Node(false) {}
+  // children.size() == keys.size() + 1; child[i] holds keys in
+  // [keys[i-1], keys[i]) with the outer bounds open.
+  std::vector<std::string> keys;
+  std::vector<std::unique_ptr<Node>> children;
+};
+
+struct BPlusTree::SplitResult {
+  std::string separator;          // first key of the new right node
+  std::unique_ptr<Node> right;
+};
+
+namespace {
+// Bookkeeping constant: per-entry overhead added to key bytes when tracking
+// the approximate index footprint (value + tags + node slack).
+constexpr size_t kEntryOverhead = 16;
+}  // namespace
+
+BPlusTree::BPlusTree(int fanout)
+    : fanout_(fanout), root_(std::make_unique<LeafNode>()) {
+  assert(fanout_ >= 4);
+}
+
+BPlusTree::~BPlusTree() = default;
+BPlusTree::BPlusTree(BPlusTree&&) noexcept = default;
+BPlusTree& BPlusTree::operator=(BPlusTree&&) noexcept = default;
+
+Status BPlusTree::insert(std::string_view key, uint64_t value,
+                         TouchInfo* touch) {
+  std::optional<SplitResult> split;
+  SKY_RETURN_IF_ERROR(
+      insert_recursive(root_.get(), key, value, 1, split, touch));
+  if (split.has_value()) {
+    auto new_root = std::make_unique<InternalNode>();
+    new_root->page_id = ++next_page_id_;
+    new_root->keys.push_back(std::move(split->separator));
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split->right));
+    root_ = std::move(new_root);
+    ++height_;
+    ++node_count_;
+  }
+  ++size_;
+  approx_bytes_ += key.size() + kEntryOverhead;
+  return ok_status();
+}
+
+Status BPlusTree::insert_recursive(Node* node, std::string_view key,
+                                   uint64_t value, int depth,
+                                   std::optional<SplitResult>& split,
+                                   TouchInfo* touch) {
+  if (node->is_leaf) {
+    auto* leaf = static_cast<LeafNode*>(node);
+    const auto it =
+        std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+    const auto pos = static_cast<size_t>(it - leaf->keys.begin());
+    if (it != leaf->keys.end() && *it == key) {
+      return Status(ErrorCode::kAlreadyExists, "duplicate index key");
+    }
+    if (touch != nullptr) {
+      touch->leaf_page_id = leaf->page_id;
+      touch->nodes_visited = depth;
+      touch->leaf_split = false;
+    }
+    leaf->keys.insert(it, std::string(key));
+    leaf->values.insert(leaf->values.begin() + static_cast<ptrdiff_t>(pos),
+                        value);
+    if (leaf->keys.size() > static_cast<size_t>(fanout_)) {
+      const size_t mid = leaf->keys.size() / 2;
+      auto right = std::make_unique<LeafNode>();
+      right->page_id = ++next_page_id_;
+      right->keys.assign(std::make_move_iterator(leaf->keys.begin() +
+                                                 static_cast<ptrdiff_t>(mid)),
+                         std::make_move_iterator(leaf->keys.end()));
+      right->values.assign(leaf->values.begin() + static_cast<ptrdiff_t>(mid),
+                           leaf->values.end());
+      leaf->keys.resize(mid);
+      leaf->values.resize(mid);
+      right->next = leaf->next;
+      leaf->next = right.get();
+      if (touch != nullptr) {
+        touch->leaf_split = true;
+        if (pos >= mid) touch->leaf_page_id = right->page_id;
+      }
+      split = SplitResult{right->keys.front(), std::move(right)};
+      ++node_count_;
+    }
+    return ok_status();
+  }
+
+  auto* internal = static_cast<InternalNode*>(node);
+  const auto it =
+      std::upper_bound(internal->keys.begin(), internal->keys.end(), key);
+  const auto child_idx = static_cast<size_t>(it - internal->keys.begin());
+  std::optional<SplitResult> child_split;
+  SKY_RETURN_IF_ERROR(insert_recursive(internal->children[child_idx].get(),
+                                       key, value, depth + 1, child_split,
+                                       touch));
+  if (child_split.has_value()) {
+    internal->keys.insert(internal->keys.begin() +
+                              static_cast<ptrdiff_t>(child_idx),
+                          std::move(child_split->separator));
+    internal->children.insert(
+        internal->children.begin() + static_cast<ptrdiff_t>(child_idx) + 1,
+        std::move(child_split->right));
+    if (internal->children.size() > static_cast<size_t>(fanout_)) {
+      const size_t mid = internal->keys.size() / 2;
+      auto right = std::make_unique<InternalNode>();
+      right->page_id = ++next_page_id_;
+      std::string up_key = std::move(internal->keys[mid]);
+      right->keys.assign(
+          std::make_move_iterator(internal->keys.begin() +
+                                  static_cast<ptrdiff_t>(mid) + 1),
+          std::make_move_iterator(internal->keys.end()));
+      right->children.assign(
+          std::make_move_iterator(internal->children.begin() +
+                                  static_cast<ptrdiff_t>(mid) + 1),
+          std::make_move_iterator(internal->children.end()));
+      internal->keys.resize(mid);
+      internal->children.resize(mid + 1);
+      split = SplitResult{std::move(up_key), std::move(right)};
+      ++node_count_;
+    }
+  }
+  return ok_status();
+}
+
+const BPlusTree::LeafNode* BPlusTree::find_leaf(std::string_view key) const {
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    const auto* internal = static_cast<const InternalNode*>(node);
+    const auto it =
+        std::upper_bound(internal->keys.begin(), internal->keys.end(), key);
+    const auto child_idx = static_cast<size_t>(it - internal->keys.begin());
+    node = internal->children[child_idx].get();
+  }
+  return static_cast<const LeafNode*>(node);
+}
+
+bool BPlusTree::contains(std::string_view key) const {
+  return lookup(key).has_value();
+}
+
+std::optional<uint64_t> BPlusTree::lookup(std::string_view key) const {
+  return lookup_with_touch(key, nullptr);
+}
+
+std::optional<uint64_t> BPlusTree::lookup_with_touch(std::string_view key,
+                                                     TouchInfo* touch) const {
+  const LeafNode* leaf = find_leaf(key);
+  if (touch != nullptr) {
+    touch->leaf_page_id = leaf->page_id;
+    touch->nodes_visited = height_;
+    touch->leaf_split = false;
+  }
+  const auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  if (it != leaf->keys.end() && *it == key) {
+    return leaf->values[static_cast<size_t>(it - leaf->keys.begin())];
+  }
+  return std::nullopt;
+}
+
+bool BPlusTree::erase(std::string_view key) {
+  // find_leaf is const; we own the tree, so the cast below is safe.
+  auto* leaf = const_cast<LeafNode*>(find_leaf(key));
+  const auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  if (it == leaf->keys.end() || *it != key) return false;
+  const auto pos = static_cast<size_t>(it - leaf->keys.begin());
+  leaf->keys.erase(it);
+  leaf->values.erase(leaf->values.begin() + static_cast<ptrdiff_t>(pos));
+  --size_;
+  approx_bytes_ -= std::min(approx_bytes_, key.size() + kEntryOverhead);
+  return true;
+}
+
+bool BPlusTree::Iterator::valid() const { return leaf_ != nullptr; }
+
+std::string_view BPlusTree::Iterator::key() const {
+  return static_cast<const LeafNode*>(leaf_)->keys[pos_];
+}
+
+uint64_t BPlusTree::Iterator::value() const {
+  return static_cast<const LeafNode*>(leaf_)->values[pos_];
+}
+
+void BPlusTree::Iterator::next() {
+  const auto* leaf = static_cast<const LeafNode*>(leaf_);
+  ++pos_;
+  while (leaf != nullptr && pos_ >= leaf->keys.size()) {
+    leaf = leaf->next;
+    pos_ = 0;
+  }
+  leaf_ = leaf;
+}
+
+BPlusTree::Iterator BPlusTree::seek(std::string_view key) const {
+  const LeafNode* leaf = find_leaf(key);
+  const auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  Iterator iter;
+  iter.leaf_ = leaf;
+  iter.pos_ = static_cast<size_t>(it - leaf->keys.begin());
+  // Skip trailing position / empty leaves (possible after erases).
+  while (iter.leaf_ != nullptr &&
+         iter.pos_ >= static_cast<const LeafNode*>(iter.leaf_)->keys.size()) {
+    iter.leaf_ = static_cast<const LeafNode*>(iter.leaf_)->next;
+    iter.pos_ = 0;
+  }
+  return iter;
+}
+
+BPlusTree::Iterator BPlusTree::begin() const {
+  return seek(std::string_view("", 0));
+}
+
+std::vector<uint64_t> BPlusTree::prefix_lookup(std::string_view prefix) const {
+  std::vector<uint64_t> out;
+  for (Iterator it = seek(prefix);
+       it.valid() && it.key().substr(0, prefix.size()) == prefix; it.next()) {
+    out.push_back(it.value());
+  }
+  return out;
+}
+
+std::vector<uint64_t> BPlusTree::range_lookup(std::string_view first_key,
+                                              std::string_view last_key) const {
+  std::vector<uint64_t> out;
+  for (Iterator it = seek(first_key); it.valid() && it.key() < last_key;
+       it.next()) {
+    out.push_back(it.value());
+  }
+  return out;
+}
+
+std::vector<uint64_t> BPlusTree::range_lookup_unbounded(
+    std::string_view first_key) const {
+  std::vector<uint64_t> out;
+  for (Iterator it = seek(first_key); it.valid(); it.next()) {
+    out.push_back(it.value());
+  }
+  return out;
+}
+
+Status BPlusTree::bulk_build(
+    std::vector<std::pair<std::string, uint64_t>> sorted) {
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    if (!(sorted[i - 1].first < sorted[i].first)) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "bulk_build input not strictly sorted");
+    }
+  }
+  const size_t leaf_fill = std::max<size_t>(
+      2, static_cast<size_t>(fanout_) * 3 / 4);
+
+  size_t nodes = 0;
+  size_t bytes = 0;
+  std::vector<std::pair<std::string, std::unique_ptr<Node>>> level;
+
+  // Build the leaf level.
+  LeafNode* prev = nullptr;
+  size_t i = 0;
+  while (i < sorted.size()) {
+    auto leaf = std::make_unique<LeafNode>();
+    leaf->page_id = ++next_page_id_;
+    const size_t end = std::min(sorted.size(), i + leaf_fill);
+    for (; i < end; ++i) {
+      bytes += sorted[i].first.size() + kEntryOverhead;
+      leaf->keys.push_back(std::move(sorted[i].first));
+      leaf->values.push_back(sorted[i].second);
+    }
+    if (prev != nullptr) prev->next = leaf.get();
+    prev = leaf.get();
+    ++nodes;
+    level.emplace_back(leaf->keys.front(), std::move(leaf));
+  }
+  if (level.empty()) {
+    root_ = std::make_unique<LeafNode>();
+    root_->page_id = ++next_page_id_;
+    size_ = 0;
+    height_ = 1;
+    node_count_ = 1;
+    approx_bytes_ = 0;
+    return ok_status();
+  }
+
+  // Build internal levels until a single root remains.
+  int levels = 1;
+  while (level.size() > 1) {
+    std::vector<std::pair<std::string, std::unique_ptr<Node>>> parent_level;
+    size_t j = 0;
+    while (j < level.size()) {
+      auto internal = std::make_unique<InternalNode>();
+      internal->page_id = ++next_page_id_;
+      const size_t end = std::min(level.size(), j + leaf_fill);
+      std::string first_key = level[j].first;
+      for (; j < end; ++j) {
+        if (!internal->children.empty()) {
+          internal->keys.push_back(std::move(level[j].first));
+        }
+        internal->children.push_back(std::move(level[j].second));
+      }
+      ++nodes;
+      parent_level.emplace_back(std::move(first_key), std::move(internal));
+    }
+    level = std::move(parent_level);
+    ++levels;
+  }
+
+  root_ = std::move(level.front().second);
+  // Count entries from the leaf chain (also cross-checks chain integrity).
+  size_t counted = 0;
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    node = static_cast<const InternalNode*>(node)->children.front().get();
+  }
+  for (const LeafNode* leaf = static_cast<const LeafNode*>(node);
+       leaf != nullptr; leaf = leaf->next) {
+    counted += leaf->keys.size();
+  }
+  size_ = counted;
+  height_ = levels;
+  node_count_ = nodes;
+  approx_bytes_ = bytes;
+  return ok_status();
+}
+
+Status BPlusTree::validate() const {
+  // Recursive bound check + leaf depth, then independent chain walk.
+  struct Checker {
+    int fanout;
+    size_t entries = 0;
+    int leaf_depth = -1;
+    std::vector<const LeafNode*> leaves_in_order;
+
+    Status check(const Node* node, const std::string* lo,
+                 const std::string* hi, int depth) {
+      if (node->is_leaf) {
+        const auto* leaf = static_cast<const LeafNode*>(node);
+        if (leaf_depth == -1) leaf_depth = depth;
+        if (leaf_depth != depth) {
+          return Status(ErrorCode::kInternal, "leaves at unequal depth");
+        }
+        if (leaf->keys.size() != leaf->values.size()) {
+          return Status(ErrorCode::kInternal, "leaf key/value count mismatch");
+        }
+        for (size_t i = 0; i < leaf->keys.size(); ++i) {
+          if (i > 0 && !(leaf->keys[i - 1] < leaf->keys[i])) {
+            return Status(ErrorCode::kInternal, "leaf keys out of order");
+          }
+          if (lo != nullptr && leaf->keys[i] < *lo) {
+            return Status(ErrorCode::kInternal, "leaf key below lower bound");
+          }
+          if (hi != nullptr && !(leaf->keys[i] < *hi)) {
+            return Status(ErrorCode::kInternal, "leaf key above upper bound");
+          }
+        }
+        entries += leaf->keys.size();
+        leaves_in_order.push_back(leaf);
+        return ok_status();
+      }
+      const auto* internal = static_cast<const InternalNode*>(node);
+      if (internal->children.size() != internal->keys.size() + 1) {
+        return Status(ErrorCode::kInternal, "internal arity mismatch");
+      }
+      if (internal->children.size() > static_cast<size_t>(fanout) + 1) {
+        return Status(ErrorCode::kInternal, "internal node over fanout");
+      }
+      for (size_t i = 0; i < internal->keys.size(); ++i) {
+        if (i > 0 && !(internal->keys[i - 1] < internal->keys[i])) {
+          return Status(ErrorCode::kInternal, "separators out of order");
+        }
+      }
+      for (size_t i = 0; i < internal->children.size(); ++i) {
+        const std::string* child_lo =
+            (i == 0) ? lo : &internal->keys[i - 1];
+        const std::string* child_hi =
+            (i == internal->keys.size()) ? hi : &internal->keys[i];
+        SKY_RETURN_IF_ERROR(check(internal->children[i].get(), child_lo,
+                                  child_hi, depth + 1));
+      }
+      return ok_status();
+    }
+  };
+
+  Checker checker{fanout_, 0, -1, {}};
+  SKY_RETURN_IF_ERROR(checker.check(root_.get(), nullptr, nullptr, 1));
+  if (checker.entries != size_) {
+    return Status(ErrorCode::kInternal, "size counter disagrees with tree");
+  }
+  if (checker.leaf_depth != height_) {
+    return Status(ErrorCode::kInternal, "height counter disagrees with tree");
+  }
+  // Leaf chain must visit exactly the in-order leaves.
+  if (!checker.leaves_in_order.empty()) {
+    const LeafNode* chain = checker.leaves_in_order.front();
+    for (const LeafNode* expected : checker.leaves_in_order) {
+      if (chain != expected) {
+        return Status(ErrorCode::kInternal, "leaf chain out of order");
+      }
+      chain = chain->next;
+    }
+    if (chain != nullptr) {
+      return Status(ErrorCode::kInternal, "leaf chain has extra nodes");
+    }
+  }
+  return ok_status();
+}
+
+}  // namespace sky::index

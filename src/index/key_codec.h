@@ -1,0 +1,71 @@
+// Order-preserving ("memcomparable") key encoding.
+//
+// Every index in the engine — primary keys, secondary single-attribute
+// indexes, and composite indexes such as the paper's three-float-attribute
+// index (Fig. 8) — is a B+tree over byte strings. Typed column values are
+// encoded so that unsigned lexicographic comparison of the encodings matches
+// the typed comparison of the values, including composite keys compared
+// field-by-field.
+//
+// Field layout: a one-byte tag (0x00 = NULL, 0x01 = present) followed by the
+// payload. NULLs sort before all values. Integers are big-endian with the
+// sign bit flipped; doubles use the standard total-order transform (flip all
+// bits when negative, flip only the sign bit otherwise); strings escape
+// embedded 0x00 as {0x00, 0xFF} and end with the terminator {0x00, 0x01}, so
+// no string encoding is a prefix of another and prefix ordering is preserved.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace sky::index {
+
+class KeyEncoder {
+ public:
+  KeyEncoder& append_null();
+  KeyEncoder& append_int32(int32_t value);
+  KeyEncoder& append_int64(int64_t value);
+  // NaN is rejected upstream (check constraints); here it is encoded above
+  // +inf so the tree stays consistent even if one slips through.
+  KeyEncoder& append_double(double value);
+  KeyEncoder& append_string(std::string_view value);
+
+  const std::string& buffer() const { return buffer_; }
+  std::string take() { return std::move(buffer_); }
+  void clear() { buffer_.clear(); }
+
+ private:
+  std::string buffer_;
+};
+
+// Decoder for round-trip tests and diagnostics. Fields must be decoded in
+// the same order and with the same types used to encode.
+// Smallest encoded key strictly greater than every key having `key` as a
+// prefix: increment the last byte (with carry). Returns "" when no such key
+// exists (all 0xFF) — callers treat "" as +infinity. Used to turn inclusive
+// upper bounds and prefix probes into half-open ranges.
+std::string encoded_key_successor(std::string key);
+
+class KeyDecoder {
+ public:
+  explicit KeyDecoder(std::string_view encoded) : data_(encoded) {}
+
+  // Each decode returns nullopt for a NULL field.
+  Result<std::optional<int32_t>> decode_int32();
+  Result<std::optional<int64_t>> decode_int64();
+  Result<std::optional<double>> decode_double();
+  Result<std::optional<std::string>> decode_string();
+
+  bool at_end() const { return pos_ >= data_.size(); }
+
+ private:
+  Result<bool> read_tag();  // true = value present, false = NULL
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace sky::index

@@ -1,0 +1,271 @@
+#include "sim/environment.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sky::sim {
+
+namespace {
+// Thrown into a blocked process when the environment is torn down before the
+// simulation finished (e.g. a test aborted early); unwinds the process thread.
+struct ProcessKilled {};
+}  // namespace
+
+Environment::Environment() = default;
+
+Environment::~Environment() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Wake every still-blocked process so its thread can unwind.
+    shutting_down_ = true;
+    for (auto& process : processes_) process->cv.notify_all();
+  }
+  for (auto& process : processes_) {
+    if (process->thread.joinable()) process->thread.join();
+  }
+}
+
+void Environment::spawn(std::string name, std::function<void()> body) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto process = std::make_unique<Process>();
+  process->name = std::move(name);
+  process->body = std::move(body);
+  Process* raw = process.get();
+  ++live_processes_;
+  schedule_locked(now_, raw);
+  process->thread = std::thread([this, raw] { process_main(raw); });
+  processes_.push_back(std::move(process));
+}
+
+void Environment::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  assert(current_ == nullptr && "run() called from inside a process");
+  if (live_processes_ == 0) return;
+  running_ = true;
+  dispatch_next_locked();
+  driver_cv_.wait(lock, [this] { return live_processes_ == 0; });
+  running_ = false;
+  // Join finished process threads so repeated run() calls don't accumulate.
+  std::vector<std::thread> to_join;
+  for (auto& process : processes_) {
+    if (process->finished && process->thread.joinable()) {
+      to_join.push_back(std::move(process->thread));
+    }
+  }
+  lock.unlock();
+  for (auto& thread : to_join) thread.join();
+}
+
+Nanos Environment::now() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return now_;
+}
+
+std::string Environment::current_process_name() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return current_ == nullptr ? std::string() : current_->name;
+}
+
+uint64_t Environment::events_processed() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return events_processed_;
+}
+
+void Environment::delay(Nanos duration) {
+  if (duration < 0) duration = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  Process* self = current_;
+  assert(self != nullptr && "delay() must be called from a process");
+  assert(std::this_thread::get_id() == self->thread.get_id());
+  schedule_locked(now_ + duration, self);
+  // Fast path: if this process is itself the earliest event, keep the baton
+  // and just advance the clock.
+  const Event& top = events_.top();
+  if (top.process == self) {
+    now_ = top.time;
+    ++events_processed_;
+    events_.pop();
+    return;
+  }
+  self->active = false;
+  current_ = nullptr;
+  dispatch_next_locked();
+  wait_for_baton_locked(lock, self);
+}
+
+void Environment::process_main(Process* self) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    try {
+      wait_for_baton_locked(lock, self);
+    } catch (const ProcessKilled&) {
+      self->finished = true;
+      return;
+    }
+  }
+  try {
+    self->body();
+  } catch (const ProcessKilled&) {
+    // Environment torn down mid-run; unwind quietly.
+    std::unique_lock<std::mutex> lock(mu_);
+    self->finished = true;
+    return;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr,
+                 "sim: process '%s' terminated with uncaught exception: %s\n",
+                 self->name.c_str(), e.what());
+    std::abort();
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  self->finished = true;
+  self->active = false;
+  current_ = nullptr;
+  --live_processes_;
+  if (live_processes_ == 0 && events_.empty()) {
+    driver_cv_.notify_all();
+  } else {
+    dispatch_next_locked();
+  }
+}
+
+void Environment::schedule_locked(Nanos time, Process* process) {
+  events_.push(Event{time, next_seq_++, process});
+}
+
+void Environment::dispatch_next_locked() {
+  if (events_.empty()) {
+    if (live_processes_ == 0) {
+      driver_cv_.notify_all();
+      return;
+    }
+    // Every live process is blocked on a resource and nothing can release:
+    // a genuine simulation deadlock. Report and abort — this is a bug in the
+    // model, not a recoverable data error.
+    std::fprintf(stderr,
+                 "sim: DEADLOCK at t=%s: %lld process(es) blocked on "
+                 "resources with no pending events. Blocked processes:\n",
+                 format_duration(now_).c_str(),
+                 static_cast<long long>(live_processes_));
+    for (const auto& process : processes_) {
+      if (!process->finished) {
+        std::fprintf(stderr, "  - %s\n", process->name.c_str());
+      }
+    }
+    std::abort();
+  }
+  const Event top = events_.top();
+  events_.pop();
+  assert(top.time >= now_);
+  now_ = top.time;
+  ++events_processed_;
+  current_ = top.process;
+  top.process->active = true;
+  top.process->cv.notify_one();
+}
+
+void Environment::wait_for_baton_locked(std::unique_lock<std::mutex>& lock,
+                                        Process* self) {
+  self->cv.wait(lock, [this, self] { return self->active || shutting_down_; });
+  if (!self->active && shutting_down_) throw ProcessKilled{};
+}
+
+Resource::Resource(Environment& env, int64_t capacity, std::string name)
+    : env_(env), capacity_(capacity), name_(std::move(name)),
+      available_(capacity) {
+  assert(capacity > 0);
+}
+
+void Resource::acquire(int64_t units) {
+  assert(units > 0 && units <= capacity_);
+  std::unique_lock<std::mutex> lock(env_.mu_);
+  Environment::Process* self = env_.current_;
+  assert(self != nullptr && "Resource::acquire must be called from a process");
+  accrue_busy_locked();
+  if (waiters_.empty() && available_ >= units) {
+    available_ -= units;
+    ++stats_.acquires;
+    return;
+  }
+  Waiter waiter{self, units, env_.now_, false};
+  waiters_.push_back(&waiter);
+  ++stats_.waits;
+  stats_.max_queue_depth = std::max(
+      stats_.max_queue_depth, static_cast<int64_t>(waiters_.size()));
+  self->active = false;
+  env_.current_ = nullptr;
+  env_.dispatch_next_locked();
+  env_.wait_for_baton_locked(lock, self);
+  assert(waiter.granted);
+  const Nanos waited = env_.now_ - waiter.enqueue_time;
+  stats_.total_wait += waited;
+  stats_.max_wait = std::max(stats_.max_wait, waited);
+}
+
+bool Resource::try_acquire(int64_t units) {
+  assert(units > 0 && units <= capacity_);
+  std::unique_lock<std::mutex> lock(env_.mu_);
+  if (!waiters_.empty() || available_ < units) return false;
+  accrue_busy_locked();
+  available_ -= units;
+  ++stats_.acquires;
+  return true;
+}
+
+void Resource::release(int64_t units) {
+  assert(units > 0);
+  std::unique_lock<std::mutex> lock(env_.mu_);
+  accrue_busy_locked();
+  available_ += units;
+  assert(available_ <= capacity_);
+  grant_waiters_locked();
+}
+
+int64_t Resource::available() const {
+  std::unique_lock<std::mutex> lock(env_.mu_);
+  return available_;
+}
+
+int64_t Resource::queue_depth() const {
+  std::unique_lock<std::mutex> lock(env_.mu_);
+  return static_cast<int64_t>(waiters_.size());
+}
+
+Resource::Stats Resource::stats() const {
+  std::unique_lock<std::mutex> lock(env_.mu_);
+  return stats_;
+}
+
+double Resource::utilization() const {
+  std::unique_lock<std::mutex> lock(env_.mu_);
+  const Nanos elapsed = env_.now_;
+  if (elapsed <= 0) return 0.0;
+  // busy_time accumulates unit-nanoseconds; normalize by capacity * time.
+  // Include the un-accrued tail up to now.
+  const Nanos tail = (env_.now_ - last_accrual_) * (capacity_ - available_);
+  return static_cast<double>(stats_.busy_time + tail) /
+         (static_cast<double>(capacity_) * static_cast<double>(elapsed));
+}
+
+void Resource::grant_waiters_locked() {
+  while (!waiters_.empty()) {
+    Waiter* front = waiters_.front();
+    if (available_ < front->units) break;
+    available_ -= front->units;
+    front->granted = true;
+    ++stats_.acquires;
+    waiters_.pop_front();
+    env_.schedule_locked(env_.now_, front->process);
+  }
+}
+
+void Resource::accrue_busy_locked() {
+  const Nanos elapsed = env_.now_ - last_accrual_;
+  if (elapsed > 0) {
+    stats_.busy_time += elapsed * (capacity_ - available_);
+    last_accrual_ = env_.now_;
+  }
+}
+
+}  // namespace sky::sim

@@ -1,0 +1,116 @@
+#include "storage/buffer_cache.h"
+
+#include <cassert>
+
+namespace sky::storage {
+
+CacheEvents& CacheEvents::operator+=(const CacheEvents& other) {
+  hits += other.hits;
+  misses += other.misses;
+  clean_evictions += other.clean_evictions;
+  dirty_evictions += other.dirty_evictions;
+  writer_wakes += other.writer_wakes;
+  writer_scanned_frames += other.writer_scanned_frames;
+  writer_flushed_pages += other.writer_flushed_pages;
+  return *this;
+}
+
+CacheEvents CacheEvents::since(const CacheEvents& baseline) const {
+  CacheEvents delta;
+  delta.hits = hits - baseline.hits;
+  delta.misses = misses - baseline.misses;
+  delta.clean_evictions = clean_evictions - baseline.clean_evictions;
+  delta.dirty_evictions = dirty_evictions - baseline.dirty_evictions;
+  delta.writer_wakes = writer_wakes - baseline.writer_wakes;
+  delta.writer_scanned_frames =
+      writer_scanned_frames - baseline.writer_scanned_frames;
+  delta.writer_flushed_pages =
+      writer_flushed_pages - baseline.writer_flushed_pages;
+  return delta;
+}
+
+BufferCache::BufferCache(int64_t capacity_pages, int64_t dirty_trigger)
+    : capacity_pages_(capacity_pages), dirty_trigger_(dirty_trigger) {
+  assert(capacity_pages_ > 0);
+  assert(dirty_trigger_ > 0);
+}
+
+void BufferCache::touch_write(CachePageId page) {
+  auto it = touch(page, /*is_write=*/true);
+  if (!it->dirty) {
+    it->dirty = true;
+    ++dirty_count_;
+  }
+  maybe_run_writer();
+}
+
+void BufferCache::touch_read(CachePageId page) {
+  touch(page, /*is_write=*/false);
+}
+
+BufferCache::FrameList::iterator BufferCache::touch(CachePageId page,
+                                                    bool is_write) {
+  (void)is_write;
+  const auto found = map_.find(page);
+  if (found != map_.end()) {
+    ++events_.hits;
+    // Move to MRU position.
+    frames_.splice(frames_.begin(), frames_, found->second);
+    return frames_.begin();
+  }
+  ++events_.misses;
+  if (io_hook_) io_hook_(page, IoKind::kRead);
+  if (static_cast<int64_t>(frames_.size()) >= capacity_pages_) {
+    evict_one();
+  }
+  frames_.push_front(Frame{page, false});
+  map_[page] = frames_.begin();
+  return frames_.begin();
+}
+
+void BufferCache::evict_one() {
+  assert(!frames_.empty());
+  const Frame& victim = frames_.back();
+  if (victim.dirty) {
+    ++events_.dirty_evictions;
+    --dirty_count_;
+    if (io_hook_) io_hook_(victim.id, IoKind::kWrite);
+  } else {
+    ++events_.clean_evictions;
+  }
+  map_.erase(victim.id);
+  frames_.pop_back();
+}
+
+void BufferCache::maybe_run_writer() {
+  if (dirty_count_ < dirty_trigger_) return;
+  ++events_.writer_wakes;
+  // DBWR walks the pre-allocated buffer pool looking for dirty buffers —
+  // the scan cost that grows with the configured cache size (the
+  // section 4.5.5 mechanism) — then writes out what it found.
+  events_.writer_scanned_frames += capacity_pages_;
+  for (Frame& frame : frames_) {
+    if (frame.dirty) {
+      frame.dirty = false;
+      ++events_.writer_flushed_pages;
+      if (io_hook_) io_hook_(frame.id, IoKind::kWrite);
+    }
+  }
+  dirty_count_ = 0;
+}
+
+void BufferCache::flush_all() {
+  if (dirty_count_ == 0) return;
+  ++events_.writer_wakes;
+  events_.writer_scanned_frames += static_cast<int64_t>(frames_.size());
+  for (Frame& frame : frames_) {
+    if (frame.dirty) {
+      frame.dirty = false;
+      ++events_.writer_flushed_pages;
+      if (io_hook_) io_hook_(frame.id, IoKind::kWrite);
+    }
+  }
+  dirty_count_ = 0;
+}
+
+}  // namespace sky::storage

@@ -1,0 +1,53 @@
+#include "storage/heap_file.h"
+
+namespace sky::storage {
+
+HeapFile::AppendResult HeapFile::append(std::string row_bytes) {
+  const int64_t row_size = static_cast<int64_t>(row_bytes.size());
+  bool opened_new_page = false;
+  if (pages_.empty() ||
+      pages_.back().bytes_used + row_size > kPageSize) {
+    pages_.emplace_back();
+    opened_new_page = true;
+  }
+  Page& page = pages_.back();
+  page.bytes_used += row_size;
+  page.rows.push_back(std::move(row_bytes));
+  page.deleted.push_back(false);
+  ++live_rows_;
+  total_bytes_ += row_size;
+  const SlotId slot{static_cast<uint32_t>(pages_.size() - 1),
+                    static_cast<uint32_t>(page.rows.size() - 1)};
+  return AppendResult{slot, opened_new_page};
+}
+
+Result<std::string_view> HeapFile::read(SlotId slot) const {
+  if (slot.page >= pages_.size()) {
+    return Status(ErrorCode::kNotFound, "heap page out of range");
+  }
+  const Page& page = pages_[slot.page];
+  if (slot.slot >= page.rows.size()) {
+    return Status(ErrorCode::kNotFound, "heap slot out of range");
+  }
+  if (page.deleted[slot.slot]) {
+    return Status(ErrorCode::kNotFound, "heap slot tombstoned");
+  }
+  return std::string_view(page.rows[slot.slot]);
+}
+
+Status HeapFile::mark_deleted(SlotId slot) {
+  if (slot.page >= pages_.size() ||
+      slot.slot >= pages_[slot.page].rows.size()) {
+    return Status(ErrorCode::kNotFound, "heap slot out of range");
+  }
+  Page& page = pages_[slot.page];
+  if (page.deleted[slot.slot]) {
+    return Status(ErrorCode::kNotFound, "heap slot already tombstoned");
+  }
+  page.deleted[slot.slot] = true;
+  --live_rows_;
+  total_bytes_ -= static_cast<int64_t>(page.rows[slot.slot].size());
+  return ok_status();
+}
+
+}  // namespace sky::storage

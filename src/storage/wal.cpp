@@ -1,0 +1,36 @@
+#include "storage/wal.h"
+
+#include <algorithm>
+
+namespace sky::storage {
+
+namespace {
+// Fixed per-record header: type + txn id + table id + length.
+constexpr int64_t kRecordHeaderBytes = 1 + 8 + 4 + 4;
+}  // namespace
+
+void WriteAheadLog::append(WalRecordType type, uint64_t txn_id,
+                           uint32_t table_id, std::string payload) {
+  const int64_t record_bytes =
+      kRecordHeaderBytes + static_cast<int64_t>(payload.size());
+  ++stats_.records;
+  stats_.bytes_appended += record_bytes;
+  unflushed_bytes_ += record_bytes;
+  stats_.max_unflushed_bytes =
+      std::max(stats_.max_unflushed_bytes, unflushed_bytes_);
+  if (retain_records_) {
+    records_.push_back(WalRecord{type, txn_id, table_id, std::move(payload)});
+  }
+}
+
+int64_t WriteAheadLog::flush() {
+  const int64_t flushed = unflushed_bytes_;
+  if (flushed > 0) {
+    ++stats_.flushes;
+    stats_.bytes_flushed += flushed;
+    unflushed_bytes_ = 0;
+  }
+  return flushed;
+}
+
+}  // namespace sky::storage

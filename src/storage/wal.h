@@ -1,0 +1,63 @@
+// Write-ahead (redo) log model.
+//
+// Commit processing is one of the paper's tuning levers (section 4.5.2:
+// "reduce frequency of transaction commits"): each commit forces a redo
+// flush, so committing rarely amortizes that cost, at the price of larger
+// redo/undo volumes. The log tracks appended bytes, flush boundaries, and
+// (optionally, for tests) the full record stream for replay verification.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sky::storage {
+
+enum class WalRecordType : uint8_t {
+  kInsert = 1,
+  kRollbackInsert = 2,
+  kCommit = 3,
+};
+
+struct WalRecord {
+  WalRecordType type;
+  uint64_t txn_id;
+  uint32_t table_id;
+  std::string payload;  // serialized row for inserts; empty otherwise
+};
+
+struct WalStats {
+  int64_t records = 0;
+  int64_t bytes_appended = 0;
+  int64_t flushes = 0;
+  int64_t bytes_flushed = 0;
+  int64_t max_unflushed_bytes = 0;  // redo backlog high-water mark
+};
+
+class WriteAheadLog {
+ public:
+  // `retain_records`: keep every record in memory so tests can replay and
+  // verify; benches leave it off.
+  explicit WriteAheadLog(bool retain_records = false)
+      : retain_records_(retain_records) {}
+
+  void append(WalRecordType type, uint64_t txn_id, uint32_t table_id,
+              std::string payload);
+
+  // Flush pending redo to the log device; returns bytes flushed.
+  int64_t flush();
+
+  int64_t unflushed_bytes() const { return unflushed_bytes_; }
+  const WalStats& stats() const { return stats_; }
+  const std::vector<WalRecord>& records() const { return records_; }
+
+ private:
+  bool retain_records_;
+  int64_t unflushed_bytes_ = 0;
+  WalStats stats_;
+  std::vector<WalRecord> records_;
+};
+
+}  // namespace sky::storage

@@ -1,0 +1,137 @@
+#include "storage/wal_file.h"
+
+#include <cstdint>
+#include <fstream>
+
+namespace sky::storage {
+
+namespace {
+
+constexpr char kMagic[] = "SKYWAL1\n";
+constexpr size_t kMagicLen = 8;
+
+uint64_t fnv1a(const std::string& bytes) {
+  uint64_t hash = 0xCBF29CE484222325ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+void put_u32(std::string& out, uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+void put_u64(std::string& out, uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+bool get_bytes(std::istream& in, size_t n, std::string& out) {
+  out.resize(n);
+  in.read(out.data(), static_cast<std::streamsize>(n));
+  return static_cast<size_t>(in.gcount()) == n;
+}
+
+uint64_t decode_u64(const std::string& bytes, size_t at) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    v = (v << 8) | static_cast<unsigned char>(bytes[at + i]);
+  }
+  return v;
+}
+
+uint32_t decode_u32(const std::string& bytes, size_t at) {
+  uint32_t v = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    v = (v << 8) | static_cast<unsigned char>(bytes[at + i]);
+  }
+  return v;
+}
+
+std::string encode_record(const WalRecord& record) {
+  std::string bytes;
+  bytes.push_back(static_cast<char>(record.type));
+  put_u64(bytes, record.txn_id);
+  put_u32(bytes, record.table_id);
+  put_u32(bytes, static_cast<uint32_t>(record.payload.size()));
+  bytes += record.payload;
+  return bytes;
+}
+
+}  // namespace
+
+Status write_wal_file(const std::string& path,
+                      const std::vector<WalRecord>& records) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status(ErrorCode::kIoError, "cannot open WAL file: " + path);
+  }
+  std::string header(kMagic, kMagicLen);
+  put_u64(header, records.size());
+  out.write(header.data(), static_cast<std::streamsize>(header.size()));
+  for (const WalRecord& record : records) {
+    const std::string bytes = encode_record(record);
+    std::string framed = bytes;
+    put_u64(framed, fnv1a(bytes));
+    out.write(framed.data(), static_cast<std::streamsize>(framed.size()));
+  }
+  out.flush();
+  if (!out.good()) {
+    return Status(ErrorCode::kIoError, "short write to WAL file: " + path);
+  }
+  return ok_status();
+}
+
+Result<WalReadResult> read_wal_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status(ErrorCode::kIoError, "cannot open WAL file: " + path);
+  }
+  std::string header;
+  if (!get_bytes(in, kMagicLen + 8, header) ||
+      header.compare(0, kMagicLen, kMagic, kMagicLen) != 0) {
+    return Status(ErrorCode::kParseError, "not a SkyLoader WAL file: " + path);
+  }
+  const uint64_t declared = decode_u64(header, kMagicLen);
+
+  WalReadResult result;
+  result.records.reserve(declared);
+  for (uint64_t i = 0; i < declared; ++i) {
+    // Fixed prefix: type(1) txn(8) table(4) len(4).
+    std::string prefix;
+    if (!get_bytes(in, 17, prefix)) {
+      result.truncated = true;
+      return result;
+    }
+    const uint32_t payload_len = decode_u32(prefix, 13);
+    std::string payload;
+    if (!get_bytes(in, payload_len, payload)) {
+      result.truncated = true;
+      return result;
+    }
+    std::string checksum_bytes;
+    if (!get_bytes(in, 8, checksum_bytes)) {
+      result.truncated = true;
+      return result;
+    }
+    const uint64_t stored = decode_u64(checksum_bytes, 0);
+    if (fnv1a(prefix + payload) != stored) {
+      result.truncated = true;  // corruption: stop at the intact prefix
+      return result;
+    }
+    WalRecord record;
+    record.type = static_cast<WalRecordType>(prefix[0]);
+    record.txn_id = decode_u64(prefix, 1);
+    record.table_id = decode_u32(prefix, 9);
+    record.payload = std::move(payload);
+    result.records.push_back(std::move(record));
+  }
+  return result;
+}
+
+}  // namespace sky::storage

@@ -1,0 +1,35 @@
+// On-disk write-ahead-log format.
+//
+// Serializes a WAL record stream so recovery works across process restarts
+// (the in-memory engine retains records; this persists them). Binary
+// layout, little-endian-free (explicit big-endian fields):
+//
+//   header : magic "SKYWAL1\n" | u64 record count
+//   record : u8 type | u64 txn | u32 table | u32 payload_len | payload
+//            | u64 FNV-1a checksum of the preceding record bytes
+//
+// Every record is individually checksummed; a torn or corrupted tail is
+// reported with the count of records recovered before it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/wal.h"
+
+namespace sky::storage {
+
+Status write_wal_file(const std::string& path,
+                      const std::vector<WalRecord>& records);
+
+struct WalReadResult {
+  std::vector<WalRecord> records;
+  // True if the file ended early or a record failed its checksum; `records`
+  // holds everything intact before the damage (crash-consistent prefix).
+  bool truncated = false;
+};
+
+Result<WalReadResult> read_wal_file(const std::string& path);
+
+}  // namespace sky::storage

@@ -1,0 +1,145 @@
+// ArraySet tests: on-demand array creation, capacity triggers, per-table
+// config overrides, the memory high-water extension, and cycle teardown.
+#include <gtest/gtest.h>
+
+#include "core/array_set.h"
+
+namespace sky::core {
+namespace {
+
+db::Schema tiny_schema() {
+  db::Schema schema;
+  for (const char* name : {"parents", "children", "grandchildren"}) {
+    db::TableDef def;
+    def.name = name;
+    def.col("id", db::ColumnType::kInt64, false);
+    def.col("payload", db::ColumnType::kString);
+    def.primary_key = {"id"};
+    EXPECT_TRUE(schema.add_table(def).is_ok());
+  }
+  return schema;
+}
+
+db::Row make_row(int64_t id, std::string payload = "x") {
+  return {db::Value::i64(id), db::Value::str(std::move(payload))};
+}
+
+TEST(ArraySetTest, ArraysCreatedOnDemand) {
+  const db::Schema schema = tiny_schema();
+  ArraySet set(schema, ArraySet::Config{});
+  EXPECT_EQ(set.active_arrays(), 0);
+  set.append(1, make_row(1));
+  EXPECT_EQ(set.active_arrays(), 1);
+  set.append(0, make_row(2));
+  EXPECT_EQ(set.active_arrays(), 2);
+  set.append(1, make_row(3));
+  EXPECT_EQ(set.active_arrays(), 2);
+  EXPECT_EQ(set.buffered_rows(), 3);
+}
+
+TEST(ArraySetTest, FlushTriggersAtCapacity) {
+  const db::Schema schema = tiny_schema();
+  ArraySet::Config config;
+  config.default_rows = 5;
+  ArraySet set(schema, config);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(set.append(0, make_row(i)));
+  }
+  EXPECT_FALSE(set.should_flush());
+  EXPECT_TRUE(set.append(0, make_row(4)));
+  EXPECT_TRUE(set.should_flush());
+}
+
+TEST(ArraySetTest, PerTableCapacityOverride) {
+  const db::Schema schema = tiny_schema();
+  ArraySet::Config config;
+  config.default_rows = 100;
+  config.per_table_rows["children"] = 3;
+  ArraySet set(schema, config);
+  EXPECT_EQ(set.capacity_for(0), 100);
+  EXPECT_EQ(set.capacity_for(1), 3);
+  set.append(1, make_row(1));
+  set.append(1, make_row(2));
+  EXPECT_TRUE(set.append(1, make_row(3)));
+}
+
+TEST(ArraySetTest, HighWaterMarkTriggersFlush) {
+  const db::Schema schema = tiny_schema();
+  ArraySet::Config config;
+  config.default_rows = 1'000'000;
+  config.memory_high_water_bytes = 4096;
+  ArraySet set(schema, config);
+  bool triggered = false;
+  for (int i = 0; i < 1000 && !triggered; ++i) {
+    triggered = set.append(0, make_row(i, std::string(100, 'p')));
+  }
+  EXPECT_TRUE(triggered);
+  EXPECT_GE(set.footprint_bytes(), 4096);
+  EXPECT_LT(set.buffered_rows(), 1000);
+}
+
+TEST(ArraySetTest, TopoOrderIterationIsParentFirst) {
+  const db::Schema schema = tiny_schema();
+  ArraySet set(schema, ArraySet::Config{});
+  set.append(2, make_row(30));  // grandchild buffered first
+  set.append(0, make_row(10));
+  set.append(1, make_row(20));
+  std::vector<uint32_t> order;
+  set.for_each_in_topo_order(
+      [&](uint32_t table_id, const std::vector<db::Row>&) {
+        order.push_back(table_id);
+      });
+  EXPECT_EQ(order, (std::vector<uint32_t>{0, 1, 2}));
+}
+
+TEST(ArraySetTest, ClearReleasesEverything) {
+  const db::Schema schema = tiny_schema();
+  ArraySet set(schema, ArraySet::Config{});
+  for (int i = 0; i < 50; ++i) set.append(0, make_row(i));
+  set.clear();
+  EXPECT_EQ(set.buffered_rows(), 0);
+  EXPECT_EQ(set.footprint_bytes(), 0);
+  EXPECT_EQ(set.active_arrays(), 0);
+  EXPECT_FALSE(set.should_flush());
+  // Usable again after clear.
+  set.append(1, make_row(1));
+  EXPECT_EQ(set.buffered_rows(), 1);
+}
+
+TEST(ArraySetTest, ConfigFromFile) {
+  const db::Schema schema = tiny_schema();
+  const auto file = Config::parse(R"(
+[array_set]
+default_rows = 500
+memory_high_water_bytes = 1048576
+children = 2000
+)");
+  ASSERT_TRUE(file.is_ok());
+  const auto config = ArraySet::Config::from_config(*file, schema);
+  ASSERT_TRUE(config.is_ok());
+  EXPECT_EQ(config->default_rows, 500);
+  EXPECT_EQ(config->memory_high_water_bytes.value(), 1048576);
+  EXPECT_EQ(config->per_table_rows.at("children"), 2000);
+}
+
+TEST(ArraySetTest, ConfigRejectsBadValues) {
+  const db::Schema schema = tiny_schema();
+  auto bad_table = Config::parse("[array_set]\nnonexistent = 10\n");
+  ASSERT_TRUE(bad_table.is_ok());
+  EXPECT_FALSE(ArraySet::Config::from_config(*bad_table, schema).is_ok());
+
+  auto bad_rows = Config::parse("[array_set]\ndefault_rows = -5\n");
+  ASSERT_TRUE(bad_rows.is_ok());
+  EXPECT_FALSE(ArraySet::Config::from_config(*bad_rows, schema).is_ok());
+
+  auto bad_hwm = Config::parse("[array_set]\nmemory_high_water_bytes = 0\n");
+  ASSERT_TRUE(bad_hwm.is_ok());
+  EXPECT_FALSE(ArraySet::Config::from_config(*bad_hwm, schema).is_ok());
+
+  auto bad_per_table = Config::parse("[array_set]\nchildren = 0\n");
+  ASSERT_TRUE(bad_per_table.is_ok());
+  EXPECT_FALSE(ArraySet::Config::from_config(*bad_per_table, schema).is_ok());
+}
+
+}  // namespace
+}  // namespace sky::core

@@ -1,0 +1,367 @@
+// Catalog substrate tests: the 23-table schema, tag mapping, generator
+// determinism and interleave pattern, parser behaviour including the
+// computed htmid, error injection, and parse-and-load round trips.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "catalog/generator.h"
+#include "catalog/parser.h"
+#include "catalog/pq_schema.h"
+#include "common/strings.h"
+#include "htm/htm.h"
+
+namespace sky::catalog {
+namespace {
+
+// ---------------------------------------------------------------- schema ---
+
+TEST(PqSchemaTest, HasTwentyThreeTables) {
+  const db::Schema schema = make_pq_schema();
+  EXPECT_EQ(schema.table_count(), 23);
+}
+
+TEST(PqSchemaTest, AnchorTablesFromThePaperExist) {
+  const db::Schema schema = make_pq_schema();
+  for (const char* name :
+       {"observations", "ccd_columns", "ccd_frames", "ccd_frame_apertures",
+        "objects", "fingers"}) {
+    EXPECT_TRUE(schema.has_table(name)) << name;
+  }
+}
+
+TEST(PqSchemaTest, ObjectsCarriesTheTwoStudyIndexes) {
+  const db::Schema schema = make_pq_schema();
+  const db::TableDef& objects =
+      schema.table(schema.table_id("objects").value());
+  ASSERT_EQ(objects.indexes.size(), 2u);
+  EXPECT_EQ(objects.indexes[0].name, kIndexHtmid);
+  EXPECT_EQ(objects.indexes[0].columns.size(), 1u);
+  EXPECT_EQ(objects.indexes[1].name, kIndexRaDecMag);
+  EXPECT_EQ(objects.indexes[1].columns.size(), 3u);
+  // The composite columns are all doubles (the "3 float attributes").
+  for (const std::string& col : objects.indexes[1].columns) {
+    const int idx = objects.column_index(col);
+    EXPECT_EQ(objects.columns[static_cast<size_t>(idx)].type,
+              db::ColumnType::kDouble);
+  }
+}
+
+TEST(PqSchemaTest, DeclarationOrderIsTopological) {
+  const db::Schema schema = make_pq_schema();
+  for (const auto& [child, parent] : schema.fk_edges()) {
+    EXPECT_GT(child, parent);
+  }
+  // The FK graph is deep: objects sit under a >= 3-level parent chain.
+  const uint32_t objects = schema.table_id("objects").value();
+  const uint32_t frames = schema.table_id("ccd_frames").value();
+  const uint32_t ccds = schema.table_id("ccd_columns").value();
+  const uint32_t obs = schema.table_id("observations").value();
+  EXPECT_GT(objects, frames);
+  EXPECT_GT(frames, ccds);
+  EXPECT_GT(ccds, obs);
+}
+
+TEST(PqSchemaTest, TagMappingCoversLoadableTables) {
+  const db::Schema schema = make_pq_schema();
+  std::set<std::string_view> mapped;
+  for (const TagMapping& mapping : tag_mappings()) {
+    EXPECT_TRUE(schema.has_table(mapping.table)) << mapping.table;
+    EXPECT_EQ(mapping.tag.size(), 3u);
+    EXPECT_TRUE(mapped.insert(mapping.table).second) << mapping.table;
+  }
+  // Every table except the loader-written audit table has a tag.
+  EXPECT_EQ(mapped.size(), 22u);
+  EXPECT_EQ(mapped.count("load_audit"), 0u);
+  EXPECT_EQ(table_for_tag("OBJ"), "objects");
+  EXPECT_EQ(table_for_tag("???"), "");
+}
+
+// -------------------------------------------------------------- generator ---
+
+TEST(GeneratorTest, DeterministicFromSeed) {
+  FileSpec spec;
+  spec.name = "t.cat";
+  spec.seed = 7;
+  spec.unit_id = 3;
+  spec.target_bytes = 64 * 1024;
+  const GeneratedFile a = CatalogGenerator::generate(spec);
+  const GeneratedFile b = CatalogGenerator::generate(spec);
+  EXPECT_EQ(a.text, b.text);
+  EXPECT_EQ(a.data_lines, b.data_lines);
+  spec.seed = 8;
+  const GeneratedFile c = CatalogGenerator::generate(spec);
+  EXPECT_NE(a.text, c.text);
+}
+
+TEST(GeneratorTest, HitsByteTarget) {
+  FileSpec spec;
+  spec.seed = 11;
+  spec.unit_id = 1;
+  spec.target_bytes = 100 * 1024;
+  const GeneratedFile file = CatalogGenerator::generate(spec);
+  EXPECT_GE(static_cast<int64_t>(file.text.size()), spec.target_bytes);
+  // Within one frame-group of the target.
+  EXPECT_LT(static_cast<int64_t>(file.text.size()),
+            spec.target_bytes + 64 * 1024);
+}
+
+TEST(GeneratorTest, InterleavePatternMatchesPaper) {
+  FileSpec spec;
+  spec.seed = 13;
+  spec.unit_id = 2;
+  spec.target_bytes = 32 * 1024;
+  const GeneratedFile file = CatalogGenerator::generate(spec);
+  // Each FRM row is immediately followed by exactly four APR rows; each OBJ
+  // row by exactly four FNG rows.
+  std::vector<std::string> tags;
+  std::istringstream stream(file.text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    tags.push_back(line.substr(0, 3));
+  }
+  for (size_t i = 0; i < tags.size(); ++i) {
+    if (tags[i] == "FRM") {
+      ASSERT_LT(i + 4, tags.size());
+      for (size_t k = 1; k <= 4; ++k) EXPECT_EQ(tags[i + k], "APR") << i;
+    }
+    if (tags[i] == "OBJ") {
+      ASSERT_LT(i + 4, tags.size());
+      for (size_t k = 1; k <= 4; ++k) EXPECT_EQ(tags[i + k], "FNG") << i;
+    }
+  }
+}
+
+TEST(GeneratorTest, CleanFileCountsRowsPerTable) {
+  FileSpec spec;
+  spec.seed = 17;
+  spec.unit_id = 4;
+  spec.target_bytes = 48 * 1024;
+  const GeneratedFile file = CatalogGenerator::generate(spec);
+  EXPECT_EQ(file.injected_errors, 0);
+  int64_t total = 0;
+  for (const auto& [table, count] : file.clean_rows_per_table) {
+    total += count;
+  }
+  EXPECT_EQ(total, file.data_lines);
+  EXPECT_EQ(file.clean_rows_per_table.at("observations"), 1);
+  EXPECT_EQ(file.clean_rows_per_table.at("ccd_columns"), 4);
+  // 4 fingers per object.
+  EXPECT_EQ(file.clean_rows_per_table.at("fingers"),
+            4 * file.clean_rows_per_table.at("objects"));
+  // 4 apertures per frame.
+  EXPECT_EQ(file.clean_rows_per_table.at("ccd_frame_apertures"),
+            4 * file.clean_rows_per_table.at("ccd_frames"));
+}
+
+TEST(GeneratorTest, ErrorInjectionRateRoughlyHonored) {
+  FileSpec spec;
+  spec.seed = 19;
+  spec.unit_id = 5;
+  spec.target_bytes = 256 * 1024;
+  spec.error_rate = 0.05;
+  const GeneratedFile file = CatalogGenerator::generate(spec);
+  const double observed = static_cast<double>(file.injected_errors) /
+                          static_cast<double>(file.data_lines);
+  EXPECT_GT(observed, 0.03);
+  EXPECT_LT(observed, 0.07);
+}
+
+TEST(GeneratorTest, ObservationSpecsVaryInSize) {
+  const auto specs =
+      CatalogGenerator::observation_specs(21, /*night_id=*/42, 28 * 100'000);
+  ASSERT_EQ(specs.size(), static_cast<size_t>(kFilesPerObservation));
+  int64_t min_bytes = specs[0].target_bytes, max_bytes = specs[0].target_bytes;
+  int64_t total = 0;
+  std::set<int64_t> units;
+  for (const FileSpec& spec : specs) {
+    min_bytes = std::min(min_bytes, spec.target_bytes);
+    max_bytes = std::max(max_bytes, spec.target_bytes);
+    total += spec.target_bytes;
+    units.insert(spec.unit_id);
+    EXPECT_FALSE(spec.name.empty());
+  }
+  EXPECT_EQ(units.size(), specs.size());  // self-contained id spaces
+  EXPECT_GT(max_bytes, min_bytes * 2);    // meaningful skew for balancing
+  EXPECT_NEAR(static_cast<double>(total), 28.0 * 100'000, 28.0 * 100'000 * 0.02);
+}
+
+TEST(GeneratorTest, ShuffledObjectIdsKeepUniqueness) {
+  FileSpec spec;
+  spec.seed = 23;
+  spec.unit_id = 6;
+  spec.target_bytes = 64 * 1024;
+  spec.shuffle_object_ids = true;
+  const GeneratedFile file = CatalogGenerator::generate(spec);
+  std::set<int64_t> ids;
+  std::istringstream stream(file.text);
+  std::string line;
+  bool sorted = true;
+  int64_t prev = -1;
+  while (std::getline(stream, line)) {
+    if (!starts_with(line, "OBJ|")) continue;
+    const auto fields = split(line, '|');
+    const int64_t id = parse_int64(fields[1]).value();
+    EXPECT_TRUE(ids.insert(id).second) << "duplicate object id " << id;
+    if (id < prev) sorted = false;
+    prev = id;
+  }
+  EXPECT_GT(ids.size(), 100u);
+  EXPECT_FALSE(sorted);  // the whole point of the ablation knob
+}
+
+TEST(GeneratorTest, ReferenceFileHasAllReferenceTables) {
+  const GeneratedFile ref = CatalogGenerator::reference_file();
+  EXPECT_EQ(ref.clean_rows_per_table.at("surveys"),
+            CatalogGenerator::kSurveyCount);
+  EXPECT_EQ(ref.clean_rows_per_table.at("filters"),
+            CatalogGenerator::kFilterCount);
+  EXPECT_EQ(ref.clean_rows_per_table.at("sky_regions"),
+            CatalogGenerator::kRegionCount);
+  EXPECT_GT(ref.clean_rows_per_table.at("pipeline_params"), 0);
+}
+
+// ----------------------------------------------------------------- parser ---
+
+class ParserTest : public ::testing::Test {
+ protected:
+  ParserTest() : schema_(make_pq_schema()), parser_(schema_) {}
+  db::Schema schema_;
+  CatalogParser parser_;
+};
+
+TEST_F(ParserTest, SkipsCommentsAndBlanks) {
+  EXPECT_FALSE(CatalogParser::is_data_line("# header"));
+  EXPECT_FALSE(CatalogParser::is_data_line("   "));
+  EXPECT_FALSE(CatalogParser::is_data_line(""));
+  EXPECT_TRUE(CatalogParser::is_data_line("OBS|1|2|3"));
+}
+
+TEST_F(ParserTest, ParsesSurveyRow) {
+  const auto parsed = parser_.parse_line("SUR|1|palomar-quest-1|1059696000");
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed->table_id, schema_.table_id("surveys").value());
+  ASSERT_EQ(parsed->row.size(), 3u);
+  EXPECT_EQ(parsed->row[0].as_i64(), 1);
+  EXPECT_EQ(parsed->row[1].as_str(), "palomar-quest-1");
+}
+
+TEST_F(ParserTest, ComputesHtmidForObjects) {
+  const auto parsed = parser_.parse_line(
+      "OBJ|12345|678|120.500000|-15.250000|19.1234|0.010000|100.0|2.5|0.1|"
+      "512.0|1024.0");
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  const db::TableDef& objects =
+      schema_.table(schema_.table_id("objects").value());
+  const int htmid_col = objects.column_index("htmid");
+  const db::Value& htmid = parsed->row[static_cast<size_t>(htmid_col)];
+  ASSERT_FALSE(htmid.is_null());
+  const uint64_t expected =
+      htm::htm_id_radec(120.5, -15.25, CatalogParser::kHtmDepth);
+  EXPECT_EQ(htmid.as_i64(), static_cast<int64_t>(expected));
+  EXPECT_EQ(parser_.stats().htmids_computed, 1);
+}
+
+TEST_F(ParserTest, MagPrecisionNormalized) {
+  const auto parsed = parser_.parse_line(
+      "OBJ|1|2|10.000000|5.000000|19.12345678|0.01234567|100.0|2.5|0.1|"
+      "1.0|1.0");
+  ASSERT_TRUE(parsed.is_ok());
+  const db::TableDef& objects =
+      schema_.table(schema_.table_id("objects").value());
+  EXPECT_DOUBLE_EQ(
+      parsed->row[static_cast<size_t>(objects.column_index("mag"))].as_f64(),
+      19.1235);
+  EXPECT_DOUBLE_EQ(
+      parsed->row[static_cast<size_t>(objects.column_index("mag_err"))]
+          .as_f64(),
+      0.0123);
+}
+
+TEST_F(ParserTest, OutOfRangeRaLeavesHtmidNull) {
+  // Parser leaves htmid NULL so the server's NOT NULL / check constraints
+  // reject the row — errors surface where the paper's recovery engages.
+  const auto parsed = parser_.parse_line(
+      "OBJ|1|2|999.000000|5.000000|19.0|0.01|100.0|2.5|0.1|1.0|1.0");
+  ASSERT_TRUE(parsed.is_ok());
+  const db::TableDef& objects =
+      schema_.table(schema_.table_id("objects").value());
+  EXPECT_TRUE(
+      parsed->row[static_cast<size_t>(objects.column_index("htmid"))]
+          .is_null());
+}
+
+TEST_F(ParserTest, RejectsUnknownTag) {
+  const auto parsed = parser_.parse_line("XXX|1|2|3");
+  EXPECT_EQ(parsed.status().code(), ErrorCode::kParseError);
+  EXPECT_EQ(parser_.stats().parse_errors, 1);
+}
+
+TEST_F(ParserTest, RejectsWrongArity) {
+  EXPECT_EQ(parser_.parse_line("SUR|1|name").status().code(),
+            ErrorCode::kParseError);
+  EXPECT_EQ(parser_.parse_line("SUR|1|name|0|extra").status().code(),
+            ErrorCode::kParseError);
+}
+
+TEST_F(ParserTest, RejectsMalformedNumeric) {
+  const auto parsed = parser_.parse_line("SUR|###|name|1000");
+  EXPECT_EQ(parsed.status().code(), ErrorCode::kParseError);
+}
+
+TEST_F(ParserTest, NullMarkersBecomeNullValues) {
+  const auto parsed = parser_.parse_line("SUR|5|name|");
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_TRUE(parsed->row[2].is_null());
+}
+
+TEST_F(ParserTest, EveryCleanGeneratedLineParses) {
+  FileSpec spec;
+  spec.seed = 29;
+  spec.unit_id = 7;
+  spec.target_bytes = 96 * 1024;
+  const GeneratedFile file = CatalogGenerator::generate(spec);
+  std::istringstream stream(file.text);
+  std::string line;
+  std::map<std::string, int64_t> parsed_per_table;
+  while (std::getline(stream, line)) {
+    if (!CatalogParser::is_data_line(line)) continue;
+    const auto parsed = parser_.parse_line(line);
+    ASSERT_TRUE(parsed.is_ok())
+        << line.substr(0, 60) << " -> " << parsed.status().to_string();
+    ++parsed_per_table[schema_.table(parsed->table_id).name];
+  }
+  EXPECT_EQ(parsed_per_table, file.clean_rows_per_table);
+}
+
+TEST_F(ParserTest, CorruptedFileReportsParseErrorsButNeverCrashes) {
+  FileSpec spec;
+  spec.seed = 31;
+  spec.unit_id = 8;
+  spec.target_bytes = 128 * 1024;
+  spec.error_rate = 0.1;
+  const GeneratedFile file = CatalogGenerator::generate(spec);
+  std::istringstream stream(file.text);
+  std::string line;
+  int64_t ok_rows = 0, bad_rows = 0;
+  while (std::getline(stream, line)) {
+    if (!CatalogParser::is_data_line(line)) continue;
+    if (parser_.parse_line(line).is_ok()) {
+      ++ok_rows;
+    } else {
+      ++bad_rows;
+    }
+  }
+  EXPECT_GT(bad_rows, 0);
+  // Only the parse-level corruptions (bad numeric, missing field) fail here;
+  // duplicate keys / dangling FKs / out-of-range parse fine and fail at the
+  // database, so parse failures < injected errors.
+  EXPECT_LT(bad_rows, file.injected_errors);
+  EXPECT_GT(ok_rows, file.data_lines - file.injected_errors);
+}
+
+}  // namespace
+}  // namespace sky::catalog

@@ -1,0 +1,375 @@
+// Unit and property tests for the common runtime: Status/Result, strings,
+// RNG determinism, config files, CSV codec, units formatting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "common/config.h"
+#include "common/csv.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/units.h"
+
+namespace sky {
+namespace {
+
+// ---------------------------------------------------------------- Status ---
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.is_ok());
+  EXPECT_EQ(status.code(), ErrorCode::kOk);
+  EXPECT_EQ(status.to_string(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status(ErrorCode::kConstraintPrimaryKey, "dup key 42");
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), ErrorCode::kConstraintPrimaryKey);
+  EXPECT_EQ(status.to_string(), "PRIMARY_KEY_VIOLATION: dup key 42");
+}
+
+TEST(StatusTest, ConstraintErrorClassification) {
+  EXPECT_TRUE(is_constraint_error(ErrorCode::kAlreadyExists));
+  EXPECT_TRUE(is_constraint_error(ErrorCode::kConstraintForeignKey));
+  EXPECT_TRUE(is_constraint_error(ErrorCode::kConstraintCheck));
+  EXPECT_TRUE(is_constraint_error(ErrorCode::kConstraintNotNull));
+  EXPECT_FALSE(is_constraint_error(ErrorCode::kOk));
+  EXPECT_FALSE(is_constraint_error(ErrorCode::kIoError));
+  EXPECT_FALSE(is_constraint_error(ErrorCode::kResourceExhausted));
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kInternal); ++c) {
+    EXPECT_NE(error_code_name(static_cast<ErrorCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(7);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(*result, 7);
+  EXPECT_TRUE(result.status().is_ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status(ErrorCode::kNotFound, "missing"));
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(result.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> result(std::make_unique<int>(5));
+  ASSERT_TRUE(result.is_ok());
+  std::unique_ptr<int> owned = std::move(result).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+Status fail_if_negative(int x) {
+  if (x < 0) return Status(ErrorCode::kInvalidArgument, "negative");
+  return ok_status();
+}
+
+Result<int> doubled_if_positive(int x) {
+  SKY_RETURN_IF_ERROR(fail_if_negative(x));
+  return x * 2;
+}
+
+TEST(ResultTest, ReturnIfErrorMacro) {
+  EXPECT_EQ(doubled_if_positive(4).value(), 8);
+  EXPECT_EQ(doubled_if_positive(-1).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+// --------------------------------------------------------------- strings ---
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  const auto fields = split("a||b|", '|');
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[2], "b");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(StringsTest, SplitSingleField) {
+  const auto fields = split("alone", ',');
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "alone");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim("\t\n"), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("abc"), "abc");
+}
+
+TEST(StringsTest, ParseInt64) {
+  EXPECT_EQ(parse_int64("42").value(), 42);
+  EXPECT_EQ(parse_int64(" -17 ").value(), -17);
+  EXPECT_FALSE(parse_int64("").is_ok());
+  EXPECT_FALSE(parse_int64("12x").is_ok());
+  EXPECT_FALSE(parse_int64("99999999999999999999999").is_ok());
+  EXPECT_EQ(parse_int64("9223372036854775807").value(),
+            std::numeric_limits<int64_t>::max());
+}
+
+TEST(StringsTest, ParseInt32RangeChecked) {
+  EXPECT_EQ(parse_int32("2147483647").value(), 2147483647);
+  EXPECT_FALSE(parse_int32("2147483648").is_ok());
+  EXPECT_FALSE(parse_int32("-2147483649").is_ok());
+}
+
+TEST(StringsTest, ParseDouble) {
+  EXPECT_DOUBLE_EQ(parse_double("3.5").value(), 3.5);
+  EXPECT_DOUBLE_EQ(parse_double("-1e3").value(), -1000.0);
+  EXPECT_FALSE(parse_double("").is_ok());
+  EXPECT_FALSE(parse_double("nanx").is_ok());
+}
+
+TEST(StringsTest, JoinAndFormat) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(str_format("%d-%s", 5, "x"), "5-x");
+}
+
+TEST(StringsTest, StartsWithAndLower) {
+  EXPECT_TRUE(starts_with("OBJ|123", "OBJ"));
+  EXPECT_FALSE(starts_with("OB", "OBJ"));
+  EXPECT_EQ(to_lower("AbC"), "abc");
+}
+
+// ------------------------------------------------------------------- RNG ---
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformIntWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_int(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, NormalRoughMoments) {
+  Rng rng(13);
+  double sum = 0, sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.3);
+}
+
+TEST(RngTest, ForkedStreamsAreIndependentAndDeterministic) {
+  Rng parent1(42), parent2(42);
+  Rng child1 = parent1.fork(3);
+  Rng child2 = parent2.fork(3);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(child1.next_u64(), child2.next_u64());
+  // Different salt gives a different stream.
+  Rng parent3(42);
+  Rng other = parent3.fork(4);
+  int same = 0;
+  Rng parent4(42);
+  Rng base = parent4.fork(3);
+  for (int i = 0; i < 64; ++i) {
+    if (other.next_u64() == base.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, PickWeightedRespectsZeroWeight) {
+  Rng rng(21);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(rng.pick_weighted({0.0, 1.0, 0.0}), 1u);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+// ---------------------------------------------------------------- Config ---
+
+TEST(ConfigTest, ParsesSectionsAndTypes) {
+  const auto config = Config::parse(R"(
+# SkyLoader tuning
+batch_size = 40
+
+[array_set]
+default_rows = 1000
+objects = 4000
+enable_high_water_mark = true
+high_water_fraction = 0.75
+)");
+  ASSERT_TRUE(config.is_ok());
+  EXPECT_EQ(config->get_int("", "batch_size", -1), 40);
+  EXPECT_EQ(config->get_int("array_set", "default_rows", -1), 1000);
+  EXPECT_EQ(config->get_int("array_set", "objects", -1), 4000);
+  EXPECT_TRUE(config->get_bool("array_set", "enable_high_water_mark", false));
+  EXPECT_DOUBLE_EQ(config->get_double("array_set", "high_water_fraction", 0),
+                   0.75);
+}
+
+TEST(ConfigTest, FallbacksWhenMissing) {
+  const auto config = Config::parse("a = 1\n");
+  ASSERT_TRUE(config.is_ok());
+  EXPECT_EQ(config->get_int("", "missing", 99), 99);
+  EXPECT_EQ(config->get_string("s", "k", "dflt"), "dflt");
+  EXPECT_FALSE(config->has("s", "k"));
+  EXPECT_TRUE(config->has("", "a"));
+}
+
+TEST(ConfigTest, RejectsMalformedLines) {
+  EXPECT_FALSE(Config::parse("[unterminated\n").is_ok());
+  EXPECT_FALSE(Config::parse("no equals sign\n").is_ok());
+  EXPECT_FALSE(Config::parse("= value\n").is_ok());
+}
+
+TEST(ConfigTest, RoundTripsThroughToString) {
+  auto config = Config::parse("x = 1\n[s]\ny = two\n");
+  ASSERT_TRUE(config.is_ok());
+  auto reparsed = Config::parse(config->to_string());
+  ASSERT_TRUE(reparsed.is_ok());
+  EXPECT_EQ(reparsed->get_int("", "x", -1), 1);
+  EXPECT_EQ(reparsed->get_string("s", "y", ""), "two");
+}
+
+TEST(ConfigTest, ListsSectionKeys) {
+  auto config = Config::parse("[t]\nb = 2\na = 1\n");
+  ASSERT_TRUE(config.is_ok());
+  const auto keys = config->keys("t");
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "a");
+  EXPECT_EQ(keys[1], "b");
+}
+
+// ------------------------------------------------------------------- CSV ---
+
+TEST(CsvTest, EscapesSpecials) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvTest, RoundTripsRows) {
+  const std::vector<std::string> row = {"1", "a,b", "c\"d", "", "line\nbreak"};
+  const auto decoded = csv_decode_row(csv_encode_row(row));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(*decoded, row);
+}
+
+TEST(CsvTest, DecodeSimple) {
+  const auto fields = csv_decode_row("a,b,,d");
+  ASSERT_TRUE(fields.is_ok());
+  ASSERT_EQ(fields->size(), 4u);
+  EXPECT_EQ((*fields)[2], "");
+}
+
+TEST(CsvTest, RejectsBadQuoting) {
+  EXPECT_FALSE(csv_decode_row("a\"b").is_ok());
+  EXPECT_FALSE(csv_decode_row("\"unterminated").is_ok());
+}
+
+// Property: random rows round-trip.
+class CsvRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CsvRoundTrip, RandomRowsRoundTrip) {
+  Rng rng(GetParam());
+  for (int iteration = 0; iteration < 50; ++iteration) {
+    std::vector<std::string> row;
+    const int64_t n_fields = rng.uniform_int(1, 8);
+    for (int64_t f = 0; f < n_fields; ++f) {
+      std::string field;
+      const int64_t len = rng.uniform_int(0, 12);
+      const char alphabet[] = "ab,\"\n\r x9";
+      for (int64_t i = 0; i < len; ++i) {
+        field.push_back(
+            alphabet[static_cast<size_t>(rng.uniform_int(0, 8))]);
+      }
+      row.push_back(std::move(field));
+    }
+    const auto decoded = csv_decode_row(csv_encode_row(row));
+    ASSERT_TRUE(decoded.is_ok());
+    EXPECT_EQ(*decoded, row);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ----------------------------------------------------------------- units ---
+
+TEST(UnitsTest, Conversions) {
+  EXPECT_EQ(from_seconds(2.5), 2'500'000'000);
+  EXPECT_DOUBLE_EQ(to_seconds(1'500'000'000), 1.5);
+}
+
+TEST(UnitsTest, FormatDuration) {
+  EXPECT_EQ(format_duration(500), "500ns");
+  EXPECT_EQ(format_duration(2 * kMicrosecond), "2.0us");
+  EXPECT_EQ(format_duration(15 * kMillisecond), "15.0ms");
+  EXPECT_EQ(format_duration(3 * kSecond), "3.0s");
+  EXPECT_EQ(format_duration(135 * kSecond), "2m15.0s");
+}
+
+TEST(UnitsTest, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2.0 KiB");
+  EXPECT_EQ(format_bytes(3 * kMiB), "3.0 MiB");
+  EXPECT_EQ(format_bytes(kGiB + kGiB / 2), "1.50 GiB");
+}
+
+}  // namespace
+}  // namespace sky

@@ -1,0 +1,195 @@
+// Composite primary keys, multi-column FKs, and interleaved
+// commit/rollback fuzzing — the schema shapes the 23-table model doesn't
+// exercise (its PKs are single-column) plus transaction lifecycles under
+// churn.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "db/engine.h"
+
+namespace sky::db {
+namespace {
+
+// A (night, ccd) composite-keyed parent with a 2-column FK from the child.
+Schema composite_schema() {
+  Schema schema;
+  TableDef scans;
+  scans.name = "scans";
+  scans.col("night", ColumnType::kInt64, false);
+  scans.col("ccd", ColumnType::kInt32, false);
+  scans.col("quality", ColumnType::kDouble);
+  scans.primary_key = {"night", "ccd"};
+  EXPECT_TRUE(schema.add_table(scans).is_ok());
+
+  TableDef readings;
+  readings.name = "readings";
+  readings.col("reading_id", ColumnType::kInt64, false);
+  readings.col("night", ColumnType::kInt64, false);
+  readings.col("ccd", ColumnType::kInt32, false);
+  readings.col("value", ColumnType::kDouble);
+  readings.primary_key = {"reading_id"};
+  readings.foreign_keys.push_back(ForeignKey{{"night", "ccd"}, "scans"});
+  EXPECT_TRUE(schema.add_table(readings).is_ok());
+  return schema;
+}
+
+Row scan(int64_t night, int32_t ccd) {
+  return {Value::i64(night), Value::i32(ccd), Value::f64(0.9)};
+}
+Row reading(int64_t id, int64_t night, int32_t ccd) {
+  return {Value::i64(id), Value::i64(night), Value::i32(ccd),
+          Value::f64(1.0)};
+}
+
+TEST(CompositeKeyTest, CompositePkUniqueness) {
+  Engine engine(composite_schema());
+  const uint64_t txn = engine.begin_transaction();
+  OpCosts costs;
+  ASSERT_TRUE(engine.insert_row(txn, 0, scan(1, 1), costs).is_ok());
+  ASSERT_TRUE(engine.insert_row(txn, 0, scan(1, 2), costs).is_ok());
+  ASSERT_TRUE(engine.insert_row(txn, 0, scan(2, 1), costs).is_ok());
+  // Exact duplicate of the pair fails.
+  EXPECT_EQ(engine.insert_row(txn, 0, scan(1, 1), costs).code(),
+            ErrorCode::kConstraintPrimaryKey);
+  EXPECT_EQ(engine.row_count(0), 3);
+}
+
+TEST(CompositeKeyTest, MultiColumnFkChecksWholeTuple) {
+  Engine engine(composite_schema());
+  const uint64_t txn = engine.begin_transaction();
+  OpCosts costs;
+  ASSERT_TRUE(engine.insert_row(txn, 0, scan(1, 1), costs).is_ok());
+  // Matching tuple passes; partially-matching tuple fails.
+  EXPECT_TRUE(engine.insert_row(txn, 1, reading(100, 1, 1), costs).is_ok());
+  EXPECT_EQ(engine.insert_row(txn, 1, reading(101, 1, 2), costs).code(),
+            ErrorCode::kConstraintForeignKey);
+  EXPECT_EQ(engine.insert_row(txn, 1, reading(102, 2, 1), costs).code(),
+            ErrorCode::kConstraintForeignKey);
+}
+
+TEST(CompositeKeyTest, CompositePkLookupAndRange) {
+  Engine engine(composite_schema());
+  const uint64_t txn = engine.begin_transaction();
+  OpCosts costs;
+  for (int64_t night = 1; night <= 3; ++night) {
+    for (int32_t ccd = 0; ccd < 4; ++ccd) {
+      ASSERT_TRUE(engine.insert_row(txn, 0, scan(night, ccd), costs).is_ok());
+    }
+  }
+  const auto exact = engine.pk_lookup(0, {Value::i64(2), Value::i32(3)});
+  ASSERT_TRUE(exact.is_ok());
+  EXPECT_EQ((*exact)[0].as_i64(), 2);
+  EXPECT_EQ((*exact)[1].as_i32(), 3);
+  // All of night 2: prefix range (2,min) .. (3,min).
+  const auto night2 = engine.pk_range(0, {Value::i64(2)}, {Value::i64(3)});
+  ASSERT_TRUE(night2.is_ok());
+  EXPECT_EQ(night2->size(), 4u);
+}
+
+TEST(CompositeKeyTest, NullInCompositeFkPasses) {
+  Schema schema;
+  TableDef parent;
+  parent.name = "p";
+  parent.col("a", ColumnType::kInt64, false);
+  parent.col("b", ColumnType::kInt64, false);
+  parent.primary_key = {"a", "b"};
+  ASSERT_TRUE(schema.add_table(parent).is_ok());
+  TableDef child;
+  child.name = "c";
+  child.col("id", ColumnType::kInt64, false);
+  child.col("pa", ColumnType::kInt64, true);
+  child.col("pb", ColumnType::kInt64, true);
+  child.primary_key = {"id"};
+  child.foreign_keys.push_back(ForeignKey{{"pa", "pb"}, "p"});
+  ASSERT_TRUE(schema.add_table(child).is_ok());
+  Engine engine(std::move(schema));
+  const uint64_t txn = engine.begin_transaction();
+  OpCosts costs;
+  // MATCH SIMPLE: any NULL in the FK tuple passes the constraint.
+  EXPECT_TRUE(engine
+                  .insert_row(txn, 1,
+                              {Value::i64(1), Value::null(), Value::i64(9)},
+                              costs)
+                  .is_ok());
+  EXPECT_TRUE(engine
+                  .insert_row(txn, 1,
+                              {Value::i64(2), Value::null(), Value::null()},
+                              costs)
+                  .is_ok());
+  // Fully non-NULL dangling tuple fails.
+  EXPECT_EQ(engine
+                .insert_row(txn, 1,
+                            {Value::i64(3), Value::i64(1), Value::i64(1)},
+                            costs)
+                .code(),
+            ErrorCode::kConstraintForeignKey);
+}
+
+// Interleaved transaction lifecycle fuzz: random begin / insert / commit /
+// rollback sequences against a reference model. Committed rows persist,
+// rolled-back rows vanish, and integrity holds throughout.
+class TxnLifecycleFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TxnLifecycleFuzz, CommitRollbackInterleaving) {
+  Rng rng(GetParam());
+  Engine engine(composite_schema());
+  std::set<std::pair<int64_t, int32_t>> committed_scans;
+
+  for (int epoch = 0; epoch < 40; ++epoch) {
+    const uint64_t txn = engine.begin_transaction();
+    std::set<std::pair<int64_t, int32_t>> pending;
+    OpCosts costs;
+    const int64_t inserts = rng.uniform_int(1, 20);
+    for (int64_t i = 0; i < inserts; ++i) {
+      const int64_t night = rng.uniform_int(0, 30);
+      const auto ccd = static_cast<int32_t>(rng.uniform_int(0, 10));
+      const Status status =
+          engine.insert_row(txn, 0, scan(night, ccd), costs);
+      const bool exists = committed_scans.count({night, ccd}) > 0 ||
+                          pending.count({night, ccd}) > 0;
+      if (exists) {
+        EXPECT_EQ(status.code(), ErrorCode::kConstraintPrimaryKey);
+      } else {
+        EXPECT_TRUE(status.is_ok());
+        pending.insert({night, ccd});
+      }
+    }
+    if (rng.bernoulli(0.5)) {
+      ASSERT_TRUE(engine.commit(txn).is_ok());
+      committed_scans.insert(pending.begin(), pending.end());
+    } else {
+      ASSERT_TRUE(engine.rollback(txn).is_ok());
+    }
+    ASSERT_EQ(engine.row_count(0),
+              static_cast<int64_t>(committed_scans.size()));
+  }
+  EXPECT_TRUE(engine.verify_integrity().is_ok());
+  // Every committed scan is present; no others are.
+  for (const auto& [night, ccd] : committed_scans) {
+    EXPECT_TRUE(
+        engine.pk_lookup(0, {Value::i64(night), Value::i32(ccd)}).is_ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TxnLifecycleFuzz,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+TEST(CompositeKeyTest, RollbackRestoresCompositeFkTargets) {
+  Engine engine(composite_schema());
+  OpCosts costs;
+  const uint64_t doomed = engine.begin_transaction();
+  ASSERT_TRUE(engine.insert_row(doomed, 0, scan(5, 5), costs).is_ok());
+  ASSERT_TRUE(engine.insert_row(doomed, 1, reading(1, 5, 5), costs).is_ok());
+  ASSERT_TRUE(engine.rollback(doomed).is_ok());
+  // After rollback the child insert fails again (parent gone).
+  const uint64_t retry = engine.begin_transaction();
+  EXPECT_EQ(engine.insert_row(retry, 1, reading(2, 5, 5), costs).code(),
+            ErrorCode::kConstraintForeignKey);
+  EXPECT_TRUE(engine.verify_integrity().is_ok());
+}
+
+}  // namespace
+}  // namespace sky::db

@@ -1,0 +1,500 @@
+// Engine tests: constraint enforcement, JDBC batch semantics, transactions
+// and rollback, index maintenance, queries, telemetry, thread safety, and a
+// randomized differential test of the whole insert path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <set>
+#include <thread>
+
+#include "common/rng.h"
+#include "db/engine.h"
+
+namespace sky::db {
+namespace {
+
+// Two-table parent/child fixture (the paper's frames/objects Example 1).
+Schema frames_objects_schema() {
+  Schema schema;
+  TableDef frames;
+  frames.name = "frames";
+  frames.col("frame_id", ColumnType::kInt64, false);
+  frames.col("exposure", ColumnType::kDouble);
+  frames.primary_key = {"frame_id"};
+  frames.checks.push_back(CheckConstraint{"exposure", 0.0, 3600.0});
+  EXPECT_TRUE(schema.add_table(frames).is_ok());
+
+  TableDef objects;
+  objects.name = "objects";
+  objects.col("object_id", ColumnType::kInt64, false);
+  objects.col("frame_id", ColumnType::kInt64, false);
+  objects.col("ra", ColumnType::kDouble);
+  objects.col("dec", ColumnType::kDouble);
+  objects.col("mag", ColumnType::kDouble);
+  objects.primary_key = {"object_id"};
+  objects.foreign_keys.push_back(ForeignKey{{"frame_id"}, "frames"});
+  objects.indexes.push_back(IndexDef{"idx_mag", {"mag"}, false});
+  objects.checks.push_back(CheckConstraint{"ra", 0.0, 360.0});
+  objects.checks.push_back(CheckConstraint{"dec", -90.0, 90.0});
+  EXPECT_TRUE(schema.add_table(objects).is_ok());
+  return schema;
+}
+
+Row frame_row(int64_t id, double exposure = 60.0) {
+  return {Value::i64(id), Value::f64(exposure)};
+}
+
+Row object_row(int64_t id, int64_t frame, double ra = 10.0, double dec = 5.0,
+               double mag = 18.0) {
+  return {Value::i64(id), Value::i64(frame), Value::f64(ra), Value::f64(dec),
+          Value::f64(mag)};
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest() : engine_(frames_objects_schema()) {
+    frames_ = engine_.table_id("frames").value();
+    objects_ = engine_.table_id("objects").value();
+  }
+
+  Status insert(uint64_t txn, uint32_t table, const Row& row) {
+    OpCosts costs;
+    return engine_.insert_row(txn, table, row, costs);
+  }
+
+  Engine engine_;
+  uint32_t frames_ = 0;
+  uint32_t objects_ = 0;
+};
+
+TEST_F(EngineTest, BasicInsertAndCount) {
+  const uint64_t txn = engine_.begin_transaction();
+  ASSERT_TRUE(insert(txn, frames_, frame_row(1)).is_ok());
+  ASSERT_TRUE(insert(txn, objects_, object_row(100, 1)).is_ok());
+  EXPECT_EQ(engine_.row_count(frames_), 1);
+  EXPECT_EQ(engine_.row_count(objects_), 1);
+  EXPECT_EQ(engine_.total_rows(), 2);
+  ASSERT_TRUE(engine_.commit(txn).is_ok());
+  EXPECT_TRUE(engine_.verify_integrity().is_ok());
+}
+
+TEST_F(EngineTest, PrimaryKeyViolation) {
+  const uint64_t txn = engine_.begin_transaction();
+  ASSERT_TRUE(insert(txn, frames_, frame_row(1)).is_ok());
+  const Status dup = insert(txn, frames_, frame_row(1, 99.0));
+  EXPECT_EQ(dup.code(), ErrorCode::kConstraintPrimaryKey);
+  EXPECT_EQ(engine_.row_count(frames_), 1);
+  // Original row unchanged.
+  const auto row = engine_.pk_lookup(frames_, {Value::i64(1)});
+  ASSERT_TRUE(row.is_ok());
+  EXPECT_DOUBLE_EQ((*row)[1].as_f64(), 60.0);
+}
+
+TEST_F(EngineTest, ForeignKeyViolation) {
+  const uint64_t txn = engine_.begin_transaction();
+  const Status orphan = insert(txn, objects_, object_row(100, 42));
+  EXPECT_EQ(orphan.code(), ErrorCode::kConstraintForeignKey);
+  EXPECT_EQ(engine_.row_count(objects_), 0);
+  // After the parent exists, the same row loads.
+  ASSERT_TRUE(insert(txn, frames_, frame_row(42)).is_ok());
+  EXPECT_TRUE(insert(txn, objects_, object_row(100, 42)).is_ok());
+}
+
+TEST_F(EngineTest, CheckConstraintViolations) {
+  const uint64_t txn = engine_.begin_transaction();
+  ASSERT_TRUE(insert(txn, frames_, frame_row(1)).is_ok());
+  EXPECT_EQ(insert(txn, objects_, object_row(1, 1, 400.0)).code(),
+            ErrorCode::kConstraintCheck);  // ra out of range
+  EXPECT_EQ(insert(txn, objects_, object_row(2, 1, 10.0, -95.0)).code(),
+            ErrorCode::kConstraintCheck);  // dec out of range
+  EXPECT_EQ(insert(txn, frames_, frame_row(2, -1.0)).code(),
+            ErrorCode::kConstraintCheck);  // exposure negative
+  Row nan_row = object_row(3, 1);
+  nan_row[4] = Value::f64(std::nan(""));
+  EXPECT_EQ(insert(txn, objects_, nan_row).code(),
+            ErrorCode::kConstraintCheck);
+}
+
+TEST_F(EngineTest, NotNullAndTypeMismatch) {
+  const uint64_t txn = engine_.begin_transaction();
+  Row null_pk = frame_row(1);
+  null_pk[0] = Value::null();
+  EXPECT_EQ(insert(txn, frames_, null_pk).code(),
+            ErrorCode::kConstraintNotNull);
+  Row wrong_type = frame_row(1);
+  wrong_type[1] = Value::str("sixty");
+  EXPECT_EQ(insert(txn, frames_, wrong_type).code(),
+            ErrorCode::kTypeMismatch);
+  Row wrong_arity = {Value::i64(1)};
+  EXPECT_EQ(insert(txn, frames_, wrong_arity).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(EngineTest, NullForeignKeyPasses) {
+  // SQL MATCH SIMPLE: a NULL FK column passes the constraint. Note the
+  // schema must allow NULL in the FK column for this path.
+  Schema schema;
+  TableDef parent;
+  parent.name = "p";
+  parent.col("id", ColumnType::kInt64, false);
+  parent.primary_key = {"id"};
+  ASSERT_TRUE(schema.add_table(parent).is_ok());
+  TableDef child;
+  child.name = "c";
+  child.col("id", ColumnType::kInt64, false);
+  child.col("p_id", ColumnType::kInt64, true);
+  child.primary_key = {"id"};
+  child.foreign_keys.push_back(ForeignKey{{"p_id"}, "p"});
+  ASSERT_TRUE(schema.add_table(child).is_ok());
+  Engine engine(std::move(schema));
+  const uint64_t txn = engine.begin_transaction();
+  OpCosts costs;
+  EXPECT_TRUE(engine
+                  .insert_row(txn, engine.table_id("c").value(),
+                              {Value::i64(1), Value::null()}, costs)
+                  .is_ok());
+}
+
+// ------------------------------------------------------- batch semantics ---
+
+TEST_F(EngineTest, BatchAppliesAllWhenClean) {
+  const uint64_t txn = engine_.begin_transaction();
+  std::vector<Row> rows;
+  for (int i = 0; i < 40; ++i) rows.push_back(frame_row(i));
+  const BatchResult result = engine_.insert_batch(txn, frames_, rows);
+  EXPECT_EQ(result.rows_applied, 40);
+  EXPECT_FALSE(result.error.has_value());
+  EXPECT_EQ(engine_.row_count(frames_), 40);
+}
+
+TEST_F(EngineTest, BatchStopsAtFirstErrorEarlierRowsStay) {
+  const uint64_t txn = engine_.begin_transaction();
+  ASSERT_TRUE(insert(txn, frames_, frame_row(5)).is_ok());
+  std::vector<Row> rows;
+  for (int i = 0; i < 10; ++i) rows.push_back(frame_row(i));
+  // Row index 5 duplicates the pre-inserted key.
+  const BatchResult result = engine_.insert_batch(txn, frames_, rows);
+  EXPECT_EQ(result.rows_applied, 5);  // rows 0..4 applied
+  ASSERT_TRUE(result.error.has_value());
+  EXPECT_EQ(result.error->row_index, 5u);
+  EXPECT_EQ(result.error->status.code(), ErrorCode::kConstraintPrimaryKey);
+  // Rows 6..9 were NOT applied (JDBC: remainder of batch discarded).
+  EXPECT_EQ(engine_.row_count(frames_), 6);  // 0..4 plus the original 5
+  EXPECT_FALSE(engine_.pk_lookup(frames_, {Value::i64(7)}).is_ok());
+}
+
+TEST_F(EngineTest, EmptyBatchIsNoOp) {
+  const uint64_t txn = engine_.begin_transaction();
+  const BatchResult result = engine_.insert_batch(txn, frames_, {});
+  EXPECT_EQ(result.rows_applied, 0);
+  EXPECT_FALSE(result.error.has_value());
+}
+
+TEST_F(EngineTest, BatchCostsAccumulate) {
+  const uint64_t txn = engine_.begin_transaction();
+  std::vector<Row> rows;
+  for (int i = 0; i < 100; ++i) rows.push_back(frame_row(i));
+  const BatchResult result = engine_.insert_batch(txn, frames_, rows);
+  EXPECT_EQ(result.costs.rows_applied, 100);
+  EXPECT_EQ(result.costs.index_updates, 100);  // PK tree only
+  EXPECT_GT(result.costs.index_node_visits, 100);
+  EXPECT_GT(result.costs.heap_bytes, 0);
+  EXPECT_GT(result.costs.wal_bytes, 0);
+  EXPECT_GT(result.costs.check_evals, 0);
+}
+
+// ----------------------------------------------------------- transactions ---
+
+TEST_F(EngineTest, CommitFlushesWal) {
+  const uint64_t txn = engine_.begin_transaction();
+  ASSERT_TRUE(insert(txn, frames_, frame_row(1)).is_ok());
+  const auto commit = engine_.commit(txn);
+  ASSERT_TRUE(commit.is_ok());
+  EXPECT_GT(commit->wal_bytes_flushed, 0);
+  EXPECT_EQ(engine_.wal_stats().flushes, 1);
+  // Unknown transaction errors.
+  EXPECT_FALSE(engine_.commit(999).is_ok());
+  EXPECT_FALSE(engine_.rollback(999).is_ok());
+}
+
+TEST_F(EngineTest, RollbackUndoesInserts) {
+  const uint64_t keep = engine_.begin_transaction();
+  ASSERT_TRUE(insert(keep, frames_, frame_row(1)).is_ok());
+  ASSERT_TRUE(engine_.commit(keep).is_ok());
+
+  const uint64_t doomed = engine_.begin_transaction();
+  ASSERT_TRUE(insert(doomed, frames_, frame_row(2)).is_ok());
+  ASSERT_TRUE(insert(doomed, objects_, object_row(10, 2)).is_ok());
+  EXPECT_EQ(engine_.total_rows(), 3);
+  ASSERT_TRUE(engine_.rollback(doomed).is_ok());
+  EXPECT_EQ(engine_.total_rows(), 1);
+  EXPECT_FALSE(engine_.pk_lookup(frames_, {Value::i64(2)}).is_ok());
+  EXPECT_TRUE(engine_.pk_lookup(frames_, {Value::i64(1)}).is_ok());
+  EXPECT_TRUE(engine_.verify_integrity().is_ok());
+  // Rolled-back keys can be re-inserted.
+  const uint64_t retry = engine_.begin_transaction();
+  EXPECT_TRUE(insert(retry, frames_, frame_row(2)).is_ok());
+}
+
+TEST_F(EngineTest, InsertIntoUnknownTransactionFails) {
+  OpCosts costs;
+  EXPECT_EQ(engine_.insert_row(12345, frames_, frame_row(1), costs).code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(EngineTest, TransactionGateLimitsConcurrency) {
+  Schema schema = frames_objects_schema();
+  EngineOptions options;
+  options.max_concurrent_transactions = 2;
+  Engine engine(std::move(schema), options);
+  const uint64_t t1 = engine.begin_transaction();
+  const uint64_t t2 = engine.begin_transaction();
+  std::atomic<bool> third_started{false};
+  std::thread blocked([&] {
+    const uint64_t t3 = engine.begin_transaction();  // blocks until a slot
+    third_started = true;
+    ASSERT_TRUE(engine.commit(t3).is_ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(third_started.load());
+  ASSERT_TRUE(engine.commit(t1).is_ok());
+  blocked.join();
+  EXPECT_TRUE(third_started.load());
+  EXPECT_GE(engine.txn_gate_stats().waits, 1u);
+  ASSERT_TRUE(engine.commit(t2).is_ok());
+}
+
+// ----------------------------------------------------- index maintenance ---
+
+TEST_F(EngineTest, SecondaryIndexRangeQuery) {
+  const uint64_t txn = engine_.begin_transaction();
+  ASSERT_TRUE(insert(txn, frames_, frame_row(1)).is_ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        insert(txn, objects_, object_row(i, 1, 10, 5, 15.0 + i * 0.1))
+            .is_ok());
+  }
+  const auto bright = engine_.index_range(objects_, "idx_mag",
+                                          {Value::f64(15.0)},
+                                          {Value::f64(16.0)});
+  ASSERT_TRUE(bright.is_ok());
+  EXPECT_EQ(bright->size(), 10u);  // mags 15.0 .. 15.9
+  for (const Row& row : *bright) {
+    EXPECT_LT(row[4].as_f64(), 16.0);
+  }
+}
+
+TEST_F(EngineTest, DisableAndRebuildIndex) {
+  ASSERT_TRUE(engine_.set_index_enabled(objects_, "idx_mag", false).is_ok());
+  const uint64_t txn = engine_.begin_transaction();
+  ASSERT_TRUE(insert(txn, frames_, frame_row(1)).is_ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(insert(txn, objects_, object_row(i, 1)).is_ok());
+  }
+  // Disabled index rejects queries.
+  EXPECT_EQ(engine_
+                .index_range(objects_, "idx_mag", {Value::f64(0)},
+                             {Value::f64(100)})
+                .status()
+                .code(),
+            ErrorCode::kFailedPrecondition);
+  // Rebuild restores it with all rows.
+  ASSERT_TRUE(engine_.rebuild_index(objects_, "idx_mag").is_ok());
+  const auto all = engine_.index_range(objects_, "idx_mag", {Value::f64(0)},
+                                       {Value::f64(100)});
+  ASSERT_TRUE(all.is_ok());
+  EXPECT_EQ(all->size(), 20u);
+  EXPECT_TRUE(engine_.verify_integrity().is_ok());
+  // Unknown index errors.
+  EXPECT_FALSE(engine_.set_index_enabled(objects_, "ghost", true).is_ok());
+  EXPECT_FALSE(engine_.rebuild_index(objects_, "ghost").is_ok());
+}
+
+TEST_F(EngineTest, IndexMaintenanceCostVisible) {
+  // With the secondary index enabled, inserts touch more index structures.
+  auto run = [this](bool enabled) {
+    Engine engine(frames_objects_schema());
+    const uint32_t frames = engine.table_id("frames").value();
+    const uint32_t objects = engine.table_id("objects").value();
+    if (!enabled) {
+      EXPECT_TRUE(
+          engine.set_index_enabled(objects, "idx_mag", false).is_ok());
+    }
+    const uint64_t txn = engine.begin_transaction();
+    OpCosts setup;
+    EXPECT_TRUE(engine.insert_row(txn, frames, frame_row(1), setup).is_ok());
+    std::vector<Row> rows;
+    for (int i = 0; i < 200; ++i) rows.push_back(object_row(i, 1));
+    return engine.insert_batch(txn, objects, rows).costs.index_updates;
+  };
+  EXPECT_GT(run(true), run(false));
+}
+
+TEST_F(EngineTest, BulkLoadSortedPreload) {
+  std::vector<Row> rows;
+  for (int i = 0; i < 1000; ++i) rows.push_back(frame_row(i));
+  ASSERT_TRUE(engine_.bulk_load_sorted(frames_, rows).is_ok());
+  EXPECT_EQ(engine_.row_count(frames_), 1000);
+  EXPECT_TRUE(engine_.pk_lookup(frames_, {Value::i64(500)}).is_ok());
+  EXPECT_TRUE(engine_.verify_integrity().is_ok());
+  // Preload requires empty table.
+  EXPECT_EQ(engine_.bulk_load_sorted(frames_, rows).code(),
+            ErrorCode::kFailedPrecondition);
+  // Loading continues on top of preloaded data.
+  const uint64_t txn = engine_.begin_transaction();
+  EXPECT_TRUE(insert(txn, frames_, frame_row(5000)).is_ok());
+  EXPECT_EQ(insert(txn, frames_, frame_row(500)).code(),
+            ErrorCode::kConstraintPrimaryKey);
+}
+
+TEST_F(EngineTest, BulkLoadSortedRejectsUnsorted) {
+  EXPECT_FALSE(
+      engine_.bulk_load_sorted(frames_, {frame_row(2), frame_row(1)}).is_ok());
+}
+
+// ----------------------------------------------------------------- queries ---
+
+TEST_F(EngineTest, PkRangeAndScan) {
+  const uint64_t txn = engine_.begin_transaction();
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(insert(txn, frames_, frame_row(i, i * 10.0)).is_ok());
+  }
+  const auto range =
+      engine_.pk_range(frames_, {Value::i64(10)}, {Value::i64(20)});
+  ASSERT_TRUE(range.is_ok());
+  EXPECT_EQ(range->size(), 10u);
+  const auto filtered = engine_.scan_collect(frames_, [](const Row& row) {
+    return row[1].as_f64() >= 250.0;
+  });
+  EXPECT_EQ(filtered.size(), 5u);  // 250, 260, 270, 280, 290
+}
+
+TEST_F(EngineTest, PkLookupErrors) {
+  EXPECT_FALSE(engine_.pk_lookup(frames_, {Value::i64(1)}).is_ok());
+  EXPECT_FALSE(engine_.pk_lookup(frames_, {Value::i64(1), Value::i64(2)})
+                   .is_ok());  // arity
+  EXPECT_FALSE(engine_.pk_lookup(999, {Value::i64(1)}).is_ok());
+}
+
+// --------------------------------------------------------------- telemetry ---
+
+TEST_F(EngineTest, WalRecordsRetainedWhenRequested) {
+  EngineOptions options;
+  options.retain_wal_records = true;
+  Engine engine(frames_objects_schema(), options);
+  const uint64_t txn = engine.begin_transaction();
+  OpCosts costs;
+  ASSERT_TRUE(engine
+                  .insert_row(txn, engine.table_id("frames").value(),
+                              frame_row(1), costs)
+                  .is_ok());
+  ASSERT_TRUE(engine.commit(txn).is_ok());
+  ASSERT_EQ(engine.wal_records().size(), 2u);
+  EXPECT_EQ(engine.wal_records()[0].type, storage::WalRecordType::kInsert);
+  EXPECT_EQ(engine.wal_records()[1].type, storage::WalRecordType::kCommit);
+  // The insert payload replays to the original row.
+  const auto replayed = decode_row(engine.wal_records()[0].payload);
+  ASSERT_TRUE(replayed.is_ok());
+  EXPECT_EQ((*replayed)[0].as_i64(), 1);
+}
+
+TEST_F(EngineTest, InsertObserverSeesOrder) {
+  std::vector<uint32_t> order;
+  engine_.set_insert_observer(
+      [&](uint32_t table, uint64_t) { order.push_back(table); });
+  const uint64_t txn = engine_.begin_transaction();
+  ASSERT_TRUE(insert(txn, frames_, frame_row(1)).is_ok());
+  ASSERT_TRUE(insert(txn, objects_, object_row(1, 1)).is_ok());
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], frames_);
+  EXPECT_EQ(order[1], objects_);
+}
+
+// ------------------------------------------------------------ thread safety ---
+
+TEST_F(EngineTest, ConcurrentLoadersKeepIntegrity) {
+  // Seed a parent frame per worker, then hammer objects from 4 threads.
+  const uint64_t setup = engine_.begin_transaction();
+  for (int w = 0; w < 4; ++w) {
+    ASSERT_TRUE(insert(setup, frames_, frame_row(w)).is_ok());
+  }
+  ASSERT_TRUE(engine_.commit(setup).is_ok());
+
+  std::vector<std::thread> workers;
+  std::atomic<int> failures{0};
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&, w] {
+      const uint64_t txn = engine_.begin_transaction();
+      std::vector<Row> rows;
+      for (int i = 0; i < 500; ++i) {
+        rows.push_back(object_row(w * 10000 + i, w));
+      }
+      for (size_t start = 0; start < rows.size(); start += 40) {
+        const size_t n = std::min<size_t>(40, rows.size() - start);
+        const auto result = engine_.insert_batch(
+            txn, objects_, std::span<const Row>(&rows[start], n));
+        if (result.error.has_value()) ++failures;
+      }
+      if (!engine_.commit(txn).is_ok()) ++failures;
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(engine_.row_count(objects_), 2000);
+  EXPECT_TRUE(engine_.verify_integrity().is_ok());
+}
+
+// ------------------------------------------------- randomized differential ---
+
+class EngineFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EngineFuzz, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  Engine engine(frames_objects_schema());
+  const uint32_t frames = engine.table_id("frames").value();
+  const uint32_t objects = engine.table_id("objects").value();
+  std::set<int64_t> ref_frames;
+  std::map<int64_t, int64_t> ref_objects;  // id -> frame
+
+  const uint64_t txn = engine.begin_transaction();
+  OpCosts costs;
+  for (int op = 0; op < 2000; ++op) {
+    if (rng.bernoulli(0.3)) {
+      const int64_t id = rng.uniform_int(0, 60);
+      const Status status = engine.insert_row(txn, frames, frame_row(id),
+                                              costs);
+      if (ref_frames.count(id) > 0) {
+        EXPECT_EQ(status.code(), ErrorCode::kConstraintPrimaryKey);
+      } else {
+        EXPECT_TRUE(status.is_ok());
+        ref_frames.insert(id);
+      }
+    } else {
+      const int64_t id = rng.uniform_int(0, 1500);
+      const int64_t frame = rng.uniform_int(0, 80);  // often dangling
+      const Status status =
+          engine.insert_row(txn, objects, object_row(id, frame), costs);
+      if (ref_objects.count(id) > 0) {
+        // PK is checked before FK in our engine.
+        EXPECT_EQ(status.code(), ErrorCode::kConstraintPrimaryKey);
+      } else if (ref_frames.count(frame) == 0) {
+        EXPECT_EQ(status.code(), ErrorCode::kConstraintForeignKey);
+      } else {
+        EXPECT_TRUE(status.is_ok()) << status.to_string();
+        ref_objects[id] = frame;
+      }
+    }
+  }
+  EXPECT_EQ(engine.row_count(frames),
+            static_cast<int64_t>(ref_frames.size()));
+  EXPECT_EQ(engine.row_count(objects),
+            static_cast<int64_t>(ref_objects.size()));
+  EXPECT_TRUE(engine.verify_integrity().is_ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzz,
+                         ::testing::Values(101, 102, 103, 104, 105));
+
+}  // namespace
+}  // namespace sky::db

@@ -1,0 +1,311 @@
+// HTM tests: vector math, id structure invariants (prefix property, depth
+// ranges, round trips), containment, and cone-cover correctness properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "htm/htm.h"
+
+namespace sky::htm {
+namespace {
+
+Vec3 random_direction(Rng& rng) {
+  // Uniform on the sphere via z/phi.
+  const double z = rng.uniform_range(-1.0, 1.0);
+  const double phi = rng.uniform_range(0.0, 2 * 3.14159265358979323846);
+  const double r = std::sqrt(std::max(0.0, 1.0 - z * z));
+  return {r * std::cos(phi), r * std::sin(phi), z};
+}
+
+// ------------------------------------------------------------ vector math ---
+
+TEST(HtmVectorTest, RaDecRoundTrip) {
+  for (double ra : {0.0, 45.0, 123.456, 270.0, 359.9}) {
+    for (double dec : {-89.0, -30.0, 0.0, 15.5, 89.0}) {
+      const Vec3 v = radec_to_vector(ra, dec);
+      EXPECT_NEAR(v.norm(), 1.0, 1e-12);
+      double ra_out = 0, dec_out = 0;
+      vector_to_radec(v, &ra_out, &dec_out);
+      EXPECT_NEAR(ra_out, ra, 1e-9);
+      EXPECT_NEAR(dec_out, dec, 1e-9);
+    }
+  }
+}
+
+TEST(HtmVectorTest, AngularDistance) {
+  const Vec3 x = radec_to_vector(0, 0);
+  EXPECT_NEAR(angular_distance_deg(x, radec_to_vector(0, 0)), 0.0, 1e-9);
+  EXPECT_NEAR(angular_distance_deg(x, radec_to_vector(90, 0)), 90.0, 1e-9);
+  EXPECT_NEAR(angular_distance_deg(x, radec_to_vector(180, 0)), 180.0, 1e-9);
+  EXPECT_NEAR(angular_distance_deg(x, radec_to_vector(0, 90)), 90.0, 1e-9);
+  // Tiny separations are resolved accurately.
+  EXPECT_NEAR(angular_distance_deg(x, radec_to_vector(1e-5, 0)), 1e-5, 1e-9);
+}
+
+TEST(HtmVectorTest, CrossAndDot) {
+  const Vec3 x{1, 0, 0}, y{0, 1, 0}, z{0, 0, 1};
+  const Vec3 c = x.cross(y);
+  EXPECT_NEAR(c.x, z.x, 1e-15);
+  EXPECT_NEAR(c.y, z.y, 1e-15);
+  EXPECT_NEAR(c.z, z.z, 1e-15);
+  EXPECT_DOUBLE_EQ(x.dot(y), 0.0);
+}
+
+// ------------------------------------------------------------ id structure ---
+
+TEST(HtmIdTest, RootIdsAndDepthRanges) {
+  for (const Trixel& root : root_trixels()) {
+    EXPECT_GE(root.id, 8u);
+    EXPECT_LT(root.id, 16u);
+    EXPECT_EQ(depth_of_id(root.id).value(), 0);
+  }
+  EXPECT_EQ(depth_of_id(32).value(), 1);   // 8 * 4
+  EXPECT_EQ(depth_of_id(63).value(), 1);   // 16 * 4 - 1
+  EXPECT_FALSE(depth_of_id(0).is_ok());
+  EXPECT_FALSE(depth_of_id(7).is_ok());
+}
+
+TEST(HtmIdTest, IdWithinDepthRange) {
+  Rng rng(5);
+  for (int depth : {0, 1, 5, 10, kDefaultDepth}) {
+    for (int i = 0; i < 50; ++i) {
+      const uint64_t id = htm_id(random_direction(rng), depth);
+      const uint64_t lo = 8ULL << (2 * depth);
+      const uint64_t hi = 16ULL << (2 * depth);
+      EXPECT_GE(id, lo);
+      EXPECT_LT(id, hi);
+      EXPECT_EQ(depth_of_id(id).value(), depth);
+    }
+  }
+}
+
+TEST(HtmIdTest, PrefixProperty) {
+  // The depth-d id is a prefix of the depth-(d+1) id: parent = child >> 2.
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    const Vec3 p = random_direction(rng);
+    for (int depth = 0; depth < 12; ++depth) {
+      const uint64_t coarse = htm_id(p, depth);
+      const uint64_t fine = htm_id(p, depth + 1);
+      EXPECT_EQ(fine >> 2, coarse);
+    }
+  }
+}
+
+TEST(HtmIdTest, ContainmentRoundTrip) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const Vec3 p = random_direction(rng);
+    const uint64_t id = htm_id(p, 10);
+    const auto contains = id_contains(id, p);
+    ASSERT_TRUE(contains.is_ok());
+    EXPECT_TRUE(*contains);
+  }
+}
+
+TEST(HtmIdTest, TrixelFromIdRoundTrip) {
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t id = htm_id(random_direction(rng), 8);
+    const auto trixel = trixel_from_id(id);
+    ASSERT_TRUE(trixel.is_ok());
+    EXPECT_EQ(trixel->id, id);
+    for (const Vec3& v : trixel->v) EXPECT_NEAR(v.norm(), 1.0, 1e-12);
+  }
+  EXPECT_FALSE(trixel_from_id(3).is_ok());
+}
+
+TEST(HtmIdTest, NameRoundTrip) {
+  EXPECT_EQ(id_to_name(8).value(), "S0");
+  EXPECT_EQ(id_to_name(15).value(), "N3");
+  EXPECT_EQ(id_to_name(8 * 4 + 2).value(), "S02");
+  EXPECT_EQ(name_to_id("S0").value(), 8u);
+  EXPECT_EQ(name_to_id("N3").value(), 15u);
+  EXPECT_EQ(name_to_id("N31").value(), 15u * 4 + 1);
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t id = htm_id(random_direction(rng), 12);
+    EXPECT_EQ(name_to_id(id_to_name(id).value()).value(), id);
+  }
+  EXPECT_FALSE(name_to_id("X0").is_ok());
+  EXPECT_FALSE(name_to_id("N").is_ok());
+  EXPECT_FALSE(name_to_id("N4").is_ok());
+  EXPECT_FALSE(name_to_id("N05x").is_ok());
+}
+
+TEST(HtmIdTest, DistinctDirectionsSeparateAtDepth) {
+  // Two points ~1 degree apart must land in different depth-10 trixels
+  // (depth-10 trixels are ~0.1 degrees across).
+  const uint64_t a = htm_id_radec(10.0, 10.0, 10);
+  const uint64_t b = htm_id_radec(11.0, 10.0, 10);
+  EXPECT_NE(a, b);
+}
+
+TEST(HtmIdTest, NeighborhoodLocality) {
+  // Points very close together share a deep id.
+  const uint64_t a = htm_id_radec(45.0, 20.0, 8);
+  const uint64_t b = htm_id_radec(45.0 + 1e-9, 20.0 + 1e-9, 8);
+  EXPECT_EQ(a, b);
+}
+
+TEST(HtmIdTest, EveryRootClaimsItsCenter) {
+  for (const Trixel& root : root_trixels()) {
+    const Vec3 center =
+        (root.v[0] + root.v[1] + root.v[2]).normalized();
+    EXPECT_EQ(htm_id(center, 0), root.id);
+  }
+}
+
+// -------------------------------------------------------------- cone cover ---
+
+bool ranges_cover(const std::vector<IdRange>& ranges, uint64_t id) {
+  for (const IdRange& range : ranges) {
+    if (id >= range.first && id < range.last) return true;
+  }
+  return false;
+}
+
+TEST(ConeCoverTest, RangesSortedDisjointCoalesced) {
+  const auto ranges = cone_cover(radec_to_vector(30, 40), 2.0, 8);
+  ASSERT_FALSE(ranges.empty());
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    EXPECT_LT(ranges[i].first, ranges[i].last);
+    if (i > 0) {
+      EXPECT_GT(ranges[i].first, ranges[i - 1].last);
+    }
+  }
+}
+
+TEST(ConeCoverTest, CenterAlwaysCovered) {
+  Rng rng(10);
+  for (int i = 0; i < 50; ++i) {
+    const Vec3 center = random_direction(rng);
+    const auto ranges = cone_cover(center, 1.0, 10);
+    EXPECT_TRUE(ranges_cover(ranges, htm_id(center, 10)));
+  }
+}
+
+class ConeCoverProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(ConeCoverProperty, EveryInsidePointCovered) {
+  const double radius = GetParam();
+  Rng rng(static_cast<uint64_t>(radius * 1000) + 11);
+  const int depth = 9;
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vec3 center = random_direction(rng);
+    const auto ranges = cone_cover(center, radius, depth);
+    // Sample points inside the cap; all must fall in covered trixels.
+    for (int i = 0; i < 50; ++i) {
+      double ra = 0, dec = 0;
+      vector_to_radec(center, &ra, &dec);
+      // Random offset within the cap (crude but inside by construction).
+      const double t = rng.uniform_range(0.0, radius * 0.99);
+      const double bearing = rng.uniform_range(0.0, 360.0);
+      // Walk t degrees along the bearing using the tangent basis.
+      const Vec3 north{0, 0, 1};
+      Vec3 east = north.cross(center);
+      if (east.norm() < 1e-9) east = Vec3{0, 1, 0};
+      east = east.normalized();
+      const Vec3 up = center.cross(east).normalized();
+      const double tr = t * 3.14159265358979323846 / 180.0;
+      const double br = bearing * 3.14159265358979323846 / 180.0;
+      const Vec3 point =
+          (center * std::cos(tr) +
+           (east * std::cos(br) + up * std::sin(br)) * std::sin(tr))
+              .normalized();
+      ASSERT_LE(angular_distance_deg(center, point), radius + 1e-9);
+      EXPECT_TRUE(ranges_cover(ranges, htm_id(point, depth)))
+          << "radius=" << radius << " trial=" << trial;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, ConeCoverProperty,
+                         ::testing::Values(0.05, 0.5, 2.0, 10.0, 45.0));
+
+TEST(ConeCoverTest, SmallConeIsSmall) {
+  // A 0.1-degree cone at depth 8 must not cover a large fraction of the sky.
+  const auto ranges = cone_cover(radec_to_vector(100, -30), 0.1, 8);
+  uint64_t covered = 0;
+  for (const IdRange& range : ranges) covered += range.last - range.first;
+  const uint64_t total = 8ULL << (2 * 8);  // number of depth-8 trixels
+  EXPECT_LT(covered, total / 1000);
+}
+
+TEST(ConeCoverTest, FullSkyRadiusCoversEverything) {
+  const auto ranges = cone_cover(radec_to_vector(0, 0), 90.0, 4);
+  uint64_t covered = 0;
+  for (const IdRange& range : ranges) covered += range.last - range.first;
+  // A 90-degree cap is half the sphere; cover must be at least that.
+  const uint64_t total = 8ULL << (2 * 4);
+  EXPECT_GE(covered, total / 2);
+}
+
+TEST(SolidAngleTest, RootTrixelsTileTheSphere) {
+  // Eight root trixels cover 4*pi steradians exactly.
+  double total = 0;
+  for (const Trixel& root : root_trixels()) {
+    const double area = trixel_solid_angle_sr(root);
+    EXPECT_NEAR(area, 4.0 * 3.14159265358979323846 / 8.0, 1e-9);
+    total += area;
+  }
+  EXPECT_NEAR(total, 4.0 * 3.14159265358979323846, 1e-9);
+}
+
+TEST(SolidAngleTest, ChildrenPartitionTheParent) {
+  // The four children of any trixel tile it (areas sum to the parent's).
+  Rng rng(77);
+  for (int trial = 0; trial < 30; ++trial) {
+    const uint64_t id = htm_id(random_direction(rng), 5);
+    const auto parent = trixel_from_id(id);
+    ASSERT_TRUE(parent.is_ok());
+    double children_total = 0;
+    for (uint64_t k = 0; k < 4; ++k) {
+      const auto child = trixel_from_id(id * 4 + k);
+      ASSERT_TRUE(child.is_ok());
+      children_total += trixel_solid_angle_sr(*child);
+    }
+    EXPECT_NEAR(children_total, trixel_solid_angle_sr(*parent), 1e-9);
+  }
+}
+
+TEST(SolidAngleTest, CapArea) {
+  EXPECT_NEAR(cap_solid_angle_sr(90.0), 2.0 * 3.14159265358979323846, 1e-9);
+  EXPECT_NEAR(cap_solid_angle_sr(0.0), 0.0, 1e-12);
+  // Small-angle approximation: pi * r^2.
+  const double r = 0.5 * 3.14159265358979323846 / 180.0;
+  EXPECT_NEAR(cap_solid_angle_sr(0.5),
+              3.14159265358979323846 * r * r, 1e-8);
+}
+
+TEST(ConeCoverTest, CoverIsReasonablyTight) {
+  // The cover's total trixel area must not blow up relative to the cap:
+  // at a depth where trixels are much smaller than the cap, the cover stays
+  // within a small constant factor of the cap area.
+  Rng rng(78);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Vec3 center = random_direction(rng);
+    const double radius = 2.0;
+    const int depth = 10;  // trixel edge ~0.1 deg << radius
+    double covered = 0;
+    for (const IdRange& range : cone_cover(center, radius, depth)) {
+      for (uint64_t id = range.first; id < range.last; ++id) {
+        covered += trixel_solid_angle_sr(*trixel_from_id(id));
+      }
+    }
+    const double cap = cap_solid_angle_sr(radius);
+    EXPECT_GE(covered, cap * 0.999);  // covers the cap
+    EXPECT_LE(covered, cap * 1.6);    // without gross overshoot
+  }
+}
+
+TEST(ConeCoverTest, ZeroRadiusStillFindsHostTrixel) {
+  const Vec3 p = radec_to_vector(222.2, -33.3);
+  const auto ranges = cone_cover(p, 0.0, 12);
+  EXPECT_TRUE(ranges_cover(ranges, htm_id(p, 12)));
+}
+
+}  // namespace
+}  // namespace sky::htm

@@ -1,0 +1,289 @@
+// End-to-end integration tests across the whole stack:
+// generate -> parse -> load (real threads and simulation) -> query ->
+// recover, plus cross-mode equivalence, determinism, the catch-up index
+// rebuild workflow, and config-file-driven array-set tuning.
+#include <gtest/gtest.h>
+
+#include "catalog/generator.h"
+#include "catalog/parser.h"
+#include "catalog/pq_schema.h"
+#include "client/sim_session.h"
+#include "core/coordinator.h"
+#include "core/tuning.h"
+#include "db/query.h"
+#include "db/recovery.h"
+#include "htm/htm.h"
+
+namespace sky {
+namespace {
+
+const std::string& reference_text() {
+  static const std::string text =
+      catalog::CatalogGenerator::reference_file().text;
+  return text;
+}
+
+std::vector<core::CatalogFile> small_night(uint64_t seed, int64_t night,
+                                           double error_rate = 0.0) {
+  std::vector<core::CatalogFile> files;
+  for (const auto& spec : catalog::CatalogGenerator::observation_specs(
+           seed, night, 600 * 1024, error_rate)) {
+    files.push_back(core::CatalogFile{
+        spec.name, catalog::CatalogGenerator::generate(spec).text});
+  }
+  return files;
+}
+
+void load_reference_direct(db::Engine& engine, const db::Schema& schema) {
+  client::DirectSession session(engine);
+  core::BulkLoaderOptions options;
+  options.write_audit_row = false;
+  core::BulkLoader loader(session, schema, options);
+  ASSERT_TRUE(loader.load_text("reference", reference_text()).is_ok());
+}
+
+TEST(IntegrationTest, RealAndSimModesProduceIdenticalRepositories) {
+  const db::Schema schema = catalog::make_pq_schema();
+  const auto files = small_night(2001, 31, /*error_rate=*/0.02);
+
+  // Real-thread load.
+  db::Engine real_engine(schema);
+  load_reference_direct(real_engine, schema);
+  core::CoordinatorOptions options;
+  options.parallel_degree = 3;
+  options.loader.write_audit_row = false;
+  const auto real_report = core::LoadCoordinator::run_threads(
+      files, schema,
+      [&](int) { return std::make_unique<client::DirectSession>(real_engine); },
+      options);
+  ASSERT_TRUE(real_report.is_ok());
+
+  // Simulated load of the same files.
+  db::Engine sim_engine(schema);
+  load_reference_direct(sim_engine, schema);
+  sim::Environment env;
+  client::SimServer server(env, sim_engine, client::ServerConfig{});
+  const auto sim_report =
+      core::LoadCoordinator::run_sim(env, server, files, schema, options);
+  ASSERT_TRUE(sim_report.is_ok());
+
+  // Same final repository, bit-for-bit at the logical level — the loader's
+  // outcome is independent of the execution backend.
+  EXPECT_TRUE(db::engines_equivalent(real_engine, sim_engine).is_ok());
+  EXPECT_EQ(real_report->total_rows_loaded, sim_report->total_rows_loaded);
+  EXPECT_TRUE(real_engine.verify_integrity().is_ok());
+}
+
+TEST(IntegrationTest, SimulationFullyDeterministic) {
+  const db::Schema schema = catalog::make_pq_schema();
+  const auto files = small_night(2002, 32, /*error_rate=*/0.05);
+  auto run = [&]() {
+    db::Engine engine(schema);
+    load_reference_direct(engine, schema);
+    sim::Environment env;
+    client::SimServer server(env, engine, client::ServerConfig{});
+    core::CoordinatorOptions options;
+    options.parallel_degree = 4;
+    options.loader.write_audit_row = false;
+    const auto report =
+        core::LoadCoordinator::run_sim(env, server, files, schema, options);
+    EXPECT_TRUE(report.is_ok());
+    return std::tuple<Nanos, int64_t, int64_t>(
+        report->makespan, report->total_rows_loaded, engine.total_rows());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(IntegrationTest, CatchUpThenRebuildCompositeIndexAndQuery) {
+  // The paper's production plan: load with the composite index delayed,
+  // rebuild it once the catch-up phase completes, then serve queries on it.
+  const db::Schema schema = catalog::make_pq_schema();
+  const core::TuningProfile profile = core::TuningProfile::production();
+  db::Engine engine(schema, profile.engine_options());
+  ASSERT_TRUE(profile.apply_index_policy(engine).is_ok());
+  load_reference_direct(engine, schema);
+
+  client::DirectSession session(engine);
+  core::BulkLoader loader(session, schema, profile.bulk_options());
+  catalog::FileSpec spec;
+  spec.seed = 2003;
+  spec.unit_id = 33;
+  spec.target_bytes = 256 * 1024;
+  const auto report =
+      loader.load_text("catchup.cat",
+                       catalog::CatalogGenerator::generate(spec).text);
+  ASSERT_TRUE(report.is_ok());
+  ASSERT_EQ(report->total_skipped(), 0);
+
+  const uint32_t objects = engine.table_id("objects").value();
+  db::QueryPlanner planner(engine);
+  db::QuerySpec by_position;
+  by_position.table = "objects";
+  by_position.conditions = {
+      {"ra", db::Condition::Op::kGe, db::Value::f64(0.0)},
+      {"ra", db::Condition::Op::kLt, db::Value::f64(360.0)}};
+
+  // During catch-up the composite index is down: the planner full-scans.
+  const auto during = planner.execute(by_position);
+  ASSERT_TRUE(during.is_ok());
+  EXPECT_EQ(during->plan, "FULL SCAN objects");
+
+  // Catch-up done: rebuild, and the same query now uses the index.
+  ASSERT_TRUE(engine.rebuild_index(objects, catalog::kIndexRaDecMag).is_ok());
+  const auto after = planner.execute(by_position);
+  ASSERT_TRUE(after.is_ok());
+  EXPECT_EQ(after->plan, std::string("INDEX RANGE ") +
+                             std::string(catalog::kIndexRaDecMag));
+  EXPECT_EQ(after->rows.size(), during->rows.size());
+  EXPECT_TRUE(engine.verify_integrity().is_ok());
+}
+
+TEST(IntegrationTest, ConfigFileDrivenArraySet) {
+  // The future-work extension: per-table array sizes from an INI file.
+  const db::Schema schema = catalog::make_pq_schema();
+  const auto config = Config::parse(R"(
+[array_set]
+default_rows = 400
+fingers = 2000
+objects = 800
+memory_high_water_bytes = 3000000
+)");
+  ASSERT_TRUE(config.is_ok());
+  const auto array_config = core::ArraySet::Config::from_config(*config, schema);
+  ASSERT_TRUE(array_config.is_ok());
+
+  db::Engine engine(schema);
+  load_reference_direct(engine, schema);
+  client::DirectSession session(engine);
+  core::BulkLoaderOptions options;
+  options.array_config = *array_config;
+  options.write_audit_row = false;
+  core::BulkLoader loader(session, schema, options);
+  catalog::FileSpec spec;
+  spec.seed = 2004;
+  spec.unit_id = 34;
+  spec.target_bytes = 128 * 1024;
+  const auto file = catalog::CatalogGenerator::generate(spec);
+  const auto report = loader.load_text("tuned.cat", file.text);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_EQ(report->total_skipped(), 0);
+  EXPECT_EQ(report->rows_loaded, file.data_lines);
+  // With fingers given 5x the default array, cycles are fewer than the
+  // default config would produce on the same data.
+  db::Engine engine2(schema);
+  load_reference_direct(engine2, schema);
+  client::DirectSession session2(engine2);
+  core::BulkLoaderOptions default_options;
+  default_options.array_config.default_rows = 400;
+  default_options.write_audit_row = false;
+  core::BulkLoader default_loader(session2, schema, default_options);
+  const auto default_report = default_loader.load_text("tuned.cat", file.text);
+  ASSERT_TRUE(default_report.is_ok());
+  EXPECT_LT(report->flush_cycles, default_report->flush_cycles);
+}
+
+TEST(IntegrationTest, ParallelNightSurvivesWalRecovery) {
+  const db::Schema schema = catalog::make_pq_schema();
+  db::EngineOptions engine_options;
+  engine_options.retain_wal_records = true;
+  db::Engine engine(schema, engine_options);
+  load_reference_direct(engine, schema);
+  const auto files = small_night(2005, 35, /*error_rate=*/0.03);
+  core::CoordinatorOptions options;
+  options.parallel_degree = 3;
+  options.loader.write_audit_row = true;
+  const auto report = core::LoadCoordinator::run_threads(
+      files, schema,
+      [&](int) { return std::make_unique<client::DirectSession>(engine); },
+      options);
+  ASSERT_TRUE(report.is_ok());
+
+  db::RecoveryStats stats;
+  const auto recovered = db::recover_from_wal(schema, engine.wal_records(),
+                                              db::EngineOptions{}, &stats);
+  ASSERT_TRUE(recovered.is_ok()) << recovered.status().to_string();
+  EXPECT_TRUE(db::engines_equivalent(engine, **recovered).is_ok());
+  EXPECT_TRUE((*recovered)->verify_integrity().is_ok());
+  EXPECT_EQ(stats.rows_replayed, engine.total_rows());
+}
+
+TEST(IntegrationTest, ConeSearchThroughHtmIndexMatchesBruteForce) {
+  const db::Schema schema = catalog::make_pq_schema();
+  db::Engine engine(schema);
+  load_reference_direct(engine, schema);
+  client::DirectSession session(engine);
+  core::BulkLoader loader(session, schema, core::BulkLoaderOptions{});
+  catalog::FileSpec spec;
+  spec.seed = 2006;
+  spec.unit_id = 36;
+  spec.target_bytes = 256 * 1024;
+  ASSERT_TRUE(
+      loader
+          .load_text("sky.cat", catalog::CatalogGenerator::generate(spec).text)
+          .is_ok());
+
+  const uint32_t objects = engine.table_id("objects").value();
+  const auto sample =
+      engine.scan_collect(objects, [](const db::Row&) { return true; });
+  ASSERT_FALSE(sample.empty());
+  const double ra = sample[sample.size() / 2][2].as_f64();
+  const double dec = sample[sample.size() / 2][3].as_f64();
+  const htm::Vec3 center = htm::radec_to_vector(ra, dec);
+  for (const double radius : {0.05, 0.3, 1.0}) {
+    std::set<int64_t> via_index;
+    for (const htm::IdRange& range : htm::cone_cover(
+             center, radius, catalog::CatalogParser::kHtmDepth)) {
+      const auto rows = engine.index_range(
+          objects, catalog::kIndexHtmid,
+          {db::Value::i64(static_cast<int64_t>(range.first))},
+          {db::Value::i64(static_cast<int64_t>(range.last))});
+      ASSERT_TRUE(rows.is_ok());
+      for (const db::Row& row : *rows) {
+        if (htm::angular_distance_deg(
+                center, htm::radec_to_vector(row[2].as_f64(),
+                                             row[3].as_f64())) <= radius) {
+          via_index.insert(row[0].as_i64());
+        }
+      }
+    }
+    std::set<int64_t> via_scan;
+    for (const db::Row& row : sample) {
+      if (htm::angular_distance_deg(
+              center, htm::radec_to_vector(row[2].as_f64(),
+                                           row[3].as_f64())) <= radius) {
+        via_scan.insert(row[0].as_i64());
+      }
+    }
+    EXPECT_EQ(via_index, via_scan) << "radius " << radius;
+  }
+}
+
+TEST(IntegrationTest, TwoNightsAccumulate) {
+  // Consecutive observations load into the same repository without
+  // interference (distinct per-night id spaces).
+  const db::Schema schema = catalog::make_pq_schema();
+  db::Engine engine(schema);
+  load_reference_direct(engine, schema);
+  core::CoordinatorOptions options;
+  options.parallel_degree = 2;
+  int64_t after_first = 0;
+  for (int night = 1; night <= 2; ++night) {
+    const auto files = small_night(3000 + static_cast<uint64_t>(night), night);
+    const auto report = core::LoadCoordinator::run_threads(
+        files, schema,
+        [&](int) { return std::make_unique<client::DirectSession>(engine); },
+        options);
+    ASSERT_TRUE(report.is_ok());
+    int64_t skipped = 0;
+    for (const auto& file : report->files) skipped += file.total_skipped();
+    EXPECT_EQ(skipped, 0) << "night " << night;
+    if (night == 1) after_first = engine.total_rows();
+  }
+  EXPECT_GT(engine.total_rows(), after_first * 3 / 2);
+  EXPECT_TRUE(engine.verify_integrity().is_ok());
+  // 28 audit rows per night.
+  EXPECT_EQ(engine.row_count(engine.table_id("load_audit").value()), 56);
+}
+
+}  // namespace
+}  // namespace sky

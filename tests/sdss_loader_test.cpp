@@ -1,0 +1,152 @@
+// SDSS-style two-phase loader tests: result equivalence with SkyLoader,
+// phase accounting, validation behaviour on dirty data, and the section 6
+// hypothesis (single-pass is cheaper) in simulation.
+#include <gtest/gtest.h>
+
+#include "catalog/generator.h"
+#include "catalog/pq_schema.h"
+#include "client/sim_session.h"
+#include "core/bulk_loader.h"
+#include "core/sdss_loader.h"
+#include "db/engine.h"
+
+namespace sky::core {
+namespace {
+
+SdssLoaderOptions sdss_options() {
+  SdssLoaderOptions options;
+  options.reference_seed_text =
+      catalog::CatalogGenerator::reference_file().text;
+  return options;
+}
+
+void load_reference(client::Session& session, const db::Schema& schema) {
+  BulkLoaderOptions options;
+  options.write_audit_row = false;
+  BulkLoader loader(session, schema, options);
+  ASSERT_TRUE(
+      loader
+          .load_text("reference",
+                     catalog::CatalogGenerator::reference_file().text)
+          .is_ok());
+}
+
+catalog::GeneratedFile test_file(double error_rate) {
+  catalog::FileSpec spec;
+  spec.seed = 111;
+  spec.unit_id = 41;
+  spec.target_bytes = 80 * 1024;
+  spec.error_rate = error_rate;
+  return catalog::CatalogGenerator::generate(spec);
+}
+
+TEST(SdssLoaderTest, CleanFileMatchesSkyLoaderResults) {
+  const db::Schema schema = catalog::make_pq_schema();
+  const auto file = test_file(0.0);
+
+  db::Engine sdss_engine(schema);
+  {
+    client::DirectSession session(sdss_engine);
+    load_reference(session, schema);
+    SdssStyleLoader loader(session, schema, sdss_options());
+    const auto report = loader.load_text("f.cat", file.text);
+    ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+    EXPECT_EQ(report->rows_loaded, file.data_lines);
+    EXPECT_EQ(report->total_skipped(), 0);
+  }
+  db::Engine sky_engine(schema);
+  {
+    client::DirectSession session(sky_engine);
+    load_reference(session, schema);
+    BulkLoaderOptions options;
+    options.write_audit_row = false;
+    BulkLoader loader(session, schema, options);
+    ASSERT_TRUE(loader.load_text("f.cat", file.text).is_ok());
+  }
+  // Same row counts table by table.
+  for (uint32_t t = 0; t < static_cast<uint32_t>(schema.table_count()); ++t) {
+    EXPECT_EQ(sdss_engine.row_count(t), sky_engine.row_count(t))
+        << schema.table(t).name;
+  }
+  EXPECT_TRUE(sdss_engine.verify_integrity().is_ok());
+}
+
+TEST(SdssLoaderTest, DirtyDataCaughtInTaskPhase) {
+  const db::Schema schema = catalog::make_pq_schema();
+  const auto file = test_file(0.08);
+  db::Engine engine(schema);
+  client::DirectSession session(engine);
+  load_reference(session, schema);
+  SdssStyleLoader loader(session, schema, sdss_options());
+  const auto report = loader.load_text("dirty.cat", file.text);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_GT(report->total_skipped(), 0);
+  EXPECT_GE(report->total_skipped(), file.injected_errors);
+  // Everything that survived validation published cleanly.
+  EXPECT_TRUE(engine.verify_integrity().is_ok());
+  EXPECT_EQ(report->rows_loaded + report->rows_skipped_server +
+                report->parse_errors,
+            file.data_lines);
+}
+
+TEST(SdssLoaderTest, PhaseBreakdownAccountedInSim) {
+  const db::Schema schema = catalog::make_pq_schema();
+  const auto file = test_file(0.0);
+  db::Engine engine(schema);
+  sim::Environment env;
+  client::SimServer server(env, engine, client::ServerConfig{});
+  SdssPhaseBreakdown phases;
+  env.spawn("sdss", [&] {
+    client::SimSession session(server);
+    load_reference(session, schema);
+    SdssStyleLoader loader(session, schema, sdss_options());
+    const auto report = loader.load_text("f.cat", file.text);
+    ASSERT_TRUE(report.is_ok());
+    phases = loader.phases();
+  });
+  env.run();
+  EXPECT_GT(phases.convert, 0);
+  EXPECT_GT(phases.task_load, 0);
+  EXPECT_GT(phases.validate, 0);
+  EXPECT_GT(phases.publish, 0);
+}
+
+TEST(SdssLoaderTest, SinglePassSkyLoaderIsFasterInSim) {
+  // The paper's untestable hypothesis, testable here: same data, same
+  // destination substrate — SkyLoader's single pass beats the two-phase
+  // convert/task/validate/publish pipeline.
+  const db::Schema schema = catalog::make_pq_schema();
+  const auto file = test_file(0.0);
+  auto run = [&](bool sdss) {
+    db::Engine engine(schema);
+    sim::Environment env;
+    client::SimServer server(env, engine, client::ServerConfig{});
+    Nanos elapsed = 0;
+    env.spawn("loader", [&] {
+      client::SimSession session(server);
+      load_reference(session, schema);
+      const Nanos start = env.now();
+      if (sdss) {
+        SdssStyleLoader loader(session, schema, sdss_options());
+        ASSERT_TRUE(loader.load_text("f.cat", file.text).is_ok());
+      } else {
+        BulkLoaderOptions options;
+        options.write_audit_row = false;
+        BulkLoader loader(session, schema, options);
+        ASSERT_TRUE(loader.load_text("f.cat", file.text).is_ok());
+      }
+      elapsed = env.now() - start;
+    });
+    env.run();
+    return elapsed;
+  };
+  const Nanos sky = run(false);
+  const Nanos sdss = run(true);
+  EXPECT_LT(sky, sdss);
+  // But not absurdly so: both do the same destination inserts.
+  EXPECT_GT(sdss, sky + sky / 10);
+  EXPECT_LT(sdss, sky * 3);
+}
+
+}  // namespace
+}  // namespace sky::core

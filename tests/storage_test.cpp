@@ -1,0 +1,265 @@
+// Tests for the storage substrate: heap files, the buffer-cache / DBWR
+// model, the write-ahead log, and the device layout mapping.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "storage/buffer_cache.h"
+#include "storage/device.h"
+#include "storage/heap_file.h"
+#include "storage/wal.h"
+
+namespace sky::storage {
+namespace {
+
+// -------------------------------------------------------------- HeapFile ---
+
+TEST(HeapFileTest, AppendAndRead) {
+  HeapFile heap;
+  const auto r1 = heap.append("row-one");
+  const auto r2 = heap.append("row-two");
+  EXPECT_TRUE(r1.opened_new_page);
+  EXPECT_FALSE(r2.opened_new_page);
+  EXPECT_EQ(heap.row_count(), 2);
+  EXPECT_EQ(heap.read(r1.slot).value(), "row-one");
+  EXPECT_EQ(heap.read(r2.slot).value(), "row-two");
+}
+
+TEST(HeapFileTest, PageBoundaryOpensNewPage) {
+  HeapFile heap;
+  const std::string big(kPageSize / 2 + 100, 'x');
+  const auto r1 = heap.append(big);
+  const auto r2 = heap.append(big);  // does not fit in page 0
+  EXPECT_TRUE(r2.opened_new_page);
+  EXPECT_EQ(heap.page_count(), 2);
+  EXPECT_EQ(r1.slot.page, 0u);
+  EXPECT_EQ(r2.slot.page, 1u);
+}
+
+TEST(HeapFileTest, ReadErrors) {
+  HeapFile heap;
+  EXPECT_FALSE(heap.read(SlotId{0, 0}).is_ok());
+  heap.append("x");
+  EXPECT_FALSE(heap.read(SlotId{0, 5}).is_ok());
+  EXPECT_FALSE(heap.read(SlotId{9, 0}).is_ok());
+}
+
+TEST(HeapFileTest, TombstoneHidesRow) {
+  HeapFile heap;
+  const auto r = heap.append("doomed");
+  ASSERT_TRUE(heap.mark_deleted(r.slot).is_ok());
+  EXPECT_FALSE(heap.read(r.slot).is_ok());
+  EXPECT_EQ(heap.row_count(), 0);
+  // Double-delete is an error.
+  EXPECT_FALSE(heap.mark_deleted(r.slot).is_ok());
+}
+
+TEST(HeapFileTest, ScanVisitsLiveRowsInOrder) {
+  HeapFile heap;
+  std::vector<SlotId> slots;
+  for (int i = 0; i < 100; ++i) {
+    slots.push_back(heap.append("row" + std::to_string(i)).slot);
+  }
+  ASSERT_TRUE(heap.mark_deleted(slots[10]).is_ok());
+  ASSERT_TRUE(heap.mark_deleted(slots[50]).is_ok());
+  std::vector<std::string> seen;
+  heap.scan([&](SlotId, std::string_view row) {
+    seen.emplace_back(row);
+  });
+  EXPECT_EQ(seen.size(), 98u);
+  EXPECT_EQ(seen.front(), "row0");
+  EXPECT_EQ(seen.back(), "row99");
+  for (const auto& row : seen) {
+    EXPECT_NE(row, "row10");
+    EXPECT_NE(row, "row50");
+  }
+}
+
+TEST(HeapFileTest, TotalBytesTracksLiveData) {
+  HeapFile heap;
+  const auto r = heap.append("abcde");
+  heap.append("xy");
+  EXPECT_EQ(heap.total_bytes(), 7);
+  ASSERT_TRUE(heap.mark_deleted(r.slot).is_ok());
+  EXPECT_EQ(heap.total_bytes(), 2);
+}
+
+// ----------------------------------------------------------- BufferCache ---
+
+TEST(BufferCacheTest, HitsAndMisses) {
+  BufferCache cache(/*capacity_pages=*/4, /*dirty_trigger=*/1000);
+  cache.touch_read({1, 0});
+  cache.touch_read({1, 0});
+  cache.touch_read({1, 1});
+  EXPECT_EQ(cache.events().misses, 2);
+  EXPECT_EQ(cache.events().hits, 1);
+  EXPECT_EQ(cache.resident(), 2);
+}
+
+TEST(BufferCacheTest, LruEviction) {
+  BufferCache cache(2, 1000);
+  cache.touch_read({1, 0});
+  cache.touch_read({1, 1});
+  cache.touch_read({1, 0});  // 0 becomes MRU
+  cache.touch_read({1, 2});  // evicts 1 (LRU)
+  EXPECT_EQ(cache.events().clean_evictions, 1);
+  cache.touch_read({1, 0});  // still resident -> hit
+  EXPECT_EQ(cache.events().hits, 2);
+  cache.touch_read({1, 1});  // was evicted -> miss
+  EXPECT_EQ(cache.events().misses, 4);
+}
+
+TEST(BufferCacheTest, DirtyEvictionCountsAsWrite) {
+  BufferCache cache(2, 1000);
+  cache.touch_write({1, 0});
+  cache.touch_write({1, 1});
+  cache.touch_read({1, 2});  // evicts dirty page 0
+  EXPECT_EQ(cache.events().dirty_evictions, 1);
+  EXPECT_EQ(cache.dirty(), 1);
+}
+
+TEST(BufferCacheTest, WriterWakesAtDirtyTrigger) {
+  BufferCache cache(/*capacity_pages=*/100, /*dirty_trigger=*/10);
+  for (uint32_t p = 0; p < 9; ++p) cache.touch_write({1, p});
+  EXPECT_EQ(cache.events().writer_wakes, 0);
+  cache.touch_write({1, 9});
+  EXPECT_EQ(cache.events().writer_wakes, 1);
+  EXPECT_EQ(cache.events().writer_flushed_pages, 10);
+  EXPECT_EQ(cache.dirty(), 0);
+}
+
+TEST(BufferCacheTest, WriterScanCostGrowsWithCacheSize) {
+  // The section 4.5.5 mechanism: identical workload, bigger cache =>
+  // more frames scanned by the writer in total.
+  auto scanned_frames = [](int64_t capacity) {
+    BufferCache cache(capacity, /*dirty_trigger=*/32);
+    Rng rng(99);
+    // Warm the cache with reads so frames exist to be scanned, then dirty
+    // pages at a fixed rate.
+    for (int i = 0; i < 5000; ++i) {
+      const auto page = static_cast<uint32_t>(rng.uniform_int(0, 4999));
+      cache.touch_read({1, page});
+    }
+    for (int i = 0; i < 2000; ++i) {
+      const auto page = static_cast<uint32_t>(rng.uniform_int(0, 4999));
+      cache.touch_write({2, page});
+    }
+    return cache.events().writer_scanned_frames;
+  };
+  EXPECT_GT(scanned_frames(4096), scanned_frames(512));
+}
+
+TEST(BufferCacheTest, RedirtyBeforeWakeCountsOnce) {
+  BufferCache cache(100, 10);
+  for (int i = 0; i < 20; ++i) cache.touch_write({1, 0});  // same page
+  EXPECT_EQ(cache.dirty(), 1);
+  EXPECT_EQ(cache.events().writer_wakes, 0);
+}
+
+TEST(BufferCacheTest, FlushAllDrainsDirty) {
+  BufferCache cache(100, 1000);
+  for (uint32_t p = 0; p < 7; ++p) cache.touch_write({1, p});
+  EXPECT_EQ(cache.dirty(), 7);
+  cache.flush_all();
+  EXPECT_EQ(cache.dirty(), 0);
+  EXPECT_EQ(cache.events().writer_flushed_pages, 7);
+  // Flush with nothing dirty is a no-op.
+  const auto wakes = cache.events().writer_wakes;
+  cache.flush_all();
+  EXPECT_EQ(cache.events().writer_wakes, wakes);
+}
+
+TEST(BufferCacheTest, EventDeltas) {
+  BufferCache cache(10, 1000);
+  cache.touch_read({1, 0});
+  const CacheEvents baseline = cache.events();
+  cache.touch_read({1, 0});
+  cache.touch_read({1, 1});
+  const CacheEvents delta = cache.events().since(baseline);
+  EXPECT_EQ(delta.hits, 1);
+  EXPECT_EQ(delta.misses, 1);
+}
+
+// ------------------------------------------------------------------- WAL ---
+
+TEST(WalTest, AppendAccumulatesUnflushed) {
+  WriteAheadLog wal;
+  wal.append(WalRecordType::kInsert, 1, 5, std::string(100, 'r'));
+  EXPECT_GT(wal.unflushed_bytes(), 100);
+  EXPECT_EQ(wal.stats().records, 1);
+  EXPECT_EQ(wal.stats().flushes, 0);
+}
+
+TEST(WalTest, FlushDrainsAndCounts) {
+  WriteAheadLog wal;
+  wal.append(WalRecordType::kInsert, 1, 5, "abc");
+  wal.append(WalRecordType::kCommit, 1, 0, "");
+  const int64_t flushed = wal.flush();
+  EXPECT_GT(flushed, 0);
+  EXPECT_EQ(wal.unflushed_bytes(), 0);
+  EXPECT_EQ(wal.stats().flushes, 1);
+  EXPECT_EQ(wal.stats().bytes_flushed, flushed);
+  // Idle flush is free.
+  EXPECT_EQ(wal.flush(), 0);
+  EXPECT_EQ(wal.stats().flushes, 1);
+}
+
+TEST(WalTest, HighWaterMarkTracksBacklog) {
+  WriteAheadLog wal;
+  wal.append(WalRecordType::kInsert, 1, 1, std::string(1000, 'x'));
+  const int64_t peak = wal.stats().max_unflushed_bytes;
+  wal.flush();
+  wal.append(WalRecordType::kInsert, 1, 1, "small");
+  EXPECT_EQ(wal.stats().max_unflushed_bytes, peak);
+}
+
+TEST(WalTest, RetainedRecordsForReplay) {
+  WriteAheadLog wal(/*retain_records=*/true);
+  wal.append(WalRecordType::kInsert, 7, 3, "payload");
+  wal.append(WalRecordType::kCommit, 7, 0, "");
+  ASSERT_EQ(wal.records().size(), 2u);
+  EXPECT_EQ(wal.records()[0].type, WalRecordType::kInsert);
+  EXPECT_EQ(wal.records()[0].txn_id, 7u);
+  EXPECT_EQ(wal.records()[0].table_id, 3u);
+  EXPECT_EQ(wal.records()[0].payload, "payload");
+  EXPECT_EQ(wal.records()[1].type, WalRecordType::kCommit);
+}
+
+TEST(WalTest, RecordsNotRetainedByDefault) {
+  WriteAheadLog wal;
+  wal.append(WalRecordType::kInsert, 1, 1, "x");
+  EXPECT_TRUE(wal.records().empty());
+  EXPECT_EQ(wal.stats().records, 1);
+}
+
+// ---------------------------------------------------------- DeviceLayout ---
+
+TEST(DeviceLayoutTest, SeparateRaidsIsolateRoles) {
+  const auto layout = DeviceLayout::separate_raids();
+  EXPECT_EQ(layout.physical_devices, 3);
+  EXPECT_NE(layout.device_for(IoRole::kData), layout.device_for(IoRole::kLog));
+  EXPECT_NE(layout.device_for(IoRole::kData),
+            layout.device_for(IoRole::kIndex));
+}
+
+TEST(DeviceLayoutTest, SingleRaidSharesEverything) {
+  const auto layout = DeviceLayout::single_raid();
+  EXPECT_EQ(layout.physical_devices, 1);
+  EXPECT_EQ(layout.device_for(IoRole::kData), layout.device_for(IoRole::kLog));
+}
+
+TEST(IoTallyTest, Accumulates) {
+  IoTally a, b;
+  a.add_write(IoRole::kData, 2);
+  a.add_read(IoRole::kIndex, 1);
+  b.add_write(IoRole::kData, 3);
+  b.log_bytes_flushed = 100;
+  a += b;
+  EXPECT_EQ(a.pages_written[0], 5);
+  EXPECT_EQ(a.pages_read[1], 1);
+  EXPECT_EQ(a.log_bytes_flushed, 100);
+}
+
+}  // namespace
+}  // namespace sky::storage
