@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_arrayset_config.dir/bench_arrayset_config.cpp.o"
+  "CMakeFiles/bench_arrayset_config.dir/bench_arrayset_config.cpp.o.d"
+  "bench_arrayset_config"
+  "bench_arrayset_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_arrayset_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_commit_frequency.dir/bench_commit_frequency.cpp.o"
+  "CMakeFiles/bench_commit_frequency.dir/bench_commit_frequency.cpp.o.d"
+  "bench_commit_frequency"
+  "bench_commit_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_commit_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_data_cache.dir/bench_data_cache.cpp.o"
+  "CMakeFiles/bench_data_cache.dir/bench_data_cache.cpp.o.d"
+  "bench_data_cache"
+  "bench_data_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_data_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_bulk_vs_nonbulk.dir/bench_fig4_bulk_vs_nonbulk.cpp.o"
+  "CMakeFiles/bench_fig4_bulk_vs_nonbulk.dir/bench_fig4_bulk_vs_nonbulk.cpp.o.d"
+  "bench_fig4_bulk_vs_nonbulk"
+  "bench_fig4_bulk_vs_nonbulk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_bulk_vs_nonbulk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

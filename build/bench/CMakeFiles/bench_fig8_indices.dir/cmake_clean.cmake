@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_indices.dir/bench_fig8_indices.cpp.o"
+  "CMakeFiles/bench_fig8_indices.dir/bench_fig8_indices.cpp.o.d"
+  "bench_fig8_indices"
+  "bench_fig8_indices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_indices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

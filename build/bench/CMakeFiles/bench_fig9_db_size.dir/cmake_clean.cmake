@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_db_size.dir/bench_fig9_db_size.cpp.o"
+  "CMakeFiles/bench_fig9_db_size.dir/bench_fig9_db_size.cpp.o.d"
+  "bench_fig9_db_size"
+  "bench_fig9_db_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_db_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_grid_batch_array.dir/bench_grid_batch_array.cpp.o"
+  "CMakeFiles/bench_grid_batch_array.dir/bench_grid_batch_array.cpp.o.d"
+  "bench_grid_batch_array"
+  "bench_grid_batch_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_grid_batch_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_headline_40gb.dir/bench_headline_40gb.cpp.o"
+  "CMakeFiles/bench_headline_40gb.dir/bench_headline_40gb.cpp.o.d"
+  "bench_headline_40gb"
+  "bench_headline_40gb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_headline_40gb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

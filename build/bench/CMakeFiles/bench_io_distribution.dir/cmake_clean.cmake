@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_io_distribution.dir/bench_io_distribution.cpp.o"
+  "CMakeFiles/bench_io_distribution.dir/bench_io_distribution.cpp.o.d"
+  "bench_io_distribution"
+  "bench_io_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_io_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_keepup.dir/bench_keepup.cpp.o"
+  "CMakeFiles/bench_keepup.dir/bench_keepup.cpp.o.d"
+  "bench_keepup"
+  "bench_keepup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_keepup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

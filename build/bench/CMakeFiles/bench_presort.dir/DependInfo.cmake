@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_presort.cpp" "bench/CMakeFiles/bench_presort.dir/bench_presort.cpp.o" "gcc" "bench/CMakeFiles/bench_presort.dir/bench_presort.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/skyloader_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/skyloader_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/skyloader_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/skyloader_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/skyloader_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/skyloader_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/skyloader_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/skyloader_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/skyloader_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_presort.dir/bench_presort.cpp.o"
+  "CMakeFiles/bench_presort.dir/bench_presort.cpp.o.d"
+  "bench_presort"
+  "bench_presort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_presort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

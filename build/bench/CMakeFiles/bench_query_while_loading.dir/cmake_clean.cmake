@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_query_while_loading.dir/bench_query_while_loading.cpp.o"
+  "CMakeFiles/bench_query_while_loading.dir/bench_query_while_loading.cpp.o.d"
+  "bench_query_while_loading"
+  "bench_query_while_loading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query_while_loading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rac_scaling.dir/bench_rac_scaling.cpp.o"
+  "CMakeFiles/bench_rac_scaling.dir/bench_rac_scaling.cpp.o.d"
+  "bench_rac_scaling"
+  "bench_rac_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rac_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

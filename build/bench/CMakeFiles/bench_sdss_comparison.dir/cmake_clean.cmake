@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sdss_comparison.dir/bench_sdss_comparison.cpp.o"
+  "CMakeFiles/bench_sdss_comparison.dir/bench_sdss_comparison.cpp.o.d"
+  "bench_sdss_comparison"
+  "bench_sdss_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sdss_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

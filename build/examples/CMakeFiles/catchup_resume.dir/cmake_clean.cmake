@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catchup_resume.dir/catchup_resume.cpp.o"
+  "CMakeFiles/catchup_resume.dir/catchup_resume.cpp.o.d"
+  "catchup_resume"
+  "catchup_resume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catchup_resume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cone_search.dir/cone_search.cpp.o"
+  "CMakeFiles/cone_search.dir/cone_search.cpp.o.d"
+  "cone_search"
+  "cone_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cone_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

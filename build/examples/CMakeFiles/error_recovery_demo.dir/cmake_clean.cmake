@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_recovery_demo.dir/error_recovery_demo.cpp.o"
+  "CMakeFiles/error_recovery_demo.dir/error_recovery_demo.cpp.o.d"
+  "error_recovery_demo"
+  "error_recovery_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_recovery_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

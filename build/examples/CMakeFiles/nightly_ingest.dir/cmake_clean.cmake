@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nightly_ingest.dir/nightly_ingest.cpp.o"
+  "CMakeFiles/nightly_ingest.dir/nightly_ingest.cpp.o.d"
+  "nightly_ingest"
+  "nightly_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nightly_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/catalog/generator.cpp" "src/catalog/CMakeFiles/skyloader_catalog.dir/generator.cpp.o" "gcc" "src/catalog/CMakeFiles/skyloader_catalog.dir/generator.cpp.o.d"
+  "/root/repo/src/catalog/parser.cpp" "src/catalog/CMakeFiles/skyloader_catalog.dir/parser.cpp.o" "gcc" "src/catalog/CMakeFiles/skyloader_catalog.dir/parser.cpp.o.d"
+  "/root/repo/src/catalog/pq_schema.cpp" "src/catalog/CMakeFiles/skyloader_catalog.dir/pq_schema.cpp.o" "gcc" "src/catalog/CMakeFiles/skyloader_catalog.dir/pq_schema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/skyloader_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/skyloader_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/skyloader_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/skyloader_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/skyloader_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

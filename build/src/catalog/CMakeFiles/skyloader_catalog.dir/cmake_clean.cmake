@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyloader_catalog.dir/generator.cpp.o"
+  "CMakeFiles/skyloader_catalog.dir/generator.cpp.o.d"
+  "CMakeFiles/skyloader_catalog.dir/parser.cpp.o"
+  "CMakeFiles/skyloader_catalog.dir/parser.cpp.o.d"
+  "CMakeFiles/skyloader_catalog.dir/pq_schema.cpp.o"
+  "CMakeFiles/skyloader_catalog.dir/pq_schema.cpp.o.d"
+  "libskyloader_catalog.a"
+  "libskyloader_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyloader_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/client/cost_model.cpp" "src/client/CMakeFiles/skyloader_client.dir/cost_model.cpp.o" "gcc" "src/client/CMakeFiles/skyloader_client.dir/cost_model.cpp.o.d"
+  "/root/repo/src/client/session.cpp" "src/client/CMakeFiles/skyloader_client.dir/session.cpp.o" "gcc" "src/client/CMakeFiles/skyloader_client.dir/session.cpp.o.d"
+  "/root/repo/src/client/sim_server.cpp" "src/client/CMakeFiles/skyloader_client.dir/sim_server.cpp.o" "gcc" "src/client/CMakeFiles/skyloader_client.dir/sim_server.cpp.o.d"
+  "/root/repo/src/client/sim_session.cpp" "src/client/CMakeFiles/skyloader_client.dir/sim_session.cpp.o" "gcc" "src/client/CMakeFiles/skyloader_client.dir/sim_session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/skyloader_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/skyloader_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/skyloader_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/skyloader_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/skyloader_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyloader_client.dir/cost_model.cpp.o"
+  "CMakeFiles/skyloader_client.dir/cost_model.cpp.o.d"
+  "CMakeFiles/skyloader_client.dir/session.cpp.o"
+  "CMakeFiles/skyloader_client.dir/session.cpp.o.d"
+  "CMakeFiles/skyloader_client.dir/sim_server.cpp.o"
+  "CMakeFiles/skyloader_client.dir/sim_server.cpp.o.d"
+  "CMakeFiles/skyloader_client.dir/sim_session.cpp.o"
+  "CMakeFiles/skyloader_client.dir/sim_session.cpp.o.d"
+  "libskyloader_client.a"
+  "libskyloader_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyloader_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

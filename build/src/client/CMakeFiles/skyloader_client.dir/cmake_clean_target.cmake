@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libskyloader_client.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyloader_common.dir/config.cpp.o"
+  "CMakeFiles/skyloader_common.dir/config.cpp.o.d"
+  "CMakeFiles/skyloader_common.dir/csv.cpp.o"
+  "CMakeFiles/skyloader_common.dir/csv.cpp.o.d"
+  "CMakeFiles/skyloader_common.dir/log.cpp.o"
+  "CMakeFiles/skyloader_common.dir/log.cpp.o.d"
+  "CMakeFiles/skyloader_common.dir/status.cpp.o"
+  "CMakeFiles/skyloader_common.dir/status.cpp.o.d"
+  "CMakeFiles/skyloader_common.dir/strings.cpp.o"
+  "CMakeFiles/skyloader_common.dir/strings.cpp.o.d"
+  "CMakeFiles/skyloader_common.dir/units.cpp.o"
+  "CMakeFiles/skyloader_common.dir/units.cpp.o.d"
+  "libskyloader_common.a"
+  "libskyloader_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyloader_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyloader_core.dir/array_set.cpp.o"
+  "CMakeFiles/skyloader_core.dir/array_set.cpp.o.d"
+  "CMakeFiles/skyloader_core.dir/bulk_loader.cpp.o"
+  "CMakeFiles/skyloader_core.dir/bulk_loader.cpp.o.d"
+  "CMakeFiles/skyloader_core.dir/coordinator.cpp.o"
+  "CMakeFiles/skyloader_core.dir/coordinator.cpp.o.d"
+  "CMakeFiles/skyloader_core.dir/load_report.cpp.o"
+  "CMakeFiles/skyloader_core.dir/load_report.cpp.o.d"
+  "CMakeFiles/skyloader_core.dir/non_bulk_loader.cpp.o"
+  "CMakeFiles/skyloader_core.dir/non_bulk_loader.cpp.o.d"
+  "CMakeFiles/skyloader_core.dir/sdss_loader.cpp.o"
+  "CMakeFiles/skyloader_core.dir/sdss_loader.cpp.o.d"
+  "CMakeFiles/skyloader_core.dir/tuning.cpp.o"
+  "CMakeFiles/skyloader_core.dir/tuning.cpp.o.d"
+  "libskyloader_core.a"
+  "libskyloader_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyloader_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/engine.cpp" "src/db/CMakeFiles/skyloader_db.dir/engine.cpp.o" "gcc" "src/db/CMakeFiles/skyloader_db.dir/engine.cpp.o.d"
+  "/root/repo/src/db/lock_manager.cpp" "src/db/CMakeFiles/skyloader_db.dir/lock_manager.cpp.o" "gcc" "src/db/CMakeFiles/skyloader_db.dir/lock_manager.cpp.o.d"
+  "/root/repo/src/db/query.cpp" "src/db/CMakeFiles/skyloader_db.dir/query.cpp.o" "gcc" "src/db/CMakeFiles/skyloader_db.dir/query.cpp.o.d"
+  "/root/repo/src/db/recovery.cpp" "src/db/CMakeFiles/skyloader_db.dir/recovery.cpp.o" "gcc" "src/db/CMakeFiles/skyloader_db.dir/recovery.cpp.o.d"
+  "/root/repo/src/db/row.cpp" "src/db/CMakeFiles/skyloader_db.dir/row.cpp.o" "gcc" "src/db/CMakeFiles/skyloader_db.dir/row.cpp.o.d"
+  "/root/repo/src/db/schema.cpp" "src/db/CMakeFiles/skyloader_db.dir/schema.cpp.o" "gcc" "src/db/CMakeFiles/skyloader_db.dir/schema.cpp.o.d"
+  "/root/repo/src/db/sql.cpp" "src/db/CMakeFiles/skyloader_db.dir/sql.cpp.o" "gcc" "src/db/CMakeFiles/skyloader_db.dir/sql.cpp.o.d"
+  "/root/repo/src/db/table.cpp" "src/db/CMakeFiles/skyloader_db.dir/table.cpp.o" "gcc" "src/db/CMakeFiles/skyloader_db.dir/table.cpp.o.d"
+  "/root/repo/src/db/value.cpp" "src/db/CMakeFiles/skyloader_db.dir/value.cpp.o" "gcc" "src/db/CMakeFiles/skyloader_db.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/skyloader_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/skyloader_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/skyloader_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyloader_db.dir/engine.cpp.o"
+  "CMakeFiles/skyloader_db.dir/engine.cpp.o.d"
+  "CMakeFiles/skyloader_db.dir/lock_manager.cpp.o"
+  "CMakeFiles/skyloader_db.dir/lock_manager.cpp.o.d"
+  "CMakeFiles/skyloader_db.dir/query.cpp.o"
+  "CMakeFiles/skyloader_db.dir/query.cpp.o.d"
+  "CMakeFiles/skyloader_db.dir/recovery.cpp.o"
+  "CMakeFiles/skyloader_db.dir/recovery.cpp.o.d"
+  "CMakeFiles/skyloader_db.dir/row.cpp.o"
+  "CMakeFiles/skyloader_db.dir/row.cpp.o.d"
+  "CMakeFiles/skyloader_db.dir/schema.cpp.o"
+  "CMakeFiles/skyloader_db.dir/schema.cpp.o.d"
+  "CMakeFiles/skyloader_db.dir/sql.cpp.o"
+  "CMakeFiles/skyloader_db.dir/sql.cpp.o.d"
+  "CMakeFiles/skyloader_db.dir/table.cpp.o"
+  "CMakeFiles/skyloader_db.dir/table.cpp.o.d"
+  "CMakeFiles/skyloader_db.dir/value.cpp.o"
+  "CMakeFiles/skyloader_db.dir/value.cpp.o.d"
+  "libskyloader_db.a"
+  "libskyloader_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyloader_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyloader_htm.dir/htm.cpp.o"
+  "CMakeFiles/skyloader_htm.dir/htm.cpp.o.d"
+  "libskyloader_htm.a"
+  "libskyloader_htm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyloader_htm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyloader_index.dir/bptree.cpp.o"
+  "CMakeFiles/skyloader_index.dir/bptree.cpp.o.d"
+  "CMakeFiles/skyloader_index.dir/key_codec.cpp.o"
+  "CMakeFiles/skyloader_index.dir/key_codec.cpp.o.d"
+  "libskyloader_index.a"
+  "libskyloader_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyloader_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

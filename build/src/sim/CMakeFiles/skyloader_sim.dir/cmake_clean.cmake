@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyloader_sim.dir/environment.cpp.o"
+  "CMakeFiles/skyloader_sim.dir/environment.cpp.o.d"
+  "libskyloader_sim.a"
+  "libskyloader_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyloader_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

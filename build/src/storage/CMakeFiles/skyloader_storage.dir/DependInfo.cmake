@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/buffer_cache.cpp" "src/storage/CMakeFiles/skyloader_storage.dir/buffer_cache.cpp.o" "gcc" "src/storage/CMakeFiles/skyloader_storage.dir/buffer_cache.cpp.o.d"
+  "/root/repo/src/storage/heap_file.cpp" "src/storage/CMakeFiles/skyloader_storage.dir/heap_file.cpp.o" "gcc" "src/storage/CMakeFiles/skyloader_storage.dir/heap_file.cpp.o.d"
+  "/root/repo/src/storage/wal.cpp" "src/storage/CMakeFiles/skyloader_storage.dir/wal.cpp.o" "gcc" "src/storage/CMakeFiles/skyloader_storage.dir/wal.cpp.o.d"
+  "/root/repo/src/storage/wal_file.cpp" "src/storage/CMakeFiles/skyloader_storage.dir/wal_file.cpp.o" "gcc" "src/storage/CMakeFiles/skyloader_storage.dir/wal_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/skyloader_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

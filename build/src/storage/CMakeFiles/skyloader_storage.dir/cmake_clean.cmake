@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyloader_storage.dir/buffer_cache.cpp.o"
+  "CMakeFiles/skyloader_storage.dir/buffer_cache.cpp.o.d"
+  "CMakeFiles/skyloader_storage.dir/heap_file.cpp.o"
+  "CMakeFiles/skyloader_storage.dir/heap_file.cpp.o.d"
+  "CMakeFiles/skyloader_storage.dir/wal.cpp.o"
+  "CMakeFiles/skyloader_storage.dir/wal.cpp.o.d"
+  "CMakeFiles/skyloader_storage.dir/wal_file.cpp.o"
+  "CMakeFiles/skyloader_storage.dir/wal_file.cpp.o.d"
+  "libskyloader_storage.a"
+  "libskyloader_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyloader_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/array_set_test.dir/array_set_test.cpp.o"
+  "CMakeFiles/array_set_test.dir/array_set_test.cpp.o.d"
+  "array_set_test"
+  "array_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/array_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_composite_test.dir/db_composite_test.cpp.o"
+  "CMakeFiles/db_composite_test.dir/db_composite_test.cpp.o.d"
+  "db_composite_test"
+  "db_composite_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_composite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

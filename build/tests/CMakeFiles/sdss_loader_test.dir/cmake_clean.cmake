@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdss_loader_test.dir/sdss_loader_test.cpp.o"
+  "CMakeFiles/sdss_loader_test.dir/sdss_loader_test.cpp.o.d"
+  "sdss_loader_test"
+  "sdss_loader_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdss_loader_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

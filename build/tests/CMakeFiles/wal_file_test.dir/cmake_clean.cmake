@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wal_file_test.dir/wal_file_test.cpp.o"
+  "CMakeFiles/wal_file_test.dir/wal_file_test.cpp.o.d"
+  "wal_file_test"
+  "wal_file_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wal_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyloader_tool.dir/skyloader_tool.cpp.o"
+  "CMakeFiles/skyloader_tool.dir/skyloader_tool.cpp.o.d"
+  "skyloader_tool"
+  "skyloader_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyloader_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
