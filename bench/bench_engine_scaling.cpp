@@ -1,0 +1,221 @@
+// Engine concurrency scaling: real threads, real time.
+//
+// Measures LoadCoordinator::run_threads makespan and aggregate rows/sec at
+// parallel degree 1-8 over the PQ schema, with the engine's modeled device
+// latencies enabled so each database call pays realistic redo/data/log
+// write time. Two modes contrast the locking designs:
+//   * fine-grained — the engine as shipped: engine rwlock shared, per-table
+//     latches, striped cache, group-commit WAL. Device waits overlap across
+//     loaders.
+//   * global-mutex — every session call serialized through one process-wide
+//     mutex, emulating the previous engine-wide mutex design. Device waits
+//     serialize, so added loaders buy almost nothing.
+// Each run uses a fresh engine, loads the reference tables first, and must
+// pass verify_integrity() afterwards. Emits BENCH_engine_scaling.json.
+#include "bench_util.h"
+
+#include <fstream>
+#include <mutex>
+
+namespace {
+
+using namespace skybench;
+
+// Modeled device waits per engine call (see db::ModeledDeviceLatency). The
+// host running this bench may have few cores; the contrast between the two
+// modes is carried by these waits overlapping vs serializing, not by CPU
+// parallelism.
+constexpr sky::Nanos kBatchRedoWrite = 12 * 1000 * 1000;   // 12 ms
+constexpr sky::Nanos kDataWritePerPage = 100 * 1000;       // 0.1 ms
+constexpr sky::Nanos kCommitLogFlush = 4 * 1000 * 1000;    // 4 ms
+
+// Session wrapper emulating a single engine-wide mutex: one call in the
+// engine at a time, device waits included.
+class GlobalLockSession final : public sky::client::Session {
+ public:
+  GlobalLockSession(sky::db::Engine& engine, std::mutex& mu)
+      : inner_(engine), mu_(mu) {}
+
+  sky::Result<uint32_t> prepare_insert(std::string_view table_name) override {
+    const std::scoped_lock lock(mu_);
+    return inner_.prepare_insert(table_name);
+  }
+  sky::client::BatchOutcome execute_batch(
+      uint32_t table, std::span<const sky::db::Row> rows) override {
+    const std::scoped_lock lock(mu_);
+    return inner_.execute_batch(table, rows);
+  }
+  sky::Status execute_single(uint32_t table, const sky::db::Row& row) override {
+    const std::scoped_lock lock(mu_);
+    return inner_.execute_single(table, row);
+  }
+  sky::Status commit() override {
+    const std::scoped_lock lock(mu_);
+    return inner_.commit();
+  }
+  void client_compute(sky::Nanos duration) override {
+    inner_.client_compute(duration);
+  }
+  void note_buffered_rows(int64_t rows, int64_t footprint_bytes) override {
+    inner_.note_buffered_rows(rows, footprint_bytes);
+  }
+  sky::Nanos now() const override { return inner_.now(); }
+  const sky::client::SessionStats& stats() const override {
+    return inner_.stats();
+  }
+
+ private:
+  sky::client::DirectSession inner_;
+  std::mutex& mu_;
+};
+
+std::vector<sky::core::CatalogFile> make_workload() {
+  // Fixed real size (independent of SKYLOADER_BENCH_SCALE): this bench
+  // measures wall-clock scaling, not paper-normalized virtual time.
+  std::vector<sky::core::CatalogFile> files;
+  for (int f = 0; f < 16; ++f) {
+    sky::catalog::FileSpec spec;
+    spec.name = "scale-" + std::to_string(f) + ".cat";
+    spec.seed = 4200 + static_cast<uint64_t>(f);
+    spec.unit_id = 900 + f;
+    spec.target_bytes = 48 * 1024;
+    files.push_back(sky::core::CatalogFile{
+        spec.name, sky::catalog::CatalogGenerator::generate(spec).text});
+  }
+  return files;
+}
+
+struct RunResult {
+  double seconds = 0;
+  int64_t rows = 0;
+  double rows_per_sec = 0;
+  double busy_seconds = 0;
+  double lock_wait_seconds = 0;
+};
+
+RunResult run_load(bool global_lock, int degree,
+                   const std::vector<sky::core::CatalogFile>& files) {
+  const sky::db::Schema schema = sky::catalog::make_pq_schema();
+  const sky::core::TuningProfile profile =
+      sky::core::TuningProfile::production();
+  sky::db::EngineOptions engine_options = profile.engine_options();
+  engine_options.latency.batch_redo_write = kBatchRedoWrite;
+  engine_options.latency.data_write_per_page = kDataWritePerPage;
+  engine_options.latency.commit_log_flush = kCommitLogFlush;
+  sky::db::Engine engine(schema, engine_options);
+  if (!profile.apply_index_policy(engine).is_ok()) std::abort();
+  {
+    sky::client::DirectSession session(engine);
+    sky::core::BulkLoaderOptions loader_options;
+    loader_options.write_audit_row = false;
+    sky::core::BulkLoader loader(session, schema, loader_options);
+    const auto report = loader.load_text(
+        "reference", sky::catalog::CatalogGenerator::reference_file().text);
+    if (!report.is_ok() || report->total_skipped() != 0) std::abort();
+  }
+
+  sky::core::CoordinatorOptions options;
+  options.parallel_degree = degree;
+  options.loader.write_audit_row = false;
+  options.loader.commit_every_cycles = 2;
+  std::mutex global_mu;
+  const auto factory = [&](int) -> std::unique_ptr<sky::client::Session> {
+    if (global_lock) {
+      return std::make_unique<GlobalLockSession>(engine, global_mu);
+    }
+    return std::make_unique<sky::client::DirectSession>(engine);
+  };
+  const auto report = sky::core::LoadCoordinator::run_threads(
+      files, schema, factory, options);
+  if (!report.is_ok()) std::abort();
+  if (!engine.verify_integrity().is_ok()) std::abort();
+
+  RunResult result;
+  result.seconds = sky::to_seconds(report->makespan);
+  result.rows = report->total_rows_loaded;
+  result.rows_per_sec =
+      result.seconds > 0 ? static_cast<double>(result.rows) / result.seconds
+                         : 0;
+  for (const sky::Nanos busy : report->worker_busy) {
+    result.busy_seconds += sky::to_seconds(busy);
+  }
+  for (const sky::Nanos wait : report->worker_lock_wait) {
+    result.lock_wait_seconds += sky::to_seconds(wait);
+  }
+  return result;
+}
+
+FigureTable g_figure("Engine scaling: aggregate load rate vs parallel degree",
+                     "parallel loaders", "rows/sec");
+std::vector<std::string> g_json_entries;
+
+void record(const char* mode, int degree, const RunResult& result) {
+  g_figure.add(mode, degree, result.rows_per_sec);
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "  {\"mode\": \"%s\", \"degree\": %d, \"makespan_s\": %.4f, "
+                "\"rows\": %lld, \"rows_per_sec\": %.1f, \"busy_s\": %.4f, "
+                "\"lock_wait_s\": %.4f}",
+                mode, degree, result.seconds,
+                static_cast<long long>(result.rows), result.rows_per_sec,
+                result.busy_seconds, result.lock_wait_seconds);
+  g_json_entries.push_back(buffer);
+}
+
+void bench_scaling(benchmark::State& state) {
+  const int degree = static_cast<int>(state.range(0));
+  const bool global_lock = state.range(1) != 0;
+  static const std::vector<sky::core::CatalogFile> files = make_workload();
+  for (auto _ : state) {
+    const RunResult result = run_load(global_lock, degree, files);
+    state.SetIterationTime(result.seconds);
+    state.counters["rows_per_sec"] = result.rows_per_sec;
+    state.counters["lock_wait_s"] = result.lock_wait_seconds;
+    record(global_lock ? "global-mutex" : "fine-grained", degree, result);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  for (const int degree : {1, 2, 4, 6, 8}) {
+    benchmark::RegisterBenchmark("engine_scaling/fine", bench_scaling)
+        ->Args({degree, 0})
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kSecond);
+    benchmark::RegisterBenchmark("engine_scaling/global", bench_scaling)
+        ->Args({degree, 1})
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kSecond);
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  g_figure.print();
+
+  {
+    std::ofstream json("BENCH_engine_scaling.json");
+    json << "[\n";
+    for (size_t i = 0; i < g_json_entries.size(); ++i) {
+      json << g_json_entries[i] << (i + 1 < g_json_entries.size() ? ",\n" : "\n");
+    }
+    json << "]\n";
+  }
+  std::printf("\nwrote BENCH_engine_scaling.json\n");
+
+  const double fine1 = g_figure.value("fine-grained", 1);
+  const double fine6 = g_figure.value("fine-grained", 6);
+  const double global1 = g_figure.value("global-mutex", 1);
+  const double global6 = g_figure.value("global-mutex", 6);
+  std::printf("fine-grained speedup at 6: %.2fx; global-mutex: %.2fx\n",
+              fine1 > 0 ? fine6 / fine1 : 0,
+              global1 > 0 ? global6 / global1 : 0);
+  shape_check(fine6 >= 3.0 * fine1,
+              "fine-grained locking: >=3x aggregate rows/sec at degree 6");
+  shape_check(global6 < 1.5 * global1,
+              "global mutex emulation stays flat as loaders are added");
+  shape_check(fine6 > 2.0 * global6,
+              "fine-grained beats the global mutex at degree 6");
+  return 0;
+}

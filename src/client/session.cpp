@@ -40,6 +40,7 @@ BatchOutcome DirectSession::execute_batch(uint32_t table,
   ++stats_.batch_calls;
   stats_.rows_sent += static_cast<int64_t>(rows.size());
   stats_.rows_applied += result.rows_applied;
+  stats_.lock_wait_time += result.costs.lock_wait_ns;
   if (result.error.has_value()) ++stats_.failed_calls;
   return BatchOutcome{result.rows_applied, result.error};
 }
@@ -51,6 +52,7 @@ Status DirectSession::execute_single(uint32_t table, const db::Row& row) {
   ++stats_.db_calls;
   ++stats_.single_calls;
   stats_.rows_sent += 1;
+  stats_.lock_wait_time += costs.lock_wait_ns;
   if (status.is_ok()) {
     stats_.rows_applied += 1;
   } else {
@@ -65,6 +67,7 @@ Status DirectSession::commit() {
   txn_.reset();
   ++stats_.db_calls;
   ++stats_.commits;
+  if (result.is_ok()) stats_.lock_wait_time += result->costs.lock_wait_ns;
   return result.status();
 }
 

@@ -42,7 +42,9 @@ struct SessionStats {
   int64_t rows_sent = 0;
   int64_t rows_applied = 0;
   int64_t failed_calls = 0;      // calls that reported an error
-  // Virtual-time decomposition (simulation sessions only).
+  // Time decomposition. Simulation sessions fill all of these from the
+  // server model; real sessions fill only lock_wait_time (real nanoseconds
+  // spent blocked on engine latches, from OpCosts::lock_wait_ns).
   Nanos client_time = 0;
   Nanos network_time = 0;
   Nanos server_time = 0;

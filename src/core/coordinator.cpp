@@ -58,6 +58,7 @@ class WorkQueue {
 struct WorkerResult {
   std::vector<FileLoadReport> reports;
   Nanos busy = 0;
+  Nanos lock_wait = 0;
   int files = 0;
   int files_skipped = 0;
   Status failure = ok_status();
@@ -87,6 +88,7 @@ void worker_loop(int worker, WorkQueue& queue,
     ++result.files;
     result.reports.push_back(std::move(*report));
   }
+  result.lock_wait = session.stats().lock_wait_time;
 }
 
 ParallelLoadReport assemble(std::vector<WorkerResult> worker_results,
@@ -96,6 +98,7 @@ ParallelLoadReport assemble(std::vector<WorkerResult> worker_results,
   report.makespan = makespan;
   for (WorkerResult& worker : worker_results) {
     report.worker_busy.push_back(worker.busy);
+    report.worker_lock_wait.push_back(worker.lock_wait);
     report.files_per_worker.push_back(worker.files);
     report.files_skipped += worker.files_skipped;
     for (FileLoadReport& file : worker.reports) {

@@ -60,13 +60,17 @@ std::string render_markdown_report(const ParallelLoadReport& report,
     out += "| " + table + " | " + std::to_string(rows) + " |\n";
   }
 
-  out += "\n## Worker balance\n\n| worker | files | busy |\n|---|---|---|\n";
+  out += "\n## Worker balance\n\n"
+         "| worker | files | busy | lock wait |\n|---|---|---|---|\n";
   for (size_t w = 0; w < report.worker_busy.size(); ++w) {
     const int files_done = w < report.files_per_worker.size()
                                ? report.files_per_worker[w]
                                : 0;
-    out += str_format("| %zu | %d | %s |\n", w, files_done,
-                      format_duration(report.worker_busy[w]).c_str());
+    const Nanos lock_wait =
+        w < report.worker_lock_wait.size() ? report.worker_lock_wait[w] : 0;
+    out += str_format("| %zu | %d | %s | %s |\n", w, files_done,
+                      format_duration(report.worker_busy[w]).c_str(),
+                      format_duration(lock_wait).c_str());
   }
 
   size_t shown = 0;

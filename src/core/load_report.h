@@ -49,6 +49,9 @@ struct ParallelLoadReport {
   int64_t total_bytes = 0;
   int64_t total_rows_loaded = 0;
   std::vector<Nanos> worker_busy;   // per worker
+  // Per worker: time spent blocked on engine latches (real-thread runs; from
+  // OpCosts::lock_wait_ns) or on modeled lock resources (simulation runs).
+  std::vector<Nanos> worker_lock_wait;
   std::vector<int> files_per_worker;
   int files_skipped = 0;  // already-loaded files skipped (idempotent rerun)
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
+#include <thread>
 
 #include "common/strings.h"
 #include "index/key_codec.h"
@@ -28,13 +30,31 @@ void count_index_columns(const TableDef& def,
     }
   }
 }
+
+// The buffer cache's I/O hook fires from whichever thread touched the page;
+// per-call attribution goes through a thread-local so concurrent sessions
+// never write into each other's OpCosts.
+thread_local OpCosts* tl_active_costs = nullptr;
+
+class CostScope {
+ public:
+  explicit CostScope(OpCosts* costs) : saved_(tl_active_costs) {
+    tl_active_costs = costs;
+  }
+  ~CostScope() { tl_active_costs = saved_; }
+  CostScope(const CostScope&) = delete;
+  CostScope& operator=(const CostScope&) = delete;
+
+ private:
+  OpCosts* saved_;
+};
 }  // namespace
 
 Engine::Engine(Schema schema, EngineOptions options)
     : schema_(std::move(schema)),
       options_(options),
       cache_(options.cache_pages, options.dirty_trigger),
-      wal_(options.retain_wal_records),
+      wal_(options.retain_wal_records, options.latency.commit_log_flush),
       txn_gate_(std::make_unique<BlockingSlotGate>(
           options.max_concurrent_transactions)) {
   tables_.reserve(static_cast<size_t>(schema_.table_count()));
@@ -50,16 +70,20 @@ Engine::Engine(Schema schema, EngineOptions options)
       secondary.cache_file_id = next_file_id++;
       file_roles_.push_back(storage::IoRole::kIndex);
     }
+    table.fk_parent_ids.reserve(table.def().foreign_keys.size());
+    for (const ForeignKey& fk : table.def().foreign_keys) {
+      table.fk_parent_ids.push_back(schema_.table_id(fk.parent_table).value());
+    }
     tables_.push_back(std::move(table));
   }
   cache_.set_io_hook([this](storage::CachePageId page,
                             storage::BufferCache::IoKind kind) {
     const storage::IoRole role = role_of_file(page.file_id);
     if (kind == storage::BufferCache::IoKind::kRead) {
-      if (active_costs_ != nullptr) active_costs_->io.add_read(role);
+      if (tl_active_costs != nullptr) tl_active_costs->io.add_read(role);
       global_io_.add_read(role);
     } else {
-      if (active_costs_ != nullptr) active_costs_->io.add_write(role);
+      if (tl_active_costs != nullptr) tl_active_costs->io.add_write(role);
       global_io_.add_write(role);
     }
   });
@@ -70,37 +94,70 @@ storage::IoRole Engine::role_of_file(uint32_t file_id) const {
   return storage::IoRole::kData;
 }
 
+void Engine::pay_batch_latency(const OpCosts& costs) const {
+  const ModeledDeviceLatency& latency = options_.latency;
+  if (!latency.enabled()) return;
+  const Nanos total =
+      latency.batch_redo_write +
+      (costs.heap_pages_opened + costs.index_leaf_splits) *
+          latency.data_write_per_page;
+  if (total > 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(total));
+  }
+}
+
 // ------------------------------------------------------------ transactions
 
+Engine::Transaction* Engine::find_transaction(uint64_t txn_id) {
+  const std::scoped_lock lock(txn_mu_);
+  const auto it = transactions_.find(txn_id);
+  return it == transactions_.end() ? nullptr : &it->second;
+}
+
 uint64_t Engine::begin_transaction() {
+  // The gate is acquired before any engine lock so a session blocked on a
+  // slot never holds latches other sessions need to finish and release.
   txn_gate_->acquire();
-  const std::scoped_lock lock(mu_);
-  const uint64_t id = next_txn_id_++;
+  const uint64_t id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  const std::scoped_lock lock(txn_mu_);
   transactions_.emplace(id, Transaction{id, {}});
   return id;
 }
 
 Result<CommitResult> Engine::commit(uint64_t txn_id) {
-  const std::scoped_lock lock(mu_);
-  const auto it = transactions_.find(txn_id);
-  if (it == transactions_.end()) {
+  CommitResult result;
+  result.costs.lock_wait_ns += lock_shared_timed(engine_mu_);
+  std::shared_lock<std::shared_mutex> engine_lock(engine_mu_, std::adopt_lock);
+  if (find_transaction(txn_id) == nullptr) {
     return Status(ErrorCode::kNotFound, "commit: unknown transaction");
   }
-  CommitResult result;
-  active_costs_ = &result.costs;
-  wal_.append(storage::WalRecordType::kCommit, txn_id, 0, "");
-  result.wal_bytes_flushed = wal_.flush();
-  result.costs.wal_bytes += result.wal_bytes_flushed;
-  result.costs.io.log_bytes_flushed += result.wal_bytes_flushed;
-  global_io_.log_bytes_flushed += result.wal_bytes_flushed;
-  active_costs_ = nullptr;
-  transactions_.erase(it);
+  {
+    const CostScope scope(&result.costs);
+    wal_.append(storage::WalRecordType::kCommit, txn_id, 0, "");
+    // Group commit: may ride a flush already in flight, or lead one and pay
+    // the modeled log-device latency (with no engine latches held beyond the
+    // shared engine lock).
+    result.wal_bytes_flushed = wal_.flush();
+    result.costs.wal_bytes += result.wal_bytes_flushed;
+    result.costs.io.log_bytes_flushed += result.wal_bytes_flushed;
+    global_io_.add_log_bytes(result.wal_bytes_flushed);
+  }
+  {
+    const std::scoped_lock lock(txn_mu_);
+    transactions_.erase(txn_id);
+  }
+  engine_lock.unlock();
   txn_gate_->release();
   return result;
 }
 
 Status Engine::rollback(uint64_t txn_id) {
-  const std::scoped_lock lock(mu_);
+  // Engine-exclusive: undo touches several tables' heaps and trees, and
+  // taking their latches here (parent before child) would invert the
+  // child->parent nested order inserts use. Rollbacks are rare in the
+  // append-only workload, so stop-the-world is the simple safe choice.
+  const std::unique_lock<std::shared_mutex> engine_lock(engine_mu_);
+  const std::unique_lock<std::mutex> txn_lock(txn_mu_);
   const auto it = transactions_.find(txn_id);
   if (it == transactions_.end()) {
     return Status(ErrorCode::kNotFound, "rollback: unknown transaction");
@@ -130,45 +187,71 @@ Status Engine::rollback(uint64_t txn_id) {
 
 BatchResult Engine::insert_batch(uint64_t txn_id, uint32_t tid,
                                  std::span<const Row> rows) {
-  const std::scoped_lock lock(mu_);
   BatchResult result;
-  active_costs_ = &result.costs;
-  const storage::CacheEvents cache_before = cache_.events();
-  for (size_t i = 0; i < rows.size(); ++i) {
-    const Status status = insert_row_locked(txn_id, tid, rows[i], result.costs);
-    if (!status.is_ok()) {
-      // JDBC semantics: earlier rows stay, this row failed, the remainder of
-      // the batch is discarded.
-      result.error = BatchError{i, status};
-      ++result.costs.constraint_failures;
-      break;
-    }
-    ++result.rows_applied;
+  result.costs.lock_wait_ns += lock_shared_timed(engine_mu_);
+  std::shared_lock<std::shared_mutex> engine_lock(engine_mu_, std::adopt_lock);
+  Transaction* txn = find_transaction(txn_id);
+  if (txn == nullptr) {
+    result.error = BatchError{
+        0, Status(ErrorCode::kFailedPrecondition,
+                  "insert: unknown transaction")};
+    ++result.costs.constraint_failures;
+    return result;
   }
-  result.costs.rows_applied = result.rows_applied;
-  result.costs.cache = cache_.events().since(cache_before);
-  active_costs_ = nullptr;
+  {
+    const CostScope scope(&result.costs);
+    // Cache deltas are exact when calls don't overlap (single-threaded and
+    // simulation runs); under real concurrency a batch may absorb events
+    // from neighbours — fine for the aggregate telemetry they feed.
+    const storage::CacheEvents cache_before = cache_.events();
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Status status = insert_row_latched(*txn, tid, rows[i], result.costs);
+      if (!status.is_ok()) {
+        // JDBC semantics: earlier rows stay, this row failed, the remainder
+        // of the batch is discarded.
+        result.error = BatchError{i, status};
+        ++result.costs.constraint_failures;
+        break;
+      }
+      ++result.rows_applied;
+    }
+    result.costs.rows_applied = result.rows_applied;
+    result.costs.cache = cache_.events().since(cache_before);
+  }
+  engine_lock.unlock();
+  pay_batch_latency(result.costs);
   return result;
 }
 
 Status Engine::insert_row(uint64_t txn_id, uint32_t tid, const Row& row,
                           OpCosts& costs) {
-  const std::scoped_lock lock(mu_);
-  active_costs_ = &costs;
-  const storage::CacheEvents cache_before = cache_.events();
-  const Status status = insert_row_locked(txn_id, tid, row, costs);
-  if (status.is_ok()) {
-    costs.rows_applied += 1;
-  } else {
+  costs.lock_wait_ns += lock_shared_timed(engine_mu_);
+  std::shared_lock<std::shared_mutex> engine_lock(engine_mu_, std::adopt_lock);
+  Transaction* txn = find_transaction(txn_id);
+  if (txn == nullptr) {
     ++costs.constraint_failures;
+    return Status(ErrorCode::kFailedPrecondition,
+                  "insert: unknown transaction");
   }
-  costs.cache += cache_.events().since(cache_before);
-  active_costs_ = nullptr;
+  Status status = ok_status();
+  {
+    const CostScope scope(&costs);
+    const storage::CacheEvents cache_before = cache_.events();
+    status = insert_row_latched(*txn, tid, row, costs);
+    if (status.is_ok()) {
+      costs.rows_applied += 1;
+    } else {
+      ++costs.constraint_failures;
+    }
+    costs.cache += cache_.events().since(cache_before);
+  }
+  engine_lock.unlock();
+  pay_batch_latency(costs);
   return status;
 }
 
-Status Engine::validate_row_locked(const Table& table, const Row& row,
-                                   OpCosts& costs) const {
+Status Engine::validate_row(const Table& table, const Row& row,
+                            OpCosts& costs) const {
   const TableDef& def = table.def();
   if (row.size() != def.columns.size()) {
     return Status(ErrorCode::kInvalidArgument,
@@ -219,22 +302,24 @@ Status Engine::validate_row_locked(const Table& table, const Row& row,
   return ok_status();
 }
 
-Status Engine::insert_row_locked(uint64_t txn_id, uint32_t tid, const Row& row,
-                                 OpCosts& costs) {
+Status Engine::insert_row_latched(Transaction& txn, uint32_t tid,
+                                  const Row& row, OpCosts& costs) {
   if (tid >= tables_.size()) {
     return Status(ErrorCode::kNotFound, "insert: bad table id");
   }
-  const auto txn_it = transactions_.find(txn_id);
-  if (txn_it == transactions_.end()) {
-    return Status(ErrorCode::kFailedPrecondition,
-                  "insert: unknown transaction");
-  }
   Table& table = tables_[tid];
 
-  SKY_RETURN_IF_ERROR(validate_row_locked(table, row, costs));
+  // Validation and PK encoding read only immutable schema — no latch yet.
+  SKY_RETURN_IF_ERROR(validate_row(table, row, costs));
+  const std::string pk_key = table.encode_pk_key(row);
+
+  // Exclusive latch on the destination table for this one row. Held per-row
+  // rather than per-batch so concurrent loaders of the same table interleave
+  // and FK probes into hot parents never starve the parents' own writers.
+  costs.lock_wait_ns += lock_exclusive_timed(table.latch());
+  std::unique_lock<std::shared_mutex> latch(table.latch(), std::adopt_lock);
 
   // Primary key uniqueness.
-  const std::string pk_key = table.encode_pk_key(row);
   index::BPlusTree::TouchInfo pk_probe;
   if (table.pk_tree().lookup_with_touch(pk_key, &pk_probe).has_value()) {
     costs.index_node_visits += pk_probe.nodes_visited;
@@ -244,22 +329,36 @@ Status Engine::insert_row_locked(uint64_t txn_id, uint32_t tid, const Row& row,
   }
   costs.index_node_visits += pk_probe.nodes_visited;
 
-  // Foreign keys (probe the parent PK index; read touch on its leaf).
-  for (const ForeignKey& fk : table.def().foreign_keys) {
-    const uint32_t parent_id = schema_.table_id(fk.parent_table).value();
+  // Foreign keys: shared latch on each parent, held only for the probe.
+  // Nested order is child latch -> parent latch, i.e. descending table id
+  // (FKs only reference earlier tables), so the hierarchy is acyclic.
+  for (size_t f = 0; f < table.def().foreign_keys.size(); ++f) {
+    const ForeignKey& fk = table.def().foreign_keys[f];
+    const uint32_t parent_id = table.fk_parent_ids[f];
     const Table& parent = tables_[parent_id];
     const auto probe =
         Table::encode_fk_probe(table.def(), fk, row, parent.def());
     ++costs.fk_checks;
     if (!probe.has_value()) continue;  // NULL FK passes
     index::BPlusTree::TouchInfo fk_touch;
-    if (!parent.pk_tree().lookup_with_touch(*probe, &fk_touch).has_value()) {
-      costs.fk_node_visits += fk_touch.nodes_visited;
+    bool parent_has_row = false;
+    if (parent_id == tid) {
+      // Self-reference: our exclusive latch already covers the probe.
+      parent_has_row =
+          parent.pk_tree().lookup_with_touch(*probe, &fk_touch).has_value();
+    } else {
+      costs.lock_wait_ns += lock_shared_timed(parent.latch());
+      const std::shared_lock<std::shared_mutex> parent_latch(parent.latch(),
+                                                             std::adopt_lock);
+      parent_has_row =
+          parent.pk_tree().lookup_with_touch(*probe, &fk_touch).has_value();
+    }
+    costs.fk_node_visits += fk_touch.nodes_visited;
+    if (!parent_has_row) {
       return Status(ErrorCode::kConstraintForeignKey,
                     table.def().name + ": no parent row in " +
                         fk.parent_table + " for " + row_to_display(row));
     }
-    costs.fk_node_visits += fk_touch.nodes_visited;
     cache_.touch_read({parent.pk_cache_file_id, fk_touch.leaf_page_id});
   }
 
@@ -280,7 +379,7 @@ Status Engine::insert_row_locked(uint64_t txn_id, uint32_t tid, const Row& row,
   std::string row_bytes = encode_row(row);
   costs.heap_bytes += static_cast<int64_t>(row_bytes.size());
   costs.wal_bytes += static_cast<int64_t>(row_bytes.size());
-  wal_.append(storage::WalRecordType::kInsert, txn_id, tid, row_bytes);
+  wal_.append(storage::WalRecordType::kInsert, txn.id, tid, row_bytes);
   const auto appended = table.heap().append(std::move(row_bytes));
   if (appended.opened_new_page) ++costs.heap_pages_opened;
   cache_.touch_write({table.heap_cache_file_id, appended.slot.page});
@@ -316,8 +415,10 @@ Status Engine::insert_row_locked(uint64_t txn_id, uint32_t tid, const Row& row,
     cache_.touch_write({secondary.cache_file_id, touch.leaf_page_id});
     undo.secondary_keys.emplace_back(s, key);
   }
-  txn_it->second.undo.push_back(std::move(undo));
   if (insert_observer_) insert_observer_(tid, row_id);
+  latch.unlock();
+  // The undo log belongs to this session's transaction alone.
+  txn.undo.push_back(std::move(undo));
   return ok_status();
 }
 
@@ -325,7 +426,7 @@ Status Engine::insert_row_locked(uint64_t txn_id, uint32_t tid, const Row& row,
 
 Status Engine::set_index_enabled(uint32_t tid, std::string_view index_name,
                                  bool enabled) {
-  const std::scoped_lock lock(mu_);
+  const std::unique_lock<std::shared_mutex> engine_lock(engine_mu_);
   if (tid >= tables_.size()) {
     return Status(ErrorCode::kNotFound, "bad table id");
   }
@@ -343,7 +444,7 @@ Status Engine::set_index_enabled(uint32_t tid, std::string_view index_name,
 }
 
 Status Engine::rebuild_index(uint32_t tid, std::string_view index_name) {
-  const std::scoped_lock lock(mu_);
+  const std::unique_lock<std::shared_mutex> engine_lock(engine_mu_);
   if (tid >= tables_.size()) {
     return Status(ErrorCode::kNotFound, "bad table id");
   }
@@ -387,7 +488,7 @@ Status Engine::rebuild_index(uint32_t tid, std::string_view index_name) {
 }
 
 Status Engine::bulk_load_sorted(uint32_t tid, const std::vector<Row>& rows) {
-  const std::scoped_lock lock(mu_);
+  const std::unique_lock<std::shared_mutex> engine_lock(engine_mu_);
   if (tid >= tables_.size()) {
     return Status(ErrorCode::kNotFound, "bad table id");
   }
@@ -400,7 +501,7 @@ Status Engine::bulk_load_sorted(uint32_t tid, const std::vector<Row>& rows) {
   std::vector<std::pair<std::string, uint64_t>> pk_entries;
   pk_entries.reserve(rows.size());
   for (const Row& row : rows) {
-    SKY_RETURN_IF_ERROR(validate_row_locked(table, row, scratch));
+    SKY_RETURN_IF_ERROR(validate_row(table, row, scratch));
     const auto appended = table.heap().append(encode_row(row));
     pk_entries.emplace_back(table.encode_pk_key(row),
                             make_row_id(tid, appended.slot));
@@ -431,22 +532,30 @@ Status Engine::bulk_load_sorted(uint32_t tid, const std::vector<Row>& rows) {
 // ----------------------------------------------------------------- queries
 
 int64_t Engine::row_count(uint32_t tid) const {
-  const std::scoped_lock lock(mu_);
+  const std::shared_lock<std::shared_mutex> engine_lock(engine_mu_);
   if (tid >= tables_.size()) return 0;
-  return tables_[tid].heap().row_count();
+  const Table& table = tables_[tid];
+  const std::shared_lock<std::shared_mutex> latch(table.latch());
+  return table.heap().row_count();
 }
 
 int64_t Engine::total_rows() const {
-  const std::scoped_lock lock(mu_);
+  const std::shared_lock<std::shared_mutex> engine_lock(engine_mu_);
   int64_t total = 0;
-  for (const Table& table : tables_) total += table.heap().row_count();
+  for (const Table& table : tables_) {
+    const std::shared_lock<std::shared_mutex> latch(table.latch());
+    total += table.heap().row_count();
+  }
   return total;
 }
 
 int64_t Engine::total_heap_bytes() const {
-  const std::scoped_lock lock(mu_);
+  const std::shared_lock<std::shared_mutex> engine_lock(engine_mu_);
   int64_t total = 0;
-  for (const Table& table : tables_) total += table.heap().total_bytes();
+  for (const Table& table : tables_) {
+    const std::shared_lock<std::shared_mutex> latch(table.latch());
+    total += table.heap().total_bytes();
+  }
   return total;
 }
 
@@ -469,7 +578,7 @@ Result<Row> Engine::row_at(const Table& table, uint64_t row_id) const {
 }
 
 Result<Row> Engine::pk_lookup(uint32_t tid, const Row& pk_values) const {
-  const std::scoped_lock lock(mu_);
+  const std::shared_lock<std::shared_mutex> engine_lock(engine_mu_);
   if (tid >= tables_.size()) {
     return Status(ErrorCode::kNotFound, "bad table id");
   }
@@ -479,6 +588,7 @@ Result<Row> Engine::pk_lookup(uint32_t tid, const Row& pk_values) const {
   }
   const std::string key =
       encode_tuple_key(table.def(), table.pk_column_indices(), pk_values);
+  const std::shared_lock<std::shared_mutex> latch(table.latch());
   const auto row_id = table.pk_tree().lookup(key);
   if (!row_id.has_value()) {
     return Status(ErrorCode::kNotFound, "no row with given primary key");
@@ -488,7 +598,7 @@ Result<Row> Engine::pk_lookup(uint32_t tid, const Row& pk_values) const {
 
 Result<std::vector<Row>> Engine::pk_range(uint32_t tid, const Row& lo,
                                           const Row& hi) const {
-  const std::scoped_lock lock(mu_);
+  const std::shared_lock<std::shared_mutex> engine_lock(engine_mu_);
   if (tid >= tables_.size()) {
     return Status(ErrorCode::kNotFound, "bad table id");
   }
@@ -497,6 +607,7 @@ Result<std::vector<Row>> Engine::pk_range(uint32_t tid, const Row& lo,
       encode_tuple_key(table.def(), table.pk_column_indices(), lo);
   const std::string hi_key =
       encode_tuple_key(table.def(), table.pk_column_indices(), hi);
+  const std::shared_lock<std::shared_mutex> latch(table.latch());
   std::vector<Row> rows;
   for (const uint64_t row_id : table.pk_tree().range_lookup(lo_key, hi_key)) {
     SKY_ASSIGN_OR_RETURN(Row row, row_at(table, row_id));
@@ -509,7 +620,7 @@ Result<std::vector<Row>> Engine::index_range(uint32_t tid,
                                              std::string_view index_name,
                                              const Row& lo,
                                              const Row& hi) const {
-  const std::scoped_lock lock(mu_);
+  const std::shared_lock<std::shared_mutex> engine_lock(engine_mu_);
   if (tid >= tables_.size()) {
     return Status(ErrorCode::kNotFound, "bad table id");
   }
@@ -524,6 +635,7 @@ Result<std::vector<Row>> Engine::index_range(uint32_t tid,
         encode_tuple_key(table.def(), secondary.column_indices, lo);
     const std::string hi_key =
         encode_tuple_key(table.def(), secondary.column_indices, hi);
+    const std::shared_lock<std::shared_mutex> latch(table.latch());
     std::vector<Row> rows;
     for (const uint64_t row_id :
          secondary.tree.range_lookup(lo_key, hi_key)) {
@@ -539,11 +651,12 @@ Result<std::vector<Row>> Engine::index_range(uint32_t tid,
 Result<std::vector<Row>> Engine::pk_encoded_range(uint32_t tid,
                                                   const std::string& lo,
                                                   const std::string& hi) const {
-  const std::scoped_lock lock(mu_);
+  const std::shared_lock<std::shared_mutex> engine_lock(engine_mu_);
   if (tid >= tables_.size()) {
     return Status(ErrorCode::kNotFound, "bad table id");
   }
   const Table& table = tables_[tid];
+  const std::shared_lock<std::shared_mutex> latch(table.latch());
   const std::vector<uint64_t> row_ids =
       hi.empty() ? table.pk_tree().range_lookup_unbounded(lo)
                  : table.pk_tree().range_lookup(lo, hi);
@@ -559,7 +672,7 @@ Result<std::vector<Row>> Engine::pk_encoded_range(uint32_t tid,
 Result<std::vector<Row>> Engine::index_encoded_range(
     uint32_t tid, std::string_view index_name, const std::string& lo,
     const std::string& hi) const {
-  const std::scoped_lock lock(mu_);
+  const std::shared_lock<std::shared_mutex> engine_lock(engine_mu_);
   if (tid >= tables_.size()) {
     return Status(ErrorCode::kNotFound, "bad table id");
   }
@@ -570,6 +683,7 @@ Result<std::vector<Row>> Engine::index_encoded_range(
       return Status(ErrorCode::kFailedPrecondition,
                     "index is disabled: " + std::string(index_name));
     }
+    const std::shared_lock<std::shared_mutex> latch(table.latch());
     const std::vector<uint64_t> row_ids =
         hi.empty() ? secondary.tree.range_lookup_unbounded(lo)
                    : secondary.tree.range_lookup(lo, hi);
@@ -587,11 +701,13 @@ Result<std::vector<Row>> Engine::index_encoded_range(
 
 Result<bool> Engine::index_enabled(uint32_t tid,
                                    std::string_view index_name) const {
-  const std::scoped_lock lock(mu_);
+  const std::shared_lock<std::shared_mutex> engine_lock(engine_mu_);
   if (tid >= tables_.size()) {
     return Status(ErrorCode::kNotFound, "bad table id");
   }
-  for (const SecondaryIndex& secondary : tables_[tid].secondaries()) {
+  const Table& table = tables_[tid];
+  const std::shared_lock<std::shared_mutex> latch(table.latch());
+  for (const SecondaryIndex& secondary : table.secondaries()) {
     if (secondary.def.name == index_name) return secondary.enabled;
   }
   return Status(ErrorCode::kNotFound,
@@ -600,10 +716,12 @@ Result<bool> Engine::index_enabled(uint32_t tid,
 
 std::vector<Row> Engine::scan_collect(
     uint32_t tid, const std::function<bool(const Row&)>& pred) const {
-  const std::scoped_lock lock(mu_);
+  const std::shared_lock<std::shared_mutex> engine_lock(engine_mu_);
   std::vector<Row> rows;
   if (tid >= tables_.size()) return rows;
-  tables_[tid].heap().scan([&](storage::SlotId, std::string_view bytes) {
+  const Table& table = tables_[tid];
+  const std::shared_lock<std::shared_mutex> latch(table.latch());
+  table.heap().scan([&](storage::SlotId, std::string_view bytes) {
     auto row = decode_row(bytes);
     if (row.is_ok() && pred(*row)) rows.push_back(std::move(*row));
   });
@@ -612,31 +730,16 @@ std::vector<Row> Engine::scan_collect(
 
 // --------------------------------------------------------------- telemetry
 
-storage::WalStats Engine::wal_stats() const {
-  const std::scoped_lock lock(mu_);
-  return wal_.stats();
-}
-
-storage::CacheEvents Engine::cache_events() const {
-  const std::scoped_lock lock(mu_);
-  return cache_.events();
-}
-
-storage::IoTally Engine::io_tally() const {
-  const std::scoped_lock lock(mu_);
-  return global_io_;
-}
-
 SlotGate::Stats Engine::txn_gate_stats() const { return txn_gate_->stats(); }
 
 void Engine::set_insert_observer(
     std::function<void(uint32_t, uint64_t)> observer) {
-  const std::scoped_lock lock(mu_);
+  const std::unique_lock<std::shared_mutex> engine_lock(engine_mu_);
   insert_observer_ = std::move(observer);
 }
 
 Status Engine::verify_integrity() const {
-  const std::scoped_lock lock(mu_);
+  const std::unique_lock<std::shared_mutex> engine_lock(engine_mu_);
   for (const Table& table : tables_) {
     // Heap rows decode, agree with the PK tree, and satisfy FKs.
     Status failure = ok_status();

@@ -13,21 +13,35 @@
 // rest of the batch is discarded and cannot be re-applied. The bulk-loading
 // algorithm's skip-and-repack recovery is built on exactly this contract.
 //
-// Thread safety: all public methods are safe to call from multiple threads;
-// one engine-wide mutex serializes calls (the database server is the shared
-// resource — contention among parallel loaders is the point of the study).
+// Thread safety: all public methods are safe to call from multiple threads.
+// Concurrency is fine-grained (see DESIGN.md "Engine concurrency model"):
+// normal operations take an engine-wide rwlock *shared* plus per-table
+// latches (exclusive per inserted row, shared for queries and FK probes);
+// the buffer cache, WAL, transaction map, and I/O tally are internally
+// thread-safe. Only DDL-like operations (set_index_enabled, rebuild_index,
+// bulk_load_sorted, verify_integrity, rollback, set_insert_observer) take
+// the engine rwlock exclusive and stop the world. Parallel loaders
+// therefore make genuinely parallel progress; the configured SlotGate — not
+// an implementation mutex — is the modeled RDBMS concurrency limit.
+//
+// A transaction id may be used by one thread at a time (the client layer
+// guarantees this: one session per loader thread, one open transaction per
+// session).
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "common/units.h"
 #include "db/lock_manager.h"
 #include "db/op_costs.h"
 #include "db/row.h"
@@ -38,6 +52,26 @@
 #include "storage/wal.h"
 
 namespace sky::db {
+
+// Modeled device latencies for real-thread (non-simulation) runs. The
+// engine is memory-resident, so with these at zero a "database call" costs
+// only CPU; enabling them makes each call pay a real sleep for the device
+// work it implies — redo written per batch, data/index pages written per
+// batch, the redo flush forced by a commit. The sleeps are taken with no
+// latches held (redo flush: under the WAL's group-commit protocol), so
+// fine-grained locking lets parallel loaders overlap them, while a
+// seed-style engine-wide mutex would serialize them. Simulation mode keeps
+// them at zero and prices the same costs through the client CostModel.
+struct ModeledDeviceLatency {
+  Nanos batch_redo_write = 0;     // per insert_batch / insert_row call
+  Nanos data_write_per_page = 0;  // per heap page opened or leaf split
+  Nanos commit_log_flush = 0;     // per WAL group flush (leader pays it)
+
+  bool enabled() const {
+    return batch_redo_write > 0 || data_write_per_page > 0 ||
+           commit_log_flush > 0;
+  }
+};
 
 struct EngineOptions {
   // Server data cache in 8 KiB pages (section 4.5.5 knob).
@@ -50,6 +84,7 @@ struct EngineOptions {
   storage::DeviceLayout device_layout = storage::DeviceLayout::separate_raids();
   // Keep full WAL records in memory for replay verification (tests only).
   bool retain_wal_records = false;
+  ModeledDeviceLatency latency;
 };
 
 struct BatchError {
@@ -81,7 +116,8 @@ class Engine {
   // ----------------------------------------------------------- transactions
   uint64_t begin_transaction();
   Result<CommitResult> commit(uint64_t txn_id);
-  // Undo every insert of the transaction (reverse order).
+  // Undo every insert of the transaction (reverse order). Stops the world
+  // (engine-exclusive): rollbacks are rare in the append-only workload.
   Status rollback(uint64_t txn_id);
 
   // ---------------------------------------------------------------- inserts
@@ -93,6 +129,7 @@ class Engine {
                     OpCosts& costs);
 
   // ------------------------------------------------------------ maintenance
+  // DDL-like operations: engine-exclusive (quiesce all sessions).
   // Disable (drop) or enable a secondary index. Disabling clears it;
   // enabling leaves it empty until rebuild_index().
   Status set_index_enabled(uint32_t table_id, std::string_view index_name,
@@ -138,19 +175,22 @@ class Engine {
                              std::string_view index_name) const;
 
   // -------------------------------------------------------------- telemetry
-  storage::WalStats wal_stats() const;
-  const std::vector<storage::WalRecord>& wal_records() const {
+  // All telemetry returns copied snapshots taken under the owning
+  // component's lock — never references into concurrently mutated state.
+  storage::WalStats wal_stats() const { return wal_.stats(); }
+  std::vector<storage::WalRecord> wal_records() const {
     return wal_.records();
   }
-  storage::CacheEvents cache_events() const;
-  storage::IoTally io_tally() const;
+  storage::CacheEvents cache_events() const { return cache_.events(); }
+  storage::IoTally io_tally() const { return global_io_.snapshot(); }
   SlotGate::Stats txn_gate_stats() const;
-  // Observer invoked (under the engine lock) after each successful insert;
-  // tests use it to audit parent-before-child ordering.
+  // Observer invoked (under the destination table's latch) after each
+  // successful insert; tests use it to audit parent-before-child ordering.
+  // Setting it quiesces the engine (engine-exclusive).
   void set_insert_observer(std::function<void(uint32_t, uint64_t)> observer);
 
   // Deep integrity audit (tests): heap/PK agreement, FK closure, secondary
-  // index completeness, row decodability.
+  // index completeness, row decodability. Engine-exclusive.
   Status verify_integrity() const;
 
  private:
@@ -162,31 +202,42 @@ class Engine {
   };
   struct Transaction {
     uint64_t id;
+    // Mutated only by the owning session's thread (map lookup is locked;
+    // the entry itself needs no lock).
     std::vector<UndoEntry> undo;
   };
 
-  Status insert_row_locked(uint64_t txn_id, uint32_t table_id, const Row& row,
-                           OpCosts& costs);
-  Status validate_row_locked(const Table& table, const Row& row,
-                             OpCosts& costs) const;
+  // Look up a live transaction under txn_mu_; nullptr when unknown. The
+  // returned pointer stays valid until the owner commits or rolls back
+  // (unordered_map never invalidates references on insert).
+  Transaction* find_transaction(uint64_t txn_id);
+  // One row: validate, latch the table exclusive, check constraints, apply.
+  Status insert_row_latched(Transaction& txn, uint32_t table_id,
+                            const Row& row, OpCosts& costs);
+  Status validate_row(const Table& table, const Row& row,
+                      OpCosts& costs) const;
+  // Modeled device sleep for a completed call (no locks held).
+  void pay_batch_latency(const OpCosts& costs) const;
   storage::IoRole role_of_file(uint32_t file_id) const;
   Result<Row> row_at(const Table& table, uint64_t row_id) const;
   std::string encode_tuple_key(const TableDef& def,
                                const std::vector<int>& column_indices,
                                const Row& values) const;
 
-  mutable std::mutex mu_;
+  // Engine-wide rwlock: shared for normal operations, exclusive for the
+  // DDL-like stop-the-world paths. Outermost in the lock hierarchy.
+  mutable std::shared_mutex engine_mu_;
   Schema schema_;
   EngineOptions options_;
   std::vector<Table> tables_;
   storage::BufferCache cache_;
   storage::WriteAheadLog wal_;
   std::unique_ptr<SlotGate> txn_gate_;
+  mutable std::mutex txn_mu_;  // guards transactions_ (the map, not entries)
   std::unordered_map<uint64_t, Transaction> transactions_;
-  uint64_t next_txn_id_ = 1;
+  std::atomic<uint64_t> next_txn_id_{1};
   std::vector<storage::IoRole> file_roles_;  // cache file id -> device role
-  OpCosts* active_costs_ = nullptr;          // routed to by the cache IO hook
-  storage::IoTally global_io_;
+  storage::SharedIoTally global_io_;
   std::function<void(uint32_t, uint64_t)> insert_observer_;
 };
 

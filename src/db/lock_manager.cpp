@@ -5,6 +5,28 @@
 
 namespace sky::db {
 
+namespace {
+Nanos latch_now() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+Nanos lock_exclusive_timed(std::shared_mutex& mu) {
+  if (mu.try_lock()) return 0;
+  const Nanos start = latch_now();
+  mu.lock();
+  return latch_now() - start;
+}
+
+Nanos lock_shared_timed(std::shared_mutex& mu) {
+  if (mu.try_lock_shared()) return 0;
+  const Nanos start = latch_now();
+  mu.lock_shared();
+  return latch_now() - start;
+}
+
 BlockingSlotGate::BlockingSlotGate(int64_t slots) : available_(slots) {
   assert(slots > 0);
 }

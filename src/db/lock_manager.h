@@ -15,10 +15,18 @@
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <shared_mutex>
 
 #include "common/units.h"
 
 namespace sky::db {
+
+// Timed latch acquisition: try the fast path first; only a contended
+// acquisition pays for two clock reads. Returns nanoseconds spent blocked
+// (0 on the uncontended path). Used by the engine to attribute parallel-load
+// makespan to latch waits vs. useful work.
+Nanos lock_exclusive_timed(std::shared_mutex& mu);
+Nanos lock_shared_timed(std::shared_mutex& mu);
 
 class SlotGate {
  public:

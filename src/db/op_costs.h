@@ -33,6 +33,10 @@ struct OpCosts {
   int64_t check_evals = 0;         // type / null / range predicate evaluations
   int64_t constraint_failures = 0;
   int64_t wal_bytes = 0;
+  // Real time this call spent blocked on engine latches (table latches and
+  // the engine's DDL lock). Zero on uncontended runs; the parallel-load
+  // report uses it to attribute makespan to contention vs. work.
+  int64_t lock_wait_ns = 0;
   storage::CacheEvents cache;      // delta attributable to this call
   storage::IoTally io;             // physical I/O by device role
 
@@ -52,6 +56,7 @@ struct OpCosts {
     check_evals += other.check_evals;
     constraint_failures += other.constraint_failures;
     wal_bytes += other.wal_bytes;
+    lock_wait_ns += other.lock_wait_ns;
     cache += other.cache;
     io += other.io;
     return *this;

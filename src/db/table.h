@@ -3,7 +3,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -72,8 +74,20 @@ class Table {
     return pk_column_indices_;
   }
 
+  // Per-table latch. Writers (row insert, index mutation) hold it exclusive
+  // for one row at a time; query paths and FK probes from child tables hold
+  // it shared. Lock hierarchy (see DESIGN.md "Engine concurrency model"):
+  // nested acquisition always goes child latch -> parent latch (descending
+  // table id, the schema's parent-before-child order read bottom-up), which
+  // is acyclic because foreign keys only reference earlier tables.
+  std::shared_mutex& latch() const { return *latch_; }
+
   uint32_t heap_cache_file_id = 0;
   uint32_t pk_cache_file_id = 0;
+  // Engine table ids of this table's FK parents, aligned with
+  // def().foreign_keys (resolved once by the engine constructor so the
+  // per-row FK probe does no name lookups).
+  std::vector<uint32_t> fk_parent_ids;
 
  private:
   uint32_t id_;
@@ -82,6 +96,9 @@ class Table {
   storage::HeapFile heap_;
   index::BPlusTree pk_tree_;
   std::vector<SecondaryIndex> secondaries_;
+  // unique_ptr keeps Table movable during engine construction.
+  std::unique_ptr<std::shared_mutex> latch_ =
+      std::make_unique<std::shared_mutex>();
 };
 
 }  // namespace sky::db

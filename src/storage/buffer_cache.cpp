@@ -4,6 +4,19 @@
 
 namespace sky::storage {
 
+namespace {
+// Lock striping kicks in only when each shard still holds a meaningful LRU
+// (>= 256 pages); tiny caches keep the seed's exact single-LRU behaviour.
+constexpr int64_t kMaxShards = 16;
+constexpr int64_t kMinPagesPerShard = 256;
+
+int64_t shard_count_for(int64_t capacity_pages) {
+  const int64_t by_size = capacity_pages / kMinPagesPerShard;
+  if (by_size <= 1) return 1;
+  return by_size < kMaxShards ? by_size : kMaxShards;
+}
+}  // namespace
+
 CacheEvents& CacheEvents::operator+=(const CacheEvents& other) {
   hits += other.hits;
   misses += other.misses;
@@ -30,17 +43,30 @@ CacheEvents CacheEvents::since(const CacheEvents& baseline) const {
 }
 
 BufferCache::BufferCache(int64_t capacity_pages, int64_t dirty_trigger)
-    : capacity_pages_(capacity_pages), dirty_trigger_(dirty_trigger) {
+    : capacity_pages_(capacity_pages),
+      dirty_trigger_(dirty_trigger),
+      shards_(static_cast<size_t>(shard_count_for(capacity_pages))) {
   assert(capacity_pages_ > 0);
   assert(dirty_trigger_ > 0);
+  // Distribute capacity across shards (remainder to the first shards).
+  const auto n = static_cast<int64_t>(shards_.size());
+  for (int64_t i = 0; i < n; ++i) {
+    shards_[static_cast<size_t>(i)].capacity =
+        capacity_pages_ / n + (i < capacity_pages_ % n ? 1 : 0);
+  }
+}
+
+BufferCache::Shard& BufferCache::shard_for(CachePageId page) const {
+  // Mix file id and page so one file's sequential pages spread evenly and
+  // different files' low page numbers don't pile into one shard.
+  const uint64_t mixed =
+      (static_cast<uint64_t>(page.file_id) * 0x9E3779B97F4A7C15ull) ^
+      (static_cast<uint64_t>(page.page) * 0xBF58476D1CE4E5B9ull);
+  return shards_[static_cast<size_t>(mixed % shards_.size())];
 }
 
 void BufferCache::touch_write(CachePageId page) {
-  auto it = touch(page, /*is_write=*/true);
-  if (!it->dirty) {
-    it->dirty = true;
-    ++dirty_count_;
-  }
+  touch(page, /*is_write=*/true);
   maybe_run_writer();
 }
 
@@ -48,69 +74,106 @@ void BufferCache::touch_read(CachePageId page) {
   touch(page, /*is_write=*/false);
 }
 
-BufferCache::FrameList::iterator BufferCache::touch(CachePageId page,
-                                                    bool is_write) {
-  (void)is_write;
-  const auto found = map_.find(page);
-  if (found != map_.end()) {
-    ++events_.hits;
+void BufferCache::touch(CachePageId page, bool is_write) {
+  Shard& shard = shard_for(page);
+  const std::scoped_lock lock(shard.mu);
+  const auto found = shard.map.find(page);
+  FrameList::iterator frame;
+  if (found != shard.map.end()) {
+    ++shard.events.hits;
     // Move to MRU position.
-    frames_.splice(frames_.begin(), frames_, found->second);
-    return frames_.begin();
+    shard.frames.splice(shard.frames.begin(), shard.frames, found->second);
+    frame = shard.frames.begin();
+  } else {
+    ++shard.events.misses;
+    if (io_hook_) io_hook_(page, IoKind::kRead);
+    if (static_cast<int64_t>(shard.frames.size()) >= shard.capacity) {
+      evict_one(shard);
+    }
+    shard.frames.push_front(Frame{page, false});
+    shard.map[page] = shard.frames.begin();
+    frame = shard.frames.begin();
   }
-  ++events_.misses;
-  if (io_hook_) io_hook_(page, IoKind::kRead);
-  if (static_cast<int64_t>(frames_.size()) >= capacity_pages_) {
-    evict_one();
+  if (is_write && !frame->dirty) {
+    frame->dirty = true;
+    dirty_count_.fetch_add(1, std::memory_order_relaxed);
   }
-  frames_.push_front(Frame{page, false});
-  map_[page] = frames_.begin();
-  return frames_.begin();
 }
 
-void BufferCache::evict_one() {
-  assert(!frames_.empty());
-  const Frame& victim = frames_.back();
+void BufferCache::evict_one(Shard& shard) {
+  assert(!shard.frames.empty());
+  const Frame& victim = shard.frames.back();
   if (victim.dirty) {
-    ++events_.dirty_evictions;
-    --dirty_count_;
+    ++shard.events.dirty_evictions;
+    dirty_count_.fetch_sub(1, std::memory_order_relaxed);
     if (io_hook_) io_hook_(victim.id, IoKind::kWrite);
   } else {
-    ++events_.clean_evictions;
+    ++shard.events.clean_evictions;
   }
-  map_.erase(victim.id);
-  frames_.pop_back();
+  shard.map.erase(victim.id);
+  shard.frames.pop_back();
+}
+
+int64_t BufferCache::sweep_dirty() {
+  int64_t seen = 0;
+  for (Shard& shard : shards_) {
+    const std::scoped_lock lock(shard.mu);
+    seen += static_cast<int64_t>(shard.frames.size());
+    for (Frame& frame : shard.frames) {
+      if (frame.dirty) {
+        frame.dirty = false;
+        dirty_count_.fetch_sub(1, std::memory_order_relaxed);
+        ++writer_events_.writer_flushed_pages;
+        if (io_hook_) io_hook_(frame.id, IoKind::kWrite);
+      }
+    }
+  }
+  return seen;
 }
 
 void BufferCache::maybe_run_writer() {
-  if (dirty_count_ < dirty_trigger_) return;
-  ++events_.writer_wakes;
+  if (dirty_count_.load(std::memory_order_relaxed) < dirty_trigger_) return;
+  // One DBWR pass at a time; a touch arriving while a sweep is in flight
+  // leaves the cleaning to it instead of queueing a redundant pass.
+  const std::unique_lock lock(writer_mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return;
+  if (dirty_count_.load(std::memory_order_relaxed) < dirty_trigger_) return;
+  ++writer_events_.writer_wakes;
   // DBWR walks the pre-allocated buffer pool looking for dirty buffers —
   // the scan cost that grows with the configured cache size (the
   // section 4.5.5 mechanism) — then writes out what it found.
-  events_.writer_scanned_frames += capacity_pages_;
-  for (Frame& frame : frames_) {
-    if (frame.dirty) {
-      frame.dirty = false;
-      ++events_.writer_flushed_pages;
-      if (io_hook_) io_hook_(frame.id, IoKind::kWrite);
-    }
-  }
-  dirty_count_ = 0;
+  writer_events_.writer_scanned_frames += capacity_pages_;
+  sweep_dirty();
 }
 
 void BufferCache::flush_all() {
-  if (dirty_count_ == 0) return;
-  ++events_.writer_wakes;
-  events_.writer_scanned_frames += static_cast<int64_t>(frames_.size());
-  for (Frame& frame : frames_) {
-    if (frame.dirty) {
-      frame.dirty = false;
-      ++events_.writer_flushed_pages;
-      if (io_hook_) io_hook_(frame.id, IoKind::kWrite);
-    }
+  if (dirty_count_.load(std::memory_order_relaxed) == 0) return;
+  const std::scoped_lock lock(writer_mu_);
+  if (dirty_count_.load(std::memory_order_relaxed) == 0) return;
+  ++writer_events_.writer_wakes;
+  writer_events_.writer_scanned_frames += sweep_dirty();
+}
+
+int64_t BufferCache::resident() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    const std::scoped_lock lock(shard.mu);
+    total += static_cast<int64_t>(shard.frames.size());
   }
-  dirty_count_ = 0;
+  return total;
+}
+
+CacheEvents BufferCache::events() const {
+  CacheEvents total;
+  {
+    const std::scoped_lock lock(writer_mu_);
+    total += writer_events_;
+  }
+  for (const Shard& shard : shards_) {
+    const std::scoped_lock lock(shard.mu);
+    total += shard.events;
+  }
+  return total;
 }
 
 }  // namespace sky::storage

@@ -11,12 +11,28 @@
 // The cache is an accounting model over real page identities — rows live in
 // HeapFile; the cache tracks residency and dirtiness to produce miss /
 // eviction / writer-scan counts that the cost model turns into time.
+//
+// Thread safety: the cache is lock-striped. Page state (residency, LRU
+// position, dirtiness) is partitioned into hash shards of CachePageId, each
+// with its own mutex, frame list, and LRU; the global dirty count is an
+// atomic so the DBWR trigger needs no shared lock. The writer itself runs
+// under a separate writer mutex and sweeps the shards one at a time, so a
+// DBWR pass never stops the world — concurrent touches to other shards keep
+// going, exactly as concurrent foreground sessions overlap with DBWR in a
+// real server. Small caches (below one page per would-be shard group) use a
+// single shard, preserving the seed's exact global-LRU accounting for the
+// unit tests and the cache-size ablation. set_io_hook() must be called
+// before the cache is shared across threads (the engine does so in its
+// constructor).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "common/status.h"
 
@@ -66,16 +82,18 @@ class BufferCache {
 
   enum class IoKind { kRead, kWrite };
   // Invoked on every physical I/O the cache implies: a miss (read), a dirty
-  // eviction (write), and each page the writer flushes (write). The engine
-  // uses the page's file id to attribute the I/O to a device role.
+  // eviction (write), and each page the writer flushes (write). Called with
+  // a shard (or the writer) mutex held; the hook must not call back into the
+  // cache. Set before sharing the cache across threads.
   void set_io_hook(std::function<void(CachePageId, IoKind)> hook) {
     io_hook_ = std::move(hook);
   }
 
   int64_t capacity() const { return capacity_pages_; }
-  int64_t resident() const { return static_cast<int64_t>(frames_.size()); }
-  int64_t dirty() const { return dirty_count_; }
-  const CacheEvents& events() const { return events_; }
+  int64_t resident() const;
+  int64_t dirty() const { return dirty_count_.load(std::memory_order_relaxed); }
+  // Aggregated snapshot across shards plus the writer's counters.
+  CacheEvents events() const;
 
  private:
   struct Frame {
@@ -84,17 +102,32 @@ class BufferCache {
   };
   using FrameList = std::list<Frame>;
 
-  // Returns frame for page, faulting it in (and possibly evicting) if absent.
-  FrameList::iterator touch(CachePageId page, bool is_write);
-  void maybe_run_writer();
-  void evict_one();
+  struct Shard {
+    mutable std::mutex mu;
+    int64_t capacity = 0;
+    FrameList frames;  // front = most recently used
+    std::unordered_map<CachePageId, FrameList::iterator, CachePageIdHash> map;
+    CacheEvents events;  // hits / misses / evictions charged to this shard
+  };
 
-  int64_t capacity_pages_;
-  int64_t dirty_trigger_;
-  FrameList frames_;  // front = most recently used
-  std::unordered_map<CachePageId, FrameList::iterator, CachePageIdHash> map_;
-  int64_t dirty_count_ = 0;
-  CacheEvents events_;
+  Shard& shard_for(CachePageId page) const;
+  // Touch within the page's shard, faulting in / evicting as needed.
+  void touch(CachePageId page, bool is_write);
+  void maybe_run_writer();
+  // Pre: shard.mu held, shard full. Evict the shard's LRU frame.
+  void evict_one(Shard& shard);
+  // Pre: writer_mu_ held. Flush every dirty frame, shard by shard; returns
+  // the number of resident frames seen.
+  int64_t sweep_dirty();
+
+  const int64_t capacity_pages_;
+  const int64_t dirty_trigger_;
+  mutable std::vector<Shard> shards_;
+  std::atomic<int64_t> dirty_count_{0};
+  // Serializes DBWR sweeps and guards writer_events_. touch paths never hold
+  // a shard mutex while taking it (writer acquires shard mutexes inside).
+  mutable std::mutex writer_mu_;
+  CacheEvents writer_events_;  // wakes / scanned / flushed
   std::function<void(CachePageId, IoKind)> io_hook_;
 };
 

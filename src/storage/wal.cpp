@@ -1,6 +1,8 @@
 #include "storage/wal.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 namespace sky::storage {
 
@@ -11,8 +13,10 @@ constexpr int64_t kRecordHeaderBytes = 1 + 8 + 4 + 4;
 
 void WriteAheadLog::append(WalRecordType type, uint64_t txn_id,
                            uint32_t table_id, std::string payload) {
+  const std::scoped_lock lock(mu_);
   const int64_t record_bytes =
       kRecordHeaderBytes + static_cast<int64_t>(payload.size());
+  ++append_seq_;
   ++stats_.records;
   stats_.bytes_appended += record_bytes;
   unflushed_bytes_ += record_bytes;
@@ -24,13 +28,58 @@ void WriteAheadLog::append(WalRecordType type, uint64_t txn_id,
 }
 
 int64_t WriteAheadLog::flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Everything appended before this call must be durable when we return.
+  const uint64_t want = append_seq_;
+  bool waited = false;
+  while (true) {
+    if (durable_seq_ >= want) {
+      // Covered — either nothing was pending, or a concurrent leader's
+      // flush included our records (group commit).
+      if (waited) ++stats_.group_piggybacks;
+      return 0;
+    }
+    if (!flush_in_progress_) break;
+    waited = true;
+    flush_cv_.wait(lock);
+  }
+  // Become the flush leader for everything appended so far (possibly more
+  // than `want` — later appends ride along for free).
+  flush_in_progress_ = true;
+  const uint64_t target = append_seq_;
   const int64_t flushed = unflushed_bytes_;
+  unflushed_bytes_ = 0;
   if (flushed > 0) {
     ++stats_.flushes;
     stats_.bytes_flushed += flushed;
-    unflushed_bytes_ = 0;
   }
+  if (flush_latency_ > 0) {
+    // The modeled device write happens outside the append mutex so other
+    // sessions keep appending (and queueing behind this flush) meanwhile.
+    lock.unlock();
+    std::this_thread::sleep_for(std::chrono::nanoseconds(flush_latency_));
+    lock.lock();
+  }
+  durable_seq_ = std::max(durable_seq_, target);
+  flush_in_progress_ = false;
+  lock.unlock();
+  flush_cv_.notify_all();
   return flushed;
+}
+
+int64_t WriteAheadLog::unflushed_bytes() const {
+  const std::scoped_lock lock(mu_);
+  return unflushed_bytes_;
+}
+
+WalStats WriteAheadLog::stats() const {
+  const std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+std::vector<WalRecord> WriteAheadLog::records() const {
+  const std::scoped_lock lock(mu_);
+  return records_;
 }
 
 }  // namespace sky::storage

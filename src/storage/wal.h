@@ -5,13 +5,26 @@
 // flush, so committing rarely amortizes that cost, at the price of larger
 // redo/undo volumes. The log tracks appended bytes, flush boundaries, and
 // (optionally, for tests) the full record stream for replay verification.
+//
+// Thread safety: all methods are safe to call concurrently. append() runs
+// under a short internal mutex. flush() has group-commit semantics: one
+// caller becomes the flush leader and writes out everything appended so far;
+// callers arriving while a flush is in flight wait for it and, if it already
+// covers their records, return without issuing a second device write (the
+// WalStats::group_piggybacks counter). With a modeled flush latency the
+// leader sleeps *outside* the append mutex, so concurrent appenders keep
+// running while redo is "on its way to disk" — this is what lets N parallel
+// loaders pay ~1 log-device write per commit burst instead of N.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/units.h"
 
 namespace sky::storage {
 
@@ -34,27 +47,41 @@ struct WalStats {
   int64_t flushes = 0;
   int64_t bytes_flushed = 0;
   int64_t max_unflushed_bytes = 0;  // redo backlog high-water mark
+  // Flush calls satisfied by another session's in-flight flush (group
+  // commit): the caller's redo was already covered, no extra device write.
+  int64_t group_piggybacks = 0;
 };
 
 class WriteAheadLog {
  public:
   // `retain_records`: keep every record in memory so tests can replay and
-  // verify; benches leave it off.
-  explicit WriteAheadLog(bool retain_records = false)
-      : retain_records_(retain_records) {}
+  // verify; benches leave it off. `flush_latency`: modeled redo-device write
+  // time paid by each flush leader (real sleep; 0 in simulation mode, where
+  // the client cost model prices log I/O instead).
+  explicit WriteAheadLog(bool retain_records = false, Nanos flush_latency = 0)
+      : retain_records_(retain_records), flush_latency_(flush_latency) {}
 
   void append(WalRecordType type, uint64_t txn_id, uint32_t table_id,
               std::string payload);
 
-  // Flush pending redo to the log device; returns bytes flushed.
+  // Flush pending redo to the log device; returns bytes flushed by *this*
+  // call (0 when piggybacking on a concurrent flush that covered us).
   int64_t flush();
 
-  int64_t unflushed_bytes() const { return unflushed_bytes_; }
-  const WalStats& stats() const { return stats_; }
-  const std::vector<WalRecord>& records() const { return records_; }
+  int64_t unflushed_bytes() const;
+  // Consistent snapshots taken under the log mutex (never references into
+  // concurrently mutated state).
+  WalStats stats() const;
+  std::vector<WalRecord> records() const;
 
  private:
-  bool retain_records_;
+  const bool retain_records_;
+  const Nanos flush_latency_;
+  mutable std::mutex mu_;
+  std::condition_variable flush_cv_;
+  bool flush_in_progress_ = false;
+  uint64_t append_seq_ = 0;   // records appended so far
+  uint64_t durable_seq_ = 0;  // highest append_seq_ covered by a flush
   int64_t unflushed_bytes_ = 0;
   WalStats stats_;
   std::vector<WalRecord> records_;

@@ -1,0 +1,262 @@
+// Concurrency tests for the fine-grained engine locking: parallel loaders
+// over the PQ schema with interleaved bad rows and periodic commits, a raw
+// multi-threaded engine stress with deliberate constraint violations and
+// concurrent readers/telemetry pollers, and abandoned-session rollbacks.
+// Run under ThreadSanitizer in CI (SKY_SANITIZE=thread).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "catalog/generator.h"
+#include "catalog/pq_schema.h"
+#include "client/session.h"
+#include "core/coordinator.h"
+#include "db/engine.h"
+
+namespace sky::core {
+namespace {
+
+std::vector<CatalogFile> make_files(int count, int64_t bytes_each,
+                                    uint64_t seed, double error_rate) {
+  std::vector<CatalogFile> files;
+  for (int f = 0; f < count; ++f) {
+    catalog::FileSpec spec;
+    spec.name = "conc" + std::to_string(f) + ".cat";
+    spec.seed = seed + static_cast<uint64_t>(f);
+    spec.unit_id = 400 + f;
+    spec.target_bytes = bytes_each;
+    spec.error_rate = error_rate;
+    files.push_back(
+        CatalogFile{spec.name, catalog::CatalogGenerator::generate(spec).text});
+  }
+  return files;
+}
+
+// Eight real loader threads over the PQ schema, error-laden files, commits
+// every other cycle. Afterwards the engine must audit clean and row counts
+// must match the report exactly, per table.
+TEST(EngineConcurrencyTest, EightLoadersWithErrorsAndPeriodicCommits) {
+  const db::Schema schema = catalog::make_pq_schema();
+  db::Engine engine(schema);
+  {
+    client::DirectSession session(engine);
+    BulkLoaderOptions loader_options;
+    loader_options.write_audit_row = false;
+    BulkLoader loader(session, schema, loader_options);
+    ASSERT_TRUE(loader
+                    .load_text("reference",
+                               catalog::CatalogGenerator::reference_file().text)
+                    .is_ok());
+  }
+  const int64_t rows_before = engine.total_rows();
+
+  const auto files = make_files(16, 24 * 1024, 541, /*error_rate=*/0.15);
+  CoordinatorOptions options;
+  options.parallel_degree = 8;
+  options.loader.write_audit_row = false;
+  options.loader.commit_every_cycles = 2;
+  const auto report = LoadCoordinator::run_threads(
+      files, schema,
+      [&](int) { return std::make_unique<client::DirectSession>(engine); },
+      options);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_EQ(report->files.size(), 16u);
+
+  // The error-laden files must actually have exercised the skip paths.
+  int64_t skipped = 0;
+  FileLoadReport totals;
+  for (const FileLoadReport& file : report->files) {
+    skipped += file.total_skipped();
+    totals.merge_counts(file);
+  }
+  EXPECT_GT(skipped, 0);
+  EXPECT_GT(report->total_rows_loaded, 0);
+
+  // Exact accounting: engine contents == reference + every reported row,
+  // in aggregate and per table.
+  EXPECT_EQ(engine.total_rows(), rows_before + report->total_rows_loaded);
+  for (const auto& [table, rows] : totals.loaded_per_table) {
+    const uint32_t tid = engine.table_id(table).value();
+    EXPECT_GE(engine.row_count(tid), rows) << table;
+  }
+  EXPECT_TRUE(engine.verify_integrity().is_ok());
+
+  // Lock-wait attribution is present for every worker (possibly zero).
+  ASSERT_EQ(report->worker_lock_wait.size(), 8u);
+  for (const Nanos wait : report->worker_lock_wait) EXPECT_GE(wait, 0);
+}
+
+// Raw engine stress: writers inserting parent/child rows with deliberate
+// duplicate-PK and dangling-FK rows mid-batch (JDBC stop-at-first-failure
+// semantics), periodic commits, concurrent telemetry pollers and PK readers,
+// and an insert observer counting under the table latch.
+TEST(EngineConcurrencyTest, MixedWritersReadersTelemetry) {
+  db::Schema schema;
+  {
+    db::TableDef parent;
+    parent.name = "parent";
+    parent.col("id", db::ColumnType::kInt64, false);
+    parent.primary_key = {"id"};
+    ASSERT_TRUE(schema.add_table(parent).is_ok());
+    db::TableDef child;
+    child.name = "child";
+    child.col("id", db::ColumnType::kInt64, false);
+    child.col("parent_id", db::ColumnType::kInt64, true);
+    child.primary_key = {"id"};
+    child.foreign_keys.push_back({{"parent_id"}, "parent"});
+    ASSERT_TRUE(schema.add_table(child).is_ok());
+  }
+  db::EngineOptions options;
+  options.retain_wal_records = true;
+  db::Engine engine(schema, options);
+  const uint32_t parent_id = engine.table_id("parent").value();
+  const uint32_t child_id = engine.table_id("child").value();
+
+  std::atomic<int64_t> observed{0};
+  engine.set_insert_observer(
+      [&observed](uint32_t, uint64_t) { observed.fetch_add(1); });
+
+  constexpr int kWriters = 8;
+  constexpr int64_t kRowsPerWriter = 400;
+  std::atomic<int64_t> applied_total{0};
+  std::atomic<bool> stop_readers{false};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      int64_t applied = 0;
+      uint64_t txn = engine.begin_transaction();
+      const int64_t base = static_cast<int64_t>(w) * 1'000'000;
+      for (int64_t i = 0; i < kRowsPerWriter; i += 10) {
+        // A batch of 10 parents with a duplicate planted in the middle:
+        // rows after the duplicate are discarded by batch semantics.
+        std::vector<db::Row> batch;
+        for (int64_t j = 0; j < 10; ++j) {
+          const bool dup = (j == 5) && (i % 50 == 0) && i > 0;
+          batch.push_back({db::Value::i64(dup ? base + i - 10 : base + i + j)});
+        }
+        const db::BatchResult result =
+            engine.insert_batch(txn, parent_id, batch);
+        applied += result.rows_applied;
+        // Children referencing our own parents, plus one dangling FK that
+        // must fail and discard the tail of its batch.
+        std::vector<db::Row> children;
+        for (int64_t j = 0; j < 5; ++j) {
+          const bool dangling = (j == 3) && (i % 40 == 0);
+          children.push_back(
+              {db::Value::i64(base + 500'000 + i + j),
+               db::Value::i64(dangling ? 777'777'777 : base + i)});
+        }
+        const db::BatchResult child_result =
+            engine.insert_batch(txn, child_id, children);
+        applied += child_result.rows_applied;
+        if (i % 40 == 0 && (i / 40) % 2 == 1) {
+          EXPECT_TRUE(engine.commit(txn).is_ok());
+          txn = engine.begin_transaction();
+        }
+      }
+      EXPECT_TRUE(engine.commit(txn).is_ok());
+      applied_total.fetch_add(applied);
+    });
+  }
+
+  // Telemetry poller: every getter must return a coherent snapshot while
+  // writers run.
+  threads.emplace_back([&] {
+    size_t last_record_count = 0;
+    while (!stop_readers.load()) {
+      const storage::WalStats wal = engine.wal_stats();
+      EXPECT_GE(wal.bytes_appended, wal.bytes_flushed);
+      // records() is a snapshot of an append-only stream: monotonic.
+      const auto records = engine.wal_records();
+      EXPECT_GE(records.size(), last_record_count);
+      last_record_count = records.size();
+      const storage::CacheEvents cache = engine.cache_events();
+      EXPECT_GE(cache.misses, 0);
+      const storage::IoTally io = engine.io_tally();
+      EXPECT_GE(io.log_bytes_flushed, 0);
+      (void)engine.txn_gate_stats();
+      std::this_thread::yield();
+    }
+  });
+  // PK readers: lookups race with inserts but must never crash or corrupt.
+  threads.emplace_back([&] {
+    int64_t probe = 0;
+    while (!stop_readers.load()) {
+      (void)engine.pk_lookup(parent_id, {db::Value::i64(probe % 4'000'000)});
+      (void)engine.row_count(child_id);
+      probe += 37;
+      std::this_thread::yield();
+    }
+  });
+  // Abandoned sessions: rollback (engine-exclusive) races with everything.
+  threads.emplace_back([&] {
+    for (int r = 0; r < 20; ++r) {
+      client::DirectSession session(engine);
+      const auto table = session.prepare_insert("parent");
+      ASSERT_TRUE(table.is_ok());
+      std::vector<db::Row> rows;
+      for (int64_t j = 0; j < 8; ++j) {
+        rows.push_back({db::Value::i64(9'000'000 + r * 100 + j)});
+      }
+      (void)session.execute_batch(*table, rows);
+      // Session destructor rolls the open transaction back.
+    }
+  });
+
+  for (int w = 0; w < kWriters; ++w) threads[static_cast<size_t>(w)].join();
+  stop_readers.store(true);
+  for (size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+
+  // Every applied row is in the engine; every rolled-back row is not.
+  EXPECT_EQ(engine.total_rows(), applied_total.load());
+  // The observer saw every insert, including ones later rolled back.
+  EXPECT_GE(observed.load(), applied_total.load());
+  EXPECT_TRUE(engine.verify_integrity().is_ok());
+
+  // Duplicates and dangling FKs were actually planted and rejected.
+  EXPECT_LT(engine.total_rows(),
+            static_cast<int64_t>(kWriters) * kRowsPerWriter * 3 / 2);
+  EXPECT_EQ(engine.pk_lookup(parent_id, {db::Value::i64(9'000'042)})
+                .status()
+                .code(),
+            ErrorCode::kNotFound);
+}
+
+// Commit-heavy run: group commit must keep the WAL consistent (flushed
+// bytes never exceed appended bytes; piggybacked flushes are possible).
+TEST(EngineConcurrencyTest, GroupCommitAccounting) {
+  db::Schema schema;
+  db::TableDef t;
+  t.name = "only";
+  t.col("id", db::ColumnType::kInt64, false);
+  t.primary_key = {"id"};
+  ASSERT_TRUE(schema.add_table(t).is_ok());
+  db::Engine engine(schema);
+  const uint32_t tid = engine.table_id("only").value();
+
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < 50; ++i) {
+        const uint64_t txn = engine.begin_transaction();
+        const std::vector<db::Row> rows = {{db::Value::i64(w * 1000 + i)}};
+        const db::BatchResult result = engine.insert_batch(txn, tid, rows);
+        EXPECT_EQ(result.rows_applied, 1);
+        EXPECT_TRUE(engine.commit(txn).is_ok());
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const storage::WalStats wal = engine.wal_stats();
+  EXPECT_EQ(wal.bytes_flushed, wal.bytes_appended);
+  EXPECT_EQ(engine.row_count(tid), kThreads * 50);
+  EXPECT_TRUE(engine.verify_integrity().is_ok());
+}
+
+}  // namespace
+}  // namespace sky::core
