@@ -10,8 +10,15 @@
 //   * global-mutex — every session call serialized through one process-wide
 //     mutex, emulating the previous engine-wide mutex design. Device waits
 //     serialize, so added loaders buy almost nothing.
+// A second scenario contrasts the heap layouts under same-table contention
+// with only the per-row extent write modeled:
+//   * sharded-8 — eight heap extents per table; round-robin transactions
+//     append on distinct streams and the per-row writes overlap.
+//   * single-heap — one extent (the pre-sharding layout); every loader's
+//     appends to a hot table queue on one write stream.
 // Each run uses a fresh engine, loads the reference tables first, and must
-// pass verify_integrity() afterwards. Emits BENCH_engine_scaling.json.
+// pass verify_integrity() afterwards. Emits BENCH_engine_scaling.json and
+// BENCH_heap_sharding.json.
 #include "bench_util.h"
 
 #include <fstream>
@@ -93,15 +100,12 @@ struct RunResult {
   double lock_wait_seconds = 0;
 };
 
-RunResult run_load(bool global_lock, int degree,
-                   const std::vector<sky::core::CatalogFile>& files) {
+RunResult run_files(const sky::db::EngineOptions& engine_options,
+                    bool global_lock, int degree,
+                    const std::vector<sky::core::CatalogFile>& files) {
   const sky::db::Schema schema = sky::catalog::make_pq_schema();
   const sky::core::TuningProfile profile =
       sky::core::TuningProfile::production();
-  sky::db::EngineOptions engine_options = profile.engine_options();
-  engine_options.latency.batch_redo_write = kBatchRedoWrite;
-  engine_options.latency.data_write_per_page = kDataWritePerPage;
-  engine_options.latency.commit_log_flush = kCommitLogFlush;
   sky::db::Engine engine(schema, engine_options);
   if (!profile.apply_index_policy(engine).is_ok()) std::abort();
   {
@@ -145,12 +149,43 @@ RunResult run_load(bool global_lock, int degree,
   return result;
 }
 
+RunResult run_load(bool global_lock, int degree,
+                   const std::vector<sky::core::CatalogFile>& files) {
+  sky::db::EngineOptions engine_options =
+      sky::core::TuningProfile::production().engine_options();
+  engine_options.latency.batch_redo_write = kBatchRedoWrite;
+  engine_options.latency.data_write_per_page = kDataWritePerPage;
+  engine_options.latency.commit_log_flush = kCommitLogFlush;
+  return run_files(engine_options, global_lock, degree, files);
+}
+
+// Same-table contention scenario: only the per-row extent write is modeled
+// (0.15 ms, slept under the extent latch), so the benchmark isolates the
+// table's append stream. single = one extent per table, the pre-sharding
+// layout: every loader's appends to a hot table queue on one write stream.
+// sharded = 8 extents: round-robin transactions land on distinct streams
+// and the per-row writes overlap.
+constexpr sky::Nanos kExtentAppendWrite = 150 * 1000;  // 0.15 ms per row
+
+RunResult run_sharding_load(uint32_t heap_extents, int degree,
+                            const std::vector<sky::core::CatalogFile>& files) {
+  sky::db::EngineOptions engine_options =
+      sky::core::TuningProfile::production().engine_options();
+  engine_options.heap_extents = heap_extents;
+  engine_options.latency.extent_append_write = kExtentAppendWrite;
+  return run_files(engine_options, /*global_lock=*/false, degree, files);
+}
+
 FigureTable g_figure("Engine scaling: aggregate load rate vs parallel degree",
                      "parallel loaders", "rows/sec");
 std::vector<std::string> g_json_entries;
 
-void record(const char* mode, int degree, const RunResult& result) {
-  g_figure.add(mode, degree, result.rows_per_sec);
+FigureTable g_sharding_figure(
+    "Heap sharding: same-table load rate vs parallel degree",
+    "parallel loaders", "rows/sec");
+std::vector<std::string> g_sharding_json;
+
+std::string json_entry(const char* mode, int degree, const RunResult& result) {
   char buffer[256];
   std::snprintf(buffer, sizeof(buffer),
                 "  {\"mode\": \"%s\", \"degree\": %d, \"makespan_s\": %.4f, "
@@ -159,7 +194,17 @@ void record(const char* mode, int degree, const RunResult& result) {
                 mode, degree, result.seconds,
                 static_cast<long long>(result.rows), result.rows_per_sec,
                 result.busy_seconds, result.lock_wait_seconds);
-  g_json_entries.push_back(buffer);
+  return buffer;
+}
+
+void record(const char* mode, int degree, const RunResult& result) {
+  g_figure.add(mode, degree, result.rows_per_sec);
+  g_json_entries.push_back(json_entry(mode, degree, result));
+}
+
+void record_sharding(const char* mode, int degree, const RunResult& result) {
+  g_sharding_figure.add(mode, degree, result.rows_per_sec);
+  g_sharding_json.push_back(json_entry(mode, degree, result));
 }
 
 void bench_scaling(benchmark::State& state) {
@@ -172,6 +217,19 @@ void bench_scaling(benchmark::State& state) {
     state.counters["rows_per_sec"] = result.rows_per_sec;
     state.counters["lock_wait_s"] = result.lock_wait_seconds;
     record(global_lock ? "global-mutex" : "fine-grained", degree, result);
+  }
+}
+
+void bench_sharding(benchmark::State& state) {
+  const int degree = static_cast<int>(state.range(0));
+  const uint32_t extents = static_cast<uint32_t>(state.range(1));
+  static const std::vector<sky::core::CatalogFile> files = make_workload();
+  for (auto _ : state) {
+    const RunResult result = run_sharding_load(extents, degree, files);
+    state.SetIterationTime(result.seconds);
+    state.counters["rows_per_sec"] = result.rows_per_sec;
+    state.counters["lock_wait_s"] = result.lock_wait_seconds;
+    record_sharding(extents > 1 ? "sharded-8" : "single-heap", degree, result);
   }
 }
 
@@ -190,9 +248,20 @@ int main(int argc, char** argv) {
         ->Iterations(1)
         ->UseManualTime()
         ->Unit(benchmark::kSecond);
+    benchmark::RegisterBenchmark("heap_sharding/sharded", bench_sharding)
+        ->Args({degree, 8})
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kSecond);
+    benchmark::RegisterBenchmark("heap_sharding/single", bench_sharding)
+        ->Args({degree, 1})
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kSecond);
   }
   benchmark::RunSpecifiedBenchmarks();
   g_figure.print();
+  g_sharding_figure.print();
 
   {
     std::ofstream json("BENCH_engine_scaling.json");
@@ -217,5 +286,27 @@ int main(int argc, char** argv) {
               "global mutex emulation stays flat as loaders are added");
   shape_check(fine6 > 2.0 * global6,
               "fine-grained beats the global mutex at degree 6");
+
+  {
+    std::ofstream json("BENCH_heap_sharding.json");
+    json << "[\n";
+    for (size_t i = 0; i < g_sharding_json.size(); ++i) {
+      json << g_sharding_json[i]
+           << (i + 1 < g_sharding_json.size() ? ",\n" : "\n");
+    }
+    json << "]\n";
+  }
+  std::printf("\nwrote BENCH_heap_sharding.json\n");
+
+  const double sharded1 = g_sharding_figure.value("sharded-8", 1);
+  const double sharded6 = g_sharding_figure.value("sharded-8", 6);
+  const double single6 = g_sharding_figure.value("single-heap", 6);
+  std::printf("sharded speedup at 6: %.2fx over single heap\n",
+              single6 > 0 ? sharded6 / single6 : 0);
+  shape_check(sharded6 >= 1.5 * single6,
+              "sharded heap: >=1.5x aggregate rows/sec at degree 6 vs one "
+              "append stream");
+  shape_check(sharded6 >= 1.5 * sharded1,
+              "sharded heap scales with loaders on the same table");
   return 0;
 }

@@ -50,9 +50,19 @@ class CostScope {
 };
 }  // namespace
 
+namespace {
+EngineOptions normalize(EngineOptions options) {
+  if (options.heap_extents < 1) options.heap_extents = 1;
+  if (options.heap_extents > storage::kMaxHeapExtents) {
+    options.heap_extents = storage::kMaxHeapExtents;
+  }
+  return options;
+}
+}  // namespace
+
 Engine::Engine(Schema schema, EngineOptions options)
     : schema_(std::move(schema)),
-      options_(options),
+      options_(normalize(options)),
       cache_(options.cache_pages, options.dirty_trigger),
       wal_(options.retain_wal_records, options.latency.commit_log_flush),
       txn_gate_(std::make_unique<BlockingSlotGate>(
@@ -61,7 +71,8 @@ Engine::Engine(Schema schema, EngineOptions options)
   uint32_t next_file_id = 0;
   for (uint32_t id = 0; id < static_cast<uint32_t>(schema_.table_count());
        ++id) {
-    Table table(id, schema_.table(id));
+    Table table(id, schema_.table(id), options_.heap_extents,
+                options_.latency.extent_append_write);
     table.heap_cache_file_id = next_file_id++;
     file_roles_.push_back(storage::IoRole::kData);
     table.pk_cache_file_id = next_file_id++;
@@ -119,8 +130,14 @@ uint64_t Engine::begin_transaction() {
   // slot never holds latches other sessions need to finish and release.
   txn_gate_->acquire();
   const uint64_t id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  // Round-robin extent assignment: concurrent sessions land on distinct
+  // heap append streams (modulo heap_extents, so 1 extent means extent 0
+  // for everyone — the pre-sharding behaviour).
+  const uint32_t extent =
+      next_extent_.fetch_add(1, std::memory_order_relaxed) %
+      options_.heap_extents;
   const std::scoped_lock lock(txn_mu_);
-  transactions_.emplace(id, Transaction{id, {}});
+  transactions_.emplace(id, Transaction{id, extent, {}});
   return id;
 }
 
@@ -205,7 +222,8 @@ BatchResult Engine::insert_batch(uint64_t txn_id, uint32_t tid,
     // from neighbours — fine for the aggregate telemetry they feed.
     const storage::CacheEvents cache_before = cache_.events();
     for (size_t i = 0; i < rows.size(); ++i) {
-      const Status status = insert_row_latched(*txn, tid, rows[i], result.costs);
+      const Status status =
+          insert_row_latched(*txn, tid, rows[i], result.costs, std::nullopt);
       if (!status.is_ok()) {
         // JDBC semantics: earlier rows stay, this row failed, the remainder
         // of the batch is discarded.
@@ -224,7 +242,8 @@ BatchResult Engine::insert_batch(uint64_t txn_id, uint32_t tid,
 }
 
 Status Engine::insert_row(uint64_t txn_id, uint32_t tid, const Row& row,
-                          OpCosts& costs) {
+                          OpCosts& costs,
+                          std::optional<uint32_t> extent_override) {
   costs.lock_wait_ns += lock_shared_timed(engine_mu_);
   std::shared_lock<std::shared_mutex> engine_lock(engine_mu_, std::adopt_lock);
   Transaction* txn = find_transaction(txn_id);
@@ -237,7 +256,7 @@ Status Engine::insert_row(uint64_t txn_id, uint32_t tid, const Row& row,
   {
     const CostScope scope(&costs);
     const storage::CacheEvents cache_before = cache_.events();
-    status = insert_row_latched(*txn, tid, row, costs);
+    status = insert_row_latched(*txn, tid, row, costs, extent_override);
     if (status.is_ok()) {
       costs.rows_applied += 1;
     } else {
@@ -302,23 +321,9 @@ Status Engine::validate_row(const Table& table, const Row& row,
   return ok_status();
 }
 
-Status Engine::insert_row_latched(Transaction& txn, uint32_t tid,
-                                  const Row& row, OpCosts& costs) {
-  if (tid >= tables_.size()) {
-    return Status(ErrorCode::kNotFound, "insert: bad table id");
-  }
-  Table& table = tables_[tid];
-
-  // Validation and PK encoding read only immutable schema — no latch yet.
-  SKY_RETURN_IF_ERROR(validate_row(table, row, costs));
-  const std::string pk_key = table.encode_pk_key(row);
-
-  // Exclusive latch on the destination table for this one row. Held per-row
-  // rather than per-batch so concurrent loaders of the same table interleave
-  // and FK probes into hot parents never starve the parents' own writers.
-  costs.lock_wait_ns += lock_exclusive_timed(table.latch());
-  std::unique_lock<std::shared_mutex> latch(table.latch(), std::adopt_lock);
-
+Status Engine::check_constraints(const Table& table, uint32_t tid,
+                                 const Row& row, const std::string& pk_key,
+                                 OpCosts& costs) {
   // Primary key uniqueness.
   index::BPlusTree::TouchInfo pk_probe;
   if (table.pk_tree().lookup_with_touch(pk_key, &pk_probe).has_value()) {
@@ -329,9 +334,10 @@ Status Engine::insert_row_latched(Transaction& txn, uint32_t tid,
   }
   costs.index_node_visits += pk_probe.nodes_visited;
 
-  // Foreign keys: shared latch on each parent, held only for the probe.
-  // Nested order is child latch -> parent latch, i.e. descending table id
-  // (FKs only reference earlier tables), so the hierarchy is acyclic.
+  // Foreign keys: shared index latch on each parent, held only for the
+  // probe. Nested order is child index latch -> parent index latch, i.e.
+  // descending table id (FKs only reference earlier tables), so the
+  // hierarchy is acyclic.
   for (size_t f = 0; f < table.def().foreign_keys.size(); ++f) {
     const ForeignKey& fk = table.def().foreign_keys[f];
     const uint32_t parent_id = table.fk_parent_ids[f];
@@ -343,13 +349,13 @@ Status Engine::insert_row_latched(Transaction& txn, uint32_t tid,
     index::BPlusTree::TouchInfo fk_touch;
     bool parent_has_row = false;
     if (parent_id == tid) {
-      // Self-reference: our exclusive latch already covers the probe.
+      // Self-reference: the caller's latch on our index already covers it.
       parent_has_row =
           parent.pk_tree().lookup_with_touch(*probe, &fk_touch).has_value();
     } else {
-      costs.lock_wait_ns += lock_shared_timed(parent.latch());
-      const std::shared_lock<std::shared_mutex> parent_latch(parent.latch(),
-                                                             std::adopt_lock);
+      costs.lock_wait_ns += lock_shared_timed(parent.index_latch());
+      const std::shared_lock<std::shared_mutex> parent_latch(
+          parent.index_latch(), std::adopt_lock);
       parent_has_row =
           parent.pk_tree().lookup_with_touch(*probe, &fk_touch).has_value();
     }
@@ -374,15 +380,89 @@ Status Engine::insert_row_latched(Transaction& txn, uint32_t tid,
                         secondary.def.name + " violated");
     }
   }
+  return ok_status();
+}
 
-  // All constraints hold — apply.
+Status Engine::insert_row_latched(Transaction& txn, uint32_t tid,
+                                  const Row& row, OpCosts& costs,
+                                  std::optional<uint32_t> extent_override) {
+  if (tid >= tables_.size()) {
+    return Status(ErrorCode::kNotFound, "insert: bad table id");
+  }
+  Table& table = tables_[tid];
+
+  // Validation and PK encoding read only immutable schema — no latch yet.
+  SKY_RETURN_IF_ERROR(validate_row(table, row, costs));
+  const std::string pk_key = table.encode_pk_key(row);
+
+  // Metadata latch shared for the whole row: row traffic only excludes
+  // structural maintenance, never other rows.
+  costs.lock_wait_ns += lock_shared_timed(table.latch());
+  const std::shared_lock<std::shared_mutex> table_latch(table.latch(),
+                                                        std::adopt_lock);
+
+  // Phase 1 — pre-check constraints under the index latch *shared*, so a
+  // row that cannot possibly apply fails before touching the heap (same
+  // page packing as the single-latch engine for failing rows).
+  {
+    costs.lock_wait_ns += lock_shared_timed(table.index_latch());
+    const std::shared_lock<std::shared_mutex> index_latch(table.index_latch(),
+                                                          std::adopt_lock);
+    SKY_RETURN_IF_ERROR(check_constraints(table, tid, row, pk_key, costs));
+  }
+
+  // Phase 2 — append to the transaction's extent as a hidden pending row.
+  // Only the extent latch is held (inside the heap): sessions on distinct
+  // extents run this — including the modeled device write — in parallel.
+  const uint32_t extent = extent_override.value_or(txn.extent);
   std::string row_bytes = encode_row(row);
   costs.heap_bytes += static_cast<int64_t>(row_bytes.size());
   costs.wal_bytes += static_cast<int64_t>(row_bytes.size());
-  wal_.append(storage::WalRecordType::kInsert, txn.id, tid, row_bytes);
-  const auto appended = table.heap().append(std::move(row_bytes));
+  const auto appended = table.heap().append_pending(extent, row_bytes);
+  costs.lock_wait_ns += appended.latch_wait_ns;
   if (appended.opened_new_page) ++costs.heap_pages_opened;
-  cache_.touch_write({table.heap_cache_file_id, appended.slot.page});
+  cache_.touch_write(
+      {table.heap_cache_file_id, appended.slot.page, appended.slot.extent});
+
+  // Phase 3 — re-check the race-sensitive constraints (PK, unique) under
+  // the index latch *exclusive*, then log, publish, and index the row. The
+  // re-check costs nothing in the common case and is charged to a scratch
+  // tally: it is an artifact of the split latch, not modeled server work.
+  costs.lock_wait_ns += lock_exclusive_timed(table.index_latch());
+  const std::unique_lock<std::shared_mutex> index_latch(table.index_latch(),
+                                                        std::adopt_lock);
+  bool lost_race = table.pk_tree().lookup(pk_key).has_value();
+  if (!lost_race) {
+    for (const SecondaryIndex& secondary : table.secondaries()) {
+      if (!secondary.enabled || !secondary.def.unique) continue;
+      if (secondary.tree.contains(
+              table.encode_index_key(secondary, row, std::nullopt))) {
+        lost_race = true;
+        break;
+      }
+    }
+  }
+  if (lost_race) {
+    // Another session published a conflicting row between the phases. The
+    // pending slot is abandoned (a hole in the page, as after a rollback);
+    // re-run the full check to produce the seed's exact error status.
+    const Status discarded = table.heap().discard(appended.slot);
+    assert(discarded.is_ok());
+    (void)discarded;
+    OpCosts scratch;
+    const Status failure = check_constraints(table, tid, row, pk_key, scratch);
+    if (failure.is_ok()) {
+      return Status(ErrorCode::kInternal,
+                    table.def().name + ": insert race re-check mismatch");
+    }
+    return failure;
+  }
+
+  wal_.append(storage::WalRecordType::kInsert, txn.id, tid,
+              std::move(row_bytes), extent);
+  const Status published = table.heap().publish(appended.slot);
+  assert(published.is_ok());
+  (void)published;
   const uint64_t row_id = make_row_id(tid, appended.slot);
 
   index::BPlusTree::TouchInfo pk_touch;
@@ -416,7 +496,6 @@ Status Engine::insert_row_latched(Transaction& txn, uint32_t tid,
     undo.secondary_keys.emplace_back(s, key);
   }
   if (insert_observer_) insert_observer_(tid, row_id);
-  latch.unlock();
   // The undo log belongs to this session's transaction alone.
   txn.undo.push_back(std::move(undo));
   return ok_status();
@@ -430,6 +509,9 @@ Status Engine::set_index_enabled(uint32_t tid, std::string_view index_name,
   if (tid >= tables_.size()) {
     return Status(ErrorCode::kNotFound, "bad table id");
   }
+  // Structural change: metadata latch exclusive (engine-exclusive already
+  // quiesces row traffic; the latch keeps the table-level contract honest).
+  const std::unique_lock<std::shared_mutex> table_latch(tables_[tid].latch());
   for (SecondaryIndex& secondary : tables_[tid].secondaries()) {
     if (secondary.def.name == index_name) {
       if (secondary.enabled && !enabled) {
@@ -449,6 +531,7 @@ Status Engine::rebuild_index(uint32_t tid, std::string_view index_name) {
     return Status(ErrorCode::kNotFound, "bad table id");
   }
   Table& table = tables_[tid];
+  const std::unique_lock<std::shared_mutex> table_latch(table.latch());
   for (SecondaryIndex& secondary : table.secondaries()) {
     if (secondary.def.name != index_name) continue;
     std::vector<std::pair<std::string, uint64_t>> entries;
@@ -493,6 +576,7 @@ Status Engine::bulk_load_sorted(uint32_t tid, const std::vector<Row>& rows) {
     return Status(ErrorCode::kNotFound, "bad table id");
   }
   Table& table = tables_[tid];
+  const std::unique_lock<std::shared_mutex> table_latch(table.latch());
   if (table.heap().row_count() != 0) {
     return Status(ErrorCode::kFailedPrecondition,
                   "bulk_load_sorted requires an empty table");
@@ -502,7 +586,10 @@ Status Engine::bulk_load_sorted(uint32_t tid, const std::vector<Row>& rows) {
   pk_entries.reserve(rows.size());
   for (const Row& row : rows) {
     SKY_RETURN_IF_ERROR(validate_row(table, row, scratch));
-    const auto appended = table.heap().append(encode_row(row));
+    // Bulk preload always fills extent 0: the fixture path models a single
+    // sequential load, and keeping one dense extent preserves the
+    // pre-sharding page layout for the database-size experiments.
+    const auto appended = table.heap().append(0, encode_row(row));
     pk_entries.emplace_back(table.encode_pk_key(row),
                             make_row_id(tid, appended.slot));
   }
@@ -534,28 +621,21 @@ Status Engine::bulk_load_sorted(uint32_t tid, const std::vector<Row>& rows) {
 int64_t Engine::row_count(uint32_t tid) const {
   const std::shared_lock<std::shared_mutex> engine_lock(engine_mu_);
   if (tid >= tables_.size()) return 0;
-  const Table& table = tables_[tid];
-  const std::shared_lock<std::shared_mutex> latch(table.latch());
-  return table.heap().row_count();
+  // Heap counters are latch-free atomics (storage/sharded_heap.h).
+  return tables_[tid].heap().row_count();
 }
 
 int64_t Engine::total_rows() const {
   const std::shared_lock<std::shared_mutex> engine_lock(engine_mu_);
   int64_t total = 0;
-  for (const Table& table : tables_) {
-    const std::shared_lock<std::shared_mutex> latch(table.latch());
-    total += table.heap().row_count();
-  }
+  for (const Table& table : tables_) total += table.heap().row_count();
   return total;
 }
 
 int64_t Engine::total_heap_bytes() const {
   const std::shared_lock<std::shared_mutex> engine_lock(engine_mu_);
   int64_t total = 0;
-  for (const Table& table : tables_) {
-    const std::shared_lock<std::shared_mutex> latch(table.latch());
-    total += table.heap().total_bytes();
-  }
+  for (const Table& table : tables_) total += table.heap().total_bytes();
   return total;
 }
 
@@ -588,7 +668,9 @@ Result<Row> Engine::pk_lookup(uint32_t tid, const Row& pk_values) const {
   }
   const std::string key =
       encode_tuple_key(table.def(), table.pk_column_indices(), pk_values);
-  const std::shared_lock<std::shared_mutex> latch(table.latch());
+  // Tree reads synchronize with row publication on the index latch; the
+  // heap read inside row_at() takes its extent latch underneath.
+  const std::shared_lock<std::shared_mutex> latch(table.index_latch());
   const auto row_id = table.pk_tree().lookup(key);
   if (!row_id.has_value()) {
     return Status(ErrorCode::kNotFound, "no row with given primary key");
@@ -607,7 +689,7 @@ Result<std::vector<Row>> Engine::pk_range(uint32_t tid, const Row& lo,
       encode_tuple_key(table.def(), table.pk_column_indices(), lo);
   const std::string hi_key =
       encode_tuple_key(table.def(), table.pk_column_indices(), hi);
-  const std::shared_lock<std::shared_mutex> latch(table.latch());
+  const std::shared_lock<std::shared_mutex> latch(table.index_latch());
   std::vector<Row> rows;
   for (const uint64_t row_id : table.pk_tree().range_lookup(lo_key, hi_key)) {
     SKY_ASSIGN_OR_RETURN(Row row, row_at(table, row_id));
@@ -635,7 +717,7 @@ Result<std::vector<Row>> Engine::index_range(uint32_t tid,
         encode_tuple_key(table.def(), secondary.column_indices, lo);
     const std::string hi_key =
         encode_tuple_key(table.def(), secondary.column_indices, hi);
-    const std::shared_lock<std::shared_mutex> latch(table.latch());
+    const std::shared_lock<std::shared_mutex> latch(table.index_latch());
     std::vector<Row> rows;
     for (const uint64_t row_id :
          secondary.tree.range_lookup(lo_key, hi_key)) {
@@ -656,7 +738,7 @@ Result<std::vector<Row>> Engine::pk_encoded_range(uint32_t tid,
     return Status(ErrorCode::kNotFound, "bad table id");
   }
   const Table& table = tables_[tid];
-  const std::shared_lock<std::shared_mutex> latch(table.latch());
+  const std::shared_lock<std::shared_mutex> latch(table.index_latch());
   const std::vector<uint64_t> row_ids =
       hi.empty() ? table.pk_tree().range_lookup_unbounded(lo)
                  : table.pk_tree().range_lookup(lo, hi);
@@ -683,7 +765,7 @@ Result<std::vector<Row>> Engine::index_encoded_range(
       return Status(ErrorCode::kFailedPrecondition,
                     "index is disabled: " + std::string(index_name));
     }
-    const std::shared_lock<std::shared_mutex> latch(table.latch());
+    const std::shared_lock<std::shared_mutex> latch(table.index_latch());
     const std::vector<uint64_t> row_ids =
         hi.empty() ? secondary.tree.range_lookup_unbounded(lo)
                    : secondary.tree.range_lookup(lo, hi);
@@ -706,7 +788,7 @@ Result<bool> Engine::index_enabled(uint32_t tid,
     return Status(ErrorCode::kNotFound, "bad table id");
   }
   const Table& table = tables_[tid];
-  const std::shared_lock<std::shared_mutex> latch(table.latch());
+  const std::shared_lock<std::shared_mutex> latch(table.index_latch());
   for (const SecondaryIndex& secondary : table.secondaries()) {
     if (secondary.def.name == index_name) return secondary.enabled;
   }
@@ -720,7 +802,8 @@ std::vector<Row> Engine::scan_collect(
   std::vector<Row> rows;
   if (tid >= tables_.size()) return rows;
   const Table& table = tables_[tid];
-  const std::shared_lock<std::shared_mutex> latch(table.latch());
+  // Heap-only read: the scan synchronizes on each extent latch inside the
+  // heap and sees published rows exactly (pending rows are hidden).
   table.heap().scan([&](storage::SlotId, std::string_view bytes) {
     auto row = decode_row(bytes);
     if (row.is_ok() && pred(*row)) rows.push_back(std::move(*row));
@@ -731,6 +814,26 @@ std::vector<Row> Engine::scan_collect(
 // --------------------------------------------------------------- telemetry
 
 SlotGate::Stats Engine::txn_gate_stats() const { return txn_gate_->stats(); }
+
+Result<std::vector<storage::ShardedHeap::ExtentStats>>
+Engine::heap_extent_stats(uint32_t tid) const {
+  const std::shared_lock<std::shared_mutex> engine_lock(engine_mu_);
+  if (tid >= tables_.size()) {
+    return Status(ErrorCode::kNotFound, "bad table id");
+  }
+  return tables_[tid].heap().extent_stats();
+}
+
+Status Engine::scan_heap(
+    uint32_t tid,
+    const std::function<void(storage::SlotId, std::string_view)>& fn) const {
+  const std::shared_lock<std::shared_mutex> engine_lock(engine_mu_);
+  if (tid >= tables_.size()) {
+    return Status(ErrorCode::kNotFound, "bad table id");
+  }
+  tables_[tid].heap().scan(fn);
+  return ok_status();
+}
 
 void Engine::set_insert_observer(
     std::function<void(uint32_t, uint64_t)> observer) {

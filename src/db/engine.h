@@ -15,9 +15,14 @@
 //
 // Thread safety: all public methods are safe to call from multiple threads.
 // Concurrency is fine-grained (see DESIGN.md "Engine concurrency model"):
-// normal operations take an engine-wide rwlock *shared* plus per-table
-// latches (exclusive per inserted row, shared for queries and FK probes);
-// the buffer cache, WAL, transaction map, and I/O tally are internally
+// normal operations take an engine-wide rwlock *shared*, the destination
+// table's metadata latch *shared*, and then the table's index latch
+// (exclusive while publishing a row into the trees, shared for queries and
+// FK probes). Heap appends land in per-transaction extents guarded by the
+// heap's own extent latches (storage/sharded_heap.h), so sessions loading
+// the *same* table append in parallel and only serialize on the short
+// index-latch window that checks constraints and updates the B+trees. The
+// buffer cache, WAL, transaction map, and I/O tally are internally
 // thread-safe. Only DDL-like operations (set_index_enabled, rebuild_index,
 // bulk_load_sorted, verify_integrity, rollback, set_insert_observer) take
 // the engine rwlock exclusive and stop the world. Parallel loaders
@@ -66,7 +71,16 @@ struct ModeledDeviceLatency {
   Nanos batch_redo_write = 0;     // per insert_batch / insert_row call
   Nanos data_write_per_page = 0;  // per heap page opened or leaf split
   Nanos commit_log_flush = 0;     // per WAL group flush (leader pays it)
+  // Synchronous write to a heap extent's storage unit, paid per appended row
+  // *while the extent latch is held* (one storage unit = one write stream).
+  // Unlike the latencies above it is wired into the heap, not paid at call
+  // end — appends to distinct extents overlap, appends to the same extent
+  // queue. This is what bench_engine_scaling's same-table scenario measures.
+  Nanos extent_append_write = 0;
 
+  // extent_append_write intentionally excluded: it is a property of the
+  // heap (paid inside ShardedHeap), not of the end-of-call sleep this
+  // predicate gates.
   bool enabled() const {
     return batch_redo_write > 0 || data_write_per_page > 0 ||
            commit_log_flush > 0;
@@ -81,6 +95,11 @@ struct EngineOptions {
   // Concurrent-transaction slots (real-mode gate; simulation mode models
   // the limit in the server model instead and passes a large value here).
   int64_t max_concurrent_transactions = 64;
+  // Independent append streams per table heap (1 = the pre-sharding layout;
+  // clamped to [1, storage::kMaxHeapExtents]). Transactions are assigned an
+  // extent round-robin at begin_transaction(), so N parallel loaders of one
+  // table spread across min(N, heap_extents) append streams.
+  uint32_t heap_extents = 1;
   storage::DeviceLayout device_layout = storage::DeviceLayout::separate_raids();
   // Keep full WAL records in memory for replay verification (tests only).
   bool retain_wal_records = false;
@@ -124,9 +143,12 @@ class Engine {
   // JDBC executeBatch semantics (see file header).
   BatchResult insert_batch(uint64_t txn_id, uint32_t table_id,
                            std::span<const Row> rows);
-  // Single-row insert (the non-bulk baseline path).
+  // Single-row insert (the non-bulk baseline path). `extent_override` pins
+  // the heap extent instead of using the transaction's assigned one —
+  // recovery uses it to replay each row into its original extent.
   Status insert_row(uint64_t txn_id, uint32_t table_id, const Row& row,
-                    OpCosts& costs);
+                    OpCosts& costs,
+                    std::optional<uint32_t> extent_override = std::nullopt);
 
   // ------------------------------------------------------------ maintenance
   // DDL-like operations: engine-exclusive (quiesce all sessions).
@@ -184,6 +206,16 @@ class Engine {
   storage::CacheEvents cache_events() const { return cache_.events(); }
   storage::IoTally io_tally() const { return global_io_.snapshot(); }
   SlotGate::Stats txn_gate_stats() const;
+  // Per-extent heap occupancy for one table (rows / pages / bytes per
+  // extent) — how evenly a parallel load spread across append streams.
+  Result<std::vector<storage::ShardedHeap::ExtentStats>> heap_extent_stats(
+      uint32_t table_id) const;
+  // Physical heap scan in extent order (extent 0 first, pages and slots
+  // ascending within). Tests use it to assert a recovered repository is
+  // extent-identical to a clean reload, not just row-equivalent.
+  Status scan_heap(
+      uint32_t table_id,
+      const std::function<void(storage::SlotId, std::string_view)>& fn) const;
   // Observer invoked (under the destination table's latch) after each
   // successful insert; tests use it to audit parent-before-child ordering.
   // Setting it quiesces the engine (engine-exclusive).
@@ -202,6 +234,9 @@ class Engine {
   };
   struct Transaction {
     uint64_t id;
+    // Heap extent this transaction's inserts land in (round-robin at
+    // begin; every table uses the same extent index for the txn).
+    uint32_t extent = 0;
     // Mutated only by the owning session's thread (map lookup is locked;
     // the entry itself needs no lock).
     std::vector<UndoEntry> undo;
@@ -211,9 +246,18 @@ class Engine {
   // returned pointer stays valid until the owner commits or rolls back
   // (unordered_map never invalidates references on insert).
   Transaction* find_transaction(uint64_t txn_id);
-  // One row: validate, latch the table exclusive, check constraints, apply.
+  // One row, three phases: pre-check constraints (index latch shared),
+  // append to the transaction's heap extent as a hidden pending row (extent
+  // latch only — parallel across extents), then re-check and publish (index
+  // latch exclusive). See DESIGN.md "Heap extent sharding".
   Status insert_row_latched(Transaction& txn, uint32_t table_id,
-                            const Row& row, OpCosts& costs);
+                            const Row& row, OpCosts& costs,
+                            std::optional<uint32_t> extent_override);
+  // Constraint checks against the current trees (PK, FK, unique secondary).
+  // Caller holds the table's index latch (shared or exclusive); parents'
+  // index latches are taken shared inside. Returns the first violation.
+  Status check_constraints(const Table& table, uint32_t tid, const Row& row,
+                           const std::string& pk_key, OpCosts& costs);
   Status validate_row(const Table& table, const Row& row,
                       OpCosts& costs) const;
   // Modeled device sleep for a completed call (no locks held).
@@ -236,6 +280,7 @@ class Engine {
   mutable std::mutex txn_mu_;  // guards transactions_ (the map, not entries)
   std::unordered_map<uint64_t, Transaction> transactions_;
   std::atomic<uint64_t> next_txn_id_{1};
+  std::atomic<uint32_t> next_extent_{0};  // round-robin extent assignment
   std::vector<storage::IoRole> file_roles_;  // cache file id -> device role
   storage::SharedIoTally global_io_;
   std::function<void(uint32_t, uint64_t)> insert_observer_;

@@ -1,5 +1,6 @@
 #include "db/recovery.h"
 
+#include <algorithm>
 #include <set>
 
 #include "common/strings.h"
@@ -15,13 +16,18 @@ Result<std::unique_ptr<Engine>> recover_from_wal(
   // not replayed.)
   std::set<uint64_t> committed;
   std::set<uint64_t> seen;
+  uint32_t max_extent = 0;
   for (const storage::WalRecord& record : records) {
     ++local.records_scanned;
     seen.insert(record.txn_id);
     if (record.type == storage::WalRecordType::kCommit) {
       committed.insert(record.txn_id);
     }
+    max_extent = std::max(max_extent, record.extent);
   }
+  // The recovered engine must own every extent the log references so each
+  // row can be replayed into its original extent (extent-faithful redo).
+  options.heap_extents = std::max(options.heap_extents, max_extent + 1);
   local.transactions_committed = static_cast<int64_t>(committed.size());
   local.transactions_discarded =
       static_cast<int64_t>(seen.size() - committed.size());
@@ -47,7 +53,7 @@ Result<std::unique_ptr<Engine>> recover_from_wal(
     }
     OpCosts scratch;
     const Status status =
-        engine->insert_row(txn, record.table_id, row, scratch);
+        engine->insert_row(txn, record.table_id, row, scratch, record.extent);
     if (!status.is_ok()) {
       return Status(ErrorCode::kInternal,
                     "WAL replay: committed insert failed to re-apply: " +

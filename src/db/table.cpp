@@ -30,8 +30,11 @@ void append_value_to_key(index::KeyEncoder& encoder, const Value& value,
   assert(false && "unknown column type");
 }
 
-Table::Table(uint32_t table_id, TableDef table_def)
-    : id_(table_id), def_(std::move(table_def)) {
+Table::Table(uint32_t table_id, TableDef table_def, uint32_t heap_extents,
+             Nanos heap_append_latency)
+    : id_(table_id),
+      def_(std::move(table_def)),
+      heap_(heap_extents, heap_append_latency) {
   pk_column_indices_.reserve(def_.primary_key.size());
   for (const std::string& pk_col : def_.primary_key) {
     pk_column_indices_.push_back(def_.column_index(pk_col));

@@ -13,13 +13,17 @@
 #include "db/schema.h"
 #include "index/bptree.h"
 #include "index/key_codec.h"
-#include "storage/heap_file.h"
+#include "storage/sharded_heap.h"
 
 namespace sky::db {
 
-// Row ids pack (table, page, slot): 12 | 32 | 20 bits.
+// Row ids pack (table, extent, page, slot): 12 | 8 | 24 | 20 bits. 24 page
+// bits give each extent 128 GiB of 8 KiB pages — the 32-bit page field the
+// pre-sharding layout had was headroom nothing could fill, so sharding
+// borrows 8 of those bits for the extent without shrinking any real limit.
 constexpr uint64_t make_row_id(uint32_t table, storage::SlotId slot) {
   return (static_cast<uint64_t>(table) << 52) |
+         (static_cast<uint64_t>(slot.extent) << 44) |
          (static_cast<uint64_t>(slot.page) << 20) |
          static_cast<uint64_t>(slot.slot);
 }
@@ -27,7 +31,8 @@ constexpr uint32_t row_id_table(uint64_t row_id) {
   return static_cast<uint32_t>(row_id >> 52);
 }
 constexpr storage::SlotId row_id_slot(uint64_t row_id) {
-  return storage::SlotId{static_cast<uint32_t>((row_id >> 20) & 0xFFFFFFFFu),
+  return storage::SlotId{static_cast<uint32_t>((row_id >> 44) & 0xFFu),
+                         static_cast<uint32_t>((row_id >> 20) & 0xFFFFFFu),
                          static_cast<uint32_t>(row_id & 0xFFFFFu)};
 }
 
@@ -45,7 +50,12 @@ struct SecondaryIndex {
 
 class Table {
  public:
-  Table(uint32_t id, TableDef def);
+  // `heap_extents`: number of independent append streams in the heap (1 =
+  // the pre-sharding single-heap layout). `heap_append_latency`: modeled
+  // per-append device write, slept while the extent latch is held (see
+  // storage/sharded_heap.h).
+  Table(uint32_t id, TableDef def, uint32_t heap_extents = 1,
+        Nanos heap_append_latency = 0);
 
   uint32_t id() const { return id_; }
   const TableDef& def() const { return def_; }
@@ -62,8 +72,8 @@ class Table {
       const TableDef& child_def, const ForeignKey& fk, const Row& child_row,
       const TableDef& parent_def);
 
-  storage::HeapFile& heap() { return heap_; }
-  const storage::HeapFile& heap() const { return heap_; }
+  storage::ShardedHeap& heap() { return heap_; }
+  const storage::ShardedHeap& heap() const { return heap_; }
   index::BPlusTree& pk_tree() { return pk_tree_; }
   const index::BPlusTree& pk_tree() const { return pk_tree_; }
   std::vector<SecondaryIndex>& secondaries() { return secondaries_; }
@@ -74,13 +84,21 @@ class Table {
     return pk_column_indices_;
   }
 
-  // Per-table latch. Writers (row insert, index mutation) hold it exclusive
-  // for one row at a time; query paths and FK probes from child tables hold
-  // it shared. Lock hierarchy (see DESIGN.md "Engine concurrency model"):
-  // nested acquisition always goes child latch -> parent latch (descending
-  // table id, the schema's parent-before-child order read bottom-up), which
-  // is acyclic because foreign keys only reference earlier tables.
+  // Per-table metadata latch. Guards table-level structure changes (index
+  // enable/disable, rebuilds, bulk loads) against concurrent row traffic:
+  // row-at-a-time writers and readers hold it *shared*; only structural
+  // operations take it exclusive. Row-level coordination lives one level
+  // down in index_latch() and the heap's internal extent latches.
   std::shared_mutex& latch() const { return *latch_; }
+
+  // Per-table index latch: guards the PK tree, every secondary tree, and
+  // constraint visibility (a row is constraint-checked and published while
+  // this is held exclusive). FK probes from child tables take the parent's
+  // index latch shared. Lock hierarchy (see DESIGN.md "Engine concurrency
+  // model"): table latch -> index latch -> heap extent latch, and across
+  // tables always child -> parent (descending table id), which is acyclic
+  // because foreign keys only reference earlier tables.
+  std::shared_mutex& index_latch() const { return *index_latch_; }
 
   uint32_t heap_cache_file_id = 0;
   uint32_t pk_cache_file_id = 0;
@@ -93,11 +111,13 @@ class Table {
   uint32_t id_;
   TableDef def_;
   std::vector<int> pk_column_indices_;
-  storage::HeapFile heap_;
+  storage::ShardedHeap heap_;
   index::BPlusTree pk_tree_;
   std::vector<SecondaryIndex> secondaries_;
-  // unique_ptr keeps Table movable during engine construction.
+  // unique_ptrs keep Table movable during engine construction.
   std::unique_ptr<std::shared_mutex> latch_ =
+      std::make_unique<std::shared_mutex>();
+  std::unique_ptr<std::shared_mutex> index_latch_ =
       std::make_unique<std::shared_mutex>();
 };
 

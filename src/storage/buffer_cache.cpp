@@ -57,10 +57,11 @@ BufferCache::BufferCache(int64_t capacity_pages, int64_t dirty_trigger)
 }
 
 BufferCache::Shard& BufferCache::shard_for(CachePageId page) const {
-  // Mix file id and page so one file's sequential pages spread evenly and
-  // different files' low page numbers don't pile into one shard.
+  // Mix file id, extent, and page so one file's sequential pages spread
+  // evenly and different files' low page numbers don't pile into one shard.
   const uint64_t mixed =
       (static_cast<uint64_t>(page.file_id) * 0x9E3779B97F4A7C15ull) ^
+      (static_cast<uint64_t>(page.extent) * 0x94D049BB133111EBull) ^
       (static_cast<uint64_t>(page.page) * 0xBF58476D1CE4E5B9ull);
   return shards_[static_cast<size_t>(mixed % shards_.size())];
 }

@@ -38,16 +38,22 @@
 
 namespace sky::storage {
 
-// Identifies a page across all table heaps and index segments.
+// Identifies a page across all table heaps and index segments. Heap pages
+// are additionally qualified by their extent (sharded heaps keep one append
+// stream per extent; see storage/sharded_heap.h) — index segments and
+// single-extent heaps leave it 0, preserving the pre-sharding identity.
 struct CachePageId {
   uint32_t file_id = 0;   // table or index segment id
   uint32_t page = 0;
+  uint32_t extent = 0;    // heap extent; 0 for index segments
   bool operator==(const CachePageId&) const = default;
 };
 
 struct CachePageIdHash {
   size_t operator()(const CachePageId& id) const {
-    return (static_cast<size_t>(id.file_id) << 32) ^ id.page;
+    // extent term vanishes at 0 so unsharded identities hash as before.
+    return (static_cast<size_t>(id.file_id) << 32) ^
+           (static_cast<size_t>(id.extent) * 0x9E3779B97F4A7C15ull) ^ id.page;
   }
 };
 

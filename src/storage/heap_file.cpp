@@ -2,7 +2,8 @@
 
 namespace sky::storage {
 
-HeapFile::AppendResult HeapFile::append(std::string row_bytes) {
+HeapFile::AppendResult HeapFile::append_with_state(std::string row_bytes,
+                                                   RowState state) {
   const int64_t row_size = static_cast<int64_t>(row_bytes.size());
   bool opened_new_page = false;
   if (pages_.empty() ||
@@ -13,40 +14,84 @@ HeapFile::AppendResult HeapFile::append(std::string row_bytes) {
   Page& page = pages_.back();
   page.bytes_used += row_size;
   page.rows.push_back(std::move(row_bytes));
-  page.deleted.push_back(false);
-  ++live_rows_;
-  total_bytes_ += row_size;
-  const SlotId slot{static_cast<uint32_t>(pages_.size() - 1),
+  page.states.push_back(state);
+  if (state == RowState::kLive) {
+    ++live_rows_;
+    total_bytes_ += row_size;
+  }
+  const SlotId slot{extent_id_,
+                    static_cast<uint32_t>(pages_.size() - 1),
                     static_cast<uint32_t>(page.rows.size() - 1)};
   return AppendResult{slot, opened_new_page};
 }
 
-Result<std::string_view> HeapFile::read(SlotId slot) const {
+HeapFile::AppendResult HeapFile::append(std::string row_bytes) {
+  return append_with_state(std::move(row_bytes), RowState::kLive);
+}
+
+HeapFile::AppendResult HeapFile::append_pending(std::string row_bytes) {
+  return append_with_state(std::move(row_bytes), RowState::kPending);
+}
+
+Result<HeapFile::Page*> HeapFile::page_for(SlotId slot) {
+  if (slot.extent != extent_id_) {
+    return Status(ErrorCode::kNotFound, "heap extent mismatch");
+  }
   if (slot.page >= pages_.size()) {
     return Status(ErrorCode::kNotFound, "heap page out of range");
   }
-  const Page& page = pages_[slot.page];
+  Page& page = pages_[slot.page];
   if (slot.slot >= page.rows.size()) {
     return Status(ErrorCode::kNotFound, "heap slot out of range");
   }
-  if (page.deleted[slot.slot]) {
+  return &page;
+}
+
+Result<const HeapFile::Page*> HeapFile::page_for(SlotId slot) const {
+  SKY_ASSIGN_OR_RETURN(Page * page,
+                       const_cast<HeapFile*>(this)->page_for(slot));
+  return static_cast<const Page*>(page);
+}
+
+Result<std::string_view> HeapFile::read(SlotId slot) const {
+  SKY_ASSIGN_OR_RETURN(const Page* page, page_for(slot));
+  if (page->states[slot.slot] == RowState::kPending) {
+    return Status(ErrorCode::kNotFound, "heap slot not yet published");
+  }
+  if (page->states[slot.slot] == RowState::kDead) {
     return Status(ErrorCode::kNotFound, "heap slot tombstoned");
   }
-  return std::string_view(page.rows[slot.slot]);
+  return std::string_view(page->rows[slot.slot]);
+}
+
+Status HeapFile::publish(SlotId slot) {
+  SKY_ASSIGN_OR_RETURN(Page * page, page_for(slot));
+  if (page->states[slot.slot] != RowState::kPending) {
+    return Status(ErrorCode::kFailedPrecondition, "heap slot not pending");
+  }
+  page->states[slot.slot] = RowState::kLive;
+  ++live_rows_;
+  total_bytes_ += static_cast<int64_t>(page->rows[slot.slot].size());
+  return ok_status();
+}
+
+Status HeapFile::discard(SlotId slot) {
+  SKY_ASSIGN_OR_RETURN(Page * page, page_for(slot));
+  if (page->states[slot.slot] != RowState::kPending) {
+    return Status(ErrorCode::kFailedPrecondition, "heap slot not pending");
+  }
+  page->states[slot.slot] = RowState::kDead;
+  return ok_status();
 }
 
 Status HeapFile::mark_deleted(SlotId slot) {
-  if (slot.page >= pages_.size() ||
-      slot.slot >= pages_[slot.page].rows.size()) {
-    return Status(ErrorCode::kNotFound, "heap slot out of range");
-  }
-  Page& page = pages_[slot.page];
-  if (page.deleted[slot.slot]) {
+  SKY_ASSIGN_OR_RETURN(Page * page, page_for(slot));
+  if (page->states[slot.slot] != RowState::kLive) {
     return Status(ErrorCode::kNotFound, "heap slot already tombstoned");
   }
-  page.deleted[slot.slot] = true;
+  page->states[slot.slot] = RowState::kDead;
   --live_rows_;
-  total_bytes_ -= static_cast<int64_t>(page.rows[slot.slot].size());
+  total_bytes_ -= static_cast<int64_t>(page->rows[slot.slot].size());
   return ok_status();
 }
 

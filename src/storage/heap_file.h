@@ -4,9 +4,30 @@
 // a load in its 12 GB of RAM and the buffer cache), but rows live in real
 // pages so that page-level costs — dirtied pages, cache pressure, device
 // writes — are derived from actual layout rather than invented.
+//
+// A HeapFile is one *extent*: a single append stream of pages. Tables use a
+// ShardedHeap (sharded_heap.h), which owns several extents so concurrent
+// loaders of the same table can append to independent extents; a bare
+// HeapFile is extent 0 of a one-extent heap. Slot addresses are therefore
+// three-dimensional: {extent, page, slot}.
+//
+// Storage stability contract: row bytes never move once appended. Pages and
+// rows live in deques (chunk-stable, no reallocation of existing elements),
+// so a string_view returned by read() remains valid for the heap's lifetime
+// even while later appends grow the file. (The seed kept pages in a
+// std::vector, so a concurrent append could reallocate the page array and
+// dangle outstanding views; sharded_heap_test has the regression test.)
+//
+// Rows support two-phase insertion: append() makes a row live immediately,
+// while append_pending() hides it from read()/scan()/counters until
+// publish() — the engine appends pending, re-validates constraints under the
+// index latch, then publishes, so scans never observe a row that may still
+// fail its constraint checks. A pending row that loses a constraint race is
+// discard()ed and its slot stays dead forever.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -17,8 +38,10 @@ namespace sky::storage {
 
 constexpr int64_t kPageSize = 8192;  // bytes, Oracle's common block size
 
-// Slot address within a heap file.
+// Slot address within a table heap: extent (which parallel append stream),
+// page within the extent, slot within the page.
 struct SlotId {
+  uint32_t extent = 0;
   uint32_t page = 0;
   uint32_t slot = 0;
   bool operator==(const SlotId&) const = default;
@@ -26,7 +49,9 @@ struct SlotId {
 
 class HeapFile {
  public:
-  HeapFile() = default;
+  explicit HeapFile(uint32_t extent_id = 0) : extent_id_(extent_id) {}
+
+  uint32_t extent_id() const { return extent_id_; }
 
   // Append a serialized row. Returns its slot and whether a fresh page was
   // opened to hold it (cost-model signal: one more dirty page).
@@ -35,12 +60,22 @@ class HeapFile {
     bool opened_new_page;
   };
   AppendResult append(std::string row_bytes);
+  // Append a hidden row: invisible to read()/scan() and excluded from
+  // row_count()/total_bytes() until publish(). It still occupies page space.
+  AppendResult append_pending(std::string row_bytes);
+  // Make a pending row live. Errors if the slot is not pending.
+  Status publish(SlotId slot);
+  // Drop a pending row that failed its constraint checks; the slot stays
+  // dead. Errors if the slot is not pending.
+  Status discard(SlotId slot);
 
-  // Read back a row. Tombstoned or out-of-range slots yield an error.
+  // Read back a live row. Pending, tombstoned, or out-of-range slots yield
+  // an error. The returned view stays valid for the heap's lifetime (rows
+  // never move; see the stability contract above).
   Result<std::string_view> read(SlotId slot) const;
 
-  // Tombstone a row (transaction rollback). Space is not reclaimed; loads
-  // are append-only and rollbacks rare.
+  // Tombstone a live row (transaction rollback). Space is not reclaimed;
+  // loads are append-only and rollbacks rare.
   Status mark_deleted(SlotId slot);
 
   int64_t page_count() const { return static_cast<int64_t>(pages_.size()); }
@@ -53,21 +88,31 @@ class HeapFile {
     for (uint32_t p = 0; p < pages_.size(); ++p) {
       const Page& page = pages_[p];
       for (uint32_t s = 0; s < page.rows.size(); ++s) {
-        if (!page.deleted[s]) {
-          fn(SlotId{p, s}, std::string_view(page.rows[s]));
+        if (page.states[s] == RowState::kLive) {
+          fn(SlotId{extent_id_, p, s}, std::string_view(page.rows[s]));
         }
       }
     }
   }
 
  private:
+  enum class RowState : uint8_t { kPending, kLive, kDead };
+
   struct Page {
-    std::vector<std::string> rows;
-    std::vector<bool> deleted;
+    // Deque: row bytes never move as the page fills (stability contract).
+    std::deque<std::string> rows;
+    std::vector<RowState> states;
     int64_t bytes_used = 0;
   };
 
-  std::vector<Page> pages_;
+  AppendResult append_with_state(std::string row_bytes, RowState state);
+  // Locate a slot's page, validating extent/page/slot bounds.
+  Result<Page*> page_for(SlotId slot);
+  Result<const Page*> page_for(SlotId slot) const;
+
+  uint32_t extent_id_;
+  // Deque: pages never move as the file grows (stability contract).
+  std::deque<Page> pages_;
   int64_t live_rows_ = 0;
   int64_t total_bytes_ = 0;
 };

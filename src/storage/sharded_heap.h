@@ -1,0 +1,126 @@
+// Sharded table heap: N independent extents for same-table parallel loads.
+//
+// A single HeapFile serializes every append on whatever latch its owner
+// wraps around it, so parallel loaders targeting the same hot table (the
+// interleaved-catalog pattern SkyLoader was built for) queue on one append
+// stream even when everything else is fine-grained. Related work on survey
+// ingestion (Nieto-Santisteban et al., "Entering the Parallel Zone";
+// Sutorius et al.'s pseudo-parallel curation environment) partitions
+// same-table writers onto independent storage units for exactly this reason.
+//
+// A ShardedHeap owns a fixed set of extents (each a HeapFile — the existing
+// page/slot structure) with one latch per extent. Concurrent sessions append
+// to distinct extents and only serialize when they collide on one; the
+// owning table's latch is left for metadata (DDL, row-count snapshots).
+// Slot addresses are extent-qualified ({extent, page, slot}); scan() visits
+// extents in ascending order, pages and slots within, so iteration over a
+// quiesced heap is deterministic.
+//
+// Thread safety: fully internally synchronized. append/publish/discard/
+// mark_deleted take the extent's latch exclusive; read() and scan() take it
+// shared. Aggregate counters are relaxed atomics, so row_count()/
+// total_bytes() snapshots never touch a latch. Returned string_views obey
+// the HeapFile stability contract (row bytes never move), so a view read
+// under the latch stays valid after release even while other threads append.
+//
+// `append_write_latency` models the synchronous write to the extent's
+// storage unit: it is slept *while holding the extent latch*, so appends to
+// one extent queue behind each other (one storage unit = one write stream)
+// while appends to other extents proceed — the contrast measured by
+// bench_engine_scaling's same-table scenario.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "storage/heap_file.h"
+
+namespace sky::storage {
+
+// Extent count ceiling fixed by row-id packing (db/table.h: 8 extent bits).
+constexpr uint32_t kMaxHeapExtents = 256;
+
+class ShardedHeap {
+ public:
+  explicit ShardedHeap(uint32_t extent_count = 1,
+                       Nanos append_write_latency = 0);
+  // Move-constructible (atomics copied relaxed) so db::Table stays movable
+  // during engine construction; never moved once shared across threads.
+  ShardedHeap(ShardedHeap&& other) noexcept;
+  ShardedHeap& operator=(ShardedHeap&&) = delete;
+
+  uint32_t extent_count() const {
+    return static_cast<uint32_t>(extents_.size());
+  }
+
+  struct AppendResult {
+    SlotId slot;
+    bool opened_new_page = false;
+    Nanos latch_wait_ns = 0;  // time blocked on a contended extent latch
+  };
+  // Append a live row to the given extent (clamped into range).
+  AppendResult append(uint32_t extent, std::string row_bytes);
+  // Two-phase insert support (see heap_file.h): append hidden, then
+  // publish() once constraints are settled, or discard() on failure.
+  AppendResult append_pending(uint32_t extent, std::string row_bytes);
+  Status publish(SlotId slot);
+  Status discard(SlotId slot);
+
+  Result<std::string_view> read(SlotId slot) const;
+  Status mark_deleted(SlotId slot);
+
+  // Latch-free aggregate snapshots (relaxed atomics; exact once writers are
+  // quiesced, monotone-approximate while they run).
+  int64_t row_count() const {
+    return live_rows_.load(std::memory_order_relaxed);
+  }
+  int64_t total_bytes() const {
+    return total_bytes_.load(std::memory_order_relaxed);
+  }
+  int64_t page_count() const {
+    return pages_.load(std::memory_order_relaxed);
+  }
+
+  // Per-extent telemetry, read under each extent's latch in turn.
+  struct ExtentStats {
+    int64_t rows = 0;
+    int64_t pages = 0;
+    int64_t bytes = 0;
+  };
+  std::vector<ExtentStats> extent_stats() const;
+
+  // Visit every live row, extent by extent in ascending order (deterministic
+  // for a quiesced heap). Holds one extent latch (shared) at a time.
+  template <typename Fn>  // Fn(SlotId, std::string_view)
+  void scan(Fn&& fn) const {
+    for (const auto& extent : extents_) {
+      const std::shared_lock<std::shared_mutex> latch(extent->latch);
+      extent->file.scan(fn);
+    }
+  }
+
+ private:
+  struct Extent {
+    explicit Extent(uint32_t id) : file(id) {}
+    mutable std::shared_mutex latch;
+    HeapFile file;
+  };
+
+  AppendResult append_with(uint32_t extent, std::string row_bytes,
+                           bool pending);
+  Extent& extent_for(SlotId slot) const;
+
+  // unique_ptr elements: the extent array never moves and Extent itself
+  // (holding a mutex) stays non-movable.
+  std::vector<std::unique_ptr<Extent>> extents_;
+  const Nanos append_write_latency_;
+  std::atomic<int64_t> live_rows_{0};
+  std::atomic<int64_t> total_bytes_{0};
+  std::atomic<int64_t> pages_{0};
+};
+
+}  // namespace sky::storage

@@ -7,12 +7,13 @@
 namespace sky::storage {
 
 namespace {
-// Fixed per-record header: type + txn id + table id + length.
-constexpr int64_t kRecordHeaderBytes = 1 + 8 + 4 + 4;
+// Fixed per-record header: type + txn id + table id + extent + length.
+constexpr int64_t kRecordHeaderBytes = 1 + 8 + 4 + 4 + 4;
 }  // namespace
 
 void WriteAheadLog::append(WalRecordType type, uint64_t txn_id,
-                           uint32_t table_id, std::string payload) {
+                           uint32_t table_id, std::string payload,
+                           uint32_t extent) {
   const std::scoped_lock lock(mu_);
   const int64_t record_bytes =
       kRecordHeaderBytes + static_cast<int64_t>(payload.size());
@@ -23,7 +24,8 @@ void WriteAheadLog::append(WalRecordType type, uint64_t txn_id,
   stats_.max_unflushed_bytes =
       std::max(stats_.max_unflushed_bytes, unflushed_bytes_);
   if (retain_records_) {
-    records_.push_back(WalRecord{type, txn_id, table_id, std::move(payload)});
+    records_.push_back(
+        WalRecord{type, txn_id, table_id, std::move(payload), extent});
   }
 }
 

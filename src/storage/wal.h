@@ -39,6 +39,10 @@ struct WalRecord {
   uint64_t txn_id;
   uint32_t table_id;
   std::string payload;  // serialized row for inserts; empty otherwise
+  // Heap extent the row landed in (sharded heaps, storage/sharded_heap.h).
+  // Redo must replay each insert into the *same* extent so a recovered
+  // repository is extent-identical to a clean reload of the log.
+  uint32_t extent = 0;
 };
 
 struct WalStats {
@@ -62,7 +66,7 @@ class WriteAheadLog {
       : retain_records_(retain_records), flush_latency_(flush_latency) {}
 
   void append(WalRecordType type, uint64_t txn_id, uint32_t table_id,
-              std::string payload);
+              std::string payload, uint32_t extent = 0);
 
   // Flush pending redo to the log device; returns bytes flushed by *this*
   // call (0 when piggybacking on a concurrent flush that covered us).

@@ -7,7 +7,7 @@ namespace sky::storage {
 
 namespace {
 
-constexpr char kMagic[] = "SKYWAL1\n";
+constexpr char kMagic[] = "SKYWAL2\n";
 constexpr size_t kMagicLen = 8;
 
 uint64_t fnv1a(const std::string& bytes) {
@@ -58,6 +58,7 @@ std::string encode_record(const WalRecord& record) {
   bytes.push_back(static_cast<char>(record.type));
   put_u64(bytes, record.txn_id);
   put_u32(bytes, record.table_id);
+  put_u32(bytes, record.extent);
   put_u32(bytes, static_cast<uint32_t>(record.payload.size()));
   bytes += record.payload;
   return bytes;
@@ -102,13 +103,13 @@ Result<WalReadResult> read_wal_file(const std::string& path) {
   WalReadResult result;
   result.records.reserve(declared);
   for (uint64_t i = 0; i < declared; ++i) {
-    // Fixed prefix: type(1) txn(8) table(4) len(4).
+    // Fixed prefix: type(1) txn(8) table(4) extent(4) len(4).
     std::string prefix;
-    if (!get_bytes(in, 17, prefix)) {
+    if (!get_bytes(in, 21, prefix)) {
       result.truncated = true;
       return result;
     }
-    const uint32_t payload_len = decode_u32(prefix, 13);
+    const uint32_t payload_len = decode_u32(prefix, 17);
     std::string payload;
     if (!get_bytes(in, payload_len, payload)) {
       result.truncated = true;
@@ -128,6 +129,7 @@ Result<WalReadResult> read_wal_file(const std::string& path) {
     record.type = static_cast<WalRecordType>(prefix[0]);
     record.txn_id = decode_u64(prefix, 1);
     record.table_id = decode_u32(prefix, 9);
+    record.extent = decode_u32(prefix, 13);
     record.payload = std::move(payload);
     result.records.push_back(std::move(record));
   }

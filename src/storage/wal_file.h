@@ -4,9 +4,13 @@
 // (the in-memory engine retains records; this persists them). Binary
 // layout, little-endian-free (explicit big-endian fields):
 //
-//   header : magic "SKYWAL1\n" | u64 record count
-//   record : u8 type | u64 txn | u32 table | u32 payload_len | payload
-//            | u64 FNV-1a checksum of the preceding record bytes
+//   header : magic "SKYWAL2\n" | u64 record count
+//   record : u8 type | u64 txn | u32 table | u32 extent | u32 payload_len
+//            | payload | u64 FNV-1a checksum of the preceding record bytes
+//
+// Version history: SKYWAL1 lacked the u32 extent field (added when heaps
+// became extent-sharded; recovery replays each insert into its original
+// extent). V1 files are not readable — the format predates any release.
 //
 // Every record is individually checksummed; a torn or corrupted tail is
 // reported with the count of records recovered before it.

@@ -164,16 +164,19 @@ TEST(RowIdTest, PackingRoundTrips) {
   using db::make_row_id;
   using db::row_id_slot;
   using db::row_id_table;
-  const storage::SlotId slot{123456, 789};
+  const storage::SlotId slot{13, 123456, 789};
   const uint64_t row_id = make_row_id(42, slot);
   EXPECT_EQ(row_id_table(row_id), 42u);
+  EXPECT_EQ(row_id_slot(row_id).extent, 13u);
   EXPECT_EQ(row_id_slot(row_id).page, 123456u);
   EXPECT_EQ(row_id_slot(row_id).slot, 789u);
-  // Extremes.
-  const storage::SlotId big{0xFFFFFFFFu, 0xFFFFFu};
+  // Extremes: 12 table | 8 extent | 24 page | 20 slot bits.
+  const storage::SlotId big{0xFFu, 0xFFFFFFu, 0xFFFFFu};
   const uint64_t max_id = make_row_id(0xFFF, big);
+  EXPECT_EQ(max_id, ~0ull);
   EXPECT_EQ(row_id_table(max_id), 0xFFFu);
-  EXPECT_EQ(row_id_slot(max_id).page, 0xFFFFFFFFu);
+  EXPECT_EQ(row_id_slot(max_id).extent, 0xFFu);
+  EXPECT_EQ(row_id_slot(max_id).page, 0xFFFFFFu);
   EXPECT_EQ(row_id_slot(max_id).slot, 0xFFFFFu);
 }
 

@@ -39,10 +39,59 @@ TEST(HeapFileTest, PageBoundaryOpensNewPage) {
 
 TEST(HeapFileTest, ReadErrors) {
   HeapFile heap;
-  EXPECT_FALSE(heap.read(SlotId{0, 0}).is_ok());
+  EXPECT_FALSE(heap.read(SlotId{0, 0, 0}).is_ok());
   heap.append("x");
-  EXPECT_FALSE(heap.read(SlotId{0, 5}).is_ok());
-  EXPECT_FALSE(heap.read(SlotId{9, 0}).is_ok());
+  EXPECT_FALSE(heap.read(SlotId{0, 0, 5}).is_ok());  // bad slot
+  EXPECT_FALSE(heap.read(SlotId{0, 9, 0}).is_ok());  // bad page
+  EXPECT_FALSE(heap.read(SlotId{3, 0, 0}).is_ok());  // wrong extent
+}
+
+TEST(HeapFileTest, PendingRowsAreHiddenUntilPublished) {
+  HeapFile heap;
+  const auto visible = heap.append("live");
+  const auto hidden = heap.append_pending("pending");
+  // Pending rows occupy page space but are invisible everywhere.
+  EXPECT_EQ(heap.row_count(), 1);
+  EXPECT_EQ(heap.total_bytes(), 4);
+  EXPECT_FALSE(heap.read(hidden.slot).is_ok());
+  int scanned = 0;
+  heap.scan([&](SlotId, std::string_view) { ++scanned; });
+  EXPECT_EQ(scanned, 1);
+  ASSERT_TRUE(heap.publish(hidden.slot).is_ok());
+  EXPECT_EQ(heap.row_count(), 2);
+  EXPECT_EQ(heap.read(hidden.slot).value(), "pending");
+  // Publishing twice (or publishing a live row) is a state error.
+  EXPECT_FALSE(heap.publish(hidden.slot).is_ok());
+  EXPECT_FALSE(heap.publish(visible.slot).is_ok());
+}
+
+TEST(HeapFileTest, DiscardAbandonsPendingRow) {
+  HeapFile heap;
+  const auto pending = heap.append_pending("abandoned");
+  ASSERT_TRUE(heap.discard(pending.slot).is_ok());
+  EXPECT_EQ(heap.row_count(), 0);
+  EXPECT_FALSE(heap.read(pending.slot).is_ok());
+  // A discarded slot cannot come back.
+  EXPECT_FALSE(heap.publish(pending.slot).is_ok());
+  EXPECT_FALSE(heap.discard(pending.slot).is_ok());
+  // The hole still consumes page bytes; the next append lands after it.
+  const auto next = heap.append("after");
+  EXPECT_EQ(next.slot.page, pending.slot.page);
+  EXPECT_EQ(next.slot.slot, pending.slot.slot + 1);
+}
+
+TEST(HeapFileTest, ViewsStayValidAcrossPageGrowth) {
+  // Regression: read() returns a view into row storage; appending enough
+  // rows to open many new pages must not invalidate previously returned
+  // views (pages and rows live in chunk-stable deques).
+  HeapFile heap;
+  const auto first = heap.append("stable-row-zero");
+  const std::string_view view = heap.read(first.slot).value();
+  const std::string big(kPageSize / 3, 'f');
+  for (int i = 0; i < 500; ++i) heap.append(big);
+  ASSERT_GT(heap.page_count(), 100);
+  EXPECT_EQ(view, "stable-row-zero");
+  EXPECT_EQ(heap.read(first.slot).value().data(), view.data());
 }
 
 TEST(HeapFileTest, TombstoneHidesRow) {

@@ -36,9 +36,9 @@ class WalFileTest : public ::testing::Test {
 std::vector<WalRecord> sample_records() {
   return {
       {WalRecordType::kInsert, 1, 5, "payload-one"},
-      {WalRecordType::kInsert, 1, 6, std::string("\x00\x01\xFF", 3)},
+      {WalRecordType::kInsert, 1, 6, std::string("\x00\x01\xFF", 3), 7},
       {WalRecordType::kCommit, 1, 0, ""},
-      {WalRecordType::kRollbackInsert, 2, 5, ""},
+      {WalRecordType::kRollbackInsert, 2, 5, "", 255},
   };
 }
 
@@ -53,6 +53,7 @@ TEST_F(WalFileTest, RoundTrip) {
     EXPECT_EQ(read->records[i].type, records[i].type);
     EXPECT_EQ(read->records[i].txn_id, records[i].txn_id);
     EXPECT_EQ(read->records[i].table_id, records[i].table_id);
+    EXPECT_EQ(read->records[i].extent, records[i].extent);
     EXPECT_EQ(read->records[i].payload, records[i].payload);
   }
 }
@@ -92,7 +93,7 @@ TEST_F(WalFileTest, ChecksumCatchesCorruption) {
   // Flip a byte inside the second record's payload.
   std::fstream file(path("corrupt.wal"),
                     std::ios::binary | std::ios::in | std::ios::out);
-  file.seekp(16 + 17 + 11 + 8 + 17 + 1);  // header + rec1 + into rec2
+  file.seekp(16 + 21 + 11 + 8 + 21 + 1);  // header + rec1 + into rec2
   file.put('\x7E');
   file.close();
   const auto read = read_wal_file(path("corrupt.wal"));
