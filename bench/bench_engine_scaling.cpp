@@ -16,11 +16,18 @@
 //     append on distinct streams and the per-row writes overlap.
 //   * single-heap — one extent (the pre-sharding layout); every loader's
 //     appends to a hot table queue on one write stream.
+// A third scenario sweeps the WAL's commit-coalescing window under a
+// commit-heavy load with only the commit log flush modeled: with the window
+// open, concurrent commits fold into shared flushes instead of each paying
+// its own device write. The window trades bounded commit latency for
+// materially fewer physical log writes; the fast path keeps a lone loader
+// at exactly the no-window rate.
 // Each run uses a fresh engine, loads the reference tables first, and must
-// pass verify_integrity() afterwards. Emits BENCH_engine_scaling.json and
-// BENCH_heap_sharding.json.
+// pass verify_integrity() afterwards. Emits BENCH_engine_scaling.json,
+// BENCH_heap_sharding.json, and BENCH_commit_window_threads.json.
 #include "bench_util.h"
 
+#include <algorithm>
 #include <fstream>
 #include <mutex>
 
@@ -98,11 +105,13 @@ struct RunResult {
   double rows_per_sec = 0;
   double busy_seconds = 0;
   double lock_wait_seconds = 0;
+  sky::storage::WalStats wal;
 };
 
 RunResult run_files(const sky::db::EngineOptions& engine_options,
                     bool global_lock, int degree,
-                    const std::vector<sky::core::CatalogFile>& files) {
+                    const std::vector<sky::core::CatalogFile>& files,
+                    int64_t commit_every_batches = 0) {
   const sky::db::Schema schema = sky::catalog::make_pq_schema();
   const sky::core::TuningProfile profile =
       sky::core::TuningProfile::production();
@@ -121,7 +130,8 @@ RunResult run_files(const sky::db::EngineOptions& engine_options,
   sky::core::CoordinatorOptions options;
   options.parallel_degree = degree;
   options.loader.write_audit_row = false;
-  options.loader.commit_every_cycles = 2;
+  options.loader.commit.every_cycles = 2;
+  options.loader.commit.every_batches = commit_every_batches;
   std::mutex global_mu;
   const auto factory = [&](int) -> std::unique_ptr<sky::client::Session> {
     if (global_lock) {
@@ -146,6 +156,7 @@ RunResult run_files(const sky::db::EngineOptions& engine_options,
   for (const sky::Nanos wait : report->worker_lock_wait) {
     result.lock_wait_seconds += sky::to_seconds(wait);
   }
+  result.wal = engine.wal_stats();
   return result;
 }
 
@@ -176,6 +187,50 @@ RunResult run_sharding_load(uint32_t heap_extents, int degree,
   return run_files(engine_options, /*global_lock=*/false, degree, files);
 }
 
+// Commit-window scenario: commits every 8 batches with only the commit log
+// flush modeled. The flush is deliberately fast (0.25 ms) so the log device
+// is NOT saturated: when it is, the WAL's flush convoy already groups
+// maximally for free (everyone who appended during flush N-1 shares flush
+// N) and a window has nothing left to cut. Unsaturated, most commits lead
+// their own flush; the window folds commits arriving within it into one
+// device write — the paper's "reduce frequency of transaction commits"
+// lever applied server-side, trading bounded commit latency for materially
+// fewer physical log writes.
+constexpr sky::Nanos kWindowLogFlush = 250 * 1000;  // 0.25 ms
+
+// Varied file sizes so loaders desynchronize. With identical files the
+// workers stay phase-locked and their commits arrive in clumps that
+// piggyback for free, which both inflates the no-window baseline and
+// leaves the window nothing to do; real catalog nights are not uniform.
+std::vector<sky::core::CatalogFile> make_window_workload() {
+  std::vector<sky::core::CatalogFile> files;
+  for (int f = 0; f < 16; ++f) {
+    sky::catalog::FileSpec spec;
+    spec.name = "window-" + std::to_string(f) + ".cat";
+    spec.seed = 7700 + static_cast<uint64_t>(f);
+    spec.unit_id = 950 + f;
+    spec.target_bytes = (32 + 5 * (f % 7)) * 1024;  // 32-62 KiB
+    files.push_back(sky::core::CatalogFile{
+        spec.name, sky::catalog::CatalogGenerator::generate(spec).text});
+  }
+  return files;
+}
+
+RunResult run_window_load(sky::Nanos window, int degree,
+                          const std::vector<sky::core::CatalogFile>& files) {
+  sky::db::EngineOptions engine_options =
+      sky::core::TuningProfile::production().engine_options();
+  engine_options.latency.commit_log_flush = kWindowLogFlush;
+  engine_options.commit_window = window;
+  // Close the group once all but one of the loaders have queued (the last
+  // is usually mid-batch; waiting for it costs the whole window). A cap
+  // above the parallel degree would make leaders always wait out the full
+  // window for a group that can never fill.
+  engine_options.max_group_commits = std::max(degree - 1, 2);
+  return run_files(engine_options, /*global_lock=*/false, degree, files,
+                   /*commit_every_batches=*/8);
+}
+
 FigureTable g_figure("Engine scaling: aggregate load rate vs parallel degree",
                      "parallel loaders", "rows/sec");
 std::vector<std::string> g_json_entries;
@@ -184,6 +239,13 @@ FigureTable g_sharding_figure(
     "Heap sharding: same-table load rate vs parallel degree",
     "parallel loaders", "rows/sec");
 std::vector<std::string> g_sharding_json;
+
+FigureTable g_window_figure(
+    "Commit window: load rate vs parallel degree (commit every 8 batches)",
+    "parallel loaders", "rows/sec");
+std::vector<std::string> g_window_json;
+// (mode, degree) -> flushes per commit, for the shape checks.
+std::map<std::pair<std::string, int>, double> g_window_fpc;
 
 std::string json_entry(const char* mode, int degree, const RunResult& result) {
   char buffer[256];
@@ -217,6 +279,41 @@ void bench_scaling(benchmark::State& state) {
     state.counters["rows_per_sec"] = result.rows_per_sec;
     state.counters["lock_wait_s"] = result.lock_wait_seconds;
     record(global_lock ? "global-mutex" : "fine-grained", degree, result);
+  }
+}
+
+void record_window(const char* mode, int degree, const RunResult& result) {
+  g_window_figure.add(mode, degree, result.rows_per_sec);
+  const int64_t commits = result.wal.commit_requests;
+  const int64_t led = commits - result.wal.group_piggybacks;
+  const double fpc =
+      commits > 0 ? static_cast<double>(led) / static_cast<double>(commits)
+                  : 1.0;
+  g_window_fpc[{mode, degree}] = fpc;
+  char buffer[320];
+  std::snprintf(buffer, sizeof(buffer),
+                "  {\"mode\": \"%s\", \"degree\": %d, \"makespan_s\": %.4f, "
+                "\"rows_per_sec\": %.1f, \"commit_requests\": %lld, "
+                "\"piggybacks\": %lld, \"flushes_per_commit\": %.4f, "
+                "\"leader_wait_s\": %.4f}",
+                mode, degree, result.seconds, result.rows_per_sec,
+                static_cast<long long>(commits),
+                static_cast<long long>(result.wal.group_piggybacks), fpc,
+                static_cast<double>(result.wal.leader_wait_ns) / 1e9);
+  g_window_json.push_back(buffer);
+}
+
+void bench_window(benchmark::State& state) {
+  const int degree = static_cast<int>(state.range(0));
+  const sky::Nanos window = state.range(1) * 1000 * 1000;  // ms -> ns
+  static const std::vector<sky::core::CatalogFile> files =
+      make_window_workload();
+  for (auto _ : state) {
+    const RunResult result = run_window_load(window, degree, files);
+    state.SetIterationTime(result.seconds);
+    state.counters["rows_per_sec"] = result.rows_per_sec;
+    record_window(state.range(1) == 0 ? "no-window" : "window-3ms", degree,
+                  result);
   }
 }
 
@@ -258,6 +355,15 @@ int main(int argc, char** argv) {
         ->Iterations(1)
         ->UseManualTime()
         ->Unit(benchmark::kSecond);
+  }
+  for (const int degree : {1, 4, 6}) {
+    for (const int64_t window_ms : {0, 3}) {
+      benchmark::RegisterBenchmark("commit_window/threads", bench_window)
+          ->Args({degree, window_ms})
+          ->Iterations(1)
+          ->UseManualTime()
+          ->Unit(benchmark::kSecond);
+    }
   }
   benchmark::RunSpecifiedBenchmarks();
   g_figure.print();
@@ -308,5 +414,42 @@ int main(int argc, char** argv) {
               "append stream");
   shape_check(sharded6 >= 1.5 * sharded1,
               "sharded heap scales with loaders on the same table");
+
+  g_window_figure.print();
+  {
+    std::ofstream json("BENCH_commit_window_threads.json");
+    json << "[\n";
+    for (size_t i = 0; i < g_window_json.size(); ++i) {
+      json << g_window_json[i] << (i + 1 < g_window_json.size() ? ",\n" : "\n");
+    }
+    json << "]\n";
+  }
+  std::printf("\nwrote BENCH_commit_window_threads.json\n");
+
+  const double fpc_base = g_window_fpc[{"no-window", 6}];
+  const double fpc_windowed = g_window_fpc[{"window-3ms", 6}];
+  std::printf("degree 6: %.2f flushes/commit without window, %.2f with\n",
+              fpc_base, fpc_windowed);
+  // Implicit group commit already folds commits that clump behind an
+  // in-flight flush (on a timeshared host the clumping is substantial), so
+  // the window is judged on what it adds beyond that: fewer flushes than
+  // implicit piggybacking alone, and material grouping in absolute terms
+  // (at least two commits per device write on average).
+  shape_check(fpc_windowed < 0.85 * fpc_base && fpc_windowed < 0.5,
+              "commit window cuts real-thread flushes per commit beyond "
+              "implicit group commit at degree 6");
+  // The window buys fewer device writes with bounded extra commit latency
+  // (the leader holds the group open for up to the window). The makespan
+  // cost must stay within that bound, not balloon past it.
+  shape_check(g_window_figure.value("window-3ms", 6) >=
+                  0.7 * g_window_figure.value("no-window", 6),
+              "windowed rows/sec stays within the bounded-latency trade at "
+              "degree 6");
+  // The lone loader takes the single-transaction fast path: the leader
+  // never held a window open, so the wait counter stays exactly zero.
+  shape_check(g_window_fpc.count({"window-3ms", 1}) > 0 &&
+                  g_window_figure.value("window-3ms", 1) >=
+                      0.85 * g_window_figure.value("no-window", 1),
+              "window does not slow the single loader (fast path skips it)");
   return 0;
 }

@@ -57,7 +57,7 @@ double run_profile(const sky::core::TuningProfile& profile) {
       repo.env->spawn("nonbulk-" + std::to_string(w), [&, w] {
         sky::client::SimSession session(*repo.server);
         sky::core::NonBulkLoaderOptions nb_options;
-        nb_options.commit_every_rows = profile.commit_every_rows;
+        nb_options.commit = profile.commit;
         sky::core::NonBulkLoader loader(session, repo.schema, nb_options);
         auto load_one = [&](size_t index) {
           const auto report =

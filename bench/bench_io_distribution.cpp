@@ -28,7 +28,7 @@ void bench_layout(benchmark::State& state) {
     sky::core::CoordinatorOptions options;
     options.parallel_degree = 4;
     options.loader.write_audit_row = false;
-    options.loader.commit_every_batches = commit_every;
+    options.loader.commit.every_batches = commit_every;
     const auto report = sky::core::LoadCoordinator::run_sim(
         *repo.env, *repo.server, files, repo.schema, options);
     if (!report.is_ok()) std::abort();

@@ -37,7 +37,7 @@ void bench_keepup(benchmark::State& state) {
     if (!profile.bulk) {
       // Approximate the untuned non-bulk path with batch size 1.
       options.loader.batch_size = 1;
-      options.loader.commit_every_batches = 100;
+      options.loader.commit.every_batches = 100;
     }
     const auto report = sky::core::LoadCoordinator::run_sim(
         *repo.env, *repo.server, files, repo.schema, options);

@@ -22,6 +22,14 @@ Nanos CostModel::server_cpu_time(const db::OpCosts& costs) const {
   return time;
 }
 
+Nanos CostModel::log_flush_time(int64_t bytes) const {
+  return log_flush_base + log_bytes_time(bytes);
+}
+
+Nanos CostModel::log_bytes_time(int64_t bytes) const {
+  return bytes * per_log_kb / 1024;
+}
+
 CostModel paper_calibrated_costs() { return CostModel{}; }
 
 }  // namespace sky::client

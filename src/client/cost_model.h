@@ -75,6 +75,12 @@ struct CostModel {
   // Price the CPU time a batch spends on the server (excluding device I/O,
   // which queues on devices, and excluding the per-call overhead).
   Nanos server_cpu_time(const db::OpCosts& costs) const;
+
+  // Price one log-device flush of `bytes` redo (the fixed device write plus
+  // the per-KB transfer). A group-commit joiner pays only the marginal
+  // bytes; the leader pays the whole thing.
+  Nanos log_flush_time(int64_t bytes) const;
+  Nanos log_bytes_time(int64_t bytes) const;
 };
 
 // The paper-calibrated default.

@@ -67,7 +67,12 @@ Status DirectSession::commit() {
   txn_.reset();
   ++stats_.db_calls;
   ++stats_.commits;
-  if (result.is_ok()) stats_.lock_wait_time += result->costs.lock_wait_ns;
+  if (result.is_ok()) {
+    stats_.lock_wait_time += result->costs.lock_wait_ns;
+    stats_.commit_flushes_led += result->costs.commit_flushes_led;
+    stats_.commit_piggybacks += result->costs.commit_piggybacks;
+    stats_.commit_leader_wait += result->costs.commit_leader_wait_ns;
+  }
   return result.status();
 }
 

@@ -51,6 +51,14 @@ struct SessionStats {
   Nanos lock_wait_time = 0;
   Nanos io_time = 0;
   Nanos stall_time = 0;
+  // Group-commit accounting: commits where this session led the covering
+  // log-device write vs. rode another session's flush, and the
+  // commit-coalescing window time it paid as leader. Filled by both
+  // backends (real runs from OpCosts, simulation from the server's
+  // log-device model).
+  int64_t commit_flushes_led = 0;
+  int64_t commit_piggybacks = 0;
+  Nanos commit_leader_wait = 0;
 };
 
 class Session {

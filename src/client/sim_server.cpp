@@ -36,6 +36,31 @@ SimServer::SimServer(sim::Environment& env, db::Engine& engine,
   }
 }
 
+SimServer::LogGroupDecision SimServer::join_log_group() {
+  LogGroupDecision decision;
+  decision.leader = true;
+  if (config_.commit_window <= 0) return decision;
+  const Nanos now = env_.now();
+  if (now < log_group_close_ && log_group_members_ < config_.max_group_commits) {
+    ++log_group_members_;
+    decision.leader = false;
+    decision.flush_eta = log_group_eta_;
+    return decision;
+  }
+  // Lead a new group. The window is only held open when another session
+  // holds a transaction (someone who could commit into it) — the lone
+  // loader's fast path, matching WriteAheadLog's single-transaction check.
+  const int64_t open_transactions =
+      transaction_slots_->capacity() - transaction_slots_->available();
+  decision.window_wait = open_transactions > 1 ? config_.commit_window : 0;
+  log_group_members_ = 1;
+  log_group_close_ = now + decision.window_wait;
+  log_group_eta_ =
+      log_group_close_ + config_.costs.log_flush_time(/*bytes=*/0);
+  decision.flush_eta = log_group_eta_;
+  return decision;
+}
+
 int64_t SimServer::note_table_writer(uint32_t table_id, int node,
                                      int64_t pages_touched) {
   if (node_count() == 1) return 0;

@@ -50,6 +50,17 @@ struct ServerConfig {
   Nanos stall_duration = 12 * kSecond;
   uint64_t stall_seed = 0xA17;
 
+  // Commit-coalescing group commit, mirroring the engine's WAL window
+  // (storage::WalOptions): a commit that leads a log flush holds the device
+  // write open for commit_window so commits arriving meanwhile ride the
+  // same flush; the group closes early at max_group_commits members. The
+  // engine itself runs with a zero window in simulation (it must never
+  // block in real time inside a sim process), so the grouping is modeled
+  // here, at the log device — keeping simulated and real-thread runs in
+  // agreement.
+  Nanos commit_window = 0;
+  int64_t max_group_commits = 8;
+
   storage::DeviceLayout device_layout =
       storage::DeviceLayout::separate_raids();
   CostModel costs;
@@ -90,6 +101,19 @@ class SimServer {
   // virtual time, which is itself deterministic).
   bool draw_stall() { return stall_rng_.bernoulli(config_.stall_probability); }
 
+  // Log-device group commit (ServerConfig::commit_window). A committing
+  // session asks whether it leads a new flush group or joins the one in
+  // flight. The leader pays the coalescing-window wait (skipped when it is
+  // the only session holding a transaction — the same single-transaction
+  // fast path the real WAL takes) and the full flush; joiners wait for the
+  // group's device write (flush_eta) and pay only their marginal bytes.
+  struct LogGroupDecision {
+    bool leader = false;
+    Nanos window_wait = 0;  // leader only
+    Nanos flush_eta = 0;    // virtual time the group's device write lands
+  };
+  LogGroupDecision join_log_group();
+
  private:
   sim::Environment& env_;
   db::Engine& engine_;
@@ -102,6 +126,11 @@ class SimServer {
   std::vector<std::unique_ptr<sim::Resource>> itl_;
   std::vector<std::unique_ptr<sim::Resource>> devices_;
   Rng stall_rng_;
+  // Open log flush group: commits before log_group_close_ join it (up to
+  // max_group_commits members); its write completes around log_group_eta_.
+  Nanos log_group_close_ = -1;
+  Nanos log_group_eta_ = 0;
+  int64_t log_group_members_ = 0;
 };
 
 }  // namespace sky::client

@@ -50,13 +50,46 @@ void SimSession::charge_io(const storage::IoTally& io) {
     device.release();
   }
   if (io.log_bytes_flushed > 0) {
-    const Nanos duration = costs.log_flush_base +
-                           io.log_bytes_flushed * costs.per_log_kb / 1024;
-    sim::Resource& device = server_.device_for(storage::IoRole::kLog);
-    const Nanos before = server_.env().now();
+    charge_log_flush(io.log_bytes_flushed);
+  }
+}
+
+void SimSession::charge_log_flush(int64_t bytes) {
+  const CostModel& costs = server_.costs();
+  sim::Environment& env = server_.env();
+  const SimServer::LogGroupDecision decision = server_.join_log_group();
+  sim::Resource& device = server_.device_for(storage::IoRole::kLog);
+  if (decision.leader) {
+    if (decision.window_wait > 0) {
+      // The coalescing window: hold the device write open so commits from
+      // other sessions fold into this flush.
+      env.delay(decision.window_wait);
+      stats_.commit_leader_wait += decision.window_wait;
+    }
+    ++stats_.commit_flushes_led;
+    const Nanos duration = costs.log_flush_time(bytes);
+    const Nanos before = env.now();
     device.acquire();
-    stats_.io_time += server_.env().now() - before;
-    server_.env().delay(duration);
+    stats_.io_time += env.now() - before;
+    env.delay(duration);
+    stats_.io_time += duration;
+    device.release();
+    return;
+  }
+  // Ride the in-flight group flush: the ack arrives once the group's device
+  // write lands; only the marginal bytes are ours to pay on the device.
+  ++stats_.commit_piggybacks;
+  if (decision.flush_eta > env.now()) {
+    const Nanos wait = decision.flush_eta - env.now();
+    env.delay(wait);
+    stats_.io_time += wait;
+  }
+  const Nanos duration = costs.log_bytes_time(bytes);
+  if (duration > 0) {
+    const Nanos before = env.now();
+    device.acquire();
+    stats_.io_time += env.now() - before;
+    env.delay(duration);
     stats_.io_time += duration;
     device.release();
   }

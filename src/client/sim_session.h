@@ -31,6 +31,9 @@ class SimSession final : public Session {
   // Charge device time for the call's I/O tally (queues on each involved
   // physical device in turn).
   void charge_io(const storage::IoTally& io);
+  // Charge a commit's redo flush through the server's log-device group
+  // model (lead a flush — window wait included — or ride one in flight).
+  void charge_log_flush(int64_t bytes);
   // One server visit: slots -> CPU -> engine call -> priced delay -> I/O.
   db::BatchResult server_call(uint32_t table, std::span<const db::Row> rows);
 

@@ -49,8 +49,8 @@ Result<size_t> BulkLoader::batch_row(uint32_t table_id,
     ++report.db_calls;
     report.rows_loaded += outcome.applied;
     report.loaded_per_table[table_name] += outcome.applied;
-    if (options_.commit_every_batches > 0 &&
-        report.db_calls % options_.commit_every_batches == 0) {
+    if (options_.commit.every_batches > 0 &&
+        report.db_calls % options_.commit.every_batches == 0) {
       const Status commit_status = session_.commit();
       if (commit_status.is_ok()) ++report.commits;
     }
@@ -101,8 +101,8 @@ Status BulkLoader::flush_arrays(FileLoadReport& report) {
   SKY_RETURN_IF_ERROR(failure);
   // Arrays are destroyed and their memory released at the end of the cycle.
   array_set_.clear();
-  if (options_.commit_every_cycles > 0 &&
-      report.flush_cycles % options_.commit_every_cycles == 0) {
+  if (options_.commit.every_cycles > 0 &&
+      report.flush_cycles % options_.commit.every_cycles == 0) {
     const Status commit_status = session_.commit();
     if (commit_status.is_ok()) ++report.commits;
   }

@@ -11,7 +11,7 @@
 // inserts, exactly the behaviour analyzed in section 4.2.
 //
 // Commits are infrequent by default (section 4.5.2): only at end of file,
-// or every `commit_every_cycles` bulk-loading cycles when configured.
+// or per the CommitPolicy (every N cycles / batches) when configured.
 #pragma once
 
 #include <string>
@@ -19,6 +19,7 @@
 
 #include "client/session.h"
 #include "core/array_set.h"
+#include "core/commit_policy.h"
 #include "core/load_report.h"
 #include "db/schema.h"
 
@@ -35,12 +36,10 @@ int64_t audit_id_for_file(std::string_view file_name);
 struct BulkLoaderOptions {
   int64_t batch_size = 40;  // the paper's tuned optimum
   ArraySet::Config array_config;
-  // 0 = commit only at end of file (infrequent-commit default).
-  int64_t commit_every_cycles = 0;
-  // Commit every N database calls (1 = JDBC-style autocommit after every
-  // batch -- the untuned baseline the paper's section 4.5.2 advice targets).
-  // 0 disables; combines with commit_every_cycles.
-  int64_t commit_every_batches = 0;
+  // When to commit (every_cycles / every_batches; defaults to the
+  // infrequent-commit end-of-file-only policy). The window/durability
+  // fields are consumed where the engine or sim server is built, not here.
+  CommitPolicy commit;
   // Record a row in load_audit after each file (the loader's own table).
   bool write_audit_row = true;
   // Cap on retained per-row error details (counters stay exact).

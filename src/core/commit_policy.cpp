@@ -1,0 +1,17 @@
+#include "core/commit_policy.h"
+
+#include "common/strings.h"
+
+namespace sky::core {
+
+std::string CommitPolicy::describe() const {
+  std::string out = frequent_commits() ? "frequent" : "infrequent";
+  if (commit_window > 0) {
+    out += str_format(", window=%s x%lld", format_duration(commit_window).c_str(),
+                      static_cast<long long>(max_group_commits));
+  }
+  if (durability == storage::DurabilityMode::kRelaxed) out += ", relaxed";
+  return out;
+}
+
+}  // namespace sky::core

@@ -1,0 +1,51 @@
+// CommitPolicy: one struct for every commit decision in the load path.
+//
+// The paper's section 4.5.2 lever ("reduce frequency of transaction
+// commits") used to be spread over three divergent knob sets —
+// TuningProfile::commit_every_cycles/commit_every_rows,
+// BulkLoaderOptions::commit_every_cycles/commit_every_batches, and
+// NonBulkLoaderOptions::commit_every_rows. They are now all views of this
+// one policy: the client-side cadence (how often a loader issues COMMIT)
+// plus the server-side durability shape (how the engine coalesces the
+// resulting commit flushes, and whether acks wait for the covering device
+// write).
+#pragma once
+
+#include <string>
+
+#include "common/units.h"
+#include "storage/wal.h"
+
+namespace sky::core {
+
+struct CommitPolicy {
+  // ---- client-side cadence: when a loader commits (0 = end of file) ----
+  // Bulk: commit every N bulk-loading (flush) cycles.
+  int64_t every_cycles = 0;
+  // Bulk: commit every N database calls (1 = JDBC-style autocommit after
+  // every batch — the untuned baseline section 4.5.2 targets). Combines
+  // with every_cycles.
+  int64_t every_batches = 0;
+  // Non-bulk: commit every N loaded rows.
+  int64_t every_rows = 0;
+
+  // ---- server-side durability: how those commits hit the log device ----
+  // Commit-coalescing window a flush leader holds open (0 = flush
+  // immediately); groups close early at max_group_commits commits. Threaded
+  // into EngineOptions (real threads) and ServerConfig (simulation).
+  Nanos commit_window = 0;
+  int64_t max_group_commits = 8;
+  // kStrict acks after the covering flush; kRelaxed acks at append and
+  // leaves durability to sync_wal() checkpoints (watermark-honest).
+  storage::DurabilityMode durability = storage::DurabilityMode::kStrict;
+
+  // Any client-side cadence configured (vs. commit-at-end-of-file only)?
+  bool frequent_commits() const {
+    return every_cycles > 0 || every_batches > 0 || every_rows > 0;
+  }
+
+  // e.g. "infrequent", "frequent", "frequent, window=2ms x8, relaxed".
+  std::string describe() const;
+};
+
+}  // namespace sky::core

@@ -59,6 +59,9 @@ struct WorkerResult {
   std::vector<FileLoadReport> reports;
   Nanos busy = 0;
   Nanos lock_wait = 0;
+  int64_t commit_flushes = 0;
+  int64_t commit_piggybacks = 0;
+  Nanos commit_leader_wait = 0;
   int files = 0;
   int files_skipped = 0;
   Status failure = ok_status();
@@ -89,6 +92,9 @@ void worker_loop(int worker, WorkQueue& queue,
     result.reports.push_back(std::move(*report));
   }
   result.lock_wait = session.stats().lock_wait_time;
+  result.commit_flushes = session.stats().commit_flushes_led;
+  result.commit_piggybacks = session.stats().commit_piggybacks;
+  result.commit_leader_wait = session.stats().commit_leader_wait;
 }
 
 ParallelLoadReport assemble(std::vector<WorkerResult> worker_results,
@@ -101,6 +107,9 @@ ParallelLoadReport assemble(std::vector<WorkerResult> worker_results,
     report.worker_lock_wait.push_back(worker.lock_wait);
     report.files_per_worker.push_back(worker.files);
     report.files_skipped += worker.files_skipped;
+    report.commit_flushes += worker.commit_flushes;
+    report.commit_piggybacks += worker.commit_piggybacks;
+    report.commit_leader_wait += worker.commit_leader_wait;
     for (FileLoadReport& file : worker.reports) {
       report.total_bytes += file.bytes;
       report.total_rows_loaded += file.rows_loaded;

@@ -32,10 +32,19 @@ std::string FileLoadReport::summary() const {
 }
 
 std::string ParallelLoadReport::summary() const {
-  return str_format(
+  std::string out = str_format(
       "%d workers, %zu files, %lld rows, %s makespan, %.2f MB/s",
       workers, files.size(), static_cast<long long>(total_rows_loaded),
       format_duration(makespan).c_str(), throughput_mb_per_s());
+  const int64_t commits = commit_flushes + commit_piggybacks;
+  if (commits > 0) {
+    out += str_format(
+        ", %lld log flushes / %lld commits (%.2f flushes per commit)",
+        static_cast<long long>(commit_flushes),
+        static_cast<long long>(commits),
+        static_cast<double>(commit_flushes) / static_cast<double>(commits));
+  }
+  return out;
 }
 
 std::string render_markdown_report(const ParallelLoadReport& report,

@@ -54,6 +54,13 @@ struct ParallelLoadReport {
   std::vector<Nanos> worker_lock_wait;
   std::vector<int> files_per_worker;
   int files_skipped = 0;  // already-loaded files skipped (idempotent rerun)
+  // Group-commit totals across workers: log-device flushes led, commits
+  // that rode another worker's flush, and commit-coalescing window wait
+  // paid by leaders. flushes/(flushes+piggybacks) is the flushes-per-commit
+  // ratio the commit-window bench sweeps.
+  int64_t commit_flushes = 0;
+  int64_t commit_piggybacks = 0;
+  Nanos commit_leader_wait = 0;
 
   double throughput_mb_per_s() const {
     if (makespan <= 0) return 0.0;

@@ -57,9 +57,9 @@ Result<FileLoadReport> NonBulkLoader::load_text(std::string_view file_name,
                                           status});
       }
     }
-    if (options_.commit_every_rows > 0 &&
+    if (options_.commit.every_rows > 0 &&
         report.rows_loaded > 0 &&
-        report.rows_loaded % options_.commit_every_rows == 0) {
+        report.rows_loaded % options_.commit.every_rows == 0) {
       const Status commit_status = session_.commit();
       if (commit_status.is_ok()) ++report.commits;
     }

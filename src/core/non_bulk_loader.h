@@ -10,6 +10,7 @@
 #include <string_view>
 
 #include "client/session.h"
+#include "core/commit_policy.h"
 #include "core/load_report.h"
 #include "db/schema.h"
 
@@ -20,8 +21,8 @@ class CatalogParser;
 namespace sky::core {
 
 struct NonBulkLoaderOptions {
-  // 0 = commit only at end of file.
-  int64_t commit_every_rows = 0;
+  // When to commit (every_rows; 0 = only at end of file).
+  CommitPolicy commit;
   size_t max_error_details = 1000;
   Nanos client_parse_cost_per_row = 15 * kMicrosecond;
 };

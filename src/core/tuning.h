@@ -16,6 +16,7 @@
 
 #include "client/sim_server.h"
 #include "core/bulk_loader.h"
+#include "core/commit_policy.h"
 #include "db/engine.h"
 
 namespace sky::core {
@@ -29,10 +30,10 @@ struct TuningProfile {
   int64_t array_size = 1000;
   int parallel_degree = 5;
   bool dynamic_assignment = true;
-  // Bulk: cycles between commits (0 = end of file only).
-  int64_t commit_every_cycles = 0;
-  // Non-bulk: rows between commits (0 = end of file only).
-  int64_t commit_every_rows = 0;
+  // Commit cadence and durability shape (section 4.5.2), shared by the
+  // loaders (cadence), the engine (group-commit window, durability mode)
+  // and the sim server (log-device grouping model).
+  CommitPolicy commit;
 
   // Index policy during the catch-up load (section 4.5.1).
   bool maintain_htmid_index = true;

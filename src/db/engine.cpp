@@ -64,7 +64,11 @@ Engine::Engine(Schema schema, EngineOptions options)
     : schema_(std::move(schema)),
       options_(normalize(options)),
       cache_(options.cache_pages, options.dirty_trigger),
-      wal_(options.retain_wal_records, options.latency.commit_log_flush),
+      wal_(storage::WalOptions{options.retain_wal_records,
+                               options.latency.commit_log_flush,
+                               options.commit_window,
+                               std::max<int64_t>(options.max_group_commits, 1),
+                               options.durability}),
       txn_gate_(std::make_unique<BlockingSlotGate>(
           options.max_concurrent_transactions)) {
   tables_.reserve(static_cast<size_t>(schema_.table_count()));
@@ -148,16 +152,32 @@ Result<CommitResult> Engine::commit(uint64_t txn_id) {
   if (find_transaction(txn_id) == nullptr) {
     return Status(ErrorCode::kNotFound, "commit: unknown transaction");
   }
+  // With other transactions live, a leader holds the coalescing window
+  // open even when their appends have not landed yet; a lone committer
+  // reports false and never waits (same rule the sim server applies to
+  // its transaction slots).
+  bool expect_group = false;
+  {
+    const std::scoped_lock txn_lock(txn_mu_);
+    expect_group = transactions_.size() > 1;
+  }
   {
     const CostScope scope(&result.costs);
     wal_.append(storage::WalRecordType::kCommit, txn_id, 0, "");
-    // Group commit: may ride a flush already in flight, or lead one and pay
-    // the modeled log-device latency (with no engine latches held beyond the
-    // shared engine lock).
-    result.wal_bytes_flushed = wal_.flush();
-    result.costs.wal_bytes += result.wal_bytes_flushed;
-    result.costs.io.log_bytes_flushed += result.wal_bytes_flushed;
-    global_io_.add_log_bytes(result.wal_bytes_flushed);
+    // Group commit: may ride a flush already in flight, or lead one —
+    // holding the coalescing window open first — and pay the modeled
+    // log-device latency (with no engine latches held beyond the shared
+    // engine lock). Relaxed durability acks here without flushing.
+    const storage::WalFlushResult flush = wal_.flush(expect_group);
+    result.wal_bytes_flushed = flush.bytes_flushed;
+    result.led_flush = flush.led;
+    result.piggybacked = flush.piggybacked;
+    result.costs.wal_bytes += flush.bytes_flushed;
+    result.costs.io.log_bytes_flushed += flush.bytes_flushed;
+    result.costs.commit_flushes_led += flush.led ? 1 : 0;
+    result.costs.commit_piggybacks += flush.piggybacked ? 1 : 0;
+    result.costs.commit_leader_wait_ns += flush.leader_wait;
+    global_io_.add_log_bytes(flush.bytes_flushed);
   }
   {
     const std::scoped_lock lock(txn_mu_);
@@ -584,12 +604,17 @@ Status Engine::bulk_load_sorted(uint32_t tid, const std::vector<Row>& rows) {
   OpCosts scratch;
   std::vector<std::pair<std::string, uint64_t>> pk_entries;
   pk_entries.reserve(rows.size());
+  // One round-robin extent per preload, the same assignment a transaction
+  // gets in begin_transaction(): the preload stays one dense append stream
+  // (and is extent 0 whenever heap_extents is 1, the pre-sharding layout),
+  // but successive preloads spread across extents instead of all piling
+  // onto extent 0 and serializing against extent-0 loaders.
+  const uint32_t extent =
+      next_extent_.fetch_add(1, std::memory_order_relaxed) %
+      options_.heap_extents;
   for (const Row& row : rows) {
     SKY_RETURN_IF_ERROR(validate_row(table, row, scratch));
-    // Bulk preload always fills extent 0: the fixture path models a single
-    // sequential load, and keeping one dense extent preserves the
-    // pre-sharding page layout for the database-size experiments.
-    const auto appended = table.heap().append(0, encode_row(row));
+    const auto appended = table.heap().append(extent, encode_row(row));
     pk_entries.emplace_back(table.encode_pk_key(row),
                             make_row_id(tid, appended.slot));
   }

@@ -103,6 +103,15 @@ struct EngineOptions {
   storage::DeviceLayout device_layout = storage::DeviceLayout::separate_raids();
   // Keep full WAL records in memory for replay verification (tests only).
   bool retain_wal_records = false;
+  // Commit-coalescing group commit (section 4.5.2): a commit-flush leader
+  // holds the device write open up to this long (0 = flush immediately) so
+  // other sessions' commits fold into one flush, closing early once
+  // max_group_commits commits are queued. See storage::WalOptions.
+  Nanos commit_window = 0;
+  int64_t max_group_commits = 8;
+  // kStrict acks a commit only after the covering flush; kRelaxed acks at
+  // append and exposes the durable-LSN watermark (Engine::wal_durable_lsn).
+  storage::DurabilityMode durability = storage::DurabilityMode::kStrict;
   ModeledDeviceLatency latency;
 };
 
@@ -119,6 +128,10 @@ struct BatchResult {
 
 struct CommitResult {
   int64_t wal_bytes_flushed = 0;
+  // How the commit became durable (group commit): led a flush, rode one, or
+  // was acked at append (relaxed mode: neither flag set).
+  bool led_flush = false;
+  bool piggybacked = false;
   OpCosts costs;
 };
 
@@ -203,6 +216,17 @@ class Engine {
   std::vector<storage::WalRecord> wal_records() const {
     return wal_.records();
   }
+  // Durable-LSN watermark (record sequence numbers, aligned with
+  // wal_records()): records with sequence <= wal_durable_lsn() are covered
+  // by a device write; above it they would be lost in a crash. Under the
+  // default strict durability every acked commit is below the watermark;
+  // under DurabilityMode::kRelaxed the watermark advances only at
+  // sync_wal() checkpoints.
+  uint64_t wal_durable_lsn() const { return wal_.durable_lsn(); }
+  uint64_t wal_appended_lsn() const { return wal_.appended_lsn(); }
+  // Force pending redo to the device regardless of durability mode (the
+  // relaxed-mode checkpoint); returns bytes written by this call.
+  int64_t sync_wal() { return wal_.sync(); }
   storage::CacheEvents cache_events() const { return cache_.events(); }
   storage::IoTally io_tally() const { return global_io_.snapshot(); }
   SlotGate::Stats txn_gate_stats() const;

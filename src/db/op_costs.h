@@ -37,6 +37,12 @@ struct OpCosts {
   // the engine's DDL lock). Zero on uncontended runs; the parallel-load
   // report uses it to attribute makespan to contention vs. work.
   int64_t lock_wait_ns = 0;
+  // Group-commit accounting (commit calls only): whether this commit led
+  // the covering device write or rode another session's, and the
+  // commit-coalescing window time it paid as leader.
+  int64_t commit_flushes_led = 0;
+  int64_t commit_piggybacks = 0;
+  int64_t commit_leader_wait_ns = 0;
   storage::CacheEvents cache;      // delta attributable to this call
   storage::IoTally io;             // physical I/O by device role
 
@@ -57,6 +63,9 @@ struct OpCosts {
     constraint_failures += other.constraint_failures;
     wal_bytes += other.wal_bytes;
     lock_wait_ns += other.lock_wait_ns;
+    commit_flushes_led += other.commit_flushes_led;
+    commit_piggybacks += other.commit_piggybacks;
+    commit_leader_wait_ns += other.commit_leader_wait_ns;
     cache += other.cache;
     io += other.io;
     return *this;

@@ -9,6 +9,12 @@ namespace sky::storage {
 namespace {
 // Fixed per-record header: type + txn id + table id + extent + length.
 constexpr int64_t kRecordHeaderBytes = 1 + 8 + 4 + 4 + 4;
+
+Nanos steady_now() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 }  // namespace
 
 void WriteAheadLog::append(WalRecordType type, uint64_t txn_id,
@@ -23,23 +29,74 @@ void WriteAheadLog::append(WalRecordType type, uint64_t txn_id,
   unflushed_bytes_ += record_bytes;
   stats_.max_unflushed_bytes =
       std::max(stats_.max_unflushed_bytes, unflushed_bytes_);
-  if (retain_records_) {
+  // Coalescing-window fast path: a window is only worth holding open when
+  // the pending region already mixes transactions — a lone loader's leader
+  // has nobody to wait for.
+  if (pending_region_empty_) {
+    pending_region_empty_ = false;
+    pending_txn_ = txn_id;
+  } else if (txn_id != pending_txn_) {
+    pending_multi_txn_ = true;
+  }
+  if (options_.retain_records) {
     records_.push_back(
         WalRecord{type, txn_id, table_id, std::move(payload), extent});
   }
 }
 
-int64_t WriteAheadLog::flush() {
+int64_t WriteAheadLog::write_out_locked(std::unique_lock<std::mutex>& lock) {
+  const uint64_t target = append_seq_;
+  const int64_t flushed = unflushed_bytes_;
+  unflushed_bytes_ = 0;
+  // Appends arriving during the device write start a fresh pending region.
+  pending_region_empty_ = true;
+  pending_multi_txn_ = false;
+  if (flushed > 0) {
+    ++stats_.flushes;
+    stats_.bytes_flushed += flushed;
+  }
+  if (options_.flush_latency > 0) {
+    // The modeled device write happens outside the append mutex so other
+    // sessions keep appending (and queueing behind this flush) meanwhile.
+    lock.unlock();
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(options_.flush_latency));
+    lock.lock();
+  }
+  durable_seq_ = std::max(durable_seq_, target);
+  return flushed;
+}
+
+WalFlushResult WriteAheadLog::flush(bool expect_group) {
+  WalFlushResult result;
   std::unique_lock<std::mutex> lock(mu_);
+  if (options_.durability == DurabilityMode::kRelaxed) {
+    // Ack at append: the commit record is in the log buffer; durability
+    // advances when a sync() checkpoint covers it (see durable_lsn()).
+    ++stats_.relaxed_acks;
+    return result;
+  }
   // Everything appended before this call must be durable when we return.
   const uint64_t want = append_seq_;
+  if (durable_seq_ >= want) return result;  // nothing pending
+  ++stats_.commit_requests;
+  ++committers_waiting_;
+  // A newly queued committer may complete a leader's group.
+  if (leader_in_window_ &&
+      committers_waiting_ >= options_.max_group_commits) {
+    window_cv_.notify_all();
+  }
   bool waited = false;
   while (true) {
     if (durable_seq_ >= want) {
-      // Covered — either nothing was pending, or a concurrent leader's
-      // flush included our records (group commit).
-      if (waited) ++stats_.group_piggybacks;
-      return 0;
+      // Covered — a concurrent leader's flush included our records
+      // (group commit).
+      --committers_waiting_;
+      if (waited) {
+        ++stats_.group_piggybacks;
+        result.piggybacked = true;
+      }
+      return result;
     }
     if (!flush_in_progress_) break;
     waited = true;
@@ -48,21 +105,59 @@ int64_t WriteAheadLog::flush() {
   // Become the flush leader for everything appended so far (possibly more
   // than `want` — later appends ride along for free).
   flush_in_progress_ = true;
-  const uint64_t target = append_seq_;
-  const int64_t flushed = unflushed_bytes_;
-  unflushed_bytes_ = 0;
-  if (flushed > 0) {
-    ++stats_.flushes;
-    stats_.bytes_flushed += flushed;
+  if (options_.commit_window > 0 && (pending_multi_txn_ || expect_group) &&
+      committers_waiting_ < options_.max_group_commits) {
+    // Hold the device write open so commits closing in behind us fold into
+    // this flush. The wait is on a condition variable, so the log mutex is
+    // free and loaders keep appending meanwhile.
+    leader_in_window_ = true;
+    const Nanos wait_start = steady_now();
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::nanoseconds(options_.commit_window);
+    while (committers_waiting_ < options_.max_group_commits &&
+           !window_close_requested_) {
+      if (window_cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        break;
+      }
+    }
+    leader_in_window_ = false;
+    window_close_requested_ = false;
+    result.leader_wait = steady_now() - wait_start;
+    stats_.leader_wait_ns += result.leader_wait;
   }
-  if (flush_latency_ > 0) {
-    // The modeled device write happens outside the append mutex so other
-    // sessions keep appending (and queueing behind this flush) meanwhile.
-    lock.unlock();
-    std::this_thread::sleep_for(std::chrono::nanoseconds(flush_latency_));
-    lock.lock();
+  // Commits covered by this flush: everyone queued right now, us included.
+  // (A committer whose records are appended but who calls flush() after
+  // this snapshot still piggybacks; the histogram counts the queue at
+  // write-out time.)
+  result.group_size = committers_waiting_;
+  const size_t bucket = static_cast<size_t>(
+      std::min<int64_t>(std::max<int64_t>(result.group_size, 1),
+                        static_cast<int64_t>(WalStats::kGroupSizeBuckets)) -
+      1);
+  ++stats_.group_size_hist[bucket];
+  result.led = true;
+  result.bytes_flushed = write_out_locked(lock);
+  --committers_waiting_;
+  flush_in_progress_ = false;
+  lock.unlock();
+  flush_cv_.notify_all();
+  return result;
+}
+
+int64_t WriteAheadLog::sync() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const uint64_t want = append_seq_;
+  while (durable_seq_ < want && flush_in_progress_) {
+    // Close an open coalescing window: a checkpoint must not wait for it.
+    if (leader_in_window_) {
+      window_close_requested_ = true;
+      window_cv_.notify_all();
+    }
+    flush_cv_.wait(lock);
   }
-  durable_seq_ = std::max(durable_seq_, target);
+  if (durable_seq_ >= want) return 0;
+  flush_in_progress_ = true;
+  const int64_t flushed = write_out_locked(lock);
   flush_in_progress_ = false;
   lock.unlock();
   flush_cv_.notify_all();
@@ -72,6 +167,16 @@ int64_t WriteAheadLog::flush() {
 int64_t WriteAheadLog::unflushed_bytes() const {
   const std::scoped_lock lock(mu_);
   return unflushed_bytes_;
+}
+
+uint64_t WriteAheadLog::appended_lsn() const {
+  const std::scoped_lock lock(mu_);
+  return append_seq_;
+}
+
+uint64_t WriteAheadLog::durable_lsn() const {
+  const std::scoped_lock lock(mu_);
+  return durable_seq_;
 }
 
 WalStats WriteAheadLog::stats() const {

@@ -211,7 +211,7 @@ TEST_F(BulkLoaderTest, CommitPolicyPerCycles) {
   BulkLoaderOptions options;
   options.batch_size = 40;
   options.array_config.default_rows = 100;  // many cycles
-  options.commit_every_cycles = 2;
+  options.commit.every_cycles = 2;
   options.write_audit_row = false;
   BulkLoader loader(session, schema_, options);
   const auto report =

@@ -56,7 +56,7 @@ TEST(EngineConcurrencyTest, EightLoadersWithErrorsAndPeriodicCommits) {
   CoordinatorOptions options;
   options.parallel_degree = 8;
   options.loader.write_audit_row = false;
-  options.loader.commit_every_cycles = 2;
+  options.loader.commit.every_cycles = 2;
   const auto report = LoadCoordinator::run_threads(
       files, schema,
       [&](int) { return std::make_unique<client::DirectSession>(engine); },

@@ -85,7 +85,7 @@ TEST(NonBulkLoaderTest, CommitEveryRows) {
   spec.target_bytes = 32 * 1024;
   const auto file = catalog::CatalogGenerator::generate(spec);
   NonBulkLoaderOptions options;
-  options.commit_every_rows = 100;
+  options.commit.every_rows = 100;
   NonBulkLoader loader(session, schema, options);
   const auto report = loader.load_text("f.cat", file.text);
   ASSERT_TRUE(report.is_ok());
@@ -153,7 +153,7 @@ TEST(TuningProfileTest, OptionMappings) {
   const auto bulk = production.bulk_options();
   EXPECT_EQ(bulk.batch_size, 40);
   EXPECT_EQ(bulk.array_config.default_rows, 1000);
-  EXPECT_EQ(bulk.commit_every_cycles, 0);
+  EXPECT_EQ(bulk.commit.every_cycles, 0);
 
   const TuningProfile untuned = TuningProfile::untuned_2004();
   EXPECT_EQ(untuned.bulk_options().batch_size, 1);  // non-bulk => batch 1

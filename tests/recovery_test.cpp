@@ -128,7 +128,7 @@ TEST(RecoveryTest, FullLoaderRunRoundTrips) {
   Engine engine(schema, options);
   client::DirectSession session(engine);
   core::BulkLoaderOptions loader_options;
-  loader_options.commit_every_cycles = 2;  // several commit boundaries
+  loader_options.commit.every_cycles = 2;  // several commit boundaries
   core::BulkLoader loader(session, schema, loader_options);
   ASSERT_TRUE(loader
                   .load_text("reference",
@@ -232,7 +232,7 @@ TEST(RecoveryTest, ParallelSameTableCrashRoundTrip) {
       const auto file = catalog::CatalogGenerator::generate(spec);
       core::BulkLoaderOptions loader_options;
       loader_options.write_audit_row = false;
-      loader_options.commit_every_cycles = 2;
+      loader_options.commit.every_cycles = 2;
       if (w == 3) {
         CrashingSession session(*crashed_session, /*fail_on_call=*/9);
         core::BulkLoader loader(session, schema, loader_options);
@@ -327,6 +327,76 @@ TEST(RecoveryTest, ParallelSameTableCrashRoundTrip) {
                     .is_ok());
   }
   EXPECT_EQ(first_layout, second_layout);
+}
+
+// Crash immediately after the covering flush: the WAL is truncated at the
+// durable-LSN watermark, exactly what a device would hold the instant the
+// flush completed. Under strict durability every acked commit must be below
+// that watermark — including commits that rode a coalescing window — so
+// every acked row survives recovery.
+TEST(RecoveryTest, StrictAckedCommitsSurviveCrashAtWatermark) {
+  const Schema schema = pair_schema();
+  EngineOptions options = retain_options();
+  options.commit_window = kMillisecond;  // exercise the window path
+  Engine engine(schema, options);
+  OpCosts costs;
+  // Two interleaved transactions so the pending region is multi-transaction
+  // and the first commit's leader actually holds the window open.
+  const uint64_t a = engine.begin_transaction();
+  const uint64_t b = engine.begin_transaction();
+  ASSERT_TRUE(engine.insert_row(a, 0, {Value::i64(1), Value::str("a")},
+                                costs).is_ok());
+  ASSERT_TRUE(engine.insert_row(b, 0, {Value::i64(2), Value::str("b")},
+                                costs).is_ok());
+  ASSERT_TRUE(engine.commit(a).is_ok());
+  ASSERT_TRUE(engine.commit(b).is_ok());
+  // A third transaction appends after the last flush and never commits.
+  const uint64_t torn = engine.begin_transaction();
+  ASSERT_TRUE(engine.insert_row(torn, 0, {Value::i64(3), Value::str("c")},
+                                costs).is_ok());
+  ASSERT_LT(engine.wal_durable_lsn(), engine.wal_appended_lsn());
+
+  auto records = engine.wal_records();
+  records.resize(engine.wal_durable_lsn());  // crash: lose undurable tail
+  const auto recovered = recover_from_wal(schema, records);
+  ASSERT_TRUE(recovered.is_ok()) << recovered.status().to_string();
+  EXPECT_EQ((*recovered)->row_count(0), 2);
+  EXPECT_TRUE((*recovered)->pk_lookup(0, {Value::i64(1)}).is_ok());
+  EXPECT_TRUE((*recovered)->pk_lookup(0, {Value::i64(2)}).is_ok());
+  EXPECT_FALSE((*recovered)->pk_lookup(0, {Value::i64(3)}).is_ok());
+  ASSERT_TRUE(engine.rollback(torn).is_ok());
+}
+
+// Relaxed durability acks at append; the watermark must be honest about it.
+// A commit before the sync_wal() checkpoint survives a crash at the
+// watermark, a commit after it is lost — and the engine said so, because
+// its records sat above wal_durable_lsn().
+TEST(RecoveryTest, RelaxedWatermarkIsHonest) {
+  const Schema schema = pair_schema();
+  EngineOptions options = retain_options();
+  options.durability = storage::DurabilityMode::kRelaxed;
+  Engine engine(schema, options);
+  OpCosts costs;
+  const uint64_t a = engine.begin_transaction();
+  ASSERT_TRUE(engine.insert_row(a, 0, {Value::i64(1), Value::str("a")},
+                                costs).is_ok());
+  ASSERT_TRUE(engine.commit(a).is_ok());
+  EXPECT_EQ(engine.wal_durable_lsn(), 0u);  // acked but not yet durable
+  ASSERT_GT(engine.sync_wal(), 0);          // checkpoint covers A
+  EXPECT_EQ(engine.wal_durable_lsn(), engine.wal_appended_lsn());
+
+  const uint64_t b = engine.begin_transaction();
+  ASSERT_TRUE(engine.insert_row(b, 0, {Value::i64(2), Value::str("b")},
+                                costs).is_ok());
+  ASSERT_TRUE(engine.commit(b).is_ok());  // acked above the watermark
+  EXPECT_LT(engine.wal_durable_lsn(), engine.wal_appended_lsn());
+
+  auto records = engine.wal_records();
+  records.resize(engine.wal_durable_lsn());  // crash before any new sync
+  const auto recovered = recover_from_wal(schema, records);
+  ASSERT_TRUE(recovered.is_ok()) << recovered.status().to_string();
+  EXPECT_TRUE((*recovered)->pk_lookup(0, {Value::i64(1)}).is_ok());
+  EXPECT_FALSE((*recovered)->pk_lookup(0, {Value::i64(2)}).is_ok());
 }
 
 TEST(RecoveryTest, EquivalenceDetectsDifferences) {

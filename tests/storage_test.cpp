@@ -244,13 +244,15 @@ TEST(WalTest, FlushDrainsAndCounts) {
   WriteAheadLog wal;
   wal.append(WalRecordType::kInsert, 1, 5, "abc");
   wal.append(WalRecordType::kCommit, 1, 0, "");
-  const int64_t flushed = wal.flush();
-  EXPECT_GT(flushed, 0);
+  const WalFlushResult flushed = wal.flush();
+  EXPECT_GT(flushed.bytes_flushed, 0);
+  EXPECT_TRUE(flushed.led);
+  EXPECT_FALSE(flushed.piggybacked);
   EXPECT_EQ(wal.unflushed_bytes(), 0);
   EXPECT_EQ(wal.stats().flushes, 1);
-  EXPECT_EQ(wal.stats().bytes_flushed, flushed);
+  EXPECT_EQ(wal.stats().bytes_flushed, flushed.bytes_flushed);
   // Idle flush is free.
-  EXPECT_EQ(wal.flush(), 0);
+  EXPECT_EQ(wal.flush().bytes_flushed, 0);
   EXPECT_EQ(wal.stats().flushes, 1);
 }
 
@@ -264,7 +266,9 @@ TEST(WalTest, HighWaterMarkTracksBacklog) {
 }
 
 TEST(WalTest, RetainedRecordsForReplay) {
-  WriteAheadLog wal(/*retain_records=*/true);
+  WalOptions options;
+  options.retain_records = true;
+  WriteAheadLog wal(options);
   wal.append(WalRecordType::kInsert, 7, 3, "payload");
   wal.append(WalRecordType::kCommit, 7, 0, "");
   ASSERT_EQ(wal.records().size(), 2u);
@@ -280,6 +284,79 @@ TEST(WalTest, RecordsNotRetainedByDefault) {
   wal.append(WalRecordType::kInsert, 1, 1, "x");
   EXPECT_TRUE(wal.records().empty());
   EXPECT_EQ(wal.stats().records, 1);
+}
+
+TEST(WalTest, LsnWatermarkTracksFlushes) {
+  WriteAheadLog wal;
+  wal.append(WalRecordType::kInsert, 1, 1, "a");
+  wal.append(WalRecordType::kCommit, 1, 0, "");
+  EXPECT_EQ(wal.appended_lsn(), 2u);
+  EXPECT_EQ(wal.durable_lsn(), 0u);
+  wal.flush();
+  EXPECT_EQ(wal.durable_lsn(), 2u);
+}
+
+TEST(WalTest, SingleTransactionSkipsCommitWindow) {
+  WalOptions options;
+  options.commit_window = kSecond;  // would hang the test if waited
+  WriteAheadLog wal(options);
+  wal.append(WalRecordType::kInsert, 1, 1, "a");
+  wal.append(WalRecordType::kCommit, 1, 0, "");
+  const WalFlushResult flushed = wal.flush();
+  EXPECT_TRUE(flushed.led);
+  EXPECT_EQ(flushed.leader_wait, 0);
+  EXPECT_EQ(wal.stats().leader_wait_ns, 0);
+  EXPECT_EQ(wal.stats().flushes, 1);
+}
+
+TEST(WalTest, ExpectGroupHintHoldsWindowForSingleTxnRegion) {
+  WalOptions options;
+  options.commit_window = 2 * kMillisecond;
+  WriteAheadLog wal(options);
+  // One transaction pending — the fast path would skip the window — but the
+  // caller vouches that concurrent committers exist (the engine does this
+  // when other transactions are live), so the leader holds it open anyway.
+  wal.append(WalRecordType::kInsert, 1, 1, "a");
+  wal.append(WalRecordType::kCommit, 1, 0, "");
+  const WalFlushResult flushed = wal.flush(/*expect_group=*/true);
+  EXPECT_TRUE(flushed.led);
+  EXPECT_GT(flushed.leader_wait, 0);
+  EXPECT_EQ(wal.stats().flushes, 1);
+}
+
+TEST(WalTest, CommitWindowExpiresWhenNobodyJoins) {
+  WalOptions options;
+  options.commit_window = 2 * kMillisecond;
+  WriteAheadLog wal(options);
+  // Two transactions in the pending region: the leader opens the window.
+  wal.append(WalRecordType::kInsert, 1, 1, "a");
+  wal.append(WalRecordType::kInsert, 2, 1, "b");
+  wal.append(WalRecordType::kCommit, 1, 0, "");
+  const WalFlushResult flushed = wal.flush();
+  EXPECT_TRUE(flushed.led);
+  EXPECT_GT(flushed.leader_wait, 0);  // waited the window out
+  EXPECT_EQ(wal.stats().flushes, 1);
+  EXPECT_EQ(wal.unflushed_bytes(), 0);
+  EXPECT_EQ(wal.stats().group_size_hist[0], 1);  // one committer covered
+}
+
+TEST(WalTest, RelaxedModeAcksWithoutFlushing) {
+  WalOptions options;
+  options.durability = DurabilityMode::kRelaxed;
+  WriteAheadLog wal(options);
+  wal.append(WalRecordType::kInsert, 1, 1, "a");
+  wal.append(WalRecordType::kCommit, 1, 0, "");
+  const WalFlushResult acked = wal.flush();
+  EXPECT_FALSE(acked.led);
+  EXPECT_EQ(wal.stats().flushes, 0);
+  EXPECT_EQ(wal.stats().relaxed_acks, 1);
+  EXPECT_GT(wal.unflushed_bytes(), 0);
+  EXPECT_EQ(wal.durable_lsn(), 0u);  // honest: nothing hit the device yet
+  // sync() is the relaxed-mode checkpoint.
+  EXPECT_GT(wal.sync(), 0);
+  EXPECT_EQ(wal.durable_lsn(), wal.appended_lsn());
+  EXPECT_EQ(wal.unflushed_bytes(), 0);
+  EXPECT_EQ(wal.stats().flushes, 1);
 }
 
 // ---------------------------------------------------------- DeviceLayout ---
