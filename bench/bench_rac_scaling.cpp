@@ -34,7 +34,7 @@ void bench_nodes(benchmark::State& state) {
     config.nodes = nodes;
     config.cpus = 8 * nodes;              // each node is a full host
     config.batch_gate_slots = 5 * nodes;  // per-instance lock capacity
-    config.transaction_slots = 8 * nodes;
+    config.concurrency.max_concurrent_transactions = 8 * nodes;
     if (partitioned) config.cache_fusion_per_page = 0;
     sky::client::SimServer server(env, engine, config);
     env.spawn("reference", [&] {

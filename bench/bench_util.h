@@ -94,9 +94,13 @@ struct SimRepository {
   std::unique_ptr<sky::sim::Environment> env;
   std::unique_ptr<sky::client::SimServer> server;
 
+  // `server_config` overrides the profile-derived sim config wholesale —
+  // benches that share one core::ConcurrencyPolicy literal between sim and
+  // real runs build their ServerConfig explicitly and pass it here.
   static SimRepository create(
       const sky::core::TuningProfile& profile =
-          sky::core::TuningProfile::production()) {
+          sky::core::TuningProfile::production(),
+      const sky::client::ServerConfig* server_config = nullptr) {
     SimRepository repo;
     repo.schema = sky::catalog::make_pq_schema();
     repo.engine = std::make_unique<sky::db::Engine>(
@@ -105,7 +109,8 @@ struct SimRepository {
     if (!index_status.is_ok()) std::abort();
     repo.env = std::make_unique<sky::sim::Environment>();
     repo.server = std::make_unique<sky::client::SimServer>(
-        *repo.env, *repo.engine, profile.server_config());
+        *repo.env, *repo.engine,
+        server_config != nullptr ? *server_config : profile.server_config());
     // Reference tables load before any timing starts.
     repo.env->spawn("reference", [&repo] {
       sky::client::SimSession session(*repo.server);

@@ -24,8 +24,20 @@ DirectSession::~DirectSession() {
 }
 
 uint64_t DirectSession::ensure_transaction() {
-  if (!txn_.has_value()) txn_ = engine_.begin_transaction();
+  if (!txn_.has_value()) {
+    db::OpCosts costs;
+    txn_ = engine_.begin_transaction(&costs);
+    stats_.txn_slot_wait_time += costs.txn_slot_wait_ns;
+    stats_.lock_wait_time += costs.lock_wait_ns;
+  }
   return *txn_;
+}
+
+void DirectSession::absorb_wait_costs(const db::OpCosts& costs) {
+  stats_.lock_wait_time += costs.lock_wait_ns;
+  stats_.txn_slot_wait_time += costs.txn_slot_wait_ns;
+  stats_.itl_wait_time += costs.itl_wait_ns;
+  stats_.stall_time += costs.stall_ns;
 }
 
 Result<uint32_t> DirectSession::prepare_insert(std::string_view table_name) {
@@ -40,7 +52,7 @@ BatchOutcome DirectSession::execute_batch(uint32_t table,
   ++stats_.batch_calls;
   stats_.rows_sent += static_cast<int64_t>(rows.size());
   stats_.rows_applied += result.rows_applied;
-  stats_.lock_wait_time += result.costs.lock_wait_ns;
+  absorb_wait_costs(result.costs);
   if (result.error.has_value()) ++stats_.failed_calls;
   return BatchOutcome{result.rows_applied, result.error};
 }
@@ -52,7 +64,7 @@ Status DirectSession::execute_single(uint32_t table, const db::Row& row) {
   ++stats_.db_calls;
   ++stats_.single_calls;
   stats_.rows_sent += 1;
-  stats_.lock_wait_time += costs.lock_wait_ns;
+  absorb_wait_costs(costs);
   if (status.is_ok()) {
     stats_.rows_applied += 1;
   } else {
@@ -68,7 +80,7 @@ Status DirectSession::commit() {
   ++stats_.db_calls;
   ++stats_.commits;
   if (result.is_ok()) {
-    stats_.lock_wait_time += result->costs.lock_wait_ns;
+    absorb_wait_costs(result->costs);
     stats_.commit_flushes_led += result->costs.commit_flushes_led;
     stats_.commit_piggybacks += result->costs.commit_piggybacks;
     stats_.commit_leader_wait += result->costs.commit_leader_wait_ns;

@@ -43,14 +43,20 @@ struct SessionStats {
   int64_t rows_applied = 0;
   int64_t failed_calls = 0;      // calls that reported an error
   // Time decomposition. Simulation sessions fill all of these from the
-  // server model; real sessions fill only lock_wait_time (real nanoseconds
-  // spent blocked on engine latches, from OpCosts::lock_wait_ns).
+  // server model; real sessions fill the wait fields from OpCosts (real
+  // nanoseconds blocked on engine latches and admission gates).
   Nanos client_time = 0;
   Nanos network_time = 0;
   Nanos server_time = 0;
   Nanos lock_wait_time = 0;
   Nanos io_time = 0;
   Nanos stall_time = 0;
+  // Admission-gate breakdown (subsets of lock_wait_time except stall_time,
+  // which is its own bucket): instance-wide transaction-slot waits vs.
+  // per-table ITL waits. Same field names in both execution modes, so
+  // ParallelLoadReport reads one schema.
+  Nanos txn_slot_wait_time = 0;
+  Nanos itl_wait_time = 0;
   // Group-commit accounting: commits where this session led the covering
   // log-device write vs. rode another session's flush, and the
   // commit-coalescing window time it paid as leader. Filled by both
@@ -112,6 +118,8 @@ class DirectSession final : public Session {
 
  private:
   uint64_t ensure_transaction();
+  // Fold one call's gate/latch waits (OpCosts) into the session stats.
+  void absorb_wait_costs(const db::OpCosts& costs);
 
   db::Engine& engine_;
   std::optional<uint64_t> txn_;

@@ -4,12 +4,23 @@
 
 namespace sky::client {
 
+db::GateStats gate_stats_from(const sim::Resource& resource) {
+  const sim::Resource::Stats stats = resource.stats();
+  db::GateStats gate;
+  gate.acquires = stats.acquires;
+  gate.waits = stats.waits;
+  gate.total_wait = stats.total_wait;
+  gate.max_wait = stats.max_wait;
+  gate.in_use = resource.capacity() - resource.available();
+  return gate;
+}
+
 SimServer::SimServer(sim::Environment& env, db::Engine& engine,
                      ServerConfig config)
     : env_(env),
       engine_(engine),
       config_(config),
-      stall_rng_(config.stall_seed) {
+      stall_rng_(config.concurrency.stall_seed) {
   const int nodes = std::max(1, config_.nodes);
   const int cpus_per_node = std::max(1, config_.cpus / nodes);
   for (int n = 0; n < nodes; ++n) {
@@ -19,14 +30,14 @@ SimServer::SimServer(sim::Environment& env, db::Engine& engine,
   table_last_writer_.assign(
       static_cast<size_t>(engine_.schema().table_count()), -1);
   transaction_slots_ = std::make_unique<sim::Resource>(
-      env_, config_.transaction_slots, "txn-slots");
+      env_, config_.concurrency.max_concurrent_transactions, "txn-slots");
   batch_gate_ = std::make_unique<sim::Resource>(
       env_, config_.batch_gate_slots, "batch-gate");
   const int table_count = engine_.schema().table_count();
   itl_.reserve(static_cast<size_t>(table_count));
   for (int t = 0; t < table_count; ++t) {
     itl_.push_back(std::make_unique<sim::Resource>(
-        env_, config_.itl_slots_per_table,
+        env_, config_.concurrency.itl_slots_per_table,
         "itl-" + engine_.schema().table(static_cast<uint32_t>(t)).name));
   }
   devices_.reserve(static_cast<size_t>(config_.device_layout.physical_devices));
@@ -59,6 +70,13 @@ SimServer::LogGroupDecision SimServer::join_log_group() {
       log_group_close_ + config_.costs.log_flush_time(/*bytes=*/0);
   decision.flush_eta = log_group_eta_;
   return decision;
+}
+
+db::ConcurrencyStats SimServer::concurrency_stats() const {
+  db::ConcurrencyStats stats;
+  stats.transaction_gate = gate_stats_from(*transaction_slots_);
+  for (const auto& itl : itl_) stats.itl += gate_stats_from(*itl);
+  return stats;
 }
 
 int64_t SimServer::note_table_writer(uint32_t table_id, int node,

@@ -15,10 +15,18 @@
 
 #include "client/cost_model.h"
 #include "common/rng.h"
+#include "core/concurrency_policy.h"
 #include "db/engine.h"
 #include "sim/environment.h"
 
 namespace sky::client {
+
+// View a sim resource's virtual-time accounting as the unified GateStats
+// snapshot real gates report (db/lock_manager.h) — one schema for wait
+// breakdowns in both execution modes. Stall fields stay zero: sim stalls
+// are drawn in the session (SimServer::draw_stall) and land in
+// SessionStats::stall_time.
+db::GateStats gate_stats_from(const sim::Resource& resource);
 
 struct ServerConfig {
   int cpus = 8;
@@ -30,25 +38,20 @@ struct ServerConfig {
   // dirtied page (cluster interconnect shipping current blocks).
   int nodes = 1;
   Nanos cache_fusion_per_page = 700 * kMicrosecond;
-  // Open-transaction slots (sessions holding a transaction).
-  int64_t transaction_slots = 8;
+  // Admission limits and contention cost model, shared with the real
+  // engine's EngineOptions (core/concurrency_policy.h). The sim presets
+  // model the paper's testbed: 8 open-transaction slots (sessions holding a
+  // transaction) and 7 ITL slots per table (concurrent transactions
+  // inserting into one table — the knee of Fig. 7). Escalation and stall
+  // parameters keep the policy's defaults.
+  core::ConcurrencyPolicy concurrency{.max_concurrent_transactions = 8,
+                                      .itl_slots_per_table = 7};
   // Instance-wide limit on concurrently *executing* transactional batch
   // work — the "RDBMS limit on the number of concurrent transactions" the
   // paper hits at parallelism 6-7 (section 4.4/5.4). Queueing here triggers
-  // lock-management escalation and occasional stalls.
+  // lock-management escalation and occasional stalls. Sim-only (real mode
+  // has no modeled CPU scheduler to gate).
   int64_t batch_gate_slots = 5;
-  // ITL slots per table: concurrent transactions inserting into one table.
-  int64_t itl_slots_per_table = 7;
-  // Escalation: when a batch had to queue for a lock, lock management
-  // overhead inflates its server time by this factor, scaled by the lock
-  // queue depth it found.
-  double lock_escalation_factor = 0.35;
-  // Rare long stalls observed at high parallelism: probability per
-  // lock-queued batch, and the stall duration ("very infrequently even 6
-  // parallel loads caused stalls and dramatic degradation", section 5.4).
-  double stall_probability = 0.00003;
-  Nanos stall_duration = 12 * kSecond;
-  uint64_t stall_seed = 0xA17;
 
   // Commit-coalescing group commit, mirroring the engine's WAL window
   // (storage::WalOptions): a commit that leads a log flush holds the device
@@ -99,7 +102,14 @@ class SimServer {
 
   // Deterministic stall decision (one shared stream; draws are ordered by
   // virtual time, which is itself deterministic).
-  bool draw_stall() { return stall_rng_.bernoulli(config_.stall_probability); }
+  bool draw_stall() {
+    return stall_rng_.bernoulli(config_.concurrency.stall_probability);
+  }
+
+  // Unified admission-gate snapshot in the same shape the real engine's
+  // Engine::concurrency_stats() reports (db::ConcurrencyStats), derived
+  // from the sim resources' virtual-time accounting.
+  db::ConcurrencyStats concurrency_stats() const;
 
   // Log-device group commit (ServerConfig::commit_window). A committing
   // session asks whether it leads a new flush group or joins the one in

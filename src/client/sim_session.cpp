@@ -26,7 +26,9 @@ uint64_t SimSession::ensure_transaction() {
     // The concurrent-transaction limit: queue for a slot in virtual time.
     const Nanos before = server_.env().now();
     server_.transaction_slots().acquire();
-    stats_.lock_wait_time += server_.env().now() - before;
+    const Nanos waited = server_.env().now() - before;
+    stats_.lock_wait_time += waited;
+    stats_.txn_slot_wait_time += waited;
     txn_ = server_.engine().begin_transaction();
   }
   return *txn_;
@@ -127,7 +129,9 @@ db::BatchResult SimSession::server_call(uint32_t table,
   const Nanos itl_before = env.now();
   bool itl_queued = !itl.try_acquire();
   if (itl_queued) itl.acquire();
-  stats_.lock_wait_time += env.now() - itl_before;
+  const Nanos itl_waited = env.now() - itl_before;
+  stats_.lock_wait_time += itl_waited;
+  stats_.itl_wait_time += itl_waited;
   itl_queued = itl_queued || gate_queued;
 
   // A CPU on this session's cluster node runs the call.
@@ -158,7 +162,7 @@ db::BatchResult SimSession::server_call(uint32_t table,
         static_cast<double>(1 + (gate_queued ? gate_depth : 0));
     server_time += static_cast<Nanos>(
         static_cast<double>(server_time) *
-        server_.config().lock_escalation_factor * depth_factor);
+        server_.config().concurrency.lock_escalation_factor * depth_factor);
   }
   env.delay(server_time);
   stats_.server_time += server_time;
@@ -173,8 +177,8 @@ db::BatchResult SimSession::server_call(uint32_t table,
   // Occasional long stall when lock queues formed (observed "very
   // infrequent ... stalls and dramatic degradation", section 5.4).
   if (itl_queued && server_.draw_stall()) {
-    env.delay(server_.config().stall_duration);
-    stats_.stall_time += server_.config().stall_duration;
+    env.delay(server_.config().concurrency.stall_duration);
+    stats_.stall_time += server_.config().concurrency.stall_duration;
   }
 
   // Reply wire latency.

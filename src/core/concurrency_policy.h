@@ -1,0 +1,63 @@
+// ConcurrencyPolicy: one struct for the RDBMS concurrency limits on the
+// load path.
+//
+// The paper's section 5.4 scaling limit ("hitting the RDBMS limit on the
+// number of concurrent transactions", Fig. 7) used to be configured twice
+// with divergent knob sets — EngineOptions::max_concurrent_transactions for
+// real-thread runs and ServerConfig::{transaction_slots, itl_slots_per_table,
+// lock_escalation_factor, stall_*} for simulation. They are now all views of
+// this one policy: the instance-wide transaction-slot count, the per-table
+// interested-transaction-list (ITL) slot count, and the contention cost model
+// (lock-wait escalation plus the rare long stall the paper observed).
+//
+// Header-only so db/ and client/ headers can embed it without a link
+// dependency on the core library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+
+namespace sky::core {
+
+struct ConcurrencyPolicy {
+  // ---- admission limits -------------------------------------------------
+  // Instance-wide concurrent-transaction slots (the gate begin_transaction
+  // blocks on). The engine default (64) is permissive — simulation presets
+  // model the paper's 8-CPU server with 8.
+  int64_t max_concurrent_transactions = 64;
+  // Per-table interested-transaction-list slots: how many transactions may
+  // have a write open against one table at once. 0 = gate disabled (the
+  // pre-ITL real-engine behaviour, and the safe default: a blocking gate
+  // would deadlock the cooperative simulation scheduler, so sim runs keep
+  // the real gate off and model ITL waits in the client cost model).
+  int64_t itl_slots_per_table = 0;
+
+  // ---- contention cost model --------------------------------------------
+  // Server-time inflation per queued transaction once an ITL admission was
+  // contended (escalating lock maintenance, the paper's "increased
+  // contention" past 6-7 loaders).
+  double lock_escalation_factor = 0.35;
+  // Rare long stall while queued on a full ITL (the paper's "occasional
+  // long stalls"): drawn per contended admission with this probability,
+  // costing stall_duration. Deterministic from stall_seed.
+  double stall_probability = 0.00003;
+  Nanos stall_duration = 12 * kSecond;
+  uint64_t stall_seed = 0xA17;
+
+  bool itl_gated() const { return itl_slots_per_table > 0; }
+
+  // e.g. "txn-slots=8, itl=7/table, escalation=0.35" (itl omitted when off).
+  std::string describe() const {
+    std::string out =
+        "txn-slots=" + std::to_string(max_concurrent_transactions);
+    if (itl_gated()) {
+      out += ", itl=" + std::to_string(itl_slots_per_table) + "/table";
+      out += ", escalation=" + std::to_string(lock_escalation_factor);
+    }
+    return out;
+  }
+};
+
+}  // namespace sky::core

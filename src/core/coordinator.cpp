@@ -62,6 +62,9 @@ struct WorkerResult {
   int64_t commit_flushes = 0;
   int64_t commit_piggybacks = 0;
   Nanos commit_leader_wait = 0;
+  Nanos txn_slot_wait = 0;
+  Nanos itl_wait = 0;
+  Nanos stall_time = 0;
   int files = 0;
   int files_skipped = 0;
   Status failure = ok_status();
@@ -95,6 +98,9 @@ void worker_loop(int worker, WorkQueue& queue,
   result.commit_flushes = session.stats().commit_flushes_led;
   result.commit_piggybacks = session.stats().commit_piggybacks;
   result.commit_leader_wait = session.stats().commit_leader_wait;
+  result.txn_slot_wait = session.stats().txn_slot_wait_time;
+  result.itl_wait = session.stats().itl_wait_time;
+  result.stall_time = session.stats().stall_time;
 }
 
 ParallelLoadReport assemble(std::vector<WorkerResult> worker_results,
@@ -110,6 +116,9 @@ ParallelLoadReport assemble(std::vector<WorkerResult> worker_results,
     report.commit_flushes += worker.commit_flushes;
     report.commit_piggybacks += worker.commit_piggybacks;
     report.commit_leader_wait += worker.commit_leader_wait;
+    report.txn_slot_wait += worker.txn_slot_wait;
+    report.itl_wait += worker.itl_wait;
+    report.stall_time += worker.stall_time;
     for (FileLoadReport& file : worker.reports) {
       report.total_bytes += file.bytes;
       report.total_rows_loaded += file.rows_loaded;

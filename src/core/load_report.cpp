@@ -44,6 +44,14 @@ std::string ParallelLoadReport::summary() const {
         static_cast<long long>(commits),
         static_cast<double>(commit_flushes) / static_cast<double>(commits));
   }
+  if (txn_slot_wait > 0 || itl_wait > 0) {
+    out += str_format(", gate waits: txn-slot %s, itl %s",
+                      format_duration(txn_slot_wait).c_str(),
+                      format_duration(itl_wait).c_str());
+  }
+  if (stall_time > 0) {
+    out += ", stalls " + format_duration(stall_time);
+  }
   return out;
 }
 
@@ -80,6 +88,14 @@ std::string render_markdown_report(const ParallelLoadReport& report,
     out += str_format("| %zu | %d | %s | %s |\n", w, files_done,
                       format_duration(report.worker_busy[w]).c_str(),
                       format_duration(lock_wait).c_str());
+  }
+
+  if (report.txn_slot_wait > 0 || report.itl_wait > 0 ||
+      report.stall_time > 0) {
+    out += "\n## Admission gates\n\n";
+    out += "- txn-slot wait: " + format_duration(report.txn_slot_wait) + "\n";
+    out += "- itl wait: " + format_duration(report.itl_wait) + "\n";
+    out += "- stall time: " + format_duration(report.stall_time) + "\n";
   }
 
   size_t shown = 0;

@@ -61,6 +61,12 @@ struct ParallelLoadReport {
   int64_t commit_flushes = 0;
   int64_t commit_piggybacks = 0;
   Nanos commit_leader_wait = 0;
+  // Admission-gate totals across workers (SessionStats field names; filled
+  // identically by real and simulation runs): instance-wide transaction-slot
+  // waits, per-table ITL waits, and injected long-stall time.
+  Nanos txn_slot_wait = 0;
+  Nanos itl_wait = 0;
+  Nanos stall_time = 0;
 
   double throughput_mb_per_s() const {
     if (makespan <= 0) return 0.0;

@@ -43,9 +43,13 @@ db::EngineOptions TuningProfile::engine_options() const {
   db::EngineOptions options;
   options.cache_pages = server_cache_pages;
   options.device_layout = device_layout;
-  // Simulation models the transaction limit in the server config; keep the
-  // real gate permissive so it never double-counts.
-  options.max_concurrent_transactions = 64;
+  // Simulation models the transaction and ITL limits in the server config;
+  // keep the real gates permissive (64 slots, ITL off) so they never
+  // double-count — and so no real gate can block inside a sim process,
+  // which would wedge the cooperative scheduler. Real-thread harnesses
+  // that want the admission gates set EngineOptions::concurrency directly.
+  options.concurrency.max_concurrent_transactions = 64;
+  options.concurrency.itl_slots_per_table = 0;
   // Likewise the commit-coalescing window: the sim prices it at the modeled
   // log device (server_config() below), so the engine-side window stays 0 —
   // a real timed wait would stall the cooperative sim scheduler. Real-thread

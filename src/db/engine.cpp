@@ -70,7 +70,7 @@ Engine::Engine(Schema schema, EngineOptions options)
                                std::max<int64_t>(options.max_group_commits, 1),
                                options.durability}),
       txn_gate_(std::make_unique<BlockingSlotGate>(
-          options.max_concurrent_transactions)) {
+          options.concurrency.max_concurrent_transactions)) {
   tables_.reserve(static_cast<size_t>(schema_.table_count()));
   uint32_t next_file_id = 0;
   for (uint32_t id = 0; id < static_cast<uint32_t>(schema_.table_count());
@@ -88,6 +88,18 @@ Engine::Engine(Schema schema, EngineOptions options)
     table.fk_parent_ids.reserve(table.def().foreign_keys.size());
     for (const ForeignKey& fk : table.def().foreign_keys) {
       table.fk_parent_ids.push_back(schema_.table_id(fk.parent_table).value());
+    }
+    if (options_.concurrency.itl_gated()) {
+      // Per-table ITL admission gate. Each gate gets an independent stall
+      // stream (seed salted with the table id) so stall draws are
+      // deterministic per table regardless of load interleaving.
+      const core::ConcurrencyPolicy& policy = options_.concurrency;
+      table.set_itl_gate(std::make_unique<FairSlotGate>(
+          policy.itl_slots_per_table,
+          GateStallModel{policy.stall_probability,
+                                   policy.stall_duration,
+                                   policy.stall_seed ^
+                                       (0x9E3779B97F4A7C15ULL * (id + 1))}));
     }
     tables_.push_back(std::move(table));
   }
@@ -109,13 +121,18 @@ storage::IoRole Engine::role_of_file(uint32_t file_id) const {
   return storage::IoRole::kData;
 }
 
-void Engine::pay_batch_latency(const OpCosts& costs) const {
+void Engine::pay_batch_latency(const OpCosts& costs, double escalation) const {
   const ModeledDeviceLatency& latency = options_.latency;
   if (!latency.enabled()) return;
-  const Nanos total =
+  Nanos total =
       latency.batch_redo_write +
       (costs.heap_pages_opened + costs.index_leaf_splits) *
           latency.data_write_per_page;
+  if (escalation > 0) {
+    // Lock escalation: a transaction whose ITL admission was contended pays
+    // inflated server time per call (same model the sim session applies).
+    total += static_cast<Nanos>(static_cast<double>(total) * escalation);
+  }
   if (total > 0) {
     std::this_thread::sleep_for(std::chrono::nanoseconds(total));
   }
@@ -129,10 +146,14 @@ Engine::Transaction* Engine::find_transaction(uint64_t txn_id) {
   return it == transactions_.end() ? nullptr : &it->second;
 }
 
-uint64_t Engine::begin_transaction() {
+uint64_t Engine::begin_transaction(OpCosts* costs) {
   // The gate is acquired before any engine lock so a session blocked on a
   // slot never holds latches other sessions need to finish and release.
-  txn_gate_->acquire();
+  const GateAcquire acquired = txn_gate_->acquire();
+  if (costs != nullptr) {
+    costs->txn_slot_wait_ns += acquired.wait_ns;
+    costs->lock_wait_ns += acquired.wait_ns;
+  }
   const uint64_t id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
   // Round-robin extent assignment: concurrent sessions land on distinct
   // heap append streams (modulo heap_extents, so 1 extent means extent 0
@@ -141,8 +162,35 @@ uint64_t Engine::begin_transaction() {
       next_extent_.fetch_add(1, std::memory_order_relaxed) %
       options_.heap_extents;
   const std::scoped_lock lock(txn_mu_);
-  transactions_.emplace(id, Transaction{id, extent, {}});
+  transactions_.emplace(id, Transaction{id, extent, {}, {}});
   return id;
+}
+
+Engine::TableAdmission Engine::admit_table(Transaction& txn, uint32_t tid,
+                                           OpCosts& costs) {
+  for (const TableAdmission& admission : txn.admissions) {
+    if (admission.table_id == tid) return admission;
+  }
+  TableAdmission admission;
+  admission.table_id = tid;
+  Table& table = tables_[tid];
+  // Gate first, extent second: blocked admissions hold nothing, and a
+  // least-loaded pick made after the wait sees the post-wait occupancy.
+  if (SlotGate* gate = table.itl_gate(); gate != nullptr) {
+    const GateAcquire acquired = gate->acquire();
+    admission.gated = true;
+    admission.contended = acquired.contended;
+    admission.queue_depth = acquired.queue_depth;
+    costs.itl_wait_ns += acquired.wait_ns;
+    costs.lock_wait_ns += acquired.wait_ns;
+    costs.stall_ns += acquired.stall_ns;
+  }
+  admission.extent =
+      options_.extent_assignment == ExtentAssignment::kLeastLoaded
+          ? table.heap().least_loaded_extent()
+          : txn.extent;
+  txn.admissions.push_back(admission);
+  return admission;
 }
 
 Result<CommitResult> Engine::commit(uint64_t txn_id) {
@@ -179,11 +227,21 @@ Result<CommitResult> Engine::commit(uint64_t txn_id) {
     result.costs.commit_leader_wait_ns += flush.leader_wait;
     global_io_.add_log_bytes(flush.bytes_flushed);
   }
+  std::vector<TableAdmission> admissions;
   {
     const std::scoped_lock lock(txn_mu_);
-    transactions_.erase(txn_id);
+    const auto it = transactions_.find(txn_id);
+    if (it != transactions_.end()) {
+      admissions = std::move(it->second.admissions);
+      transactions_.erase(it);
+    }
   }
   engine_lock.unlock();
+  // Gates released outside every lock, ITL first then the transaction slot
+  // (reverse of the acquisition order).
+  for (const TableAdmission& admission : admissions) {
+    if (admission.gated) tables_[admission.table_id].itl_gate()->release();
+  }
   txn_gate_->release();
   return result;
 }
@@ -193,29 +251,38 @@ Status Engine::rollback(uint64_t txn_id) {
   // taking their latches here (parent before child) would invert the
   // child->parent nested order inserts use. Rollbacks are rare in the
   // append-only workload, so stop-the-world is the simple safe choice.
-  const std::unique_lock<std::shared_mutex> engine_lock(engine_mu_);
-  const std::unique_lock<std::mutex> txn_lock(txn_mu_);
-  const auto it = transactions_.find(txn_id);
-  if (it == transactions_.end()) {
-    return Status(ErrorCode::kNotFound, "rollback: unknown transaction");
-  }
-  Transaction& txn = it->second;
-  for (auto undo_it = txn.undo.rbegin(); undo_it != txn.undo.rend();
-       ++undo_it) {
-    Table& table = tables_[undo_it->table_id];
-    const Status heap_status = table.heap().mark_deleted(undo_it->slot);
-    assert(heap_status.is_ok());
-    (void)heap_status;
-    const bool pk_erased = table.pk_tree().erase(undo_it->pk_key);
-    assert(pk_erased);
-    (void)pk_erased;
-    for (const auto& [secondary_idx, key] : undo_it->secondary_keys) {
-      table.secondaries()[secondary_idx].tree.erase(key);
+  std::vector<TableAdmission> admissions;
+  {
+    const std::unique_lock<std::shared_mutex> engine_lock(engine_mu_);
+    const std::unique_lock<std::mutex> txn_lock(txn_mu_);
+    const auto it = transactions_.find(txn_id);
+    if (it == transactions_.end()) {
+      return Status(ErrorCode::kNotFound, "rollback: unknown transaction");
     }
-    wal_.append(storage::WalRecordType::kRollbackInsert, txn_id,
-                undo_it->table_id, "");
+    Transaction& txn = it->second;
+    for (auto undo_it = txn.undo.rbegin(); undo_it != txn.undo.rend();
+         ++undo_it) {
+      Table& table = tables_[undo_it->table_id];
+      const Status heap_status = table.heap().mark_deleted(undo_it->slot);
+      assert(heap_status.is_ok());
+      (void)heap_status;
+      const bool pk_erased = table.pk_tree().erase(undo_it->pk_key);
+      assert(pk_erased);
+      (void)pk_erased;
+      for (const auto& [secondary_idx, key] : undo_it->secondary_keys) {
+        table.secondaries()[secondary_idx].tree.erase(key);
+      }
+      wal_.append(storage::WalRecordType::kRollbackInsert, txn_id,
+                  undo_it->table_id, "");
+    }
+    admissions = std::move(txn.admissions);
+    transactions_.erase(it);
   }
-  transactions_.erase(it);
+  // Abort path releases every admission gate too — outside the locks, same
+  // order as commit — so an aborted transaction never leaks an ITL slot.
+  for (const TableAdmission& admission : admissions) {
+    if (admission.gated) tables_[admission.table_id].itl_gate()->release();
+  }
   txn_gate_->release();
   return ok_status();
 }
@@ -225,8 +292,6 @@ Status Engine::rollback(uint64_t txn_id) {
 BatchResult Engine::insert_batch(uint64_t txn_id, uint32_t tid,
                                  std::span<const Row> rows) {
   BatchResult result;
-  result.costs.lock_wait_ns += lock_shared_timed(engine_mu_);
-  std::shared_lock<std::shared_mutex> engine_lock(engine_mu_, std::adopt_lock);
   Transaction* txn = find_transaction(txn_id);
   if (txn == nullptr) {
     result.error = BatchError{
@@ -235,6 +300,18 @@ BatchResult Engine::insert_batch(uint64_t txn_id, uint32_t tid,
     ++result.costs.constraint_failures;
     return result;
   }
+  if (tid >= tables_.size()) {
+    result.error =
+        BatchError{0, Status(ErrorCode::kNotFound, "insert: bad table id")};
+    ++result.costs.constraint_failures;
+    return result;
+  }
+  // ITL admission precedes the engine rwlock in the lock order: a session
+  // blocked on a full gate holds no engine lock, so DDL and rollback (which
+  // take the rwlock exclusive) can always drain ahead of it.
+  const TableAdmission admission = admit_table(*txn, tid, result.costs);
+  result.costs.lock_wait_ns += lock_shared_timed(engine_mu_);
+  std::shared_lock<std::shared_mutex> engine_lock(engine_mu_, std::adopt_lock);
   {
     const CostScope scope(&result.costs);
     // Cache deltas are exact when calls don't overlap (single-threaded and
@@ -242,8 +319,8 @@ BatchResult Engine::insert_batch(uint64_t txn_id, uint32_t tid,
     // from neighbours — fine for the aggregate telemetry they feed.
     const storage::CacheEvents cache_before = cache_.events();
     for (size_t i = 0; i < rows.size(); ++i) {
-      const Status status =
-          insert_row_latched(*txn, tid, rows[i], result.costs, std::nullopt);
+      const Status status = insert_row_latched(*txn, tid, rows[i],
+                                               result.costs, admission.extent);
       if (!status.is_ok()) {
         // JDBC semantics: earlier rows stay, this row failed, the remainder
         // of the batch is discarded.
@@ -257,26 +334,38 @@ BatchResult Engine::insert_batch(uint64_t txn_id, uint32_t tid,
     result.costs.cache = cache_.events().since(cache_before);
   }
   engine_lock.unlock();
-  pay_batch_latency(result.costs);
+  const double escalation =
+      admission.contended
+          ? options_.concurrency.lock_escalation_factor *
+                static_cast<double>(1 + admission.queue_depth)
+          : 0.0;
+  pay_batch_latency(result.costs, escalation);
   return result;
 }
 
 Status Engine::insert_row(uint64_t txn_id, uint32_t tid, const Row& row,
                           OpCosts& costs,
                           std::optional<uint32_t> extent_override) {
-  costs.lock_wait_ns += lock_shared_timed(engine_mu_);
-  std::shared_lock<std::shared_mutex> engine_lock(engine_mu_, std::adopt_lock);
   Transaction* txn = find_transaction(txn_id);
   if (txn == nullptr) {
     ++costs.constraint_failures;
     return Status(ErrorCode::kFailedPrecondition,
                   "insert: unknown transaction");
   }
+  if (tid >= tables_.size()) {
+    ++costs.constraint_failures;
+    return Status(ErrorCode::kNotFound, "insert: bad table id");
+  }
+  // Same admission-before-rwlock ordering as insert_batch.
+  const TableAdmission admission = admit_table(*txn, tid, costs);
+  costs.lock_wait_ns += lock_shared_timed(engine_mu_);
+  std::shared_lock<std::shared_mutex> engine_lock(engine_mu_, std::adopt_lock);
   Status status = ok_status();
   {
     const CostScope scope(&costs);
     const storage::CacheEvents cache_before = cache_.events();
-    status = insert_row_latched(*txn, tid, row, costs, extent_override);
+    status = insert_row_latched(*txn, tid, row, costs,
+                                extent_override.value_or(admission.extent));
     if (status.is_ok()) {
       costs.rows_applied += 1;
     } else {
@@ -285,7 +374,12 @@ Status Engine::insert_row(uint64_t txn_id, uint32_t tid, const Row& row,
     costs.cache += cache_.events().since(cache_before);
   }
   engine_lock.unlock();
-  pay_batch_latency(costs);
+  const double escalation =
+      admission.contended
+          ? options_.concurrency.lock_escalation_factor *
+                static_cast<double>(1 + admission.queue_depth)
+          : 0.0;
+  pay_batch_latency(costs, escalation);
   return status;
 }
 
@@ -405,10 +499,7 @@ Status Engine::check_constraints(const Table& table, uint32_t tid,
 
 Status Engine::insert_row_latched(Transaction& txn, uint32_t tid,
                                   const Row& row, OpCosts& costs,
-                                  std::optional<uint32_t> extent_override) {
-  if (tid >= tables_.size()) {
-    return Status(ErrorCode::kNotFound, "insert: bad table id");
-  }
+                                  uint32_t extent) {
   Table& table = tables_[tid];
 
   // Validation and PK encoding read only immutable schema — no latch yet.
@@ -431,10 +522,9 @@ Status Engine::insert_row_latched(Transaction& txn, uint32_t tid,
     SKY_RETURN_IF_ERROR(check_constraints(table, tid, row, pk_key, costs));
   }
 
-  // Phase 2 — append to the transaction's extent as a hidden pending row.
+  // Phase 2 — append to the admitted extent as a hidden pending row.
   // Only the extent latch is held (inside the heap): sessions on distinct
   // extents run this — including the modeled device write — in parallel.
-  const uint32_t extent = extent_override.value_or(txn.extent);
   std::string row_bytes = encode_row(row);
   costs.heap_bytes += static_cast<int64_t>(row_bytes.size());
   costs.wal_bytes += static_cast<int64_t>(row_bytes.size());
@@ -604,14 +694,16 @@ Status Engine::bulk_load_sorted(uint32_t tid, const std::vector<Row>& rows) {
   OpCosts scratch;
   std::vector<std::pair<std::string, uint64_t>> pk_entries;
   pk_entries.reserve(rows.size());
-  // One round-robin extent per preload, the same assignment a transaction
-  // gets in begin_transaction(): the preload stays one dense append stream
-  // (and is extent 0 whenever heap_extents is 1, the pre-sharding layout),
-  // but successive preloads spread across extents instead of all piling
-  // onto extent 0 and serializing against extent-0 loaders.
+  // One extent per preload: round-robin (the same assignment a transaction
+  // gets in begin_transaction(), so the preload stays one dense append
+  // stream and is extent 0 whenever heap_extents is 1) or, under
+  // kLeastLoaded, whichever extent of this heap currently holds the fewest
+  // bytes — successive preloads balance instead of merely alternating.
   const uint32_t extent =
-      next_extent_.fetch_add(1, std::memory_order_relaxed) %
-      options_.heap_extents;
+      options_.extent_assignment == ExtentAssignment::kLeastLoaded
+          ? table.heap().least_loaded_extent()
+          : next_extent_.fetch_add(1, std::memory_order_relaxed) %
+                options_.heap_extents;
   for (const Row& row : rows) {
     SKY_RETURN_IF_ERROR(validate_row(table, row, scratch));
     const auto appended = table.heap().append(extent, encode_row(row));
@@ -838,7 +930,18 @@ std::vector<Row> Engine::scan_collect(
 
 // --------------------------------------------------------------- telemetry
 
-SlotGate::Stats Engine::txn_gate_stats() const { return txn_gate_->stats(); }
+ConcurrencyStats Engine::concurrency_stats() const {
+  ConcurrencyStats stats;
+  stats.transaction_gate = txn_gate_->stats();
+  // Table vector and gate pointers are fixed after construction; each
+  // gate's stats() takes its own internal lock, so no engine lock needed.
+  for (const Table& table : tables_) {
+    if (const SlotGate* gate = table.itl_gate(); gate != nullptr) {
+      stats.itl += gate->stats();
+    }
+  }
+  return stats;
+}
 
 Result<std::vector<storage::ShardedHeap::ExtentStats>>
 Engine::heap_extent_stats(uint32_t tid) const {

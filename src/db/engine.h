@@ -26,8 +26,18 @@
 // thread-safe. Only DDL-like operations (set_index_enabled, rebuild_index,
 // bulk_load_sorted, verify_integrity, rollback, set_insert_observer) take
 // the engine rwlock exclusive and stop the world. Parallel loaders
-// therefore make genuinely parallel progress; the configured SlotGate — not
-// an implementation mutex — is the modeled RDBMS concurrency limit.
+// therefore make genuinely parallel progress; the configured gates — not
+// an implementation mutex — are the modeled RDBMS concurrency limit.
+//
+// Admission gates sit *outside* every lock (order: transaction gate ->
+// per-table ITL gates -> engine rwlock -> table latches). A transaction's
+// first write to a table acquires that table's ITL gate (when
+// ConcurrencyPolicy::itl_slots_per_table > 0) before touching the engine
+// rwlock, and every gate is held to commit/abort — so a session blocked on
+// admission holds no latch, and DDL/rollback can always run. Transactions
+// that write several tables must do so in a consistent order (the loaders
+// write parent-before-child topological order); see DESIGN.md "Real-mode
+// admission control" for the deadlock-freedom argument.
 //
 // A transaction id may be used by one thread at a time (the client layer
 // guarantees this: one session per loader thread, one open transaction per
@@ -47,6 +57,7 @@
 
 #include "common/status.h"
 #include "common/units.h"
+#include "core/concurrency_policy.h"
 #include "db/lock_manager.h"
 #include "db/op_costs.h"
 #include "db/row.h"
@@ -87,19 +98,33 @@ struct ModeledDeviceLatency {
   }
 };
 
+// How a transaction's heap extent is chosen for each table it writes.
+enum class ExtentAssignment {
+  // Extent picked round-robin at begin_transaction(); every table the
+  // transaction writes uses that same extent index (the original policy).
+  kRoundRobin,
+  // Extent re-picked per (transaction, table) at first write: the extent of
+  // that table's heap currently holding the fewest bytes. Balances extents
+  // when file sizes are skewed or loaders come and go.
+  kLeastLoaded,
+};
+
 struct EngineOptions {
   // Server data cache in 8 KiB pages (section 4.5.5 knob).
   int64_t cache_pages = 16384;
   // DBWR dirty-page trigger (fixed count, independent of cache size).
   int64_t dirty_trigger = 256;
-  // Concurrent-transaction slots (real-mode gate; simulation mode models
-  // the limit in the server model instead and passes a large value here).
-  int64_t max_concurrent_transactions = 64;
+  // Admission limits and contention cost model, shared with the sim server
+  // config (core/concurrency_policy.h). Defaults keep the real engine
+  // permissive: 64 transaction slots, ITL gates off — simulation models the
+  // limits in the server cost model instead.
+  core::ConcurrencyPolicy concurrency;
   // Independent append streams per table heap (1 = the pre-sharding layout;
   // clamped to [1, storage::kMaxHeapExtents]). Transactions are assigned an
   // extent round-robin at begin_transaction(), so N parallel loaders of one
   // table spread across min(N, heap_extents) append streams.
   uint32_t heap_extents = 1;
+  ExtentAssignment extent_assignment = ExtentAssignment::kRoundRobin;
   storage::DeviceLayout device_layout = storage::DeviceLayout::separate_raids();
   // Keep full WAL records in memory for replay verification (tests only).
   bool retain_wal_records = false;
@@ -146,7 +171,9 @@ class Engine {
   }
 
   // ----------------------------------------------------------- transactions
-  uint64_t begin_transaction();
+  // Blocks on the instance-wide transaction gate. When `costs` is given the
+  // gate wait is attributed to costs->txn_slot_wait_ns (and lock_wait_ns).
+  uint64_t begin_transaction(OpCosts* costs = nullptr);
   Result<CommitResult> commit(uint64_t txn_id);
   // Undo every insert of the transaction (reverse order). Stops the world
   // (engine-exclusive): rollbacks are rare in the append-only workload.
@@ -229,7 +256,10 @@ class Engine {
   int64_t sync_wal() { return wal_.sync(); }
   storage::CacheEvents cache_events() const { return cache_.events(); }
   storage::IoTally io_tally() const { return global_io_.snapshot(); }
-  SlotGate::Stats txn_gate_stats() const;
+  // Unified admission-gate snapshot: the transaction gate plus every
+  // per-table ITL gate summed (lock_manager.h). The sim server exposes the
+  // same shape, so reports read one schema in both execution modes.
+  ConcurrencyStats concurrency_stats() const;
   // Per-extent heap occupancy for one table (rows / pages / bytes per
   // extent) — how evenly a parallel load spread across append streams.
   Result<std::vector<storage::ShardedHeap::ExtentStats>> heap_extent_stats(
@@ -256,27 +286,48 @@ class Engine {
     std::string pk_key;
     std::vector<std::pair<size_t, std::string>> secondary_keys;
   };
+  // Per-(transaction, table) admission record, created at the transaction's
+  // first write to the table: the ITL gate held (if any), what acquiring it
+  // cost, and the heap extent resolved for this table's appends.
+  struct TableAdmission {
+    uint32_t table_id = 0;
+    uint32_t extent = 0;
+    bool gated = false;      // holds one slot of the table's ITL gate
+    bool contended = false;  // admission had to queue (escalation applies)
+    int64_t queue_depth = 0;
+  };
   struct Transaction {
     uint64_t id;
     // Heap extent this transaction's inserts land in (round-robin at
-    // begin; every table uses the same extent index for the txn).
+    // begin; under kRoundRobin every table uses this same extent index,
+    // under kLeastLoaded it is only the fallback).
     uint32_t extent = 0;
     // Mutated only by the owning session's thread (map lookup is locked;
     // the entry itself needs no lock).
     std::vector<UndoEntry> undo;
+    // Tables admitted so far, in first-write order (= release order at
+    // commit/abort). Same single-owner contract as `undo`.
+    std::vector<TableAdmission> admissions;
   };
 
   // Look up a live transaction under txn_mu_; nullptr when unknown. The
   // returned pointer stays valid until the owner commits or rolls back
   // (unordered_map never invalidates references on insert).
   Transaction* find_transaction(uint64_t txn_id);
+  // Admit the transaction to a table on its first write (idempotent per
+  // table): acquire the table's ITL gate when configured — called with NO
+  // engine lock or latch held (gates precede the rwlock in the lock order)
+  // — and resolve the heap extent per the extent-assignment policy. Gate
+  // waits/stalls are attributed to `costs`. Returns the admission record
+  // (copied: the vector may grow later).
+  TableAdmission admit_table(Transaction& txn, uint32_t table_id,
+                             OpCosts& costs);
   // One row, three phases: pre-check constraints (index latch shared),
-  // append to the transaction's heap extent as a hidden pending row (extent
+  // append to the admitted heap extent as a hidden pending row (extent
   // latch only — parallel across extents), then re-check and publish (index
   // latch exclusive). See DESIGN.md "Heap extent sharding".
   Status insert_row_latched(Transaction& txn, uint32_t table_id,
-                            const Row& row, OpCosts& costs,
-                            std::optional<uint32_t> extent_override);
+                            const Row& row, OpCosts& costs, uint32_t extent);
   // Constraint checks against the current trees (PK, FK, unique secondary).
   // Caller holds the table's index latch (shared or exclusive); parents'
   // index latches are taken shared inside. Returns the first violation.
@@ -285,7 +336,10 @@ class Engine {
   Status validate_row(const Table& table, const Row& row,
                       OpCosts& costs) const;
   // Modeled device sleep for a completed call (no locks held).
-  void pay_batch_latency(const OpCosts& costs) const;
+  // `escalation` inflates the sleep (factor >= 0) for transactions whose
+  // ITL admission was contended — the sim server's lock-escalation model
+  // applied to real time.
+  void pay_batch_latency(const OpCosts& costs, double escalation = 0.0) const;
   storage::IoRole role_of_file(uint32_t file_id) const;
   Result<Row> row_at(const Table& table, uint64_t row_id) const;
   std::string encode_tuple_key(const TableDef& def,

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <chrono>
+#include <thread>
 
 namespace sky::db {
 
@@ -27,36 +28,124 @@ Nanos lock_shared_timed(std::shared_mutex& mu) {
   return latch_now() - start;
 }
 
+GateAcquire NullSlotGate::acquire() {
+  const std::scoped_lock lock(mu_);
+  ++stats_.acquires;
+  ++stats_.in_use;
+  return {};
+}
+
+void NullSlotGate::release() {
+  const std::scoped_lock lock(mu_);
+  --stats_.in_use;
+}
+
+GateStats NullSlotGate::stats() const {
+  const std::scoped_lock lock(mu_);
+  return stats_;
+}
+
 BlockingSlotGate::BlockingSlotGate(int64_t slots) : available_(slots) {
   assert(slots > 0);
 }
 
-void BlockingSlotGate::acquire() {
+GateAcquire BlockingSlotGate::acquire() {
   std::unique_lock<std::mutex> lock(mu_);
   ++stats_.acquires;
+  GateAcquire result;
   if (available_ > 0) {
     --available_;
-    return;
+    ++stats_.in_use;
+    return result;
   }
   ++stats_.waits;
+  result.contended = true;
   const auto start = std::chrono::steady_clock::now();
   cv_.wait(lock, [this] { return available_ > 0; });
   --available_;
+  ++stats_.in_use;
   const auto end = std::chrono::steady_clock::now();
-  stats_.total_wait +=
+  result.wait_ns =
       std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
           .count();
+  stats_.total_wait += result.wait_ns;
+  if (result.wait_ns > stats_.max_wait) stats_.max_wait = result.wait_ns;
+  return result;
 }
 
 void BlockingSlotGate::release() {
   {
     const std::scoped_lock lock(mu_);
     ++available_;
+    --stats_.in_use;
   }
   cv_.notify_one();
 }
 
-SlotGate::Stats BlockingSlotGate::stats() const {
+GateStats BlockingSlotGate::stats() const {
+  const std::scoped_lock lock(mu_);
+  return stats_;
+}
+
+FairSlotGate::FairSlotGate(int64_t slots, GateStallModel stall)
+    : slots_(slots), stall_(stall), stall_rng_(stall.seed) {
+  assert(slots > 0);
+}
+
+GateAcquire FairSlotGate::acquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++stats_.acquires;
+  GateAcquire result;
+  const uint64_t ticket = next_ticket_++;
+  // Tickets in [serving_, ticket) are still queued for admission.
+  result.queue_depth = static_cast<int64_t>(ticket - serving_);
+  if (ticket != serving_ || in_use_ >= slots_) {
+    result.contended = true;
+    ++stats_.waits;
+    const auto start = std::chrono::steady_clock::now();
+    cv_.wait(lock,
+             [this, ticket] { return ticket == serving_ && in_use_ < slots_; });
+    const auto end = std::chrono::steady_clock::now();
+    result.wait_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+            .count();
+    stats_.total_wait += result.wait_ns;
+    if (result.wait_ns > stats_.max_wait) stats_.max_wait = result.wait_ns;
+  }
+  ++serving_;
+  ++in_use_;
+  ++stats_.in_use;
+  bool stall_hit = false;
+  if (result.contended && stall_.probability > 0) {
+    stall_hit = stall_rng_.bernoulli(stall_.probability);
+    if (stall_hit) {
+      ++stats_.stalls;
+      stats_.stall_time += stall_.duration;
+      result.stall_ns = stall_.duration;
+    }
+  }
+  // Wake the next ticket holder: a slot may still be free, and admission is
+  // strictly in ticket order.
+  lock.unlock();
+  cv_.notify_all();
+  if (stall_hit && stall_.duration > 0) {
+    // The long stall is served while *holding* the slot — exactly the
+    // behaviour that makes a saturated ITL so expensive in the paper.
+    std::this_thread::sleep_for(std::chrono::nanoseconds(stall_.duration));
+  }
+  return result;
+}
+
+void FairSlotGate::release() {
+  {
+    const std::scoped_lock lock(mu_);
+    --in_use_;
+    --stats_.in_use;
+  }
+  cv_.notify_all();
+}
+
+GateStats FairSlotGate::stats() const {
   const std::scoped_lock lock(mu_);
   return stats_;
 }

@@ -4,12 +4,18 @@
 // throughput collapse beyond 6-7 parallel loaders to "hitting the RDBMS
 // limit on the number of concurrent transactions" — escalating lock waits
 // and occasional long stalls. The engine models that limit as a gate on
-// transaction slots plus per-table interested-transaction-list (ITL) slots.
+// transaction slots (begin_transaction blocks on it) plus per-table
+// interested-transaction-list (ITL) gates acquired at a transaction's first
+// write to each table and held to commit/abort.
 //
-// Two implementations share one interface: a real blocking gate (condition
-// variable) for multi-threaded real-time runs, and a virtual-time gate
-// backed by sim::Resource used in simulation mode (constructed by the
-// client layer). The engine only sees the interface.
+// Gate ordering (see DESIGN.md "Real-mode admission control"): transaction
+// gate -> per-table ITL gates (in first-write order, holding no latches) ->
+// engine rwlock -> table latches. A session blocked on any gate holds no
+// lock at all, so gate waits never wedge DDL or rollback.
+//
+// Every implementation reports the same GateStats snapshot, which is also
+// the shape the client layer derives from sim::Resource — one schema for
+// txn-slot vs. ITL wait breakdowns in both execution modes.
 #pragma once
 
 #include <condition_variable>
@@ -17,6 +23,7 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "common/rng.h"
 #include "common/units.h"
 
 namespace sky::db {
@@ -28,45 +35,120 @@ namespace sky::db {
 Nanos lock_exclusive_timed(std::shared_mutex& mu);
 Nanos lock_shared_timed(std::shared_mutex& mu);
 
+// Unified snapshot of one gate's history. The sim path reports the same
+// shape (client::gate_stats_from converts sim::Resource accounting), so
+// ParallelLoadReport has a single source for wait breakdowns.
+struct GateStats {
+  uint64_t acquires = 0;
+  uint64_t waits = 0;     // acquisitions that blocked
+  Nanos total_wait = 0;   // real or virtual, per implementation
+  Nanos max_wait = 0;
+  int64_t in_use = 0;     // slots currently held (0 once quiesced)
+  uint64_t stalls = 0;    // bounded-stall penalties injected (FairSlotGate)
+  Nanos stall_time = 0;
+
+  GateStats& operator+=(const GateStats& other) {
+    acquires += other.acquires;
+    waits += other.waits;
+    total_wait += other.total_wait;
+    if (other.max_wait > max_wait) max_wait = other.max_wait;
+    in_use += other.in_use;
+    stalls += other.stalls;
+    stall_time += other.stall_time;
+    return *this;
+  }
+};
+
+// What one acquire() paid — threaded into OpCosts so per-call telemetry
+// matches the sim session's per-call accounting.
+struct GateAcquire {
+  Nanos wait_ns = 0;
+  Nanos stall_ns = 0;
+  int64_t queue_depth = 0;  // acquirers queued ahead when this one arrived
+  bool contended = false;   // had to queue for a slot
+};
+
 class SlotGate {
  public:
   virtual ~SlotGate() = default;
-  virtual void acquire() = 0;
+  virtual GateAcquire acquire() = 0;
   virtual void release() = 0;
+  virtual GateStats stats() const = 0;
+};
 
-  struct Stats {
-    uint64_t acquires = 0;
-    uint64_t waits = 0;       // acquisitions that blocked
-    Nanos total_wait = 0;     // real or virtual, per implementation
-  };
-  virtual Stats stats() const = 0;
+// Snapshot of every admission gate an engine (or sim server) runs:
+// the instance-wide transaction gate plus the per-table ITL gates summed.
+// Returned by Engine::concurrency_stats() and client::SimServer::
+// concurrency_stats() in identical shape.
+struct ConcurrencyStats {
+  GateStats transaction_gate;
+  GateStats itl;  // aggregated across all per-table gates
 };
 
 // Never blocks; used when concurrency is modeled elsewhere (simulation) or
-// unlimited.
+// unlimited. Thread-safe counting.
 class NullSlotGate final : public SlotGate {
  public:
-  void acquire() override { ++stats_.acquires; }
-  void release() override {}
-  Stats stats() const override { return stats_; }
+  GateAcquire acquire() override;
+  void release() override;
+  GateStats stats() const override;
 
  private:
-  Stats stats_;
+  mutable std::mutex mu_;
+  GateStats stats_;
 };
 
-// Real counting gate for multi-threaded runs.
+// Real counting gate for multi-threaded runs (unfair: cv wakeup order).
+// Used for the instance-wide transaction gate.
 class BlockingSlotGate final : public SlotGate {
  public:
   explicit BlockingSlotGate(int64_t slots);
-  void acquire() override;
+  GateAcquire acquire() override;
   void release() override;
-  Stats stats() const override;
+  GateStats stats() const override;
 
  private:
   mutable std::mutex mu_;
   std::condition_variable cv_;
   int64_t available_;
-  Stats stats_;
+  GateStats stats_;
+};
+
+// Fair (FIFO-ticket) counting gate with a bounded-stall penalty, used for
+// per-table ITL admission. Fairness matters here: an unfair gate starves one
+// loader indefinitely under saturation, which shows up as a spurious
+// makespan tail instead of the paper's uniform slowdown.
+//
+// The stall model mirrors SimServer::draw_stall(): each *contended* admission
+// draws bernoulli(probability) from a deterministic per-gate stream and, on a
+// hit, sleeps `duration` before returning (the occasional long stall the
+// paper observed when the ITL is saturated). The draw happens only for
+// contended acquisitions, so uncontended workloads never pay it.
+// Bounded-stall model for FairSlotGate (namespace scope so it can be a
+// defaulted constructor argument).
+struct GateStallModel {
+  double probability = 0.0;
+  Nanos duration = 0;
+  uint64_t seed = 0;
+};
+
+class FairSlotGate final : public SlotGate {
+ public:
+  explicit FairSlotGate(int64_t slots, GateStallModel stall = {});
+  GateAcquire acquire() override;
+  void release() override;
+  GateStats stats() const override;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  const int64_t slots_;
+  int64_t in_use_ = 0;
+  uint64_t next_ticket_ = 0;  // handed to arriving acquirers
+  uint64_t serving_ = 0;      // tickets admitted so far
+  GateStats stats_;
+  const GateStallModel stall_;
+  Rng stall_rng_;
 };
 
 }  // namespace sky::db

@@ -37,6 +37,13 @@ struct OpCosts {
   // the engine's DDL lock). Zero on uncontended runs; the parallel-load
   // report uses it to attribute makespan to contention vs. work.
   int64_t lock_wait_ns = 0;
+  // Admission-gate breakdown (subsets of the wait story, same field names
+  // the sim session reports): time blocked on the instance-wide
+  // transaction-slot gate, time blocked on a per-table ITL gate, and
+  // injected long-stall time (lock_manager.h FairSlotGate stall model).
+  int64_t txn_slot_wait_ns = 0;
+  int64_t itl_wait_ns = 0;
+  int64_t stall_ns = 0;
   // Group-commit accounting (commit calls only): whether this commit led
   // the covering device write or rode another session's, and the
   // commit-coalescing window time it paid as leader.
@@ -63,6 +70,9 @@ struct OpCosts {
     constraint_failures += other.constraint_failures;
     wal_bytes += other.wal_bytes;
     lock_wait_ns += other.lock_wait_ns;
+    txn_slot_wait_ns += other.txn_slot_wait_ns;
+    itl_wait_ns += other.itl_wait_ns;
+    stall_ns += other.stall_ns;
     commit_flushes_led += other.commit_flushes_led;
     commit_piggybacks += other.commit_piggybacks;
     commit_leader_wait_ns += other.commit_leader_wait_ns;

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "db/lock_manager.h"
 #include "db/row.h"
 #include "db/schema.h"
 #include "index/bptree.h"
@@ -100,6 +101,17 @@ class Table {
   // because foreign keys only reference earlier tables.
   std::shared_mutex& index_latch() const { return *index_latch_; }
 
+  // Per-table interested-transaction-list (ITL) admission gate, installed by
+  // the engine constructor when ConcurrencyPolicy::itl_slots_per_table > 0
+  // (nullptr = unlimited). Acquired at a transaction's *first* write to this
+  // table and held to commit/abort; sits between the instance-wide
+  // transaction gate and the engine rwlock in the lock order (lock_manager.h)
+  // — a session blocked here holds no latch.
+  SlotGate* itl_gate() const { return itl_gate_.get(); }
+  void set_itl_gate(std::unique_ptr<SlotGate> gate) {
+    itl_gate_ = std::move(gate);
+  }
+
   uint32_t heap_cache_file_id = 0;
   uint32_t pk_cache_file_id = 0;
   // Engine table ids of this table's FK parents, aligned with
@@ -119,6 +131,7 @@ class Table {
       std::make_unique<std::shared_mutex>();
   std::unique_ptr<std::shared_mutex> index_latch_ =
       std::make_unique<std::shared_mutex>();
+  std::unique_ptr<SlotGate> itl_gate_;
 };
 
 }  // namespace sky::db

@@ -54,6 +54,7 @@ ShardedHeap::AppendResult ShardedHeap::append_with(uint32_t extent,
   if (appended.opened_new_page) {
     pages_.fetch_add(1, std::memory_order_relaxed);
   }
+  target.appended_bytes.fetch_add(row_size, std::memory_order_relaxed);
   if (!pending) {
     live_rows_.fetch_add(1, std::memory_order_relaxed);
     total_bytes_.fetch_add(row_size, std::memory_order_relaxed);
@@ -125,6 +126,21 @@ Status ShardedHeap::mark_deleted(SlotId slot) {
       bytes.is_ok() ? static_cast<int64_t>(bytes->size()) : 0,
       std::memory_order_relaxed);
   return ok_status();
+}
+
+uint32_t ShardedHeap::least_loaded_extent() const {
+  uint32_t best = 0;
+  int64_t best_bytes =
+      extents_[0]->appended_bytes.load(std::memory_order_relaxed);
+  for (uint32_t e = 1; e < extent_count(); ++e) {
+    const int64_t bytes =
+        extents_[e]->appended_bytes.load(std::memory_order_relaxed);
+    if (bytes < best_bytes) {
+      best = e;
+      best_bytes = bytes;
+    }
+  }
+  return best;
 }
 
 std::vector<ShardedHeap::ExtentStats> ShardedHeap::extent_stats() const {

@@ -93,6 +93,14 @@ class ShardedHeap {
   };
   std::vector<ExtentStats> extent_stats() const;
 
+  // The extent that has absorbed the fewest appended bytes so far (pending
+  // rows included, tombstones not subtracted — heap files never reclaim, so
+  // bytes-ever-appended is the true occupancy). Latch-free: reads one
+  // relaxed atomic per extent, so assignment policies (db::ExtentAssignment
+  // ::kLeastLoaded) can call it on every admission. Ties break to the
+  // lowest extent index.
+  uint32_t least_loaded_extent() const;
+
   // Visit every live row, extent by extent in ascending order (deterministic
   // for a quiesced heap). Holds one extent latch (shared) at a time.
   template <typename Fn>  // Fn(SlotId, std::string_view)
@@ -108,6 +116,9 @@ class ShardedHeap {
     explicit Extent(uint32_t id) : file(id) {}
     mutable std::shared_mutex latch;
     HeapFile file;
+    // Bytes ever appended to this extent (pending included) — the
+    // least-loaded assignment signal, readable without the latch.
+    std::atomic<int64_t> appended_bytes{0};
   };
 
   AppendResult append_with(uint32_t extent, std::string row_bytes,

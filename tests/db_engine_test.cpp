@@ -246,7 +246,7 @@ TEST_F(EngineTest, InsertIntoUnknownTransactionFails) {
 TEST_F(EngineTest, TransactionGateLimitsConcurrency) {
   Schema schema = frames_objects_schema();
   EngineOptions options;
-  options.max_concurrent_transactions = 2;
+  options.concurrency.max_concurrent_transactions = 2;
   Engine engine(std::move(schema), options);
   const uint64_t t1 = engine.begin_transaction();
   const uint64_t t2 = engine.begin_transaction();
@@ -261,11 +261,56 @@ TEST_F(EngineTest, TransactionGateLimitsConcurrency) {
   ASSERT_TRUE(engine.commit(t1).is_ok());
   blocked.join();
   EXPECT_TRUE(third_started.load());
-  EXPECT_GE(engine.txn_gate_stats().waits, 1u);
+  EXPECT_GE(engine.concurrency_stats().transaction_gate.waits, 1u);
   ASSERT_TRUE(engine.commit(t2).is_ok());
 }
 
-// ----------------------------------------------------- index maintenance ---
+TEST_F(EngineTest, LeastLoadedExtentAssignmentBalancesSkew) {
+  Schema schema = frames_objects_schema();
+  EngineOptions options;
+  options.heap_extents = 4;
+  options.extent_assignment = ExtentAssignment::kLeastLoaded;
+  Engine engine(std::move(schema), options);
+  const uint32_t frames = engine.table_id("frames").value();
+  OpCosts costs;
+  // Sequential single-row transactions: least-loaded assignment must cycle
+  // through the extents (each insert makes its extent the heaviest), ending
+  // with all four populated and byte-balanced to within one row.
+  for (int i = 0; i < 16; ++i) {
+    const uint64_t txn = engine.begin_transaction();
+    ASSERT_TRUE(engine.insert_row(txn, frames, frame_row(i), costs).is_ok());
+    ASSERT_TRUE(engine.commit(txn).is_ok());
+  }
+  const auto stats = engine.heap_extent_stats(frames);
+  ASSERT_TRUE(stats.is_ok());
+  ASSERT_EQ(stats->size(), 4u);
+  for (const auto& extent : *stats) {
+    EXPECT_EQ(extent.rows, 4) << "least-loaded should balance equal rows";
+  }
+  EXPECT_TRUE(engine.verify_integrity().is_ok());
+
+  // Now skew extent 0 hard with forced placements; subsequent least-loaded
+  // transactions must steer around it.
+  {
+    const uint64_t txn = engine.begin_transaction();
+    for (int i = 100; i < 140; ++i) {
+      ASSERT_TRUE(engine
+                      .insert_row(txn, frames, frame_row(i), costs,
+                                  /*extent_override=*/0)
+                      .is_ok());
+    }
+    ASSERT_TRUE(engine.commit(txn).is_ok());
+  }
+  for (int i = 200; i < 206; ++i) {
+    const uint64_t txn = engine.begin_transaction();
+    ASSERT_TRUE(engine.insert_row(txn, frames, frame_row(i), costs).is_ok());
+    ASSERT_TRUE(engine.commit(txn).is_ok());
+  }
+  const auto after = engine.heap_extent_stats(frames);
+  ASSERT_TRUE(after.is_ok());
+  // Extent 0 held 44 rows before the six balanced inserts; none land there.
+  EXPECT_EQ((*after)[0].rows, 44);
+}
 
 TEST_F(EngineTest, SecondaryIndexRangeQuery) {
   const uint64_t txn = engine_.begin_transaction();

@@ -177,7 +177,7 @@ TEST(EngineConcurrencyTest, MixedWritersReadersTelemetry) {
       EXPECT_GE(cache.misses, 0);
       const storage::IoTally io = engine.io_tally();
       EXPECT_GE(io.log_bytes_flushed, 0);
-      (void)engine.txn_gate_stats();
+      (void)engine.concurrency_stats();
       std::this_thread::yield();
     }
   });
@@ -330,6 +330,108 @@ TEST(EngineConcurrencyTest, ShardedSameTableAppendRollbackScanStress) {
   }
   EXPECT_EQ(extent_rows, committed_rows.load());
   EXPECT_GE(populated, 7);
+  EXPECT_TRUE(engine.verify_integrity().is_ok());
+}
+
+// ITL admission: six writers hammer one table gated at two slots, with
+// commits and deliberate rollbacks mixed in. The gate must actually queue
+// (waits observed), never lose a release on the abort path (in_use back to
+// zero after quiescence, acquires == admissions), and the data must stay
+// intact. TSan-clean under SKY_SANITIZE=thread.
+TEST(EngineConcurrencyTest, ItlGateContentionWithAborts) {
+  db::Schema schema;
+  db::TableDef hot;
+  hot.name = "hot";
+  hot.col("id", db::ColumnType::kInt64, false);
+  hot.primary_key = {"id"};
+  ASSERT_TRUE(schema.add_table(hot).is_ok());
+  db::EngineOptions options;
+  options.concurrency.itl_slots_per_table = 2;  // slots < writers: must queue
+  db::Engine engine(schema, options);
+  const uint32_t tid = engine.table_id("hot").value();
+
+  constexpr int kWriters = 6;
+  constexpr int kTxnsPerWriter = 12;
+  std::atomic<int64_t> committed_rows{0};
+  std::atomic<uint64_t> admissions{0};
+
+  // Deterministic contention first: two holders pin both slots with open
+  // transactions, a third writer provably queues, then one holder aborts
+  // (slot must come back) and the other commits.
+  {
+    const uint64_t h1 = engine.begin_transaction();
+    const uint64_t h2 = engine.begin_transaction();
+    const std::vector<db::Row> r1 = {{db::Value::i64(9'000'001)}};
+    const std::vector<db::Row> r2 = {{db::Value::i64(9'000'002)}};
+    EXPECT_EQ(engine.insert_batch(h1, tid, r1).rows_applied, 1);
+    EXPECT_EQ(engine.insert_batch(h2, tid, r2).rows_applied, 1);
+    std::thread queued([&] {
+      const uint64_t txn = engine.begin_transaction();
+      const std::vector<db::Row> r3 = {{db::Value::i64(9'000'003)}};
+      EXPECT_EQ(engine.insert_batch(txn, tid, r3).rows_applied, 1);
+      EXPECT_TRUE(engine.commit(txn).is_ok());
+    });
+    while (engine.concurrency_stats().itl.waits < 1) {
+      std::this_thread::yield();
+    }
+    EXPECT_EQ(engine.concurrency_stats().itl.in_use, 2);
+    EXPECT_TRUE(engine.rollback(h1).is_ok());  // abort path frees the slot
+    EXPECT_TRUE(engine.commit(h2).is_ok());
+    queued.join();
+    admissions.fetch_add(3);
+    committed_rows.fetch_add(2);  // h2 + queued; h1 rolled back
+  }
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      int64_t committed = 0;
+      for (int t = 0; t < kTxnsPerWriter; ++t) {
+        const uint64_t txn = engine.begin_transaction();
+        std::vector<db::Row> rows;
+        for (int64_t j = 0; j < 6; ++j) {
+          rows.push_back(
+              {db::Value::i64(w * 1'000'000 + t * 100 + j)});
+        }
+        const db::BatchResult result = engine.insert_batch(txn, tid, rows);
+        admissions.fetch_add(1);  // first write to the table admits once
+        EXPECT_EQ(result.rows_applied, 6);
+        // Every third transaction aborts: the gate slot must come back.
+        if (t % 3 == 2) {
+          EXPECT_TRUE(engine.rollback(txn).is_ok());
+        } else {
+          EXPECT_TRUE(engine.commit(txn).is_ok());
+          committed += result.rows_applied;
+        }
+      }
+      committed_rows.fetch_add(committed);
+    });
+  }
+  // Poll the gate while writers run: in_use must never exceed the slots.
+  std::atomic<bool> stop_poller{false};
+  threads.emplace_back([&] {
+    while (!stop_poller.load()) {
+      const db::ConcurrencyStats stats = engine.concurrency_stats();
+      EXPECT_GE(stats.itl.in_use, 0);
+      EXPECT_LE(stats.itl.in_use, 2);
+      std::this_thread::yield();
+    }
+  });
+  for (int w = 0; w < kWriters; ++w) threads[static_cast<size_t>(w)].join();
+  stop_poller.store(true);
+  threads.back().join();
+
+  const db::ConcurrencyStats stats = engine.concurrency_stats();
+  // Six writers over two slots must actually have queued.
+  EXPECT_GT(stats.itl.waits, 0u);
+  EXPECT_GT(stats.itl.total_wait, 0);
+  // Commit and abort paths both released: nothing leaked.
+  EXPECT_EQ(stats.itl.in_use, 0);
+  EXPECT_EQ(stats.transaction_gate.in_use, 0);
+  // One admission per (transaction, table) first write, no double-acquire.
+  EXPECT_EQ(stats.itl.acquires, admissions.load());
+  // Rolled-back rows are gone, committed rows are all there.
+  EXPECT_EQ(engine.row_count(tid), committed_rows.load());
   EXPECT_TRUE(engine.verify_integrity().is_ok());
 }
 

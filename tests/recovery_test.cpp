@@ -399,6 +399,73 @@ TEST(RecoveryTest, RelaxedWatermarkIsHonest) {
   EXPECT_FALSE((*recovered)->pk_lookup(0, {Value::i64(2)}).is_ok());
 }
 
+// Crash while a writer is *blocked on an ITL slot*: the WAL is snapshotted
+// with one transaction holding the single slot uncommitted and another queued
+// behind it (which therefore has no WAL footprint at all). Replay into a
+// fresh gated engine must keep only the committed work and leave every gate
+// slot free — an admission held at crash time is not a durable artifact.
+TEST(RecoveryTest, CrashWhileBlockedOnItlSlotLeaksNothing) {
+  const Schema schema = pair_schema();
+  EngineOptions options = retain_options();
+  options.concurrency.itl_slots_per_table = 1;
+  Engine engine(schema, options);
+  OpCosts costs;
+  // Committed baseline row.
+  const uint64_t base = engine.begin_transaction();
+  ASSERT_TRUE(engine.insert_row(base, 0, {Value::i64(1), Value::str("base")},
+                                costs).is_ok());
+  ASSERT_TRUE(engine.commit(base).is_ok());
+
+  // Holder: open transaction owning table 0's only ITL slot.
+  const uint64_t holder = engine.begin_transaction();
+  ASSERT_TRUE(engine.insert_row(holder, 0, {Value::i64(2), Value::str("open")},
+                                costs).is_ok());
+
+  // Blocked writer: queues behind the holder at admission.
+  std::thread blocked([&engine] {
+    OpCosts thread_costs;
+    const uint64_t txn = engine.begin_transaction();
+    ASSERT_TRUE(engine
+                    .insert_row(txn, 0, {Value::i64(3), Value::str("late")},
+                                thread_costs)
+                    .is_ok());
+    EXPECT_GT(thread_costs.itl_wait_ns, 0);
+    ASSERT_TRUE(engine.commit(txn).is_ok());
+  });
+  // Wait until the writer is provably parked on the gate, then "crash".
+  while (engine.concurrency_stats().itl.waits < 1) {
+    std::this_thread::yield();
+  }
+  const auto records = engine.wal_records();  // crash snapshot
+  ASSERT_TRUE(engine.commit(holder).is_ok());  // unblock and drain
+  blocked.join();
+
+  // Replay the snapshot into an engine with the same gate configuration.
+  RecoveryStats stats;
+  const auto recovered =
+      recover_from_wal(schema, records, options, &stats);
+  ASSERT_TRUE(recovered.is_ok()) << recovered.status().to_string();
+  // Only the committed baseline survives: the holder was uncommitted and the
+  // blocked writer never reached the WAL.
+  EXPECT_EQ((*recovered)->row_count(0), 1);
+  EXPECT_TRUE((*recovered)->pk_lookup(0, {Value::i64(1)}).is_ok());
+  EXPECT_FALSE((*recovered)->pk_lookup(0, {Value::i64(2)}).is_ok());
+  EXPECT_FALSE((*recovered)->pk_lookup(0, {Value::i64(3)}).is_ok());
+  EXPECT_EQ(stats.transactions_discarded, 1);
+  // No leaked admissions: replay acquired and released its own slots.
+  const ConcurrencyStats gates = (*recovered)->concurrency_stats();
+  EXPECT_EQ(gates.itl.in_use, 0);
+  EXPECT_EQ(gates.transaction_gate.in_use, 0);
+  EXPECT_GE(gates.itl.acquires, 1u);
+  EXPECT_TRUE((*recovered)->verify_integrity().is_ok());
+
+  // The source engine drained cleanly too once the holder committed.
+  const ConcurrencyStats live = engine.concurrency_stats();
+  EXPECT_EQ(live.itl.in_use, 0);
+  EXPECT_EQ(live.transaction_gate.in_use, 0);
+  EXPECT_EQ(engine.row_count(0), 3);
+}
+
 TEST(RecoveryTest, EquivalenceDetectsDifferences) {
   const Schema schema = pair_schema();
   Engine a(schema), b(schema);

@@ -164,6 +164,44 @@ TEST(ShardedHeapTest, SingleExtentMatchesHeapFileLayout) {
   EXPECT_EQ(sharded.page_count(), plain.page_count());
 }
 
+// --------------------------------------------------- least-loaded extents ---
+
+TEST(ShardedHeapTest, LeastLoadedExtentTracksAppendedBytes) {
+  ShardedHeap heap(4);
+  // Empty heap: all extents tie at zero; lowest index wins.
+  EXPECT_EQ(heap.least_loaded_extent(), 0u);
+  // Skew the load: extents 0 and 1 heavy, extent 2 light, extent 3 empty.
+  heap.append(0, std::string(500, 'a'));
+  heap.append(1, std::string(400, 'b'));
+  heap.append(2, std::string(10, 'c'));
+  EXPECT_EQ(heap.least_loaded_extent(), 3u);
+  heap.append(3, std::string(50, 'd'));
+  EXPECT_EQ(heap.least_loaded_extent(), 2u);
+  // Ties break toward the lowest index.
+  ShardedHeap even(3);
+  even.append(0, "xx");
+  even.append(1, "yy");
+  even.append(2, "zz");
+  EXPECT_EQ(even.least_loaded_extent(), 0u);
+}
+
+TEST(ShardedHeapTest, LeastLoadedCountsPendingAndIgnoresTombstones) {
+  ShardedHeap heap(2);
+  // A pending (uncommitted) append counts as load immediately: concurrent
+  // pickers must not all pile onto an extent whose rows aren't published yet.
+  const auto pending = heap.append_pending(0, std::string(300, 'p'));
+  EXPECT_EQ(heap.least_loaded_extent(), 1u);
+  // Discarding the pending row does NOT give the bytes back — the signal is
+  // bytes-ever-appended, matching how heap files never shrink.
+  ASSERT_TRUE(heap.discard(pending.slot).is_ok());
+  EXPECT_EQ(heap.least_loaded_extent(), 1u);
+  // Deletes don't subtract either.
+  const auto live = heap.append(1, std::string(600, 'q'));
+  EXPECT_EQ(heap.least_loaded_extent(), 0u);  // 300 (extent 0) vs 600
+  ASSERT_TRUE(heap.mark_deleted(live.slot).is_ok());
+  EXPECT_EQ(heap.least_loaded_extent(), 0u);  // still 300 vs 600
+}
+
 // ------------------------------------------------------- two-phase appends ---
 
 TEST(ShardedHeapTest, PendingRowsInvisibleUntilPublished) {
