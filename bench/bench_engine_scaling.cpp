@@ -10,6 +10,9 @@
 //   * global-mutex — every session call serialized through one process-wide
 //     mutex, emulating the previous engine-wide mutex design. Device waits
 //     serialize, so added loaders buy almost nothing.
+//   * columnar — fine-grained locking with the columnar batch ingest
+//     pipeline (degrees 1 and 6 only): must not regress the row batch path
+//     under the same modeled waits.
 // A second scenario contrasts the heap layouts under same-table contention
 // with only the per-row extent write modeled:
 //   * sharded-8 — eight heap extents per table; round-robin transactions
@@ -70,8 +73,9 @@ class GlobalLockSession final : public sky::client::Session {
   void client_compute(sky::Nanos duration) override {
     inner_.client_compute(duration);
   }
-  void note_buffered_rows(int64_t rows, int64_t footprint_bytes) override {
-    inner_.note_buffered_rows(rows, footprint_bytes);
+  void note_buffered_rows(int64_t rows, int64_t footprint_bytes,
+                          bool columnar) override {
+    inner_.note_buffered_rows(rows, footprint_bytes, columnar);
   }
   sky::Nanos now() const override { return inner_.now(); }
   const sky::client::SessionStats& stats() const override {
@@ -111,7 +115,8 @@ struct RunResult {
 RunResult run_files(const sky::db::EngineOptions& engine_options,
                     bool global_lock, int degree,
                     const std::vector<sky::core::CatalogFile>& files,
-                    int64_t commit_every_batches = 0) {
+                    int64_t commit_every_batches = 0,
+                    bool columnar_ingest = false) {
   const sky::db::Schema schema = sky::catalog::make_pq_schema();
   const sky::core::TuningProfile profile =
       sky::core::TuningProfile::production();
@@ -132,6 +137,7 @@ RunResult run_files(const sky::db::EngineOptions& engine_options,
   options.loader.write_audit_row = false;
   options.loader.commit.every_cycles = 2;
   options.loader.commit.every_batches = commit_every_batches;
+  options.loader.columnar_ingest = columnar_ingest;
   std::mutex global_mu;
   const auto factory = [&](int) -> std::unique_ptr<sky::client::Session> {
     if (global_lock) {
@@ -161,13 +167,15 @@ RunResult run_files(const sky::db::EngineOptions& engine_options,
 }
 
 RunResult run_load(bool global_lock, int degree,
-                   const std::vector<sky::core::CatalogFile>& files) {
+                   const std::vector<sky::core::CatalogFile>& files,
+                   bool columnar_ingest = false) {
   sky::db::EngineOptions engine_options =
       sky::core::TuningProfile::production().engine_options();
   engine_options.latency.batch_redo_write = kBatchRedoWrite;
   engine_options.latency.data_write_per_page = kDataWritePerPage;
   engine_options.latency.commit_log_flush = kCommitLogFlush;
-  return run_files(engine_options, global_lock, degree, files);
+  return run_files(engine_options, global_lock, degree, files,
+                   /*commit_every_batches=*/0, columnar_ingest);
 }
 
 // Same-table contention scenario: only the per-row extent write is modeled
@@ -269,16 +277,22 @@ void record_sharding(const char* mode, int degree, const RunResult& result) {
   g_sharding_json.push_back(json_entry(mode, degree, result));
 }
 
+// range(1): 0 = fine-grained row path, 1 = global mutex, 2 = fine-grained
+// with the columnar batch ingest pipeline.
 void bench_scaling(benchmark::State& state) {
   const int degree = static_cast<int>(state.range(0));
-  const bool global_lock = state.range(1) != 0;
+  const int mode = static_cast<int>(state.range(1));
   static const std::vector<sky::core::CatalogFile> files = make_workload();
   for (auto _ : state) {
-    const RunResult result = run_load(global_lock, degree, files);
+    const RunResult result =
+        run_load(/*global_lock=*/mode == 1, degree, files,
+                 /*columnar_ingest=*/mode == 2);
     state.SetIterationTime(result.seconds);
     state.counters["rows_per_sec"] = result.rows_per_sec;
     state.counters["lock_wait_s"] = result.lock_wait_seconds;
-    record(global_lock ? "global-mutex" : "fine-grained", degree, result);
+    record(mode == 1 ? "global-mutex"
+                     : (mode == 2 ? "columnar" : "fine-grained"),
+           degree, result);
   }
 }
 
@@ -345,6 +359,13 @@ int main(int argc, char** argv) {
         ->Iterations(1)
         ->UseManualTime()
         ->Unit(benchmark::kSecond);
+    if (degree == 1 || degree == 6) {
+      benchmark::RegisterBenchmark("engine_scaling/columnar", bench_scaling)
+          ->Args({degree, 2})
+          ->Iterations(1)
+          ->UseManualTime()
+          ->Unit(benchmark::kSecond);
+    }
     benchmark::RegisterBenchmark("heap_sharding/sharded", bench_sharding)
         ->Args({degree, 8})
         ->Iterations(1)
@@ -392,6 +413,12 @@ int main(int argc, char** argv) {
               "global mutex emulation stays flat as loaders are added");
   shape_check(fine6 > 2.0 * global6,
               "fine-grained beats the global mutex at degree 6");
+  const double columnar6 = g_figure.value("columnar", 6);
+  std::printf("columnar vs row batch path at degree 6: %.2fx\n",
+              fine6 > 0 ? columnar6 / fine6 : 0);
+  shape_check(columnar6 >= 0.9 * fine6,
+              "columnar ingest does not regress aggregate rows/sec at "
+              "degree 6");
 
   {
     std::ofstream json("BENCH_heap_sharding.json");

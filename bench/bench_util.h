@@ -15,12 +15,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <memory>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "catalog/generator.h"
@@ -211,5 +213,64 @@ class FigureTable {
 inline void shape_check(bool ok, const char* description) {
   std::printf("SHAPE-CHECK %s: %s\n", ok ? "PASS" : "FAIL", description);
 }
+
+// Wall-clock accumulator for per-stage cost breakdowns (bench_hotpath's
+// parse/buffer/append/index/wal split): bracket each stage interval with
+// start()/stop() — or a Scope — and read totals back in first-use order.
+// Repeated intervals for the same stage accumulate.
+class StageTimer {
+ public:
+  void start(const std::string& stage) {
+    open_[stage] = std::chrono::steady_clock::now();
+  }
+
+  void stop(const std::string& stage) {
+    const auto it = open_.find(stage);
+    if (it == open_.end()) return;
+    add(stage, std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now() - it->second)
+                   .count());
+    open_.erase(it);
+  }
+
+  // RAII bracket for one stage interval.
+  class Scope {
+   public:
+    Scope(StageTimer& timer, std::string stage)
+        : timer_(timer), stage_(std::move(stage)) {
+      timer_.start(stage_);
+    }
+    ~Scope() { timer_.stop(stage_); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    StageTimer& timer_;
+    std::string stage_;
+  };
+
+  int64_t total_ns(const std::string& stage) const {
+    const auto it = index_.find(stage);
+    return it == index_.end() ? 0 : totals_[it->second].second;
+  }
+  double seconds(const std::string& stage) const {
+    return static_cast<double>(total_ns(stage)) / 1e9;
+  }
+  // (stage, total ns) pairs in first-use order.
+  const std::vector<std::pair<std::string, int64_t>>& totals() const {
+    return totals_;
+  }
+
+ private:
+  void add(const std::string& stage, int64_t ns) {
+    const auto [it, inserted] = index_.try_emplace(stage, totals_.size());
+    if (inserted) totals_.emplace_back(stage, 0);
+    totals_[it->second].second += ns;
+  }
+
+  std::map<std::string, size_t> index_;
+  std::vector<std::pair<std::string, int64_t>> totals_;
+  std::map<std::string, std::chrono::steady_clock::time_point> open_;
+};
 
 }  // namespace skybench

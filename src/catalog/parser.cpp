@@ -1,7 +1,9 @@
 #include "catalog/parser.h"
 
 #include <algorithm>
+#include <charconv>
 #include <cmath>
+#include <limits>
 
 #include "catalog/pq_schema.h"
 #include "common/strings.h"
@@ -19,11 +21,15 @@ CatalogParser::CatalogParser(const db::Schema& schema) {
     info.computed_htmid_column = info.def->column_index("htmid");
     info.ra_column = info.def->column_index("ra");
     info.dec_column = info.def->column_index("dec");
+    int next_field = 0;
     for (size_t c = 0; c < info.def->columns.size(); ++c) {
       const std::string& name = info.def->columns[c].name;
       if (name == "mag" || name == "mag_err") {
         info.mag_precision_columns.push_back(static_cast<int>(c));
       }
+      info.field_of_column.push_back(
+          static_cast<int>(c) == info.computed_htmid_column ? -1
+                                                            : next_field++);
     }
     by_tag_.emplace_back(std::string(mapping.tag), std::move(info));
   }
@@ -117,6 +123,297 @@ Result<ParsedRow> CatalogParser::parse_line(std::string_view line) {
   }
   ++stats_.data_rows;
   return parsed;
+}
+
+namespace {
+// NULL markers Value::parse_as recognizes, applied to a pre-trimmed field.
+bool is_null_field(std::string_view trimmed) {
+  return trimmed.empty() || trimmed == "NULL" || trimmed == "\\N";
+}
+}  // namespace
+
+void CatalogParser::parse_block(std::string_view text, size_t& pos,
+                                size_t max_data_rows, ParsedBlock& block) {
+  // (Re)initialize the output and per-slot scratch, keeping buffer capacity.
+  if (block.batches.size() != by_tag_.size()) {
+    block.table_ids.clear();
+    block.batches.clear();
+    for (const auto& [tag, info] : by_tag_) {
+      block.table_ids.push_back(info.table_id);
+      block.batches.emplace_back(*info.def);
+    }
+  }
+  block.errors.clear();
+  block.lines_consumed = 0;
+  block.data_lines = 0;
+  block.row_lines.resize(by_tag_.size());
+  for (std::vector<int64_t>& lines : block.row_lines) lines.clear();
+  for (db::ColumnBatch& batch : block.batches) batch.clear();
+  scratch_.resize(by_tag_.size());
+  for (SlotScratch& scratch : scratch_) {
+    scratch.fields.clear();
+    scratch.line_offsets.clear();
+    scratch.lines.clear();
+    scratch.bad.clear();
+  }
+
+  // ---- Phase A: delimiter scan. Lines and fields are located with
+  // memchr-backed find() calls; field spans go into per-table row-major
+  // scratch, nothing is converted yet. Line accounting mirrors
+  // split(text, '\n'): a trailing newline yields one final empty line, and
+  // pos > text.size() marks exhaustion.
+  size_t budget = max_data_rows;
+  while (pos <= text.size() && budget > 0) {
+    const size_t line_end = std::min(text.find('\n', pos), text.size());
+    const std::string_view line = text.substr(pos, line_end - pos);
+    pos = line_end + 1;
+    const int64_t line_offset = block.lines_consumed++;
+    const std::string_view stripped = trim(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    ++block.data_lines;
+    --budget;
+    ++stats_.lines;
+
+    // Tag = the raw span up to the first '|' (not re-trimmed — parity with
+    // split()'s first piece in parse_line).
+    const size_t first_pipe = stripped.find('|');
+    const std::string_view tag = first_pipe == std::string_view::npos
+                                     ? stripped
+                                     : stripped.substr(0, first_pipe);
+    const auto it = std::lower_bound(
+        by_tag_.begin(), by_tag_.end(), tag,
+        [](const auto& entry, std::string_view key) {
+          return entry.first < key;
+        });
+    if (it == by_tag_.end() || it->first != tag) {
+      ++stats_.parse_errors;
+      block.errors.push_back(
+          BlockError{line_offset, line,
+                     Status(ErrorCode::kParseError,
+                            "unknown row tag: " + std::string(tag))});
+      continue;
+    }
+    const size_t slot = static_cast<size_t>(it - by_tag_.begin());
+    const TableInfo& info = it->second;
+    SlotScratch& scratch = scratch_[slot];
+    const size_t expected_fields =
+        info.def->columns.size() - (info.computed_htmid_column >= 0 ? 1 : 0);
+
+    const size_t mark = scratch.fields.size();
+    size_t field_count = 0;
+    if (first_pipe != std::string_view::npos) {
+      size_t field_start = first_pipe + 1;
+      while (true) {
+        const size_t next_pipe = stripped.find('|', field_start);
+        if (next_pipe == std::string_view::npos) {
+          scratch.fields.push_back(stripped.substr(field_start));
+          ++field_count;
+          break;
+        }
+        scratch.fields.push_back(
+            stripped.substr(field_start, next_pipe - field_start));
+        ++field_count;
+        field_start = next_pipe + 1;
+      }
+    }
+    if (field_count != expected_fields) {
+      ++stats_.parse_errors;
+      scratch.fields.resize(mark);
+      block.errors.push_back(BlockError{
+          line_offset, line,
+          Status(ErrorCode::kParseError,
+                 str_format("%s row has %zu fields, expected %zu",
+                            std::string(tag).c_str(), field_count,
+                            expected_fields))});
+      continue;
+    }
+    scratch.line_offsets.push_back(line_offset);
+    scratch.lines.push_back(line);
+  }
+
+  // ---- Phase B: column-at-a-time conversion into the column vectors.
+  for (size_t slot = 0; slot < by_tag_.size(); ++slot) {
+    SlotScratch& scratch = scratch_[slot];
+    const size_t rows = scratch.line_offsets.size();
+    if (rows == 0) continue;
+    const TableInfo& info = by_tag_[slot].second;
+    db::ColumnBatch& batch = block.batches[slot];
+    const size_t stride =
+        info.def->columns.size() - (info.computed_htmid_column >= 0 ? 1 : 0);
+    scratch.bad.assign(rows, 0);
+
+    // First structural error per row wins (the row path stops at the first
+    // bad column); later columns of a bad row are skipped entirely.
+    const auto record_row_error = [&](size_t r, size_t c,
+                                      const Status& status) {
+      scratch.bad[r] = 1;
+      ++stats_.parse_errors;
+      block.errors.push_back(BlockError{
+          scratch.line_offsets[r], scratch.lines[r],
+          Status(ErrorCode::kParseError,
+                 info.def->name + "." + info.def->columns[c].name + ": " +
+                     status.message())});
+    };
+
+    for (size_t c = 0; c < info.def->columns.size(); ++c) {
+      if (static_cast<int>(c) == info.computed_htmid_column) {
+        for (size_t r = 0; r < rows; ++r) batch.push_null(c);  // filled below
+        continue;
+      }
+      const size_t f =
+          static_cast<size_t>(info.field_of_column[c]);
+      const db::ColumnType type = info.def->columns[c].type;
+      switch (type) {
+        case db::ColumnType::kInt32:
+        case db::ColumnType::kInt64:
+        case db::ColumnType::kTimestamp:
+          for (size_t r = 0; r < rows; ++r) {
+            if (scratch.bad[r]) {
+              batch.push_null(c);
+              continue;
+            }
+            const std::string_view field =
+                trim(scratch.fields[r * stride + f]);
+            if (is_null_field(field)) {
+              batch.push_null(c);
+              continue;
+            }
+            int64_t v = 0;
+            const auto [end, ec] =
+                std::from_chars(field.data(), field.data() + field.size(), v);
+            bool fast_ok =
+                ec == std::errc() && end == field.data() + field.size();
+            if (fast_ok && type == db::ColumnType::kInt32 &&
+                (v < std::numeric_limits<int32_t>::min() ||
+                 v > std::numeric_limits<int32_t>::max())) {
+              fast_ok = false;
+            }
+            if (!fast_ok) {
+              // Fallback keeps exact row-path semantics for the edge cases
+              // from_chars treats differently (leading '+', range errors —
+              // and their exact error messages).
+              const auto parsed = db::Value::parse_as(type, field);
+              if (!parsed.is_ok()) {
+                record_row_error(r, c, parsed.status());
+                batch.push_null(c);
+                continue;
+              }
+              v = type == db::ColumnType::kInt32
+                      ? static_cast<int64_t>(parsed->as_i32())
+                      : parsed->as_i64();
+            }
+            batch.push_i64(c, v);
+          }
+          break;
+        case db::ColumnType::kDouble:
+          for (size_t r = 0; r < rows; ++r) {
+            if (scratch.bad[r]) {
+              batch.push_null(c);
+              continue;
+            }
+            const std::string_view field =
+                trim(scratch.fields[r * stride + f]);
+            if (is_null_field(field)) {
+              batch.push_null(c);
+              continue;
+            }
+            double v = 0.0;
+            const auto [end, ec] =
+                std::from_chars(field.data(), field.data() + field.size(), v);
+            // Fast path only for fully-consumed, in-range, normal-or-zero
+            // results; everything else (hex floats, inf/NaN, subnormals —
+            // where strtod's ERANGE behaviour differs) re-parses through
+            // Value::parse_as so values and error messages stay identical
+            // to the row path.
+            const bool fast_ok =
+                ec == std::errc() && end == field.data() + field.size() &&
+                (std::fpclassify(v) == FP_NORMAL || v == 0.0);
+            if (!fast_ok) {
+              const auto parsed = db::Value::parse_as(type, field);
+              if (!parsed.is_ok()) {
+                record_row_error(r, c, parsed.status());
+                batch.push_null(c);
+                continue;
+              }
+              v = parsed->as_f64();
+            }
+            batch.push_f64(c, v);
+          }
+          break;
+        case db::ColumnType::kString:
+          for (size_t r = 0; r < rows; ++r) {
+            if (scratch.bad[r]) {
+              batch.push_null(c);
+              continue;
+            }
+            const std::string_view field =
+                trim(scratch.fields[r * stride + f]);
+            if (is_null_field(field)) {
+              batch.push_null(c);
+            } else {
+              batch.push_str(c, field);
+            }
+          }
+          break;
+      }
+    }
+
+    // Transformation: magnitude precision, same rounding as the row path.
+    for (const int mc : info.mag_precision_columns) {
+      const size_t col = static_cast<size_t>(mc);
+      for (size_t r = 0; r < rows; ++r) {
+        if (scratch.bad[r] || batch.is_null(r, col)) continue;
+        batch.set_f64(col, r,
+                      std::round(batch.f64_at(r, col) * 1e4) / 1e4);
+      }
+    }
+
+    // Computation: htmid from (ra, dec) in a tight loop.
+    if (info.computed_htmid_column >= 0) {
+      const size_t hc = static_cast<size_t>(info.computed_htmid_column);
+      const size_t rc = static_cast<size_t>(info.ra_column);
+      const size_t dc = static_cast<size_t>(info.dec_column);
+      for (size_t r = 0; r < rows; ++r) {
+        if (scratch.bad[r] || batch.is_null(r, rc) || batch.is_null(r, dc)) {
+          continue;  // htmid stays NULL; the server's NOT NULL rejects it
+        }
+        const double ra = batch.f64_at(r, rc);
+        const double dec = batch.f64_at(r, dc);
+        if (!(ra >= 0.0 && ra <= 360.0) || !(dec >= -90.0 && dec <= 90.0)) {
+          continue;
+        }
+        batch.set_i64(hc, r,
+                      static_cast<int64_t>(
+                          htm::htm_id_radec(ra, dec, kHtmDepth)));
+        ++stats_.htmids_computed;
+      }
+    }
+
+    // ---- Phase C: stable compaction of rows that failed conversion, with
+    // surviving rows' line offsets recorded for the loaders.
+    int64_t bad_count = 0;
+    for (size_t r = 0; r < rows; ++r) bad_count += scratch.bad[r];
+    if (bad_count > 0) {
+      std::vector<uint32_t> bad_rows;
+      bad_rows.reserve(static_cast<size_t>(bad_count));
+      for (size_t r = 0; r < rows; ++r) {
+        if (scratch.bad[r]) bad_rows.push_back(static_cast<uint32_t>(r));
+      }
+      batch.remove_rows(bad_rows);
+    }
+    std::vector<int64_t>& row_lines = block.row_lines[slot];
+    for (size_t r = 0; r < rows; ++r) {
+      if (!scratch.bad[r]) row_lines.push_back(scratch.line_offsets[r]);
+    }
+    stats_.data_rows += static_cast<int64_t>(rows) - bad_count;
+  }
+
+  // Errors surfaced per slot/column above; report them in line order like
+  // the row path would.
+  std::stable_sort(block.errors.begin(), block.errors.end(),
+                   [](const BlockError& a, const BlockError& b) {
+                     return a.line_offset < b.line_offset;
+                   });
 }
 
 }  // namespace sky::catalog

@@ -1,8 +1,24 @@
 #include "client/session.h"
 
+#include <algorithm>
 #include <chrono>
+#include <vector>
 
 namespace sky::client {
+
+BatchOutcome Session::execute_column_batch(uint32_t table,
+                                           const db::ColumnBatch& batch,
+                                           size_t first, size_t count) {
+  // Default bridge: materialize the slice and send it as a row batch. One
+  // database call either way, so call/commit accounting and (for simulation
+  // sessions) server pricing are unchanged.
+  if (first > batch.size()) first = batch.size();
+  count = std::min(count, batch.size() - first);
+  std::vector<db::Row> rows;
+  rows.reserve(count);
+  for (size_t i = 0; i < count; ++i) rows.push_back(batch.row(first + i));
+  return execute_batch(table, rows);
+}
 
 namespace {
 Nanos real_now() {
@@ -57,6 +73,23 @@ BatchOutcome DirectSession::execute_batch(uint32_t table,
   return BatchOutcome{result.rows_applied, result.error};
 }
 
+BatchOutcome DirectSession::execute_column_batch(uint32_t table,
+                                                 const db::ColumnBatch& batch,
+                                                 size_t first, size_t count) {
+  const uint64_t txn = ensure_transaction();
+  const db::BatchResult result =
+      engine_.insert_column_batch(txn, table, batch, first, count);
+  ++stats_.db_calls;
+  ++stats_.batch_calls;
+  if (first > batch.size()) first = batch.size();
+  stats_.rows_sent +=
+      static_cast<int64_t>(std::min(count, batch.size() - first));
+  stats_.rows_applied += result.rows_applied;
+  absorb_wait_costs(result.costs);
+  if (result.error.has_value()) ++stats_.failed_calls;
+  return BatchOutcome{result.rows_applied, result.error};
+}
+
 Status DirectSession::execute_single(uint32_t table, const db::Row& row) {
   const uint64_t txn = ensure_transaction();
   db::OpCosts costs;
@@ -93,9 +126,11 @@ void DirectSession::client_compute(Nanos duration) {
   (void)duration;
 }
 
-void DirectSession::note_buffered_rows(int64_t rows, int64_t footprint_bytes) {
+void DirectSession::note_buffered_rows(int64_t rows, int64_t footprint_bytes,
+                                       bool columnar) {
   (void)rows;
   (void)footprint_bytes;
+  (void)columnar;
 }
 
 Nanos DirectSession::now() const { return real_now() - start_real_; }

@@ -78,6 +78,15 @@ class Session {
   // Send a batch (one database call).
   virtual BatchOutcome execute_batch(uint32_t table,
                                      std::span<const db::Row> rows) = 0;
+  // Send rows [first, first + count) of a columnar batch (one database
+  // call) with execute_batch's exact JDBC semantics; the error row index is
+  // relative to `first`. The default bridges to execute_batch by
+  // materializing the rows, so simulation sessions price it identically to
+  // the row batch; DirectSession overrides it with the engine's columnar
+  // fast path (db::Engine::insert_column_batch).
+  virtual BatchOutcome execute_column_batch(uint32_t table,
+                                            const db::ColumnBatch& batch,
+                                            size_t first, size_t count);
   // Send a single-row insert (one database call) — the non-bulk baseline.
   virtual Status execute_single(uint32_t table, const db::Row& row) = 0;
 
@@ -90,7 +99,10 @@ class Session {
 
   // Report array-set buffering activity so the client memory model can
   // charge paging when the buffered footprint exceeds client memory.
-  virtual void note_buffered_rows(int64_t rows, int64_t footprint_bytes) = 0;
+  // `columnar` marks arena-buffer appends (cheaper per row: no Row/Value
+  // construction), which simulation prices at the columnar rate.
+  virtual void note_buffered_rows(int64_t rows, int64_t footprint_bytes,
+                                  bool columnar = false) = 0;
 
   // Elapsed time on this session's clock (virtual or real).
   virtual Nanos now() const = 0;
@@ -109,10 +121,14 @@ class DirectSession final : public Session {
   Result<uint32_t> prepare_insert(std::string_view table_name) override;
   BatchOutcome execute_batch(uint32_t table,
                              std::span<const db::Row> rows) override;
+  BatchOutcome execute_column_batch(uint32_t table,
+                                    const db::ColumnBatch& batch, size_t first,
+                                    size_t count) override;
   Status execute_single(uint32_t table, const db::Row& row) override;
   Status commit() override;
   void client_compute(Nanos duration) override;
-  void note_buffered_rows(int64_t rows, int64_t footprint_bytes) override;
+  void note_buffered_rows(int64_t rows, int64_t footprint_bytes,
+                          bool columnar) override;
   Nanos now() const override;
   const SessionStats& stats() const override { return stats_; }
 

@@ -99,16 +99,26 @@ void SimSession::charge_log_flush(int64_t bytes) {
 
 db::BatchResult SimSession::server_call(uint32_t table,
                                         std::span<const db::Row> rows) {
-  sim::Environment& env = server_.env();
   const CostModel& costs = server_.costs();
-  const uint64_t txn = ensure_transaction();
-
   // Client-side marshalling: per-call overhead plus array binding that grows
   // with the batch size.
   const auto n = static_cast<int64_t>(rows.size());
   const Nanos marshal =
       costs.client_call_overhead +
       n * n * costs.client_marshal_per_row_per_batchrow;
+  return server_visit(table, marshal, /*columnar=*/false,
+                      [&](uint64_t txn) {
+                        return server_.engine().insert_batch(txn, table, rows);
+                      });
+}
+
+db::BatchResult SimSession::server_visit(
+    uint32_t table, Nanos marshal, bool columnar,
+    const std::function<db::BatchResult(uint64_t)>& engine_call) {
+  sim::Environment& env = server_.env();
+  const CostModel& costs = server_.costs();
+  const uint64_t txn = ensure_transaction();
+
   env.delay(marshal);
   stats_.client_time += marshal;
 
@@ -140,11 +150,10 @@ db::BatchResult SimSession::server_call(uint32_t table,
   cpus.acquire();
   stats_.server_time += env.now() - cpu_before;
 
-  const db::BatchResult result =
-      server_.engine().insert_batch(txn, table, rows);
+  const db::BatchResult result = engine_call(txn);
 
-  Nanos server_time =
-      costs.server_call_overhead + costs.server_cpu_time(result.costs);
+  Nanos server_time = costs.server_call_overhead +
+                      costs.server_cpu_time(result.costs, columnar);
 
   // Cluster hosting: if another node last wrote this table, its current
   // blocks ship across the interconnect before this insert proceeds.
@@ -193,6 +202,28 @@ BatchOutcome SimSession::execute_batch(uint32_t table,
   ++stats_.db_calls;
   ++stats_.batch_calls;
   stats_.rows_sent += static_cast<int64_t>(rows.size());
+  stats_.rows_applied += result.rows_applied;
+  if (result.error.has_value()) ++stats_.failed_calls;
+  return BatchOutcome{result.rows_applied, result.error};
+}
+
+BatchOutcome SimSession::execute_column_batch(uint32_t table,
+                                              const db::ColumnBatch& batch,
+                                              size_t first, size_t count) {
+  const CostModel& costs = server_.costs();
+  // Column batches bind each column as one contiguous array: marshalling is
+  // linear in rows (no per-row statement re-bind), so no n^2 term.
+  const Nanos marshal =
+      costs.client_call_overhead +
+      static_cast<int64_t>(count) * costs.client_marshal_per_row_columnar;
+  const db::BatchResult result =
+      server_visit(table, marshal, /*columnar=*/true, [&](uint64_t txn) {
+        return server_.engine().insert_column_batch(txn, table, batch, first,
+                                                    count);
+      });
+  ++stats_.db_calls;
+  ++stats_.batch_calls;
+  stats_.rows_sent += static_cast<int64_t>(count);
   stats_.rows_applied += result.rows_applied;
   if (result.error.has_value()) ++stats_.failed_calls;
   return BatchOutcome{result.rows_applied, result.error};
@@ -249,10 +280,13 @@ void SimSession::client_compute(Nanos duration) {
   stats_.client_time += duration;
 }
 
-void SimSession::note_buffered_rows(int64_t rows, int64_t footprint_bytes) {
+void SimSession::note_buffered_rows(int64_t rows, int64_t footprint_bytes,
+                                    bool columnar) {
   const CostModel& costs = server_.costs();
   const bool paging = footprint_bytes > costs.client_array_memory_bytes;
-  const Nanos per_row = paging ? costs.per_paged_row : costs.per_buffered_row;
+  const Nanos per_row = paging ? costs.per_paged_row
+                               : (columnar ? costs.per_buffered_row_columnar
+                                           : costs.per_buffered_row);
   const Nanos duration = rows * per_row;
   server_.env().delay(duration);
   stats_.client_time += duration;

@@ -6,6 +6,8 @@
 // reply. The loader code on top is identical to real mode.
 #pragma once
 
+#include <functional>
+
 #include "client/session.h"
 #include "client/sim_server.h"
 
@@ -19,10 +21,17 @@ class SimSession final : public Session {
   Result<uint32_t> prepare_insert(std::string_view table_name) override;
   BatchOutcome execute_batch(uint32_t table,
                              std::span<const db::Row> rows) override;
+  // Columnar batches walk the same server path but price the marshalling
+  // linearly (array binds) and the server execute at the array-insert
+  // residual rate — see CostModel's columnar constants.
+  BatchOutcome execute_column_batch(uint32_t table,
+                                    const db::ColumnBatch& batch, size_t first,
+                                    size_t count) override;
   Status execute_single(uint32_t table, const db::Row& row) override;
   Status commit() override;
   void client_compute(Nanos duration) override;
-  void note_buffered_rows(int64_t rows, int64_t footprint_bytes) override;
+  void note_buffered_rows(int64_t rows, int64_t footprint_bytes,
+                          bool columnar) override;
   Nanos now() const override;
   const SessionStats& stats() const override { return stats_; }
 
@@ -36,6 +45,12 @@ class SimSession final : public Session {
   void charge_log_flush(int64_t bytes);
   // One server visit: slots -> CPU -> engine call -> priced delay -> I/O.
   db::BatchResult server_call(uint32_t table, std::span<const db::Row> rows);
+  // The shared visit body: charges `marshal` client-side, walks the gates,
+  // runs `engine_call` on a node CPU, prices its OpCosts (columnar rate when
+  // `columnar`), then I/O and the reply.
+  db::BatchResult server_visit(
+      uint32_t table, Nanos marshal, bool columnar,
+      const std::function<db::BatchResult(uint64_t)>& engine_call);
 
   SimServer& server_;
   int node_ = 0;  // cluster node this session is attached to

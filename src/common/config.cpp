@@ -12,7 +12,7 @@ Result<Config> Config::parse(std::string_view text) {
   Config config;
   std::string section;
   int line_number = 0;
-  for (std::string_view line : split(text, '\n')) {
+  for (std::string_view line : split_view(text, '\n')) {
     ++line_number;
     const std::string_view stripped = trim(line);
     if (stripped.empty() || stripped[0] == '#' || stripped[0] == ';') {

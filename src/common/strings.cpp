@@ -24,20 +24,6 @@ std::vector<std::string_view> split(std::string_view text, char delim) {
   return out;
 }
 
-std::string_view trim(std::string_view text) {
-  size_t begin = 0;
-  size_t end = text.size();
-  while (begin < end &&
-         std::isspace(static_cast<unsigned char>(text[begin]))) {
-    ++begin;
-  }
-  while (end > begin &&
-         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
-    --end;
-  }
-  return text.substr(begin, end - begin);
-}
-
 bool starts_with(std::string_view text, std::string_view prefix) {
   return text.size() >= prefix.size() &&
          text.substr(0, prefix.size()) == prefix;

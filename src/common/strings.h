@@ -3,6 +3,8 @@
 // an exception.
 #pragma once
 
+#include <cctype>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -15,7 +17,85 @@ namespace sky {
 // Split on a single-character delimiter. Keeps empty fields ("a||b" -> 3).
 std::vector<std::string_view> split(std::string_view text, char delim);
 
-std::string_view trim(std::string_view text);
+// Zero-allocation splitter: iterates the same pieces split() would return
+// (empty fields kept, "" yields one empty piece) without materializing a
+// vector. The hot loops — catalog field scan, per-line loader loops — use
+// this so splitting costs no heap traffic.
+//
+//   for (std::string_view piece : split_view(text, '|')) { ... }
+class SplitView {
+ public:
+  SplitView(std::string_view text, char delim) : text_(text), delim_(delim) {}
+
+  class iterator {
+   public:
+    using value_type = std::string_view;
+    using difference_type = std::ptrdiff_t;
+
+    iterator() = default;  // end
+    iterator(std::string_view text, char delim)
+        : text_(text), delim_(delim), done_(false) {
+      advance(0);
+    }
+
+    std::string_view operator*() const { return piece_; }
+
+    iterator& operator++() {
+      if (next_ == std::string_view::npos) {
+        done_ = true;
+      } else {
+        advance(next_ + 1);
+      }
+      return *this;
+    }
+
+    bool operator==(const iterator& other) const {
+      return done_ == other.done_;
+    }
+    bool operator!=(const iterator& other) const { return !(*this == other); }
+
+   private:
+    void advance(size_t start) {
+      next_ = text_.find(delim_, start);
+      const size_t stop =
+          next_ == std::string_view::npos ? text_.size() : next_;
+      piece_ = text_.substr(start, stop - start);
+    }
+
+    std::string_view text_;
+    char delim_ = '\0';
+    std::string_view piece_;
+    size_t next_ = std::string_view::npos;
+    bool done_ = true;
+  };
+
+  iterator begin() const { return iterator(text_, delim_); }
+  iterator end() const { return iterator(); }
+
+ private:
+  std::string_view text_;
+  char delim_;
+};
+
+inline SplitView split_view(std::string_view text, char delim) {
+  return SplitView(text, delim);
+}
+
+// Header-inline: called once per field in the catalog parse hot loop, where
+// an out-of-line call shows up in profiles.
+inline std::string_view trim(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
 
 bool starts_with(std::string_view text, std::string_view prefix);
 

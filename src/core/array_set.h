@@ -24,6 +24,7 @@
 
 #include "common/config.h"
 #include "common/status.h"
+#include "db/column_batch.h"
 #include "db/row.h"
 #include "db/schema.h"
 
@@ -53,6 +54,13 @@ class ArraySet {
   // array to capacity (or hit the high-water mark): time to bulk load.
   bool append(uint32_t table_id, db::Row row);
 
+  // Columnar sibling of append(): merge a parser block's batch for
+  // `table_id` into this table's column buffer (same capacity / high-water
+  // flush triggers, counted per row). The row arrays and column buffers are
+  // independent surfaces — a load cycle uses one or the other; the topo
+  // iteration and clear() cover both.
+  bool append_batch(uint32_t table_id, const db::ColumnBatch& batch);
+
   bool should_flush() const { return flush_needed_; }
 
   // Arrays in parent-before-child order; fn(table_id, rows).
@@ -65,8 +73,25 @@ class ArraySet {
     }
   }
 
+  // Column buffers in parent-before-child order; fn(table_id, batch).
+  template <typename Fn>
+  void for_each_batch_in_topo_order(Fn&& fn) const {
+    for (uint32_t table_id = 0;
+         table_id < static_cast<uint32_t>(batches_.size()); ++table_id) {
+      const auto& batch = batches_[table_id];
+      if (batch.has_value() && !batch->empty()) fn(table_id, *batch);
+    }
+  }
+
   // Destroy all arrays and release their memory (end of a bulk-load cycle).
   void clear();
+
+  // End-of-cycle reset for the columnar path: drop every buffered row but
+  // keep each column buffer's layout and capacity (arena reuse across
+  // cycles). The buffers are bounded by the flush high-water budget, so
+  // retaining them does not grow the client footprint — and it removes the
+  // per-cycle construct/teardown cost the row arrays pay.
+  void clear_keep_buffers();
 
   int64_t buffered_rows() const { return buffered_rows_; }
   int64_t footprint_bytes() const { return footprint_bytes_; }
@@ -78,6 +103,11 @@ class ArraySet {
 
  private:
   std::vector<std::optional<std::vector<db::Row>>> arrays_;  // by table id
+  // Columnar buffers, by table id (the batch ingest path's counterpart of
+  // arrays_). Footprint is tracked by buffer capacity delta: the arena grows
+  // in chunks, so per-row accounting would undercount.
+  std::vector<std::optional<db::ColumnBatch>> batches_;
+  std::vector<const db::TableDef*> table_defs_;  // batch construction
   std::vector<int64_t> capacities_;                          // by table id
   std::optional<int64_t> high_water_bytes_;
   int64_t buffered_rows_ = 0;

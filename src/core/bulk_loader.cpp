@@ -75,6 +75,77 @@ Result<size_t> BulkLoader::batch_row(uint32_t table_id,
   return first;
 }
 
+Result<size_t> BulkLoader::batch_columns(uint32_t table_id,
+                                         const db::ColumnBatch& rows,
+                                         size_t first,
+                                         FileLoadReport& report) {
+  const std::string& table_name = schema_.table(table_id).name;
+  const auto batch = static_cast<size_t>(options_.batch_size);
+  while (first < rows.size()) {
+    const size_t n = std::min(batch, rows.size() - first);
+    const client::BatchOutcome outcome =
+        session_.execute_column_batch(table_id, rows, first, n);
+    ++report.db_calls;
+    report.rows_loaded += outcome.applied;
+    report.loaded_per_table[table_name] += outcome.applied;
+    if (options_.commit.every_batches > 0 &&
+        report.db_calls % options_.commit.every_batches == 0) {
+      const Status commit_status = session_.commit();
+      if (commit_status.is_ok()) ++report.commits;
+    }
+    if (outcome.error.has_value()) {
+      if (!is_constraint_error(outcome.error->status.code())) {
+        return outcome.error->status;
+      }
+      // Same skip-and-repack recovery as the row path: the batch stopped at
+      // `applied`, so that row is the bad one (materialized only here, for
+      // the error detail).
+      const size_t bad = first + static_cast<size_t>(outcome.applied);
+      ++report.rows_skipped_server;
+      record_error(report,
+                   LoadError{LoadError::Stage::kServer, table_name,
+                             /*line_number=*/0,
+                             db::row_to_display(rows.row(bad)),
+                             outcome.error->status});
+      return bad + 1;
+    }
+    first += n;
+  }
+  return first;
+}
+
+Status BulkLoader::flush_batches(FileLoadReport& report) {
+  if (array_set_.buffered_rows() == 0) return ok_status();
+  ++report.flush_cycles;
+  session_.client_compute(array_set_.active_arrays() *
+                          options_.flush_cycle_cost_per_array_columnar);
+  // Parent-before-child order, same as the row cycle.
+  Status failure = ok_status();
+  array_set_.for_each_batch_in_topo_order(
+      [&](uint32_t table_id, const db::ColumnBatch& batch) {
+        if (!failure.is_ok()) return;
+        size_t first = 0;
+        while (first < batch.size()) {
+          auto next = batch_columns(table_id, batch, first, report);
+          if (!next.is_ok()) {
+            failure = next.status();
+            return;
+          }
+          first = *next;
+        }
+      });
+  SKY_RETURN_IF_ERROR(failure);
+  // Keep the column buffers' capacity for the next cycle (arena reuse);
+  // only the row arrays pay the build/teardown cost each cycle.
+  array_set_.clear_keep_buffers();
+  if (options_.commit.every_cycles > 0 &&
+      report.flush_cycles % options_.commit.every_cycles == 0) {
+    const Status commit_status = session_.commit();
+    if (commit_status.is_ok()) ++report.commits;
+  }
+  return ok_status();
+}
+
 Status BulkLoader::flush_arrays(FileLoadReport& report) {
   if (array_set_.buffered_rows() == 0) return ok_status();
   ++report.flush_cycles;
@@ -109,14 +180,8 @@ Status BulkLoader::flush_arrays(FileLoadReport& report) {
   return ok_status();
 }
 
-Result<FileLoadReport> BulkLoader::load_text(std::string_view file_name,
-                                             std::string_view text) {
-  FileLoadReport report;
-  report.file_name = std::string(file_name);
-  report.bytes = static_cast<int64_t>(text.size());
-  const Nanos start = session_.now();
-
-  for (std::string_view line : split(text, '\n')) {
+Status BulkLoader::ingest_rows(std::string_view text, FileLoadReport& report) {
+  for (std::string_view line : split_view(text, '\n')) {
     ++report.lines_read;
     if (!catalog::CatalogParser::is_data_line(line)) continue;
     // Parse, validate, transform, compute — client-side work.
@@ -137,7 +202,60 @@ Result<FileLoadReport> BulkLoader::load_text(std::string_view file_name,
     if (full) SKY_RETURN_IF_ERROR(flush_arrays(report));
   }
   // Load whatever remains buffered.
-  SKY_RETURN_IF_ERROR(flush_arrays(report));
+  return flush_arrays(report);
+}
+
+Status BulkLoader::ingest_columnar(std::string_view text,
+                                   FileLoadReport& report) {
+  catalog::ParsedBlock block;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    const int64_t base_line = report.lines_read;
+    parser_->parse_block(text, pos,
+                         static_cast<size_t>(options_.parse_block_rows),
+                         block);
+    report.lines_read += block.lines_consumed;
+    // Client-side parse/validate/transform/compute cost: charged per data
+    // line, failing lines included, at the vectorized-parse rate.
+    session_.client_compute(block.data_lines *
+                            options_.client_parse_cost_per_row_columnar);
+    for (const catalog::BlockError& error : block.errors) {
+      ++report.parse_errors;
+      record_error(report,
+                   LoadError{LoadError::Stage::kParse, "",
+                             base_line + error.line_offset + 1,
+                             std::string(error.line.substr(0, 80)),
+                             error.status});
+    }
+    int64_t block_rows = 0;
+    for (size_t slot = 0; slot < block.batches.size(); ++slot) {
+      const db::ColumnBatch& batch = block.batches[slot];
+      if (batch.empty()) continue;
+      block_rows += static_cast<int64_t>(batch.size());
+      array_set_.append_batch(block.table_ids[slot], batch);
+    }
+    report.rows_parsed += block_rows;
+    if (block_rows > 0) {
+      session_.note_buffered_rows(block_rows, array_set_.footprint_bytes(),
+                                  /*columnar=*/true);
+    }
+    if (array_set_.should_flush()) SKY_RETURN_IF_ERROR(flush_batches(report));
+  }
+  return flush_batches(report);
+}
+
+Result<FileLoadReport> BulkLoader::load_text(std::string_view file_name,
+                                             std::string_view text) {
+  FileLoadReport report;
+  report.file_name = std::string(file_name);
+  report.bytes = static_cast<int64_t>(text.size());
+  const Nanos start = session_.now();
+
+  if (options_.columnar_ingest) {
+    SKY_RETURN_IF_ERROR(ingest_columnar(text, report));
+  } else {
+    SKY_RETURN_IF_ERROR(ingest_rows(text, report));
+  }
 
   if (has_audit_table_ && options_.write_audit_row) {
     // The loader's own bookkeeping row. The id derives from the file name;

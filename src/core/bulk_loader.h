@@ -17,15 +17,12 @@
 #include <string>
 #include <string_view>
 
+#include "catalog/parser.h"
 #include "client/session.h"
 #include "core/array_set.h"
 #include "core/commit_policy.h"
 #include "core/load_report.h"
 #include "db/schema.h"
-
-namespace sky::catalog {
-class CatalogParser;
-}
 
 namespace sky::core {
 
@@ -51,6 +48,24 @@ struct BulkLoaderOptions {
   // overhead that makes very small array sizes slow (paper section 4.3 /
   // Fig. 6 left side).
   Nanos flush_cycle_cost_per_array = 700 * kMicrosecond;
+  // Columnar ingest hot path (DESIGN.md "Columnar ingest hot path"):
+  // vectorized block parse into arena-backed column batches, batches sent
+  // through Session::execute_column_batch. Identical final state and error
+  // accounting to the row path (the differential tests hold both to that);
+  // off by default, wired by TuningProfile::columnar_ingest.
+  bool columnar_ingest = false;
+  // Data lines consumed per parse_block call on the columnar path.
+  int64_t parse_block_rows = 512;
+  // Simulated per-row parse cost on the columnar path (vectorized block
+  // parse — no Row/Value materialization; mirrors
+  // client::CostModel::client_row_parse_columnar).
+  Nanos client_parse_cost_per_row_columnar = 5500;
+  // Per-cycle, per-array cost on the columnar path. The column buffers are
+  // retained across cycles (ArraySet::clear_keep_buffers — no per-cycle
+  // array construction or teardown) and the array-insert statements stay
+  // prepared, so what remains is per-array cycle bookkeeping: offset
+  // resets, statistics, and re-arming the statement for the next call.
+  Nanos flush_cycle_cost_per_array_columnar = 100 * kMicrosecond;
 };
 
 class BulkLoader {
@@ -69,7 +84,16 @@ class BulkLoader {
 
   const BulkLoaderOptions& options() const { return options_; }
 
+  // Client-side parser counters for this loader (lines, data rows, parse
+  // errors, htmids computed) — aggregated across workers into
+  // ParallelLoadReport by the coordinator.
+  const catalog::ParserStats& parser_stats() const { return parser_->stats(); }
+
  private:
+  // Row-at-a-time ingest (the original loop) vs. columnar block ingest; both
+  // leave everything buffered flushed and feed the same report fields.
+  Status ingest_rows(std::string_view text, FileLoadReport& report);
+  Status ingest_columnar(std::string_view text, FileLoadReport& report);
   // The paper's batch_row: send rows [first, rows.size()) in batches; on a
   // constraint error, record it, skip the bad row, and return the index to
   // resume from; returns rows.size() when the array is fully loaded.
@@ -78,8 +102,15 @@ class BulkLoader {
   Result<size_t> batch_row(uint32_t table_id,
                            const std::vector<db::Row>& rows, size_t first,
                            FileLoadReport& report);
+  // Columnar batch_row: same skip-and-repack recovery over a column batch,
+  // chunked through Session::execute_column_batch.
+  Result<size_t> batch_columns(uint32_t table_id,
+                               const db::ColumnBatch& rows, size_t first,
+                               FileLoadReport& report);
   // One bulk-loading cycle over the array-set, parent-first.
   Status flush_arrays(FileLoadReport& report);
+  // Columnar flush cycle (same ordering, commit cadence, and teardown).
+  Status flush_batches(FileLoadReport& report);
   void record_error(FileLoadReport& report, LoadError error);
 
   client::Session& session_;

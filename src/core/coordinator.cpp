@@ -65,6 +65,7 @@ struct WorkerResult {
   Nanos txn_slot_wait = 0;
   Nanos itl_wait = 0;
   Nanos stall_time = 0;
+  catalog::ParserStats parser;
   int files = 0;
   int files_skipped = 0;
   Status failure = ok_status();
@@ -94,6 +95,7 @@ void worker_loop(int worker, WorkQueue& queue,
     ++result.files;
     result.reports.push_back(std::move(*report));
   }
+  result.parser = loader.parser_stats();
   result.lock_wait = session.stats().lock_wait_time;
   result.commit_flushes = session.stats().commit_flushes_led;
   result.commit_piggybacks = session.stats().commit_piggybacks;
@@ -119,6 +121,10 @@ ParallelLoadReport assemble(std::vector<WorkerResult> worker_results,
     report.txn_slot_wait += worker.txn_slot_wait;
     report.itl_wait += worker.itl_wait;
     report.stall_time += worker.stall_time;
+    report.parser_lines += worker.parser.lines;
+    report.parser_data_rows += worker.parser.data_rows;
+    report.parser_errors += worker.parser.parse_errors;
+    report.htmids_computed += worker.parser.htmids_computed;
     for (FileLoadReport& file : worker.reports) {
       report.total_bytes += file.bytes;
       report.total_rows_loaded += file.rows_loaded;

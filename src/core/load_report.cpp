@@ -71,6 +71,15 @@ std::string render_markdown_report(const ParallelLoadReport& report,
   out += str_format("- skipped: %lld parse, %lld constraint\n",
                     static_cast<long long>(totals.parse_errors),
                     static_cast<long long>(totals.rows_skipped_server));
+  if (report.parser_lines > 0) {
+    out += str_format(
+        "- parser: %lld data lines, %lld rows, %lld errors, "
+        "%lld htmids computed\n",
+        static_cast<long long>(report.parser_lines),
+        static_cast<long long>(report.parser_data_rows),
+        static_cast<long long>(report.parser_errors),
+        static_cast<long long>(report.htmids_computed));
+  }
 
   out += "\n## Rows per table\n\n| table | rows |\n|---|---|\n";
   for (const auto& [table, rows] : totals.loaded_per_table) {

@@ -67,6 +67,14 @@ struct ParallelLoadReport {
   Nanos txn_slot_wait = 0;
   Nanos itl_wait = 0;
   Nanos stall_time = 0;
+  // Client-side parser totals across workers (summed from each loader's
+  // ParserStats): data lines parsed, rows that converted cleanly,
+  // structural parse errors, and computed object htmids. These cross-check
+  // the per-file parse_errors counters and the htmid index row count.
+  int64_t parser_lines = 0;
+  int64_t parser_data_rows = 0;
+  int64_t parser_errors = 0;
+  int64_t htmids_computed = 0;
 
   double throughput_mb_per_s() const {
     if (makespan <= 0) return 0.0;

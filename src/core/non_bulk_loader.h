@@ -9,14 +9,11 @@
 #include <string>
 #include <string_view>
 
+#include "catalog/parser.h"
 #include "client/session.h"
 #include "core/commit_policy.h"
 #include "core/load_report.h"
 #include "db/schema.h"
-
-namespace sky::catalog {
-class CatalogParser;
-}
 
 namespace sky::core {
 
@@ -25,6 +22,16 @@ struct NonBulkLoaderOptions {
   CommitPolicy commit;
   size_t max_error_details = 1000;
   Nanos client_parse_cost_per_row = 15 * kMicrosecond;
+  // Parse input through the vectorized block parser (the columnar ingest
+  // front end) but still send rows one database call each — isolates the
+  // parse speedup from the batch-insert speedup. Rows are sent per block in
+  // table order (parent-before-child), not raw file order.
+  bool columnar_parse = false;
+  // Data lines consumed per parse_block call when columnar_parse is on.
+  int64_t parse_block_rows = 512;
+  // Simulated per-row parse cost when columnar_parse is on (vectorized
+  // block parse; mirrors client::CostModel::client_row_parse_columnar).
+  Nanos client_parse_cost_per_row_columnar = 5500;
 };
 
 class NonBulkLoader {
@@ -36,7 +43,15 @@ class NonBulkLoader {
   Result<FileLoadReport> load_text(std::string_view file_name,
                                    std::string_view text);
 
+  // Client-side parser counters (aggregated by the coordinator).
+  const catalog::ParserStats& parser_stats() const { return parser_->stats(); }
+
  private:
+  // Send one parsed row (one database call) and fold the outcome into the
+  // report; `line_number` is the 1-based input line for error details.
+  Result<bool> send_row(uint32_t table_id, const db::Row& row,
+                        int64_t line_number, FileLoadReport& report);
+
   client::Session& session_;
   const db::Schema& schema_;
   NonBulkLoaderOptions options_;

@@ -28,7 +28,7 @@ Result<FileLoadReport> SdssStyleLoader::load_text(std::string_view file_name,
   Nanos phase_start = session_.now();
   const auto table_count = static_cast<size_t>(schema_.table_count());
   std::vector<std::vector<std::string>> csv_lines(table_count);
-  for (std::string_view line : split(text, '\n')) {
+  for (std::string_view line : split_view(text, '\n')) {
     ++report.lines_read;
     if (!catalog::CatalogParser::is_data_line(line)) continue;
     session_.client_compute(options_.client_parse_cost_per_row +
@@ -65,7 +65,8 @@ Result<FileLoadReport> SdssStyleLoader::load_text(std::string_view file_name,
   // they already exist at the destination.
   if (!options_.reference_seed_text.empty()) {
     catalog::CatalogParser seed_parser(schema_);
-    for (std::string_view line : split(options_.reference_seed_text, '\n')) {
+    for (std::string_view line :
+         split_view(options_.reference_seed_text, '\n')) {
       if (!catalog::CatalogParser::is_data_line(line)) continue;
       auto parsed = seed_parser.parse_line(line);
       if (!parsed.is_ok()) continue;

@@ -69,17 +69,26 @@ client::ServerConfig TuningProfile::server_config() const {
 
 BulkLoaderOptions TuningProfile::bulk_options() const {
   BulkLoaderOptions options;
-  options.batch_size = bulk ? batch_size : 1;
-  options.array_config.default_rows = array_size;
+  options.batch_size = bulk ? (columnar_ingest ? columnar_batch_size
+                                               : batch_size)
+                            : 1;
+  options.array_config.default_rows =
+      columnar_ingest ? columnar_array_rows : array_size;
+  if (columnar_ingest) {
+    options.array_config.memory_high_water_bytes =
+        columnar_flush_high_water_bytes;
+  }
   options.commit = commit;
+  options.columnar_ingest = columnar_ingest;
   return options;
 }
 
 std::string TuningProfile::describe() const {
   return str_format(
-      "%s: %s, batch=%lld, array=%lld, parallel=%d (%s), commits=%s, "
+      "%s: %s%s, batch=%lld, array=%lld, parallel=%d (%s), commits=%s, "
       "indexes[htmid=%s composite=%s], %s, cache=%lld pages, %s input",
       name.c_str(), bulk ? "bulk" : "non-bulk",
+      columnar_ingest ? " (columnar)" : "",
       static_cast<long long>(batch_size), static_cast<long long>(array_size),
       parallel_degree, dynamic_assignment ? "dynamic" : "static",
       commit.describe().c_str(),

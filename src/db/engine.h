@@ -58,6 +58,7 @@
 #include "common/status.h"
 #include "common/units.h"
 #include "core/concurrency_policy.h"
+#include "db/column_batch.h"
 #include "db/lock_manager.h"
 #include "db/op_costs.h"
 #include "db/row.h"
@@ -183,6 +184,20 @@ class Engine {
   // JDBC executeBatch semantics (see file header).
   BatchResult insert_batch(uint64_t txn_id, uint32_t table_id,
                            std::span<const Row> rows);
+  // Columnar batch insert — the batch ingest hot path. Applies rows
+  // [first, first + count) of `batch` with exactly insert_batch's JDBC
+  // semantics and final state: when the rows' primary keys arrive strictly
+  // increasing (presorted catalog blocks) and the table has no enabled
+  // unique secondary index, constraints are settled for the whole run under
+  // ONE exclusive index-latch window, the heap absorbs the run under one
+  // extent-latch acquisition (ShardedHeap::append_batch), redo is one
+  // kInsertBatch WAL record, and each B+tree takes one sorted-run merge
+  // (insert_sorted_run) instead of count root-to-leaf descents. Otherwise
+  // the rows fall back to the row-at-a-time path (identical semantics,
+  // no speedup).
+  BatchResult insert_column_batch(uint64_t txn_id, uint32_t table_id,
+                                  const ColumnBatch& batch, size_t first = 0,
+                                  size_t count = static_cast<size_t>(-1));
   // Single-row insert (the non-bulk baseline path). `extent_override` pins
   // the heap extent instead of using the transaction's assigned one —
   // recovery uses it to replay each row into its original extent.
@@ -328,6 +343,17 @@ class Engine {
   // latch exclusive). See DESIGN.md "Heap extent sharding".
   Status insert_row_latched(Transaction& txn, uint32_t table_id,
                             const Row& row, OpCosts& costs, uint32_t extent);
+  // Fast path of insert_column_batch (pre-checked eligible): settle
+  // constraints for the whole run under one exclusive index-latch window,
+  // append the surviving prefix to the heap in one latched batch, log one
+  // kInsertBatch record, and merge each tree's sorted run. `pk_keys` holds
+  // the encoded PK of every submitted row (strictly increasing). Fills
+  // `result` (rows_applied / error / costs) in place.
+  void insert_column_run_latched(Transaction& txn, uint32_t table_id,
+                                 const ColumnBatch& batch, size_t first,
+                                 size_t count,
+                                 std::vector<std::string> pk_keys,
+                                 uint32_t extent, BatchResult& result);
   // Constraint checks against the current trees (PK, FK, unique secondary).
   // Caller holds the table's index latch (shared or exclusive); parents'
   // index latches are taken shared inside. Returns the first violation.

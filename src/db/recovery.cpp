@@ -40,13 +40,10 @@ Result<std::unique_ptr<Engine>> recover_from_wal(
   // commit record, so it is already excluded by pass 1.
   auto engine = std::make_unique<Engine>(schema, options);
   const uint64_t txn = engine->begin_transaction();
-  for (const storage::WalRecord& record : records) {
-    if (record.type != storage::WalRecordType::kInsert) continue;
-    if (committed.count(record.txn_id) == 0) {
-      ++local.rows_discarded;
-      continue;
-    }
-    SKY_ASSIGN_OR_RETURN(const Row row, decode_row(record.payload));
+  // Replay one encoded row into its original extent.
+  const auto replay_row =
+      [&](const storage::WalRecord& record, std::string_view bytes) -> Status {
+    SKY_ASSIGN_OR_RETURN(const Row row, decode_row(bytes));
     if (record.table_id >= static_cast<uint32_t>(schema.table_count())) {
       return Status(ErrorCode::kInternal,
                     "WAL replay: record references unknown table");
@@ -60,6 +57,48 @@ Result<std::unique_ptr<Engine>> recover_from_wal(
                         status.to_string());
     }
     ++local.rows_replayed;
+    return ok_status();
+  };
+  for (const storage::WalRecord& record : records) {
+    if (record.type == storage::WalRecordType::kInsert) {
+      if (committed.count(record.txn_id) == 0) {
+        ++local.rows_discarded;
+        continue;
+      }
+      SKY_RETURN_IF_ERROR(replay_row(record, record.payload));
+    } else if (record.type == storage::WalRecordType::kInsertBatch) {
+      // One record covering a whole columnar run: a sequence of
+      // [u32 big-endian length][encoded row] entries, all in record.extent.
+      // Replaying them one by one into that extent reproduces the exact
+      // page/slot layout the batch append produced (see wal.h).
+      const std::string& payload = record.payload;
+      size_t pos = 0;
+      while (pos < payload.size()) {
+        if (payload.size() - pos < 4) {
+          return Status(ErrorCode::kInternal,
+                        "WAL replay: truncated batch record header");
+        }
+        const uint32_t len =
+            (static_cast<uint32_t>(static_cast<uint8_t>(payload[pos])) << 24) |
+            (static_cast<uint32_t>(static_cast<uint8_t>(payload[pos + 1]))
+             << 16) |
+            (static_cast<uint32_t>(static_cast<uint8_t>(payload[pos + 2]))
+             << 8) |
+            static_cast<uint32_t>(static_cast<uint8_t>(payload[pos + 3]));
+        pos += 4;
+        if (payload.size() - pos < len) {
+          return Status(ErrorCode::kInternal,
+                        "WAL replay: truncated batch record row");
+        }
+        if (committed.count(record.txn_id) == 0) {
+          ++local.rows_discarded;
+        } else {
+          SKY_RETURN_IF_ERROR(replay_row(
+              record, std::string_view(payload.data() + pos, len)));
+        }
+        pos += len;
+      }
+    }
   }
   SKY_RETURN_IF_ERROR(engine->commit(txn).status());
   if (stats != nullptr) *stats = local;

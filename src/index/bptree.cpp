@@ -345,6 +345,224 @@ Status BPlusTree::bulk_build(
   return ok_status();
 }
 
+namespace {
+// Balanced chunk sizes for multi-way splits: `total` entries into the fewest
+// chunks of at most `max_per_chunk`, sizes differing by at most one.
+std::vector<size_t> balanced_chunks(size_t total, size_t max_per_chunk) {
+  const size_t chunks = (total + max_per_chunk - 1) / max_per_chunk;
+  const size_t base = total / chunks;
+  const size_t extra = total % chunks;
+  std::vector<size_t> sizes(chunks, base);
+  for (size_t i = 0; i < extra; ++i) ++sizes[i];
+  return sizes;
+}
+}  // namespace
+
+Status BPlusTree::insert_run_recursive(
+    Node* node, std::vector<std::pair<std::string, uint64_t>>& run,
+    size_t begin, size_t end, std::vector<SplitResult>& pieces,
+    RunTouch* touch) {
+  if (touch != nullptr) ++touch->nodes_visited;
+  if (node->is_leaf) {
+    auto* leaf = static_cast<LeafNode*>(node);
+    // Compare-only duplicate pre-pass so the merge below (which moves keys
+    // out of the leaf) never has to fail with the leaf half-emptied.
+    {
+      size_t li = 0;
+      for (size_t ri = begin; ri < end; ++ri) {
+        while (li < leaf->keys.size() && leaf->keys[li] < run[ri].first) ++li;
+        if (li < leaf->keys.size() && leaf->keys[li] == run[ri].first) {
+          return Status(ErrorCode::kAlreadyExists,
+                        "sorted run collides with existing index key");
+        }
+      }
+    }
+    std::vector<std::string> merged_keys;
+    std::vector<uint64_t> merged_values;
+    const size_t total = leaf->keys.size() + (end - begin);
+    merged_keys.reserve(total);
+    merged_values.reserve(total);
+    size_t li = 0;
+    size_t ri = begin;
+    while (li < leaf->keys.size() || ri < end) {
+      const bool take_run =
+          li >= leaf->keys.size() ||
+          (ri < end && run[ri].first < leaf->keys[li]);
+      if (take_run) {
+        merged_keys.push_back(std::move(run[ri].first));
+        merged_values.push_back(run[ri].second);
+        ++ri;
+      } else {
+        merged_keys.push_back(std::move(leaf->keys[li]));
+        merged_values.push_back(leaf->values[li]);
+        ++li;
+      }
+    }
+    if (total <= static_cast<size_t>(fanout_)) {
+      leaf->keys = std::move(merged_keys);
+      leaf->values = std::move(merged_values);
+      if (touch != nullptr) touch->touched_leaf_ids.push_back(leaf->page_id);
+      return ok_status();
+    }
+    // Multi-way split: the first chunk stays in place, the rest become new
+    // right siblings spliced into the leaf chain in order.
+    const std::vector<size_t> sizes =
+        balanced_chunks(total, static_cast<size_t>(fanout_));
+    size_t offset = sizes[0];
+    leaf->keys.assign(std::make_move_iterator(merged_keys.begin()),
+                      std::make_move_iterator(merged_keys.begin() +
+                                              static_cast<ptrdiff_t>(offset)));
+    leaf->values.assign(merged_values.begin(),
+                        merged_values.begin() + static_cast<ptrdiff_t>(offset));
+    if (touch != nullptr) touch->touched_leaf_ids.push_back(leaf->page_id);
+    LeafNode* prev = leaf;
+    LeafNode* const after = leaf->next;
+    for (size_t c = 1; c < sizes.size(); ++c) {
+      auto right = std::make_unique<LeafNode>();
+      right->page_id = ++next_page_id_;
+      right->keys.assign(
+          std::make_move_iterator(merged_keys.begin() +
+                                  static_cast<ptrdiff_t>(offset)),
+          std::make_move_iterator(merged_keys.begin() +
+                                  static_cast<ptrdiff_t>(offset + sizes[c])));
+      right->values.assign(
+          merged_values.begin() + static_cast<ptrdiff_t>(offset),
+          merged_values.begin() + static_cast<ptrdiff_t>(offset + sizes[c]));
+      offset += sizes[c];
+      prev->next = right.get();
+      prev = right.get();
+      ++node_count_;
+      if (touch != nullptr) {
+        ++touch->leaf_splits;
+        touch->touched_leaf_ids.push_back(right->page_id);
+      }
+      pieces.emplace_back(
+          SplitResult{right->keys.front(), std::move(right)});
+    }
+    prev->next = after;
+    return ok_status();
+  }
+
+  auto* internal = static_cast<InternalNode*>(node);
+  // Partition the run slice across children by the separators (same
+  // upper-bound rule the point descent uses: a key equal to a separator
+  // belongs to the right child), splicing each child's new siblings in
+  // behind it.
+  std::vector<std::string> new_keys;
+  std::vector<std::unique_ptr<Node>> new_children;
+  new_keys.reserve(internal->keys.size());
+  new_children.reserve(internal->children.size());
+  size_t run_pos = begin;
+  std::vector<SplitResult> child_pieces;
+  for (size_t i = 0; i < internal->children.size(); ++i) {
+    size_t hi = end;
+    if (i < internal->keys.size()) {
+      const auto it = std::lower_bound(
+          run.begin() + static_cast<ptrdiff_t>(run_pos),
+          run.begin() + static_cast<ptrdiff_t>(end), internal->keys[i],
+          [](const std::pair<std::string, uint64_t>& entry,
+             const std::string& sep) { return entry.first < sep; });
+      hi = static_cast<size_t>(it - run.begin());
+    }
+    if (i > 0) new_keys.push_back(std::move(internal->keys[i - 1]));
+    Node* const child = internal->children[i].get();
+    new_children.push_back(std::move(internal->children[i]));
+    if (run_pos < hi) {
+      child_pieces.clear();
+      SKY_RETURN_IF_ERROR(insert_run_recursive(child, run, run_pos, hi,
+                                               child_pieces, touch));
+      for (SplitResult& piece : child_pieces) {
+        new_keys.push_back(std::move(piece.separator));
+        new_children.push_back(std::move(piece.right));
+      }
+    }
+    run_pos = hi;
+  }
+  internal->keys = std::move(new_keys);
+  internal->children = std::move(new_children);
+  if (internal->children.size() > static_cast<size_t>(fanout_)) {
+    multi_split_internal(internal, pieces);
+  }
+  return ok_status();
+}
+
+void BPlusTree::multi_split_internal(InternalNode* node,
+                                     std::vector<SplitResult>& pieces) {
+  std::vector<std::string> keys = std::move(node->keys);
+  std::vector<std::unique_ptr<Node>> children = std::move(node->children);
+  const std::vector<size_t> sizes =
+      balanced_chunks(children.size(), static_cast<size_t>(fanout_));
+  // Chunk 0 stays in `node`; between consecutive chunks one key is promoted.
+  size_t child_offset = sizes[0];
+  node->keys.assign(std::make_move_iterator(keys.begin()),
+                    std::make_move_iterator(keys.begin() +
+                                            static_cast<ptrdiff_t>(sizes[0] -
+                                                                   1)));
+  node->children.assign(
+      std::make_move_iterator(children.begin()),
+      std::make_move_iterator(children.begin() +
+                              static_cast<ptrdiff_t>(sizes[0])));
+  for (size_t c = 1; c < sizes.size(); ++c) {
+    auto right = std::make_unique<InternalNode>();
+    right->page_id = ++next_page_id_;
+    // keys[child_offset - 1] separates chunk c-1 from chunk c: promote it.
+    std::string promoted = std::move(keys[child_offset - 1]);
+    right->keys.assign(
+        std::make_move_iterator(keys.begin() +
+                                static_cast<ptrdiff_t>(child_offset)),
+        std::make_move_iterator(
+            keys.begin() +
+            static_cast<ptrdiff_t>(child_offset + sizes[c] - 1)));
+    right->children.assign(
+        std::make_move_iterator(children.begin() +
+                                static_cast<ptrdiff_t>(child_offset)),
+        std::make_move_iterator(
+            children.begin() +
+            static_cast<ptrdiff_t>(child_offset + sizes[c])));
+    child_offset += sizes[c];
+    ++node_count_;
+    pieces.emplace_back(SplitResult{std::move(promoted), std::move(right)});
+  }
+}
+
+Status BPlusTree::insert_sorted_run(
+    std::vector<std::pair<std::string, uint64_t>> run, RunTouch* touch) {
+  if (run.empty()) return ok_status();
+  size_t run_bytes = run.front().first.size() + kEntryOverhead;
+  for (size_t i = 1; i < run.size(); ++i) {
+    if (!(run[i - 1].first < run[i].first)) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "insert_sorted_run input not strictly sorted");
+    }
+    run_bytes += run[i].first.size() + kEntryOverhead;
+  }
+  const size_t count = run.size();
+  std::vector<SplitResult> pieces;
+  SKY_RETURN_IF_ERROR(
+      insert_run_recursive(root_.get(), run, 0, count, pieces, touch));
+  // Grow upward while the root overflowed: wrap the root and its new right
+  // siblings in a fresh root, re-splitting if even that is over-full.
+  while (!pieces.empty()) {
+    auto new_root = std::make_unique<InternalNode>();
+    new_root->page_id = ++next_page_id_;
+    new_root->children.push_back(std::move(root_));
+    for (SplitResult& piece : pieces) {
+      new_root->keys.push_back(std::move(piece.separator));
+      new_root->children.push_back(std::move(piece.right));
+    }
+    pieces.clear();
+    ++node_count_;
+    ++height_;
+    if (new_root->children.size() > static_cast<size_t>(fanout_)) {
+      multi_split_internal(new_root.get(), pieces);
+    }
+    root_ = std::move(new_root);
+  }
+  size_ += count;
+  approx_bytes_ += run_bytes;
+  return ok_status();
+}
+
 Status BPlusTree::validate() const {
   // Recursive bound check + leaf depth, then independent chain walk.
   struct Checker {

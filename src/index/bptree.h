@@ -101,6 +101,32 @@ class BPlusTree {
   // sorted.
   Status bulk_build(std::vector<std::pair<std::string, uint64_t>> sorted);
 
+  // Page-level touch summary for one sorted-run insert (the batch analogue
+  // of TouchInfo): feeds the same buffer-cache / cost-model hooks.
+  struct RunTouch {
+    int nodes_visited = 0;  // distinct nodes walked by the merge descent
+    int leaf_splits = 0;    // new leaf pages created
+    // Leaves that absorbed at least one key (new leaves included), in tree
+    // order — each is one dirty index page.
+    std::vector<uint32_t> touched_leaf_ids;
+  };
+
+  // Incremental batch insert of a strictly-increasing sorted run: one merge
+  // descent partitions the run across the tree and each touched leaf absorbs
+  // its slice in a single merge (multi-way splitting as needed), replacing N
+  // root-to-leaf descents with ~O(touched nodes + N) work. The incremental
+  // extension of bulk_build() — the tree may be non-empty and keeps its
+  // existing contents.
+  //
+  // Preconditions: `run` strictly sorted and disjoint from the current
+  // contents (the engine verifies both under the exclusive index latch).
+  // Violations return kInvalidArgument (unsorted: tree unmodified) or
+  // kAlreadyExists (duplicate: leaves merged before the offending key keep
+  // their slices — the tree stays structurally valid, so callers treat it
+  // as a logic error, not a recovery point).
+  Status insert_sorted_run(std::vector<std::pair<std::string, uint64_t>> run,
+                           RunTouch* touch = nullptr);
+
   // Structural invariant check for tests: key ordering within and across
   // nodes, separator correctness, leaf chain completeness, size agreement.
   Status validate() const;
@@ -115,6 +141,18 @@ class BPlusTree {
   Status insert_recursive(Node* node, std::string_view key, uint64_t value,
                           int depth, std::optional<SplitResult>& split,
                           TouchInfo* touch);
+  // Merge run[begin, end) into the subtree at `node`; new right siblings
+  // (with their separators) are appended to `pieces` for the parent to
+  // splice in after this child.
+  Status insert_run_recursive(Node* node,
+                              std::vector<std::pair<std::string, uint64_t>>& run,
+                              size_t begin, size_t end,
+                              std::vector<SplitResult>& pieces,
+                              RunTouch* touch);
+  // Split an over-full internal node into <= fanout chunks; the first chunk
+  // stays in `node`, the rest are emitted as (promoted key, node) pieces.
+  void multi_split_internal(InternalNode* node,
+                            std::vector<SplitResult>& pieces);
   const LeafNode* find_leaf(std::string_view key) const;
 
   int fanout_;

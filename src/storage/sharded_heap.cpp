@@ -78,6 +78,38 @@ ShardedHeap::AppendResult ShardedHeap::append_pending(uint32_t extent,
   return append_with(extent, std::move(row_bytes), /*pending=*/true);
 }
 
+ShardedHeap::BatchAppendResult ShardedHeap::append_batch(
+    uint32_t extent, std::vector<std::string> rows) {
+  BatchAppendResult result;
+  if (rows.empty()) return result;
+  const uint32_t e = extent % extent_count();
+  Extent& target = *extents_[e];
+  int64_t batch_bytes = 0;
+  result.slots.reserve(rows.size());
+  result.latch_wait_ns = lock_extent_timed(target.latch);
+  const std::unique_lock<std::shared_mutex> latch(target.latch,
+                                                  std::adopt_lock);
+  for (std::string& row_bytes : rows) {
+    batch_bytes += static_cast<int64_t>(row_bytes.size());
+    const HeapFile::AppendResult appended =
+        target.file.append(std::move(row_bytes));
+    result.slots.push_back(appended.slot);
+    if (appended.opened_new_page) ++result.pages_opened;
+  }
+  pages_.fetch_add(result.pages_opened, std::memory_order_relaxed);
+  target.appended_bytes.fetch_add(batch_bytes, std::memory_order_relaxed);
+  live_rows_.fetch_add(static_cast<int64_t>(rows.size()),
+                       std::memory_order_relaxed);
+  total_bytes_.fetch_add(batch_bytes, std::memory_order_relaxed);
+  if (append_write_latency_ > 0) {
+    // One modeled device write per row, paid as a single sleep under the
+    // extent latch (same total as the row path, one syscall).
+    std::this_thread::sleep_for(std::chrono::nanoseconds(
+        append_write_latency_ * static_cast<Nanos>(rows.size())));
+  }
+  return result;
+}
+
 Status ShardedHeap::publish(SlotId slot) {
   if (slot.extent >= extent_count()) {
     return Status(ErrorCode::kNotFound, "heap extent out of range");

@@ -70,6 +70,21 @@ class ShardedHeap {
   Status publish(SlotId slot);
   Status discard(SlotId slot);
 
+  // Batch append: every row lands live in the given extent under ONE latch
+  // acquisition (the columnar ingest hot path — constraints are settled
+  // under the exclusive index latch before this is called, so the rows skip
+  // the pending/publish handshake). Slot layout is identical to the same
+  // rows appended one by one; the modeled per-append device write is slept
+  // once for the whole batch (rows.size() x append_write_latency) under the
+  // latch, preserving the one-write-stream-per-extent contention model.
+  struct BatchAppendResult {
+    std::vector<SlotId> slots;   // one per row, in submission order
+    int64_t pages_opened = 0;
+    Nanos latch_wait_ns = 0;
+  };
+  BatchAppendResult append_batch(uint32_t extent,
+                                 std::vector<std::string> rows);
+
   Result<std::string_view> read(SlotId slot) const;
   Status mark_deleted(SlotId slot);
 

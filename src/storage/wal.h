@@ -56,6 +56,13 @@ enum class WalRecordType : uint8_t {
   kInsert = 1,
   kRollbackInsert = 2,
   kCommit = 3,
+  // One redo record covering a whole columnar batch append (the batch
+  // ingest hot path): the payload is a sequence of
+  // [u32 big-endian row length][encoded row bytes] entries, all appended to
+  // the same heap extent in payload order. Recovery replays the rows one by
+  // one into that extent, so a recovered repository is extent-identical to
+  // the original whether the load used per-row or batch redo.
+  kInsertBatch = 4,
 };
 
 struct WalRecord {

@@ -141,5 +141,101 @@ TEST(ArraySetTest, ConfigRejectsBadValues) {
   EXPECT_FALSE(ArraySet::Config::from_config(*bad_per_table, schema).is_ok());
 }
 
+// -------------------------------------------------------- columnar buffers ---
+
+db::ColumnBatch make_batch(const db::Schema& schema, uint32_t table_id,
+                           int64_t first_id, int rows) {
+  db::ColumnBatch batch(schema.table(table_id));
+  for (int i = 0; i < rows; ++i) {
+    batch.push_i64(0, first_id + i);
+    batch.push_str(1, "payload");
+  }
+  return batch;
+}
+
+TEST(ArraySetTest, AppendBatchMergesAndTriggersAtCapacity) {
+  const db::Schema schema = tiny_schema();
+  ArraySet::Config config;
+  config.default_rows = 10;
+  ArraySet set(schema, config);
+  EXPECT_FALSE(set.append_batch(0, make_batch(schema, 0, 0, 4)));
+  EXPECT_FALSE(set.append_batch(0, make_batch(schema, 0, 4, 4)));
+  EXPECT_EQ(set.buffered_rows(), 8);
+  EXPECT_EQ(set.active_arrays(), 1);
+  EXPECT_GT(set.footprint_bytes(), 0);
+  // Crossing the per-table capacity flips the flush flag.
+  EXPECT_TRUE(set.append_batch(0, make_batch(schema, 0, 8, 4)));
+  EXPECT_TRUE(set.should_flush());
+  // The merged buffer holds every appended row, in order.
+  int64_t seen = 0;
+  set.for_each_batch_in_topo_order(
+      [&](uint32_t table_id, const db::ColumnBatch& batch) {
+        EXPECT_EQ(table_id, 0u);
+        for (size_t r = 0; r < batch.size(); ++r) {
+          EXPECT_EQ(batch.i64_at(r, 0), seen++);
+        }
+      });
+  EXPECT_EQ(seen, 12);
+}
+
+TEST(ArraySetTest, AppendBatchHighWaterTriggersFlush) {
+  const db::Schema schema = tiny_schema();
+  ArraySet::Config config;
+  config.default_rows = 1000000;
+  config.memory_high_water_bytes = 256;
+  ArraySet set(schema, config);
+  bool flush = false;
+  int64_t appended = 0;
+  while (!flush && appended < 10000) {
+    flush = set.append_batch(0, make_batch(schema, 0, appended, 8));
+    appended += 8;
+  }
+  EXPECT_TRUE(flush);
+  EXPECT_GE(set.footprint_bytes(), 256);
+  EXPECT_LT(appended, 10000);  // the byte budget fired, not the row cap
+}
+
+TEST(ArraySetTest, ClearKeepBuffersRetainsLayoutAndResetsCounters) {
+  const db::Schema schema = tiny_schema();
+  ArraySet set(schema, ArraySet::Config{});
+  set.append_batch(0, make_batch(schema, 0, 0, 16));
+  set.append_batch(1, make_batch(schema, 1, 0, 16));
+  EXPECT_EQ(set.active_arrays(), 2);
+  set.clear_keep_buffers();
+  // Counters reset, retained-but-empty buffers are not "active".
+  EXPECT_EQ(set.buffered_rows(), 0);
+  EXPECT_EQ(set.footprint_bytes(), 0);
+  EXPECT_EQ(set.active_arrays(), 0);
+  EXPECT_FALSE(set.should_flush());
+  int visited = 0;
+  set.for_each_batch_in_topo_order(
+      [&](uint32_t, const db::ColumnBatch&) { ++visited; });
+  EXPECT_EQ(visited, 0);
+  // Next cycle reuses the buffers; footprint counts only the new rows.
+  set.append_batch(0, make_batch(schema, 0, 100, 4));
+  EXPECT_EQ(set.buffered_rows(), 4);
+  const int64_t footprint_4 = set.footprint_bytes();
+  EXPECT_GT(footprint_4, 0);
+  set.for_each_batch_in_topo_order(
+      [&](uint32_t table_id, const db::ColumnBatch& batch) {
+        EXPECT_EQ(table_id, 0u);
+        ASSERT_EQ(batch.size(), 4u);
+        EXPECT_EQ(batch.i64_at(0, 0), 100);
+      });
+}
+
+TEST(ArraySetTest, RowAndBatchFootprintsBothFeedHighWater) {
+  const db::Schema schema = tiny_schema();
+  ArraySet::Config config;
+  config.default_rows = 1000000;
+  config.memory_high_water_bytes = 100000;
+  ArraySet set(schema, config);
+  set.append(0, make_row(1));
+  const int64_t row_only = set.footprint_bytes();
+  EXPECT_GT(row_only, 0);
+  set.append_batch(1, make_batch(schema, 1, 0, 8));
+  EXPECT_GT(set.footprint_bytes(), row_only);
+}
+
 }  // namespace
 }  // namespace sky::core

@@ -4,8 +4,11 @@
 // completeness properties over randomized inputs.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
 #include <sstream>
+#include <string>
+#include <tuple>
 
 #include "catalog/generator.h"
 #include "catalog/pq_schema.h"
@@ -428,6 +431,90 @@ TEST(LoaderEquivalenceTest, BulkMatchesNonBulk) {
     return loaded;
   };
   EXPECT_EQ(load_with(true), load_with(false));
+}
+
+// The columnar ingest pipeline is a performance path, not a semantics
+// change: on the same corrupted input it must produce a byte-identical
+// repository (extent/page/slot and encoded bytes per table), the same
+// report counters, and the same parser statistics as the row path.
+TEST(LoaderEquivalenceTest, ColumnarMatchesRowPathExactly) {
+  const db::Schema schema = catalog::make_pq_schema();
+  catalog::FileSpec spec;
+  spec.seed = 71;
+  spec.unit_id = 33;
+  spec.target_bytes = 96 * 1024;
+  spec.error_rate = 0.05;
+  const auto file = catalog::CatalogGenerator::generate(spec);
+  const std::string reference =
+      catalog::CatalogGenerator::reference_file().text;
+
+  struct Snapshot {
+    FileLoadReport report;
+    catalog::ParserStats stats;
+    // Per table: (extent, page, slot, encoded row bytes) in physical order.
+    std::map<std::string,
+             std::vector<std::tuple<uint32_t, uint32_t, uint32_t, std::string>>>
+        heap;
+  };
+  auto load_with = [&](bool columnar) {
+    db::Engine engine(schema);
+    client::DirectSession session(engine);
+    BulkLoaderOptions ref_options;
+    ref_options.write_audit_row = false;
+    BulkLoader ref_loader(session, schema, ref_options);
+    EXPECT_TRUE(ref_loader.load_text("reference", reference).is_ok());
+
+    Snapshot snap;
+    BulkLoaderOptions options;
+    options.write_audit_row = false;
+    options.max_error_details = 1 << 20;
+    options.columnar_ingest = columnar;
+    BulkLoader loader(session, schema, options);
+    const auto report = loader.load_text("diff.cat", file.text);
+    EXPECT_TRUE(report.is_ok());
+    snap.report = *report;
+    snap.stats = loader.parser_stats();
+    EXPECT_TRUE(engine.verify_integrity().is_ok());
+    for (const auto& table : schema.tables()) {
+      const uint32_t table_id = engine.table_id(table.name).value();
+      auto& rows = snap.heap[table.name];
+      EXPECT_TRUE(engine
+                      .scan_heap(table_id,
+                                 [&](storage::SlotId slot,
+                                     std::string_view bytes) {
+                                   rows.emplace_back(slot.extent, slot.page,
+                                                     slot.slot,
+                                                     std::string(bytes));
+                                 })
+                      .is_ok());
+    }
+    return snap;
+  };
+
+  const Snapshot row = load_with(false);
+  const Snapshot columnar = load_with(true);
+
+  // Same rows loaded, same rows rejected, at both stages.
+  EXPECT_EQ(columnar.report.rows_parsed, row.report.rows_parsed);
+  EXPECT_EQ(columnar.report.parse_errors, row.report.parse_errors);
+  EXPECT_EQ(columnar.report.rows_loaded, row.report.rows_loaded);
+  EXPECT_EQ(columnar.report.rows_skipped_server,
+            row.report.rows_skipped_server);
+  EXPECT_EQ(columnar.report.loaded_per_table, row.report.loaded_per_table);
+  EXPECT_EQ(columnar.report.errors.size(), row.report.errors.size());
+  EXPECT_GT(columnar.report.rows_skipped_server, 0);  // errors exercised
+
+  // The vectorized parser saw the same file the line parser did.
+  EXPECT_EQ(columnar.stats.lines, row.stats.lines);
+  EXPECT_EQ(columnar.stats.data_rows, row.stats.data_rows);
+  EXPECT_EQ(columnar.stats.comment_lines, row.stats.comment_lines);
+  EXPECT_EQ(columnar.stats.parse_errors, row.stats.parse_errors);
+  EXPECT_EQ(columnar.stats.htmids_computed, row.stats.htmids_computed);
+
+  // Physically identical heaps: same extent, page, slot, and bytes.
+  for (const auto& [table, expected] : row.heap) {
+    EXPECT_EQ(columnar.heap.at(table), expected) << table;
+  }
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 // computed htmid, error injection, and parse-and-load round trips.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <sstream>
@@ -361,6 +362,122 @@ TEST_F(ParserTest, CorruptedFileReportsParseErrorsButNeverCrashes) {
   // database, so parse failures < injected errors.
   EXPECT_LT(bad_rows, file.injected_errors);
   EXPECT_GT(ok_rows, file.data_lines - file.injected_errors);
+}
+
+// ------------------------------------------------- columnar block parser ---
+
+// parse_block must be a drop-in replacement for the parse_line loop: same
+// surviving rows (values included), same rejected lines, same stats. The
+// differential runs a corrupted generated file through both paths.
+TEST_F(ParserTest, ParseBlockMatchesParseLineOnCorruptedFile) {
+  FileSpec spec;
+  spec.seed = 47;
+  spec.unit_id = 3;
+  spec.target_bytes = 96 * 1024;
+  spec.error_rate = 0.08;
+  const GeneratedFile file = CatalogGenerator::generate(spec);
+
+  // Row path (the oracle): parse_line gated by is_data_line.
+  CatalogParser row_parser(schema_);
+  std::vector<ParsedRow> row_rows;
+  std::vector<int64_t> row_error_lines;  // 0-based line numbers
+  {
+    int64_t line_no = 0;
+    for (std::string_view line : split_view(file.text, '\n')) {
+      if (CatalogParser::is_data_line(line)) {
+        auto parsed = row_parser.parse_line(line);
+        if (parsed.is_ok()) {
+          row_rows.push_back(std::move(*parsed));
+        } else {
+          row_error_lines.push_back(line_no);
+        }
+      }
+      ++line_no;
+    }
+  }
+
+  // Columnar path, deliberately odd block size to exercise block seams.
+  CatalogParser block_parser(schema_);
+  ParsedBlock block;
+  std::vector<ParsedRow> col_rows;       // materialized, file order
+  std::vector<int64_t> col_error_lines;
+  size_t pos = 0;
+  int64_t base_line = 0;
+  while (pos <= file.text.size()) {
+    block_parser.parse_block(file.text, pos, 237, block);
+    // Reassemble file order across tables from the per-row line offsets.
+    std::vector<std::pair<int64_t, ParsedRow>> in_block;
+    for (size_t slot = 0; slot < block.batches.size(); ++slot) {
+      const db::ColumnBatch& batch = block.batches[slot];
+      for (size_t r = 0; r < batch.size(); ++r) {
+        in_block.emplace_back(
+            block.row_lines[slot][r],
+            ParsedRow{block.table_ids[slot], batch.row(r)});
+      }
+    }
+    std::sort(in_block.begin(), in_block.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (auto& [offset, parsed] : in_block) {
+      (void)offset;
+      col_rows.push_back(std::move(parsed));
+    }
+    for (const BlockError& error : block.errors) {
+      col_error_lines.push_back(base_line + error.line_offset);
+      EXPECT_FALSE(error.status.is_ok());
+    }
+    base_line += block.lines_consumed;
+  }
+
+  // Same surviving rows, same destination tables, same cell values.
+  ASSERT_EQ(col_rows.size(), row_rows.size());
+  for (size_t i = 0; i < row_rows.size(); ++i) {
+    EXPECT_EQ(col_rows[i].table_id, row_rows[i].table_id) << "row " << i;
+    ASSERT_EQ(col_rows[i].row.size(), row_rows[i].row.size()) << "row " << i;
+    for (size_t c = 0; c < row_rows[i].row.size(); ++c) {
+      EXPECT_EQ(col_rows[i].row[c], row_rows[i].row[c])
+          << "row " << i << " col " << c;
+    }
+  }
+
+  // Same rejected lines.
+  EXPECT_EQ(col_error_lines, row_error_lines);
+  EXPECT_GT(col_error_lines.size(), 0u);
+
+  // Same parser statistics.
+  EXPECT_EQ(block_parser.stats().lines, row_parser.stats().lines);
+  EXPECT_EQ(block_parser.stats().data_rows, row_parser.stats().data_rows);
+  EXPECT_EQ(block_parser.stats().parse_errors,
+            row_parser.stats().parse_errors);
+  EXPECT_EQ(block_parser.stats().htmids_computed,
+            row_parser.stats().htmids_computed);
+}
+
+TEST_F(ParserTest, ParseBlockHonorsMaxRowsAndAdvancesPos) {
+  FileSpec spec;
+  spec.seed = 48;
+  spec.unit_id = 4;
+  spec.target_bytes = 32 * 1024;
+  const GeneratedFile file = CatalogGenerator::generate(spec);
+  ParsedBlock block;
+  size_t pos = 0;
+  int64_t total_rows = 0;
+  int64_t total_lines = 0;
+  while (pos <= file.text.size()) {
+    const size_t before = pos;
+    parser_.parse_block(file.text, pos, 100, block);
+    EXPECT_GT(pos, before);  // always advances — no infinite loop
+    EXPECT_LE(block.data_lines, 100);
+    int64_t block_rows = 0;
+    for (const db::ColumnBatch& batch : block.batches) {
+      block_rows += static_cast<int64_t>(batch.size());
+    }
+    total_rows += block_rows;
+    total_lines += block.lines_consumed;
+  }
+  // Line accounting matches split(text, '\n') exactly.
+  EXPECT_EQ(total_lines,
+            static_cast<int64_t>(split(file.text, '\n').size()));
+  EXPECT_EQ(total_rows, file.data_lines - parser_.stats().parse_errors);
 }
 
 }  // namespace

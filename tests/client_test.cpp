@@ -261,10 +261,12 @@ TEST(SimSessionTest, PagingChargesMoreThanFitting) {
   env.spawn("loader", [&] {
     SimSession session(server);
     Nanos t0 = env.now();
-    session.note_buffered_rows(1000, 100 * 1024);  // fits in client memory
+    session.note_buffered_rows(1000, 100 * 1024,
+                               /*columnar=*/false);  // fits in client memory
     fits_time = env.now() - t0;
     t0 = env.now();
-    session.note_buffered_rows(1000, 64 * 1024 * 1024);  // thrashing
+    session.note_buffered_rows(1000, 64 * 1024 * 1024,
+                               /*columnar=*/false);  // thrashing
     paging_time = env.now() - t0;
   });
   env.run();

@@ -102,6 +102,31 @@ TEST(StringsTest, SplitSingleField) {
   EXPECT_EQ(fields[0], "alone");
 }
 
+TEST(StringsTest, SplitViewMatchesSplit) {
+  const char* cases[] = {"a||b|", "alone",      "",     "|",   "||",
+                         "x|y|z", "trailing|",  "|lead", "a|b", "\n|\n"};
+  for (const char* text : cases) {
+    const auto fields = split(text, '|');
+    std::vector<std::string_view> viewed;
+    for (std::string_view piece : split_view(text, '|')) {
+      viewed.push_back(piece);
+    }
+    ASSERT_EQ(viewed.size(), fields.size()) << "input: " << text;
+    for (size_t i = 0; i < fields.size(); ++i) {
+      EXPECT_EQ(viewed[i], fields[i]) << "input: " << text;
+    }
+  }
+}
+
+TEST(StringsTest, SplitViewIsZeroCopy) {
+  const std::string_view text = "ra|dec|mag";
+  for (std::string_view piece : split_view(text, '|')) {
+    // Pieces alias the input buffer — no allocation, no copies.
+    EXPECT_GE(piece.data(), text.data());
+    EXPECT_LE(piece.data() + piece.size(), text.data() + text.size());
+  }
+}
+
 TEST(StringsTest, Trim) {
   EXPECT_EQ(trim("  x y  "), "x y");
   EXPECT_EQ(trim("\t\n"), "");

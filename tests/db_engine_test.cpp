@@ -490,6 +490,187 @@ TEST_F(EngineTest, ConcurrentLoadersKeepIntegrity) {
   EXPECT_TRUE(engine_.verify_integrity().is_ok());
 }
 
+// ----------------------------------------------------- columnar batch path ---
+
+ColumnBatch column_frames(const Schema& schema,
+                          std::initializer_list<int64_t> ids) {
+  ColumnBatch batch(schema.table(schema.table_id("frames").value()));
+  for (int64_t id : ids) {
+    batch.push_i64(0, id);
+    batch.push_f64(1, 60.0);
+  }
+  return batch;
+}
+
+TEST_F(EngineTest, ColumnBatchMatchesRowBatchFinalState) {
+  // The same rows through insert_batch (oracle) and insert_column_batch
+  // (fast path: presorted keys, one latch window) — physically identical
+  // heap state, identical row counts, identical index contents.
+  const Schema schema = frames_objects_schema();
+  Engine row_engine(schema);
+  Engine col_engine(schema);
+  const uint32_t frames = row_engine.table_id("frames").value();
+  const uint32_t objects = row_engine.table_id("objects").value();
+
+  std::vector<Row> frame_rows, object_rows;
+  ColumnBatch frame_cols(schema.table(frames));
+  ColumnBatch object_cols(schema.table(objects));
+  for (int i = 0; i < 200; ++i) {
+    frame_rows.push_back(frame_row(i, i * 1.5));
+    frame_cols.push_i64(0, i);
+    frame_cols.push_f64(1, i * 1.5);
+  }
+  for (int i = 0; i < 500; ++i) {
+    object_rows.push_back(object_row(i, i % 200, 10.0 + i * 0.01, -5.0, 19.0));
+    object_cols.push_i64(0, i);
+    object_cols.push_i64(1, i % 200);
+    object_cols.push_f64(2, 10.0 + i * 0.01);
+    object_cols.push_f64(3, -5.0);
+    object_cols.push_f64(4, 19.0);
+  }
+
+  const uint64_t row_txn = row_engine.begin_transaction();
+  ASSERT_EQ(row_engine.insert_batch(row_txn, frames, frame_rows).rows_applied,
+            200);
+  ASSERT_EQ(row_engine.insert_batch(row_txn, objects, object_rows).rows_applied,
+            500);
+  ASSERT_TRUE(row_engine.commit(row_txn).is_ok());
+
+  const uint64_t col_txn = col_engine.begin_transaction();
+  const BatchResult fr = col_engine.insert_column_batch(col_txn, frames,
+                                                        frame_cols);
+  ASSERT_FALSE(fr.error.has_value()) << fr.error->status.to_string();
+  EXPECT_EQ(fr.rows_applied, 200);
+  const BatchResult ob = col_engine.insert_column_batch(col_txn, objects,
+                                                        object_cols);
+  ASSERT_FALSE(ob.error.has_value()) << ob.error->status.to_string();
+  EXPECT_EQ(ob.rows_applied, 500);
+  ASSERT_TRUE(col_engine.commit(col_txn).is_ok());
+
+  EXPECT_TRUE(row_engine.verify_integrity().is_ok());
+  EXPECT_TRUE(col_engine.verify_integrity().is_ok());
+
+  // Physically identical heaps: same extent/page/slot layout, same bytes.
+  for (uint32_t tid : {frames, objects}) {
+    std::vector<std::tuple<uint32_t, uint32_t, uint32_t, std::string>> a, b;
+    ASSERT_TRUE(row_engine
+                    .scan_heap(tid,
+                               [&](storage::SlotId slot,
+                                   std::string_view bytes) {
+                                 a.emplace_back(slot.extent, slot.page,
+                                                slot.slot, std::string(bytes));
+                               })
+                    .is_ok());
+    ASSERT_TRUE(col_engine
+                    .scan_heap(tid,
+                               [&](storage::SlotId slot,
+                                   std::string_view bytes) {
+                                 b.emplace_back(slot.extent, slot.page,
+                                                slot.slot, std::string(bytes));
+                               })
+                    .is_ok());
+    EXPECT_EQ(a, b) << "table " << tid;
+  }
+
+  // Identical secondary-index contents (same rows, same iteration order).
+  const auto row_mag = row_engine.index_range(
+      objects, "idx_mag", {Value::f64(18.0)}, {Value::f64(20.0)});
+  const auto col_mag = col_engine.index_range(
+      objects, "idx_mag", {Value::f64(18.0)}, {Value::f64(20.0)});
+  ASSERT_TRUE(row_mag.is_ok());
+  ASSERT_TRUE(col_mag.is_ok());
+  ASSERT_EQ(row_mag->size(), col_mag->size());
+  for (size_t i = 0; i < row_mag->size(); ++i) {
+    ASSERT_EQ((*row_mag)[i].size(), (*col_mag)[i].size());
+    for (size_t c = 0; c < (*row_mag)[i].size(); ++c) {
+      EXPECT_EQ((*row_mag)[i][c], (*col_mag)[i][c]) << i << "," << c;
+    }
+  }
+}
+
+TEST_F(EngineTest, ColumnBatchStopsAtFirstErrorJdbcSemantics) {
+  const Schema schema = frames_objects_schema();
+  const uint64_t txn = engine_.begin_transaction();
+  ASSERT_TRUE(insert(txn, frames_, frame_row(5)).is_ok());
+  // Keys 0..9: index 5 duplicates the pre-inserted key.
+  const ColumnBatch batch =
+      column_frames(schema, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9});
+  const BatchResult result = engine_.insert_column_batch(txn, frames_, batch);
+  EXPECT_EQ(result.rows_applied, 5);
+  ASSERT_TRUE(result.error.has_value());
+  EXPECT_EQ(result.error->row_index, 5u);
+  EXPECT_EQ(result.error->status.code(), ErrorCode::kConstraintPrimaryKey);
+  // Remainder of the batch discarded, exactly like insert_batch.
+  EXPECT_EQ(engine_.row_count(frames_), 6);
+  EXPECT_FALSE(engine_.pk_lookup(frames_, {Value::i64(7)}).is_ok());
+  EXPECT_TRUE(engine_.verify_integrity().is_ok());
+}
+
+TEST_F(EngineTest, ColumnBatchSubrangeReportsRelativeErrorIndex) {
+  const Schema schema = frames_objects_schema();
+  const uint64_t txn = engine_.begin_transaction();
+  ASSERT_TRUE(insert(txn, frames_, frame_row(8)).is_ok());
+  const ColumnBatch batch =
+      column_frames(schema, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9});
+  // Send rows [6, 10): the duplicate (key 8) is at relative index 2.
+  const BatchResult result =
+      engine_.insert_column_batch(txn, frames_, batch, /*first=*/6,
+                                  /*count=*/4);
+  EXPECT_EQ(result.rows_applied, 2);  // keys 6 and 7
+  ASSERT_TRUE(result.error.has_value());
+  EXPECT_EQ(result.error->row_index, 2u);
+  EXPECT_EQ(engine_.row_count(frames_), 3);  // 6, 7 and the original 8
+}
+
+TEST_F(EngineTest, ColumnBatchUnsortedKeysFallBackWithSameSemantics) {
+  // Unsorted primary keys are ineligible for the one-latch fast path; the
+  // rows must still land with identical final state via the fallback.
+  const Schema schema = frames_objects_schema();
+  Engine col_engine(schema);
+  const uint32_t frames = col_engine.table_id("frames").value();
+  const ColumnBatch batch = column_frames(schema, {9, 3, 7, 1, 5});
+  const uint64_t txn = col_engine.begin_transaction();
+  const BatchResult result = col_engine.insert_column_batch(txn, frames, batch);
+  EXPECT_EQ(result.rows_applied, 5);
+  EXPECT_FALSE(result.error.has_value());
+  ASSERT_TRUE(col_engine.commit(txn).is_ok());
+  EXPECT_TRUE(col_engine.verify_integrity().is_ok());
+  for (int64_t id : {1, 3, 5, 7, 9}) {
+    EXPECT_TRUE(col_engine.pk_lookup(frames, {Value::i64(id)}).is_ok()) << id;
+  }
+}
+
+TEST_F(EngineTest, ColumnBatchRollbackUndoesTheRun) {
+  const Schema schema = frames_objects_schema();
+  const uint64_t txn = engine_.begin_transaction();
+  const ColumnBatch batch = column_frames(schema, {0, 1, 2, 3, 4});
+  ASSERT_EQ(engine_.insert_column_batch(txn, frames_, batch).rows_applied, 5);
+  EXPECT_EQ(engine_.row_count(frames_), 5);
+  ASSERT_TRUE(engine_.rollback(txn).is_ok());
+  EXPECT_EQ(engine_.row_count(frames_), 0);
+  EXPECT_FALSE(engine_.pk_lookup(frames_, {Value::i64(2)}).is_ok());
+  EXPECT_TRUE(engine_.verify_integrity().is_ok());
+}
+
+TEST_F(EngineTest, ColumnBatchForeignKeyViolationReported) {
+  const Schema schema = frames_objects_schema();
+  const uint64_t txn = engine_.begin_transaction();
+  ASSERT_TRUE(insert(txn, frames_, frame_row(1)).is_ok());
+  ColumnBatch batch(schema.table(schema.table_id("objects").value()));
+  for (int64_t id : {10, 11}) {
+    batch.push_i64(0, id);
+    batch.push_i64(1, id == 10 ? 1 : 999);  // 999: no such frame
+    batch.push_f64(2, 10.0);
+    batch.push_f64(3, 5.0);
+    batch.push_f64(4, 18.0);
+  }
+  const BatchResult result = engine_.insert_column_batch(txn, objects_, batch);
+  EXPECT_EQ(result.rows_applied, 1);
+  ASSERT_TRUE(result.error.has_value());
+  EXPECT_EQ(result.error->row_index, 1u);
+  EXPECT_EQ(result.error->status.code(), ErrorCode::kConstraintForeignKey);
+}
+
 // ------------------------------------------------- randomized differential ---
 
 class EngineFuzz : public ::testing::TestWithParam<uint64_t> {};

@@ -40,8 +40,9 @@ class FaultySession final : public client::Session {
   void client_compute(Nanos duration) override {
     inner_.client_compute(duration);
   }
-  void note_buffered_rows(int64_t rows, int64_t bytes) override {
-    inner_.note_buffered_rows(rows, bytes);
+  void note_buffered_rows(int64_t rows, int64_t bytes,
+                          bool columnar) override {
+    inner_.note_buffered_rows(rows, bytes, columnar);
   }
   Nanos now() const override { return inner_.now(); }
   const client::SessionStats& stats() const override {

@@ -458,5 +458,120 @@ TEST(BPlusTreeTest, LargeSequentialLoad) {
   EXPECT_EQ(all.size(), static_cast<size_t>(n));
 }
 
+// ------------------------------------------------------ sorted-run insert ---
+
+std::vector<std::pair<std::string, uint64_t>> make_run(
+    std::initializer_list<int64_t> keys) {
+  std::vector<std::pair<std::string, uint64_t>> run;
+  for (int64_t k : keys) run.emplace_back(enc_i64(k), static_cast<uint64_t>(k));
+  return run;
+}
+
+TEST(BPlusTreeTest, SortedRunIntoEmptyTreeMatchesLoopInsert) {
+  BPlusTree batch(4), loop(4);
+  std::vector<std::pair<std::string, uint64_t>> run;
+  for (int i = 0; i < 500; ++i) {
+    run.emplace_back(enc_i64(i), static_cast<uint64_t>(i * 10));
+    ASSERT_TRUE(loop.insert(enc_i64(i), static_cast<uint64_t>(i * 10)).is_ok());
+  }
+  ASSERT_TRUE(batch.insert_sorted_run(std::move(run)).is_ok());
+  EXPECT_TRUE(batch.validate().is_ok());
+  EXPECT_EQ(batch.size(), loop.size());
+  // Identical iteration order and payloads.
+  auto a = batch.begin();
+  auto b = loop.begin();
+  while (a.valid() && b.valid()) {
+    EXPECT_EQ(a.key(), b.key());
+    EXPECT_EQ(a.value(), b.value());
+    a.next();
+    b.next();
+  }
+  EXPECT_FALSE(a.valid());
+  EXPECT_FALSE(b.valid());
+}
+
+TEST(BPlusTreeTest, SortedRunInterleavesWithExistingKeys) {
+  BPlusTree batch(4), loop(4);
+  for (int i = 0; i < 300; i += 2) {  // evens pre-loaded in both trees
+    ASSERT_TRUE(batch.insert(enc_i64(i), static_cast<uint64_t>(i)).is_ok());
+    ASSERT_TRUE(loop.insert(enc_i64(i), static_cast<uint64_t>(i)).is_ok());
+  }
+  std::vector<std::pair<std::string, uint64_t>> odds;
+  for (int i = 1; i < 300; i += 2) {
+    odds.emplace_back(enc_i64(i), static_cast<uint64_t>(i));
+    ASSERT_TRUE(loop.insert(enc_i64(i), static_cast<uint64_t>(i)).is_ok());
+  }
+  BPlusTree::RunTouch touch;
+  ASSERT_TRUE(batch.insert_sorted_run(std::move(odds), &touch).is_ok());
+  EXPECT_TRUE(batch.validate().is_ok());
+  EXPECT_EQ(batch.size(), loop.size());
+  EXPECT_GT(touch.nodes_visited, 0);
+  EXPECT_FALSE(touch.touched_leaf_ids.empty());
+  auto a = batch.begin();
+  auto b = loop.begin();
+  while (a.valid() && b.valid()) {
+    EXPECT_EQ(a.key(), b.key());
+    EXPECT_EQ(a.value(), b.value());
+    a.next();
+    b.next();
+  }
+  EXPECT_FALSE(a.valid());
+  EXPECT_FALSE(b.valid());
+}
+
+TEST(BPlusTreeTest, SortedRunSharesDescentAcrossTheRun) {
+  // The point of the batch build: N keys cost ~one descent plus the touched
+  // leaves, not N root-to-leaf descents.
+  BPlusTree tree(4);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(tree.insert(enc_i64(i * 3), static_cast<uint64_t>(i)).is_ok());
+  }
+  std::vector<std::pair<std::string, uint64_t>> run;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    run.emplace_back(enc_i64(10000 + i * 3 + 1), static_cast<uint64_t>(i));
+  }
+  BPlusTree::RunTouch touch;
+  ASSERT_TRUE(tree.insert_sorted_run(std::move(run), &touch).is_ok());
+  EXPECT_TRUE(tree.validate().is_ok());
+  // Far fewer nodes visited than n descents of the tree's height would cost.
+  EXPECT_LT(touch.nodes_visited, n * tree.height() / 4);
+}
+
+TEST(BPlusTreeTest, SortedRunRejectsUnsortedInputUnmodified) {
+  BPlusTree tree(4);
+  ASSERT_TRUE(tree.insert_sorted_run(make_run({1, 2, 3})).is_ok());
+  const Status bad = tree.insert_sorted_run(make_run({10, 9}));
+  EXPECT_EQ(bad.code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(tree.size(), 3u);
+  EXPECT_TRUE(tree.validate().is_ok());
+  EXPECT_FALSE(tree.contains(enc_i64(10)));
+}
+
+TEST(BPlusTreeTest, SortedRunDuplicateAgainstTreeReported) {
+  BPlusTree tree(4);
+  ASSERT_TRUE(tree.insert_sorted_run(make_run({1, 5, 9})).is_ok());
+  const Status dup = tree.insert_sorted_run(make_run({4, 5, 6}));
+  EXPECT_EQ(dup.code(), ErrorCode::kAlreadyExists);
+  // Structurally valid either way (the engine treats this as a logic error
+  // screened out before the latched publish).
+  EXPECT_TRUE(tree.validate().is_ok());
+}
+
+TEST(BPlusTreeTest, SortedRunDuplicateWithinRunReported) {
+  BPlusTree tree(4);
+  const Status dup = tree.insert_sorted_run(make_run({7, 7}));
+  EXPECT_EQ(dup.code(), ErrorCode::kInvalidArgument);
+  EXPECT_TRUE(tree.validate().is_ok());
+}
+
+TEST(BPlusTreeTest, SortedRunEmptyIsANoOp) {
+  BPlusTree tree(4);
+  ASSERT_TRUE(tree.insert(enc_i64(1), 1).is_ok());
+  ASSERT_TRUE(tree.insert_sorted_run({}).is_ok());
+  EXPECT_EQ(tree.size(), 2u - 1u);
+  EXPECT_TRUE(tree.validate().is_ok());
+}
+
 }  // namespace
 }  // namespace sky::index

@@ -182,8 +182,9 @@ class CrashingSession final : public client::Session {
   void client_compute(Nanos duration) override {
     inner_.client_compute(duration);
   }
-  void note_buffered_rows(int64_t rows, int64_t bytes) override {
-    inner_.note_buffered_rows(rows, bytes);
+  void note_buffered_rows(int64_t rows, int64_t bytes,
+                          bool columnar) override {
+    inner_.note_buffered_rows(rows, bytes, columnar);
   }
   Nanos now() const override { return inner_.now(); }
   const client::SessionStats& stats() const override {
@@ -300,6 +301,110 @@ TEST(RecoveryTest, ParallelSameTableCrashRoundTrip) {
 
   // Replay is deterministic: a second recovery of the same records yields a
   // byte-identical physical layout, down to page and slot.
+  const auto again = recover_from_wal(schema, records);
+  ASSERT_TRUE(again.is_ok());
+  using PhysicalRow =
+      std::tuple<uint32_t, uint32_t, uint32_t, uint32_t, std::string>;
+  std::vector<PhysicalRow> first_layout, second_layout;
+  for (int t = 0; t < schema.table_count(); ++t) {
+    const uint32_t tid = static_cast<uint32_t>(t);
+    ASSERT_TRUE((*recovered)
+                    ->scan_heap(tid,
+                                [&](storage::SlotId slot,
+                                    std::string_view bytes) {
+                                  first_layout.emplace_back(
+                                      tid, slot.extent, slot.page, slot.slot,
+                                      std::string(bytes));
+                                })
+                    .is_ok());
+    ASSERT_TRUE((*again)
+                    ->scan_heap(tid,
+                                [&](storage::SlotId slot,
+                                    std::string_view bytes) {
+                                  second_layout.emplace_back(
+                                      tid, slot.extent, slot.page, slot.slot,
+                                      std::string(bytes));
+                                })
+                    .is_ok());
+  }
+  EXPECT_EQ(first_layout, second_layout);
+}
+
+// The columnar fast path logs one kInsertBatch record per extent append
+// instead of a record per row. Replay must rebuild an extent-identical
+// repository from those batch records — same live rows in the same extents
+// as the source engine, deterministically down to page and slot across
+// repeated replays — even when server-side skips interrupted batches.
+TEST(RecoveryTest, ColumnarLoadRoundTripsExtentIdentical) {
+  const Schema schema = catalog::make_pq_schema();
+  Engine engine(schema, retain_options());
+  client::DirectSession session(engine);
+  {
+    core::BulkLoaderOptions reference_options;
+    reference_options.write_audit_row = false;
+    core::BulkLoader loader(session, schema, reference_options);
+    ASSERT_TRUE(loader
+                    .load_text("reference",
+                               catalog::CatalogGenerator::reference_file().text)
+                    .is_ok());
+  }
+  catalog::FileSpec spec;
+  spec.seed = 505;
+  spec.unit_id = 55;
+  spec.target_bytes = 64 * 1024;
+  spec.error_rate = 0.05;
+  const auto file = catalog::CatalogGenerator::generate(spec);
+  core::BulkLoaderOptions loader_options;
+  loader_options.write_audit_row = false;
+  loader_options.columnar_ingest = true;
+  loader_options.commit.every_cycles = 2;  // several commit boundaries
+  core::BulkLoader loader(session, schema, loader_options);
+  const auto report = loader.load_text("columnar.cat", file.text);
+  ASSERT_TRUE(report.is_ok());
+  ASSERT_GT(report->rows_skipped_server, 0);  // skips interrupted batches
+
+  // The load actually took the batch-logging path.
+  const auto records = engine.wal_records();
+  int64_t batch_records = 0;
+  for (const auto& record : records) {
+    if (record.type == storage::WalRecordType::kInsertBatch) ++batch_records;
+  }
+  EXPECT_GT(batch_records, 0);
+
+  RecoveryStats stats;
+  const auto recovered =
+      recover_from_wal(schema, records, EngineOptions{}, &stats);
+  ASSERT_TRUE(recovered.is_ok()) << recovered.status().to_string();
+  EXPECT_EQ(stats.rows_replayed, engine.total_rows());
+  EXPECT_TRUE(engines_equivalent(engine, **recovered).is_ok());
+  EXPECT_TRUE((*recovered)->verify_integrity().is_ok());
+
+  // Extent-identical: per table, live rows grouped by extent match the
+  // source exactly (page/slot may differ where skipped rows left holes).
+  for (int t = 0; t < schema.table_count(); ++t) {
+    const uint32_t tid = static_cast<uint32_t>(t);
+    std::multiset<std::pair<uint32_t, std::string>> original, replayed;
+    ASSERT_TRUE(engine
+                    .scan_heap(tid,
+                               [&](storage::SlotId slot,
+                                   std::string_view bytes) {
+                                 original.emplace(slot.extent,
+                                                  std::string(bytes));
+                               })
+                    .is_ok());
+    ASSERT_TRUE((*recovered)
+                    ->scan_heap(tid,
+                                [&](storage::SlotId slot,
+                                    std::string_view bytes) {
+                                  replayed.emplace(slot.extent,
+                                                   std::string(bytes));
+                                })
+                    .is_ok());
+    EXPECT_EQ(original, replayed) << "table " << schema.table(tid).name;
+  }
+
+  // Deterministic replay: two recoveries of the same batch records agree
+  // byte-for-byte on physical layout.
   const auto again = recover_from_wal(schema, records);
   ASSERT_TRUE(again.is_ok());
   using PhysicalRow =
