@@ -54,6 +54,7 @@ void DirectSession::absorb_wait_costs(const db::OpCosts& costs) {
   stats_.txn_slot_wait_time += costs.txn_slot_wait_ns;
   stats_.itl_wait_time += costs.itl_wait_ns;
   stats_.stall_time += costs.stall_ns;
+  stats_.query_lane_wait_time += costs.query_lane_wait_ns;
 }
 
 Result<uint32_t> DirectSession::prepare_insert(std::string_view table_name) {

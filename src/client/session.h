@@ -57,6 +57,10 @@ struct SessionStats {
   // ParallelLoadReport reads one schema.
   Nanos txn_slot_wait_time = 0;
   Nanos itl_wait_time = 0;
+  // Query-lane admission wait (db/query_scheduler.h): time spent queued on
+  // the interactive/batch lane gates. Not a subset of lock_wait_time — lane
+  // queueing is scheduling policy, not latch contention.
+  Nanos query_lane_wait_time = 0;
   // Group-commit accounting: commits where this session led the covering
   // log-device write vs. rode another session's flush, and the
   // commit-coalescing window time it paid as leader. Filled by both

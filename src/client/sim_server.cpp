@@ -33,6 +33,11 @@ SimServer::SimServer(sim::Environment& env, db::Engine& engine,
       env_, config_.concurrency.max_concurrent_transactions, "txn-slots");
   batch_gate_ = std::make_unique<sim::Resource>(
       env_, config_.batch_gate_slots, "batch-gate");
+  const core::QueryPolicy query = config_.query.normalized();
+  interactive_lane_ = std::make_unique<sim::Resource>(
+      env_, query.interactive_slots, "query-interactive");
+  batch_lane_ =
+      std::make_unique<sim::Resource>(env_, query.batch_slots, "query-batch");
   const int table_count = engine_.schema().table_count();
   itl_.reserve(static_cast<size_t>(table_count));
   for (int t = 0; t < table_count; ++t) {
@@ -70,6 +75,43 @@ SimServer::LogGroupDecision SimServer::join_log_group() {
       log_group_close_ + config_.costs.log_flush_time(/*bytes=*/0);
   decision.flush_eta = log_group_eta_;
   return decision;
+}
+
+void SimServer::admit_query(bool interactive) {
+  if (interactive) {
+    interactive_lane_->acquire();
+    return;
+  }
+  // Batch yields: wait (virtual time) until no interactive query is running
+  // or queued, polling at a coarse tick — the sim analogue of the real
+  // scheduler's condition-variable handshake.
+  bool yielded = false;
+  while (config_.query.batch_yields_to_interactive &&
+         (interactive_lane_->available() < interactive_lane_->capacity() ||
+          interactive_lane_->queue_depth() > 0)) {
+    if (!yielded) {
+      yielded = true;
+      ++batch_yields_;
+    }
+    env_.delay(kMillisecond);
+  }
+  batch_lane_->acquire();
+}
+
+void SimServer::release_query(bool interactive) {
+  if (interactive) {
+    interactive_lane_->release();
+  } else {
+    batch_lane_->release();
+  }
+}
+
+SimServer::QueryLaneStats SimServer::query_lane_stats() const {
+  QueryLaneStats stats;
+  stats.interactive = gate_stats_from(*interactive_lane_);
+  stats.batch = gate_stats_from(*batch_lane_);
+  stats.batch_yields = batch_yields_;
+  return stats;
 }
 
 db::ConcurrencyStats SimServer::concurrency_stats() const {

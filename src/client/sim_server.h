@@ -16,6 +16,7 @@
 #include "client/cost_model.h"
 #include "common/rng.h"
 #include "core/concurrency_policy.h"
+#include "core/query_policy.h"
 #include "db/engine.h"
 #include "sim/environment.h"
 
@@ -52,6 +53,11 @@ struct ServerConfig {
   // lock-management escalation and occasional stalls. Sim-only (real mode
   // has no modeled CPU scheduler to gate).
   int64_t batch_gate_slots = 5;
+  // Two-lane query admission (core/query_policy.h), the sim twin of
+  // db::QueryScheduler: interactive and batch queries queue on separate
+  // resources and batch admission polls until the interactive lane is quiet
+  // when batch_yields_to_interactive is set.
+  core::QueryPolicy query;
 
   // Commit-coalescing group commit, mirroring the engine's WAL window
   // (storage::WalOptions): a commit that leads a log flush holds the device
@@ -93,6 +99,8 @@ class SimServer {
   sim::Resource& transaction_slots() { return *transaction_slots_; }
   sim::Resource& batch_gate() { return *batch_gate_; }
   sim::Resource& itl(uint32_t table_id) { return *itl_[table_id]; }
+  sim::Resource& interactive_lane() { return *interactive_lane_; }
+  sim::Resource& batch_lane() { return *batch_lane_; }
   sim::Resource& device(int physical_device) {
     return *devices_[static_cast<size_t>(physical_device)];
   }
@@ -110,6 +118,19 @@ class SimServer {
   // Engine::concurrency_stats() reports (db::ConcurrencyStats), derived
   // from the sim resources' virtual-time accounting.
   db::ConcurrencyStats concurrency_stats() const;
+
+  // Query-lane admission, the virtual-time twin of QueryScheduler::admit:
+  // blocks (in virtual time) until the lane grants a slot; batch admissions
+  // additionally poll until the interactive lane is fully idle when the
+  // policy says batch yields. Pair each admit with release_query.
+  void admit_query(bool interactive);
+  void release_query(bool interactive);
+  struct QueryLaneStats {
+    db::GateStats interactive;
+    db::GateStats batch;
+    int64_t batch_yields = 0;
+  };
+  QueryLaneStats query_lane_stats() const;
 
   // Log-device group commit (ServerConfig::commit_window). A committing
   // session asks whether it leads a new flush group or joins the one in
@@ -133,6 +154,9 @@ class SimServer {
   int next_node_ = 0;
   std::unique_ptr<sim::Resource> transaction_slots_;
   std::unique_ptr<sim::Resource> batch_gate_;
+  std::unique_ptr<sim::Resource> interactive_lane_;
+  std::unique_ptr<sim::Resource> batch_lane_;
+  int64_t batch_yields_ = 0;
   std::vector<std::unique_ptr<sim::Resource>> itl_;
   std::vector<std::unique_ptr<sim::Resource>> devices_;
   Rng stall_rng_;

@@ -65,6 +65,7 @@ struct WorkerResult {
   Nanos txn_slot_wait = 0;
   Nanos itl_wait = 0;
   Nanos stall_time = 0;
+  Nanos query_lane_wait = 0;
   catalog::ParserStats parser;
   int files = 0;
   int files_skipped = 0;
@@ -103,6 +104,7 @@ void worker_loop(int worker, WorkQueue& queue,
   result.txn_slot_wait = session.stats().txn_slot_wait_time;
   result.itl_wait = session.stats().itl_wait_time;
   result.stall_time = session.stats().stall_time;
+  result.query_lane_wait = session.stats().query_lane_wait_time;
 }
 
 ParallelLoadReport assemble(std::vector<WorkerResult> worker_results,
@@ -121,6 +123,7 @@ ParallelLoadReport assemble(std::vector<WorkerResult> worker_results,
     report.txn_slot_wait += worker.txn_slot_wait;
     report.itl_wait += worker.itl_wait;
     report.stall_time += worker.stall_time;
+    report.query_lane_wait += worker.query_lane_wait;
     report.parser_lines += worker.parser.lines;
     report.parser_data_rows += worker.parser.data_rows;
     report.parser_errors += worker.parser.parse_errors;

@@ -52,6 +52,9 @@ std::string ParallelLoadReport::summary() const {
   if (stall_time > 0) {
     out += ", stalls " + format_duration(stall_time);
   }
+  if (query_lane_wait > 0) {
+    out += ", query-lane wait " + format_duration(query_lane_wait);
+  }
   return out;
 }
 
@@ -105,6 +108,10 @@ std::string render_markdown_report(const ParallelLoadReport& report,
     out += "- txn-slot wait: " + format_duration(report.txn_slot_wait) + "\n";
     out += "- itl wait: " + format_duration(report.itl_wait) + "\n";
     out += "- stall time: " + format_duration(report.stall_time) + "\n";
+  }
+  if (report.query_lane_wait > 0) {
+    out += "\n## Query lanes\n\n";
+    out += "- lane wait: " + format_duration(report.query_lane_wait) + "\n";
   }
 
   size_t shown = 0;

@@ -67,6 +67,9 @@ struct ParallelLoadReport {
   Nanos txn_slot_wait = 0;
   Nanos itl_wait = 0;
   Nanos stall_time = 0;
+  // Query-lane admission wait summed across workers that also served
+  // queries (db/query_scheduler.h lanes; zero for load-only runs).
+  Nanos query_lane_wait = 0;
   // Client-side parser totals across workers (summed from each loader's
   // ParserStats): data lines parsed, rows that converted cleanly,
   // structural parse errors, and computed object htmids. These cross-check

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cmath>
 #include <thread>
+#include <tuple>
 #include <unordered_set>
 
 #include "common/strings.h"
@@ -71,7 +72,8 @@ Engine::Engine(Schema schema, EngineOptions options)
                                std::max<int64_t>(options.max_group_commits, 1),
                                options.durability}),
       txn_gate_(std::make_unique<BlockingSlotGate>(
-          options.concurrency.max_concurrent_transactions)) {
+          options.concurrency.max_concurrent_transactions)),
+      snapshots_(static_cast<size_t>(schema_.table_count())) {
   tables_.reserve(static_cast<size_t>(schema_.table_count()));
   uint32_t next_file_id = 0;
   for (uint32_t id = 0; id < static_cast<uint32_t>(schema_.table_count());
@@ -229,13 +231,22 @@ Result<CommitResult> Engine::commit(uint64_t txn_id) {
     global_io_.add_log_bytes(flush.bytes_flushed);
   }
   std::vector<TableAdmission> admissions;
+  std::vector<UndoEntry> undo;
   {
     const std::scoped_lock lock(txn_mu_);
     const auto it = transactions_.find(txn_id);
     if (it != transactions_.end()) {
       admissions = std::move(it->second.admissions);
+      undo = std::move(it->second.undo);
       transactions_.erase(it);
     }
+  }
+  // The commit is durable and the transaction gone from the live map —
+  // recycle its undo log into snapshot chunks so pinned readers gain this
+  // commit as one atomic publication. Still under the shared engine lock
+  // (publication must not interleave with a DDL world-stop).
+  if (options_.snapshot_reads && !undo.empty()) {
+    publish_snapshot_chunks(std::move(undo));
   }
   engine_lock.unlock();
   // Gates released outside every lock, ITL first then the transaction slot
@@ -660,7 +671,8 @@ void Engine::insert_column_run_latched(Transaction& txn, uint32_t tid,
     const size_t undo_base = txn.undo.size();
     txn.undo.reserve(txn.undo.size() + limit);
     for (size_t i = 0; i < limit; ++i) {
-      txn.undo.push_back(UndoEntry{tid, appended.slots[i], pk_keys[i], {}});
+      txn.undo.push_back(
+          UndoEntry{tid, appended.slots[i], pk_keys[i], {}, appended.views[i]});
     }
 
     std::vector<std::pair<std::string, uint64_t>> pk_run;
@@ -971,7 +983,7 @@ Status Engine::insert_row_latched(Transaction& txn, uint32_t tid,
   if (pk_touch.leaf_split) ++costs.index_leaf_splits;
   cache_.touch_write({table.pk_cache_file_id, pk_touch.leaf_page_id});
 
-  UndoEntry undo{tid, appended.slot, pk_key, {}};
+  UndoEntry undo{tid, appended.slot, pk_key, {}, appended.bytes};
   for (size_t s = 0; s < table.secondaries().size(); ++s) {
     SecondaryIndex& secondary = table.secondaries()[s];
     if (!secondary.enabled) continue;
@@ -1089,19 +1101,39 @@ Status Engine::bulk_load_sorted(uint32_t tid, const std::vector<Row>& rows) {
           ? table.heap().least_loaded_extent()
           : next_extent_.fetch_add(1, std::memory_order_relaxed) %
                 options_.heap_extents;
+  // A preload is one logical commit: published to snapshot readers as a
+  // single chunk (slots and byte views collected as the rows land).
+  SnapshotChunk chunk;
+  const bool build_chunk = options_.snapshot_reads && !rows.empty();
   for (const Row& row : rows) {
     SKY_RETURN_IF_ERROR(validate_row(table, row, scratch));
     const auto appended = table.heap().append(extent, encode_row(row));
     pk_entries.emplace_back(table.encode_pk_key(row),
                             make_row_id(tid, appended.slot));
+    if (build_chunk) {
+      chunk.pk.emplace_back(pk_entries.back().first,
+                            static_cast<uint32_t>(chunk.rows.size()));
+      chunk.rows.push_back({appended.slot, appended.bytes});
+    }
+  }
+  if (build_chunk) {
+    chunk.secondaries.resize(table.secondaries().size());
   }
   // Requires strict PK order; bulk_build rejects violations.
   SKY_RETURN_IF_ERROR(table.pk_tree().bulk_build(std::move(pk_entries)));
-  for (SecondaryIndex& secondary : table.secondaries()) {
-    if (!secondary.enabled) continue;
+  for (size_t s = 0; s < table.secondaries().size(); ++s) {
+    SecondaryIndex& secondary = table.secondaries()[s];
+    if (!secondary.enabled) continue;  // chunk run stays nullopt (disabled)
     // Rebuild from heap so preloaded data is indexed too.
     std::vector<std::pair<std::string, uint64_t>> entries;
     entries.reserve(rows.size());
+    if (build_chunk) {
+      chunk.secondaries[s].emplace();
+      chunk.secondaries[s]->reserve(rows.size());
+    }
+    // The table was empty, so the scan visits exactly the rows just
+    // appended, in append order — scan position = chunk row index.
+    uint32_t scan_idx = 0;
     table.heap().scan([&](storage::SlotId slot, std::string_view bytes) {
       const auto row = decode_row(bytes);
       const uint64_t row_id = make_row_id(tid, slot);
@@ -1111,9 +1143,21 @@ Status Engine::bulk_load_sorted(uint32_t tid, const std::vector<Row>& rows) {
                                      ? std::nullopt
                                      : std::optional<uint64_t>(row_id)),
           row_id);
+      if (build_chunk) {
+        chunk.secondaries[s]->emplace_back(entries.back().first, scan_idx);
+      }
+      ++scan_idx;
     });
     std::sort(entries.begin(), entries.end());
+    if (build_chunk) {
+      std::sort(chunk.secondaries[s]->begin(), chunk.secondaries[s]->end());
+    }
     SKY_RETURN_IF_ERROR(secondary.tree.bulk_build(std::move(entries)));
+  }
+  if (build_chunk) {
+    std::vector<std::pair<uint32_t, SnapshotChunk>> chunks;
+    chunks.emplace_back(tid, std::move(chunk));
+    snapshots_.publish(std::move(chunks));
   }
   return ok_status();
 }
@@ -1311,6 +1355,240 @@ std::vector<Row> Engine::scan_collect(
     if (row.is_ok() && pred(*row)) rows.push_back(std::move(*row));
   });
   return rows;
+}
+
+// ---------------------------------------------------------- snapshot reads
+//
+// Everything below touches only immutable chunk data pinned by the Snapshot
+// plus construction-time table metadata (defs, column indices) — no engine
+// rwlock, no table latch, no extent latch. The zero-latch regression test
+// asserts lock_wait_ns stays 0 across these calls.
+
+void Engine::publish_snapshot_chunks(std::vector<UndoEntry> undo) {
+  // Group the undo log into one chunk per table, preserving insert order
+  // within each table (chunk row index = per-table insert sequence).
+  std::vector<int> chunk_of(tables_.size(), -1);
+  std::vector<std::pair<uint32_t, SnapshotChunk>> chunks;
+  for (UndoEntry& entry : undo) {
+    if (entry.table_id >= tables_.size()) continue;
+    int& slot = chunk_of[entry.table_id];
+    if (slot < 0) {
+      slot = static_cast<int>(chunks.size());
+      chunks.emplace_back(entry.table_id, SnapshotChunk{});
+      // Start every secondary run engaged; runs a row is missing from are
+      // reset below (the index was disabled for part of the transaction).
+      chunks.back().second.secondaries.resize(
+          tables_[entry.table_id].secondaries().size());
+      for (auto& run : chunks.back().second.secondaries) run.emplace();
+    }
+    SnapshotChunk& chunk = chunks[static_cast<size_t>(slot)].second;
+    const auto row_idx = static_cast<uint32_t>(chunk.rows.size());
+    chunk.rows.push_back({entry.slot, entry.bytes});
+    chunk.pk.emplace_back(std::move(entry.pk_key), row_idx);
+    for (auto& [s, key] : entry.secondary_keys) {
+      if (s < chunk.secondaries.size() && chunk.secondaries[s].has_value()) {
+        chunk.secondaries[s]->emplace_back(std::move(key), row_idx);
+      }
+    }
+  }
+  for (auto& [tid, chunk] : chunks) {
+    std::sort(chunk.pk.begin(), chunk.pk.end());
+    for (auto& run : chunk.secondaries) {
+      if (!run.has_value()) continue;
+      if (run->size() != chunk.rows.size()) {
+        // Some rows committed while the index was disabled: the run is
+        // incomplete, so the chunk cannot serve reads over that index.
+        run.reset();
+        continue;
+      }
+      std::sort(run->begin(), run->end());
+    }
+  }
+  snapshots_.publish(std::move(chunks));
+}
+
+int64_t Engine::snapshot_row_count(const Snapshot& snap,
+                                   uint32_t table_id) const {
+  if (table_id >= tables_.size()) return 0;
+  return snap.row_count(table_id);
+}
+
+std::vector<Row> Engine::snapshot_scan_collect(
+    const Snapshot& snap, uint32_t table_id,
+    const std::function<bool(const Row&)>& pred, OpCosts* costs) const {
+  std::vector<Row> rows;
+  if (table_id >= tables_.size()) return rows;
+  OpCosts scratch;
+  OpCosts& tally = costs != nullptr ? *costs : scratch;
+  // Gather the pinned refs, then visit in physical heap order so the result
+  // matches scan_collect on a quiesced heap.
+  std::vector<SnapshotChunk::RowRef> refs;
+  refs.reserve(static_cast<size_t>(snap.row_count(table_id)));
+  snap.visit_chunks(table_id, [&](const SnapshotChunk& chunk) {
+    refs.insert(refs.end(), chunk.rows.begin(), chunk.rows.end());
+  });
+  std::sort(refs.begin(), refs.end(),
+            [](const SnapshotChunk::RowRef& a, const SnapshotChunk::RowRef& b) {
+              return std::tie(a.slot.extent, a.slot.page, a.slot.slot) <
+                     std::tie(b.slot.extent, b.slot.page, b.slot.slot);
+            });
+  for (const SnapshotChunk::RowRef& ref : refs) {
+    tally.heap_bytes += static_cast<int64_t>(ref.bytes.size());
+    auto row = decode_row(ref.bytes);
+    if (row.is_ok() && pred(*row)) rows.push_back(std::move(*row));
+  }
+  tally.rows_applied += static_cast<int64_t>(refs.size());
+  return rows;
+}
+
+Result<Row> Engine::snapshot_pk_lookup(const Snapshot& snap, uint32_t table_id,
+                                       const Row& pk_values) const {
+  if (table_id >= tables_.size()) {
+    return Status(ErrorCode::kNotFound, "bad table id");
+  }
+  const Table& table = tables_[table_id];
+  if (pk_values.size() != table.pk_column_indices().size()) {
+    return Status(ErrorCode::kInvalidArgument, "pk tuple arity mismatch");
+  }
+  const std::string key =
+      encode_tuple_key(table.def(), table.pk_column_indices(), pk_values);
+  // Newest chunk first; PKs are unique, so the first hit is the row.
+  for (const SnapshotNode* node = snap.visible_head(table_id); node != nullptr;
+       node = node->prev.get()) {
+    const SnapshotChunk& chunk = node->chunk;
+    const auto it = std::lower_bound(
+        chunk.pk.begin(), chunk.pk.end(), key,
+        [](const std::pair<std::string, uint32_t>& entry,
+           const std::string& k) { return entry.first < k; });
+    if (it != chunk.pk.end() && it->first == key) {
+      return decode_row(chunk.rows[it->second].bytes);
+    }
+  }
+  return Status(ErrorCode::kNotFound, "no row with given primary key");
+}
+
+Result<std::vector<Row>> Engine::snapshot_collect_range(
+    const Snapshot& snap, uint32_t table_id, int secondary,
+    const std::string& lo, const std::string& hi) const {
+  if (table_id >= tables_.size()) {
+    return Status(ErrorCode::kNotFound, "bad table id");
+  }
+  // (encoded key, row bytes) hits across all visible chunks. Keys are
+  // globally unique — PKs by constraint, non-unique secondary keys by their
+  // row-id suffix — so a plain sort yields live-index order.
+  std::vector<std::pair<std::string_view, std::string_view>> hits;
+  Status failure = ok_status();
+  snap.visit_chunks(table_id, [&](const SnapshotChunk& chunk) {
+    if (!failure.is_ok()) return;
+    const std::vector<std::pair<std::string, uint32_t>>* run = &chunk.pk;
+    if (secondary >= 0) {
+      const auto s = static_cast<size_t>(secondary);
+      if (s >= chunk.secondaries.size() || !chunk.secondaries[s].has_value()) {
+        failure = Status(ErrorCode::kFailedPrecondition,
+                         "snapshot chunk predates index (committed while "
+                         "the index was disabled)");
+        return;
+      }
+      run = &*chunk.secondaries[s];
+    }
+    auto it = std::lower_bound(
+        run->begin(), run->end(), lo,
+        [](const std::pair<std::string, uint32_t>& entry,
+           const std::string& k) { return entry.first < k; });
+    for (; it != run->end(); ++it) {
+      if (!hi.empty() && it->first >= hi) break;
+      hits.emplace_back(it->first, chunk.rows[it->second].bytes);
+    }
+  });
+  SKY_RETURN_IF_ERROR(failure);
+  std::sort(hits.begin(), hits.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<Row> rows;
+  rows.reserve(hits.size());
+  for (const auto& [key, bytes] : hits) {
+    SKY_ASSIGN_OR_RETURN(Row row, decode_row(bytes));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Result<std::vector<Row>> Engine::snapshot_pk_range(const Snapshot& snap,
+                                                   uint32_t table_id,
+                                                   const Row& lo,
+                                                   const Row& hi) const {
+  if (table_id >= tables_.size()) {
+    return Status(ErrorCode::kNotFound, "bad table id");
+  }
+  const Table& table = tables_[table_id];
+  return snapshot_collect_range(
+      snap, table_id, -1,
+      encode_tuple_key(table.def(), table.pk_column_indices(), lo),
+      encode_tuple_key(table.def(), table.pk_column_indices(), hi));
+}
+
+Result<std::vector<Row>> Engine::snapshot_index_range(const Snapshot& snap,
+                                                      uint32_t table_id,
+                                                      std::string_view
+                                                          index_name,
+                                                      const Row& lo,
+                                                      const Row& hi) const {
+  if (table_id >= tables_.size()) {
+    return Status(ErrorCode::kNotFound, "bad table id");
+  }
+  const Table& table = tables_[table_id];
+  // def/column_indices are immutable after construction — safe latch-free.
+  // `enabled` is deliberately NOT consulted: visibility is per chunk.
+  for (size_t s = 0; s < table.secondaries().size(); ++s) {
+    const SecondaryIndex& secondary = table.secondaries()[s];
+    if (secondary.def.name != index_name) continue;
+    return snapshot_collect_range(
+        snap, table_id, static_cast<int>(s),
+        encode_tuple_key(table.def(), secondary.column_indices, lo),
+        encode_tuple_key(table.def(), secondary.column_indices, hi));
+  }
+  return Status(ErrorCode::kNotFound,
+                "no such index: " + std::string(index_name));
+}
+
+Result<std::vector<Row>> Engine::snapshot_pk_encoded_range(
+    const Snapshot& snap, uint32_t table_id, const std::string& lo,
+    const std::string& hi) const {
+  return snapshot_collect_range(snap, table_id, -1, lo, hi);
+}
+
+Result<std::vector<Row>> Engine::snapshot_index_encoded_range(
+    const Snapshot& snap, uint32_t table_id, std::string_view index_name,
+    const std::string& lo, const std::string& hi) const {
+  if (table_id >= tables_.size()) {
+    return Status(ErrorCode::kNotFound, "bad table id");
+  }
+  const Table& table = tables_[table_id];
+  for (size_t s = 0; s < table.secondaries().size(); ++s) {
+    if (table.secondaries()[s].def.name != index_name) continue;
+    return snapshot_collect_range(snap, table_id, static_cast<int>(s), lo, hi);
+  }
+  return Status(ErrorCode::kNotFound,
+                "no such index: " + std::string(index_name));
+}
+
+Status Engine::snapshot_scan_heap(
+    const Snapshot& snap, uint32_t table_id,
+    const std::function<void(storage::SlotId, std::string_view)>& fn) const {
+  if (table_id >= tables_.size()) {
+    return Status(ErrorCode::kNotFound, "bad table id");
+  }
+  std::vector<SnapshotChunk::RowRef> refs;
+  refs.reserve(static_cast<size_t>(snap.row_count(table_id)));
+  snap.visit_chunks(table_id, [&](const SnapshotChunk& chunk) {
+    refs.insert(refs.end(), chunk.rows.begin(), chunk.rows.end());
+  });
+  std::sort(refs.begin(), refs.end(),
+            [](const SnapshotChunk::RowRef& a, const SnapshotChunk::RowRef& b) {
+              return std::tie(a.slot.extent, a.slot.page, a.slot.slot) <
+                     std::tie(b.slot.extent, b.slot.page, b.slot.slot);
+            });
+  for (const SnapshotChunk::RowRef& ref : refs) fn(ref.slot, ref.bytes);
+  return ok_status();
 }
 
 // --------------------------------------------------------------- telemetry

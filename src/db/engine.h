@@ -63,6 +63,7 @@
 #include "db/op_costs.h"
 #include "db/row.h"
 #include "db/schema.h"
+#include "db/snapshot.h"
 #include "db/table.h"
 #include "storage/buffer_cache.h"
 #include "storage/device.h"
@@ -138,6 +139,12 @@ struct EngineOptions {
   // kStrict acks a commit only after the covering flush; kRelaxed acks at
   // append and exposes the durable-LSN watermark (Engine::wal_durable_lsn).
   storage::DurabilityMode durability = storage::DurabilityMode::kStrict;
+  // Publish copy-on-write snapshot chunks at commit (db/snapshot.h) so the
+  // snapshot_* read family serves a consistent committed prefix without
+  // touching any latch. Costs commit-time work proportional to the
+  // transaction's rows plus a second copy of its index keys; turn off for
+  // ingest-only instances that never serve snapshot reads.
+  bool snapshot_reads = true;
   ModeledDeviceLatency latency;
 };
 
@@ -251,6 +258,57 @@ class Engine {
   Result<bool> index_enabled(uint32_t table_id,
                              std::string_view index_name) const;
 
+  // --------------------------------------------------------- snapshot reads
+  // The read path that never blocks ingest (db/snapshot.h): pin a consistent
+  // committed-prefix view, then query it latch-free — none of the snapshot_*
+  // methods takes the engine rwlock, a table latch, an extent latch, or a
+  // gate. Requires EngineOptions::snapshot_reads (the default); with it off,
+  // pins succeed but see an empty repository. A Snapshot must not outlive
+  // its engine.
+  Snapshot pin_snapshot() const { return snapshots_.pin(); }
+  SnapshotStats snapshot_stats() const { return snapshots_.stats(); }
+  // Newest publication LSN a fresh pin would read (the snapshot analogue of
+  // wal_durable_lsn(): one tick per committed writing transaction).
+  uint64_t snapshot_published_lsn() const {
+    return snapshots_.published_lsn();
+  }
+  // Rows of one table visible in the pinned view.
+  int64_t snapshot_row_count(const Snapshot& snap, uint32_t table_id) const;
+  // scan_collect against the pinned view: rows visited in physical heap
+  // order (extent, page, slot), matching scan_collect on a quiesced heap.
+  // `costs` (optional) is filled the same way the live path would fill it —
+  // in particular lock_wait_ns stays 0 by construction, which the zero-latch
+  // regression test asserts.
+  std::vector<Row> snapshot_scan_collect(
+      const Snapshot& snap, uint32_t table_id,
+      const std::function<bool(const Row&)>& pred,
+      OpCosts* costs = nullptr) const;
+  // Point and range lookups mirroring the live query family. Range reads
+  // over a secondary index fail with kFailedPrecondition when any visible
+  // chunk predates the index (committed while it was disabled) — the
+  // snapshot cannot serve them without silently missing rows.
+  Result<Row> snapshot_pk_lookup(const Snapshot& snap, uint32_t table_id,
+                                 const Row& pk_values) const;
+  Result<std::vector<Row>> snapshot_pk_range(const Snapshot& snap,
+                                             uint32_t table_id, const Row& lo,
+                                             const Row& hi) const;
+  Result<std::vector<Row>> snapshot_index_range(const Snapshot& snap,
+                                                uint32_t table_id,
+                                                std::string_view index_name,
+                                                const Row& lo,
+                                                const Row& hi) const;
+  Result<std::vector<Row>> snapshot_pk_encoded_range(
+      const Snapshot& snap, uint32_t table_id, const std::string& lo,
+      const std::string& hi) const;
+  Result<std::vector<Row>> snapshot_index_encoded_range(
+      const Snapshot& snap, uint32_t table_id, std::string_view index_name,
+      const std::string& lo, const std::string& hi) const;
+  // Physical visit of the pinned view in heap order (the snapshot analogue
+  // of scan_heap; recovery tests compare it against a replayed engine).
+  Status snapshot_scan_heap(
+      const Snapshot& snap, uint32_t table_id,
+      const std::function<void(storage::SlotId, std::string_view)>& fn) const;
+
   // -------------------------------------------------------------- telemetry
   // All telemetry returns copied snapshots taken under the owning
   // component's lock — never references into concurrently mutated state.
@@ -300,6 +358,11 @@ class Engine {
     storage::SlotId slot;
     std::string pk_key;
     std::vector<std::pair<size_t, std::string>> secondary_keys;
+    // View of the stored heap row (stable per the storage contract). At
+    // commit the undo log is recycled into the table's snapshot chunk:
+    // slots + views become the chunk rows, pk/secondary keys its sorted
+    // runs (db/snapshot.h).
+    std::string_view bytes;
   };
   // Per-(transaction, table) admission record, created at the transaction's
   // first write to the table: the ITL gate held (if any), what acquiring it
@@ -366,6 +429,18 @@ class Engine {
   // ITL admission was contended — the sim server's lock-escalation model
   // applied to real time.
   void pay_batch_latency(const OpCosts& costs, double escalation = 0.0) const;
+  // Recycle a committed transaction's undo log into per-table snapshot
+  // chunks and publish them (commit path, snapshot_reads on). Called with
+  // the engine rwlock held shared.
+  void publish_snapshot_chunks(std::vector<UndoEntry> undo);
+  // Shared core of the snapshot range reads: collect [lo, hi) (empty hi =
+  // unbounded) from each visible chunk's PK run (secondary < 0) or the
+  // given secondary run, merge by key order, decode.
+  Result<std::vector<Row>> snapshot_collect_range(const Snapshot& snap,
+                                                  uint32_t table_id,
+                                                  int secondary,
+                                                  const std::string& lo,
+                                                  const std::string& hi) const;
   storage::IoRole role_of_file(uint32_t file_id) const;
   Result<Row> row_at(const Table& table, uint64_t row_id) const;
   std::string encode_tuple_key(const TableDef& def,
@@ -387,6 +462,8 @@ class Engine {
   std::atomic<uint32_t> next_extent_{0};  // round-robin extent assignment
   std::vector<storage::IoRole> file_roles_;  // cache file id -> device role
   storage::SharedIoTally global_io_;
+  // Mutable: pinning is logically const (a read) but registers the pin.
+  mutable SnapshotManager snapshots_;
   std::function<void(uint32_t, uint64_t)> insert_observer_;
 };
 

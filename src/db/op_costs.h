@@ -44,6 +44,11 @@ struct OpCosts {
   int64_t txn_slot_wait_ns = 0;
   int64_t itl_wait_ns = 0;
   int64_t stall_ns = 0;
+  // Query-lane admission wait (db/query_scheduler.h): time a query spent
+  // queued on its lane's gate (interactive or batch) plus, for batch
+  // queries, time spent yielding to in-flight interactive work. Not part of
+  // lock_wait_ns — lane queueing is scheduling policy, not latch contention.
+  int64_t query_lane_wait_ns = 0;
   // Group-commit accounting (commit calls only): whether this commit led
   // the covering device write or rode another session's, and the
   // commit-coalescing window time it paid as leader.
@@ -73,6 +78,7 @@ struct OpCosts {
     txn_slot_wait_ns += other.txn_slot_wait_ns;
     itl_wait_ns += other.itl_wait_ns;
     stall_ns += other.stall_ns;
+    query_lane_wait_ns += other.query_lane_wait_ns;
     commit_flushes_led += other.commit_flushes_led;
     commit_piggybacks += other.commit_piggybacks;
     commit_leader_wait_ns += other.commit_leader_wait_ns;

@@ -22,7 +22,8 @@ HeapFile::AppendResult HeapFile::append_with_state(std::string row_bytes,
   const SlotId slot{extent_id_,
                     static_cast<uint32_t>(pages_.size() - 1),
                     static_cast<uint32_t>(page.rows.size() - 1)};
-  return AppendResult{slot, opened_new_page};
+  return AppendResult{slot, opened_new_page,
+                      std::string_view(page.rows.back())};
 }
 
 HeapFile::AppendResult HeapFile::append(std::string row_bytes) {

@@ -53,11 +53,15 @@ class HeapFile {
 
   uint32_t extent_id() const { return extent_id_; }
 
-  // Append a serialized row. Returns its slot and whether a fresh page was
-  // opened to hold it (cost-model signal: one more dirty page).
+  // Append a serialized row. Returns its slot, whether a fresh page was
+  // opened to hold it (cost-model signal: one more dirty page), and a view
+  // of the stored bytes — valid for the heap's lifetime per the stability
+  // contract, so callers (snapshot chunks) can reference the row without a
+  // later latched read.
   struct AppendResult {
     SlotId slot;
     bool opened_new_page;
+    std::string_view bytes;
   };
   AppendResult append(std::string row_bytes);
   // Append a hidden row: invisible to read()/scan() and excluded from

@@ -51,6 +51,7 @@ ShardedHeap::AppendResult ShardedHeap::append_with(uint32_t extent,
               : target.file.append(std::move(row_bytes));
   result.slot = appended.slot;
   result.opened_new_page = appended.opened_new_page;
+  result.bytes = appended.bytes;
   if (appended.opened_new_page) {
     pages_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -86,6 +87,7 @@ ShardedHeap::BatchAppendResult ShardedHeap::append_batch(
   Extent& target = *extents_[e];
   int64_t batch_bytes = 0;
   result.slots.reserve(rows.size());
+  result.views.reserve(rows.size());
   result.latch_wait_ns = lock_extent_timed(target.latch);
   const std::unique_lock<std::shared_mutex> latch(target.latch,
                                                   std::adopt_lock);
@@ -94,6 +96,7 @@ ShardedHeap::BatchAppendResult ShardedHeap::append_batch(
     const HeapFile::AppendResult appended =
         target.file.append(std::move(row_bytes));
     result.slots.push_back(appended.slot);
+    result.views.push_back(appended.bytes);
     if (appended.opened_new_page) ++result.pages_opened;
   }
   pages_.fetch_add(result.pages_opened, std::memory_order_relaxed);

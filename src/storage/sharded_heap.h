@@ -61,6 +61,8 @@ class ShardedHeap {
     SlotId slot;
     bool opened_new_page = false;
     Nanos latch_wait_ns = 0;  // time blocked on a contended extent latch
+    // View of the stored row bytes (stable for the heap's lifetime).
+    std::string_view bytes;
   };
   // Append a live row to the given extent (clamped into range).
   AppendResult append(uint32_t extent, std::string row_bytes);
@@ -79,6 +81,8 @@ class ShardedHeap {
   // latch, preserving the one-write-stream-per-extent contention model.
   struct BatchAppendResult {
     std::vector<SlotId> slots;   // one per row, in submission order
+    // Views of the stored rows, aligned with `slots` (stable views).
+    std::vector<std::string_view> views;
     int64_t pages_opened = 0;
     Nanos latch_wait_ns = 0;
   };

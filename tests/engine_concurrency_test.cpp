@@ -14,6 +14,7 @@
 #include "client/session.h"
 #include "core/coordinator.h"
 #include "db/engine.h"
+#include "db/query_scheduler.h"
 
 namespace sky::core {
 namespace {
@@ -432,6 +433,214 @@ TEST(EngineConcurrencyTest, ItlGateContentionWithAborts) {
   EXPECT_EQ(stats.itl.acquires, admissions.load());
   // Rolled-back rows are gone, committed rows are all there.
   EXPECT_EQ(engine.row_count(tid), committed_rows.load());
+  EXPECT_TRUE(engine.verify_integrity().is_ok());
+}
+
+// Two-lane scheduler fairness: with every batch slot held by admitted
+// batch queries, an interactive arrival must admit immediately — the lanes
+// are separate gates, so batch occupancy can never queue interactive work.
+TEST(EngineConcurrencyTest, BatchLaneNeverStarvesInteractiveAdmission) {
+  db::Schema schema;
+  db::TableDef t;
+  t.name = "only";
+  t.col("id", db::ColumnType::kInt64, false);
+  t.primary_key = {"id"};
+  ASSERT_TRUE(schema.add_table(t).is_ok());
+  db::Engine engine(schema);
+
+  core::QueryPolicy policy;
+  policy.interactive_slots = 2;
+  policy.batch_slots = 2;
+  db::QueryScheduler scheduler(engine, policy);
+
+  // Saturate the batch lane completely.
+  db::Admission batch1 = scheduler.admit(db::QueryLane::kBatch);
+  db::Admission batch2 = scheduler.admit(db::QueryLane::kBatch);
+  ASSERT_TRUE(batch1.valid());
+  ASSERT_TRUE(batch2.valid());
+  EXPECT_EQ(scheduler.stats().batch.gate.in_use, 2);
+
+  // Interactive admission goes straight through: no gate wait recorded.
+  db::OpCosts costs;
+  const db::Admission interactive =
+      scheduler.admit(db::QueryLane::kInteractive, &costs);
+  ASSERT_TRUE(interactive.valid());
+  EXPECT_TRUE(interactive.snapshot().valid());
+  const db::QueryStats stats = scheduler.stats();
+  EXPECT_EQ(stats.interactive.gate.waits, 0u);
+  EXPECT_EQ(stats.interactive.gate.in_use, 1);
+  // A third batch admission would queue; interactive did not.
+  EXPECT_EQ(stats.batch.gate.in_use, 2);
+}
+
+// Batch yielding: while an interactive query is in flight, a batch
+// admission must hold back (batch_yields counts it) and admit only after
+// the interactive lane drains.
+TEST(EngineConcurrencyTest, BatchAdmissionYieldsToInteractiveInFlight) {
+  db::Schema schema;
+  db::TableDef t;
+  t.name = "only";
+  t.col("id", db::ColumnType::kInt64, false);
+  t.primary_key = {"id"};
+  ASSERT_TRUE(schema.add_table(t).is_ok());
+  db::Engine engine(schema);
+
+  core::QueryPolicy policy;
+  policy.interactive_slots = 1;
+  policy.batch_slots = 1;
+  db::QueryScheduler scheduler(engine, policy);
+
+  auto interactive = std::make_unique<db::Admission>(
+      scheduler.admit(db::QueryLane::kInteractive));
+  ASSERT_TRUE(interactive->valid());
+
+  std::atomic<bool> batch_admitted{false};
+  std::thread batch_thread([&] {
+    db::OpCosts costs;
+    const db::Admission batch =
+        scheduler.admit(db::QueryLane::kBatch, &costs);
+    EXPECT_TRUE(batch.valid());
+    // The yield wait is query-lane time, not lock time.
+    EXPECT_GT(costs.query_lane_wait_ns, 0);
+    EXPECT_EQ(costs.lock_wait_ns, 0);
+    batch_admitted.store(true);
+  });
+
+  // The batch admitter must register its yield, and must not be admitted
+  // while the interactive query is still running.
+  while (scheduler.stats().batch_yields < 1) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(batch_admitted.load());
+  EXPECT_EQ(scheduler.stats().batch.queue_depth, 1);
+
+  interactive.reset();  // drain the interactive lane
+  batch_thread.join();
+  EXPECT_TRUE(batch_admitted.load());
+  const db::QueryStats stats = scheduler.stats();
+  EXPECT_GE(stats.batch_yields, 1);
+  EXPECT_EQ(stats.batch.completed, 1);
+  EXPECT_EQ(stats.interactive.completed, 1);
+  EXPECT_EQ(stats.snapshot_pins, 0);  // every admission unpinned
+}
+
+// Scheduler stress for the sanitizer legs: six loaders append committed
+// batches while four interactive clients (snapshot PK lookups + index
+// ranges) and two batch scanners (snapshot full scans) run ~10k query ops
+// through the two-lane scheduler. Exercises concurrent publication, pin /
+// unpin, yield handshakes, and histogram recording; TSan-clean under
+// SKY_SANITIZE=thread is the point of the test.
+TEST(EngineConcurrencyTest, QuerySchedulerMixedWorkloadStress) {
+  db::Schema schema;
+  db::TableDef objects;
+  objects.name = "objects";
+  objects.col("objid", db::ColumnType::kInt64, false);
+  objects.col("htmid", db::ColumnType::kInt64, false);
+  objects.primary_key = {"objid"};
+  objects.indexes.push_back(db::IndexDef{"ix_htmid", {"htmid"}, false});
+  ASSERT_TRUE(schema.add_table(objects).is_ok());
+  db::EngineOptions options;
+  options.heap_extents = 4;
+  db::Engine engine(schema, options);
+  const uint32_t tid = engine.table_id("objects").value();
+
+  core::QueryPolicy policy;
+  policy.interactive_slots = 2;
+  policy.batch_slots = 1;
+  db::QueryScheduler scheduler(engine, policy);
+
+  constexpr int kLoaders = 6;
+  constexpr int kInteractive = 4;
+  constexpr int kBatchScanners = 2;
+  constexpr int64_t kTxnsPerLoader = 40;   // 8 rows each
+  constexpr int64_t kOpsPerInteractive = 2'000;
+  constexpr int64_t kOpsPerBatch = 1'000;  // 4*2000 + 2*1000 = 10k query ops
+
+  std::atomic<int64_t> committed_high[kLoaders];
+  for (auto& high : committed_high) high.store(-1);
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kLoaders; ++w) {
+    threads.emplace_back([&, w] {
+      const int64_t base = static_cast<int64_t>(w) * 1'000'000;
+      for (int64_t t2 = 0; t2 < kTxnsPerLoader; ++t2) {
+        const uint64_t txn = engine.begin_transaction();
+        std::vector<db::Row> rows;
+        for (int64_t j = 0; j < 8; ++j) {
+          const int64_t id = base + t2 * 8 + j;
+          rows.push_back({db::Value::i64(id), db::Value::i64(id % 4096)});
+        }
+        EXPECT_EQ(engine.insert_batch(txn, tid, rows).rows_applied, 8);
+        EXPECT_TRUE(engine.commit(txn).is_ok());
+        committed_high[w].store(base + t2 * 8 + 7,
+                                std::memory_order_release);
+      }
+    });
+  }
+  for (int c = 0; c < kInteractive; ++c) {
+    threads.emplace_back([&, c] {
+      uint64_t probe = static_cast<uint64_t>(c) * 7919 + 1;
+      for (int64_t i = 0; i < kOpsPerInteractive; ++i) {
+        probe = probe * 6364136223846793005ull + 1442695040888963407ull;
+        const int loader = static_cast<int>(probe % kLoaders);
+        // Read the high-water mark BEFORE admitting: the commit that set it
+        // finished publishing before this load, so the snapshot pinned at
+        // admission must contain the key.
+        const int64_t high =
+            committed_high[loader].load(std::memory_order_acquire);
+        db::OpCosts costs;
+        const db::Admission grant =
+            scheduler.admit(db::QueryLane::kInteractive, &costs);
+        ASSERT_TRUE(grant.valid());
+        if (high >= 0 && i % 2 == 0) {
+          // A committed key is always visible in a fresh snapshot.
+          const int64_t id = static_cast<int64_t>(loader) * 1'000'000 +
+                             static_cast<int64_t>(probe >> 32) %
+                                 (high % 1'000'000 + 1);
+          const auto row = engine.snapshot_pk_lookup(
+              grant.snapshot(), tid, {db::Value::i64(id)});
+          EXPECT_TRUE(row.is_ok()) << id;
+        } else {
+          const int64_t h = static_cast<int64_t>(probe % 4096);
+          const auto hits = engine.snapshot_index_range(
+              grant.snapshot(), tid, "ix_htmid", {db::Value::i64(h)},
+              {db::Value::i64(h + 16)});
+          EXPECT_TRUE(hits.is_ok());
+        }
+      }
+    });
+  }
+  for (int b = 0; b < kBatchScanners; ++b) {
+    threads.emplace_back([&] {
+      for (int64_t i = 0; i < kOpsPerBatch; ++i) {
+        db::OpCosts costs;
+        const db::Admission grant =
+            scheduler.admit(db::QueryLane::kBatch, &costs);
+        ASSERT_TRUE(grant.valid());
+        const int64_t pinned =
+            engine.snapshot_row_count(grant.snapshot(), tid);
+        const std::vector<db::Row> rows = engine.snapshot_scan_collect(
+            grant.snapshot(), tid, [](const db::Row&) { return true; });
+        // The pinned view is frozen: the scan sees exactly its row count.
+        EXPECT_EQ(static_cast<int64_t>(rows.size()), pinned);
+      }
+    });
+  }
+
+  for (std::thread& thread : threads) thread.join();
+
+  const db::QueryStats stats = scheduler.stats();
+  EXPECT_EQ(stats.interactive.completed,
+            static_cast<int64_t>(kInteractive) * kOpsPerInteractive);
+  EXPECT_EQ(stats.batch.completed,
+            static_cast<int64_t>(kBatchScanners) * kOpsPerBatch);
+  EXPECT_EQ(stats.snapshot_pins, 0);
+  EXPECT_EQ(stats.interactive.queue_depth, 0);
+  EXPECT_EQ(stats.batch.queue_depth, 0);
+  // Everything committed is in the final snapshot.
+  const db::Snapshot snap = engine.pin_snapshot();
+  EXPECT_EQ(engine.snapshot_row_count(snap, tid),
+            static_cast<int64_t>(kLoaders) * kTxnsPerLoader * 8);
+  EXPECT_EQ(engine.row_count(tid), engine.snapshot_row_count(snap, tid));
   EXPECT_TRUE(engine.verify_integrity().is_ok());
 }
 

@@ -571,6 +571,96 @@ TEST(RecoveryTest, CrashWhileBlockedOnItlSlotLeaksNothing) {
   EXPECT_EQ(engine.row_count(0), 3);
 }
 
+// Crash while a pinned snapshot scan is mid-flight: the WAL snapshot taken
+// at that instant replays to exactly the committed prefix the pin can see —
+// published-but-uncommitted rows are visible to neither — and dropping the
+// pin leaves no snapshot pages or pin registrations behind.
+TEST(RecoveryTest, CrashDuringPinnedSnapshotScanReplaysClean) {
+  const Schema schema = pair_schema();
+  Engine engine(schema, retain_options());
+  OpCosts costs;
+  // Committed baseline: three transactions over both tables.
+  for (int64_t t = 0; t < 3; ++t) {
+    const uint64_t txn = engine.begin_transaction();
+    for (int64_t j = 0; j < 4; ++j) {
+      const int64_t id = t * 100 + j;
+      ASSERT_TRUE(engine
+                      .insert_row(txn, 0,
+                                  {Value::i64(id),
+                                   Value::str("p" + std::to_string(id))},
+                                  costs)
+                      .is_ok());
+      ASSERT_TRUE(engine
+                      .insert_row(txn, 1, {Value::i64(1000 + id),
+                                           Value::i64(id)}, costs)
+                      .is_ok());
+    }
+    ASSERT_TRUE(engine.commit(txn).is_ok());
+  }
+  // One more transaction publishes rows to the live heap but never commits
+  // before the "crash" — the two-phase insert makes them live-visible, but
+  // they must appear in neither the pinned snapshot nor the replay.
+  const uint64_t torn = engine.begin_transaction();
+  ASSERT_TRUE(engine.insert_row(torn, 0, {Value::i64(999), Value::str("t")},
+                                costs).is_ok());
+  ASSERT_EQ(engine.row_count(0), 13);  // live read-uncommitted sees it
+
+  // The scan in flight at crash time: pin now, read through it after the
+  // crash snapshot is taken (the pin holds the chain alive regardless).
+  Snapshot pinned = engine.pin_snapshot();
+  const auto records = engine.wal_records();  // crash snapshot
+
+  RecoveryStats stats;
+  const auto recovered =
+      recover_from_wal(schema, records, EngineOptions{}, &stats);
+  ASSERT_TRUE(recovered.is_ok()) << recovered.status().to_string();
+  EXPECT_EQ(stats.transactions_committed, 3);
+  EXPECT_EQ(stats.transactions_discarded, 1);
+  EXPECT_EQ(stats.rows_discarded, 1);
+
+  // Extent-identical: the pinned snapshot's physical view equals the
+  // replayed engine's heap, table by table — same committed prefix, same
+  // extents, torn row in neither.
+  for (int t = 0; t < schema.table_count(); ++t) {
+    const uint32_t tid = static_cast<uint32_t>(t);
+    std::multiset<std::pair<uint32_t, std::string>> snapshot_view, replayed;
+    ASSERT_TRUE(engine
+                    .snapshot_scan_heap(pinned, tid,
+                                        [&](storage::SlotId slot,
+                                            std::string_view bytes) {
+                                          snapshot_view.emplace(
+                                              slot.extent, std::string(bytes));
+                                        })
+                    .is_ok());
+    ASSERT_TRUE((*recovered)
+                    ->scan_heap(tid,
+                                [&](storage::SlotId slot,
+                                    std::string_view bytes) {
+                                  replayed.emplace(slot.extent,
+                                                   std::string(bytes));
+                                })
+                    .is_ok());
+    EXPECT_EQ(snapshot_view, replayed) << "table " << schema.table(tid).name;
+  }
+  EXPECT_EQ(engine.snapshot_row_count(pinned, 0), 12);
+  EXPECT_EQ((*recovered)->row_count(0), 12);
+  EXPECT_FALSE((*recovered)->pk_lookup(0, {Value::i64(999)}).is_ok());
+  EXPECT_TRUE((*recovered)->verify_integrity().is_ok());
+
+  // Nothing leaks: the pin was the only one, and dropping it empties the
+  // registry while the published chain stays intact for future pins.
+  EXPECT_EQ(engine.snapshot_stats().active_pins, 1);
+  { const Snapshot drop = std::move(pinned); }
+  EXPECT_EQ(engine.snapshot_stats().active_pins, 0);
+  EXPECT_EQ(engine.snapshot_published_lsn(), 3u);
+  const Snapshot again = engine.pin_snapshot();
+  EXPECT_EQ(engine.snapshot_row_count(again, 0), 12);
+
+  // Clean teardown of the source engine.
+  ASSERT_TRUE(engine.rollback(torn).is_ok());
+  EXPECT_TRUE(engine.verify_integrity().is_ok());
+}
+
 TEST(RecoveryTest, EquivalenceDetectsDifferences) {
   const Schema schema = pair_schema();
   Engine a(schema), b(schema);
