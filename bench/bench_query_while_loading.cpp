@@ -12,8 +12,10 @@
 //     latch shared and the heap extent latch under it, so it queues behind
 //     each loader's exclusive columnar publish window;
 //   * snapshot  — db::QueryScheduler admission (interactive/batch lanes,
-//     batch yielding to interactive) + Engine::snapshot_* reads against a
-//     pinned copy-on-write snapshot: zero latches shared with ingest.
+//     batch yielding to interactive) + ReadView reads (Admission::view())
+//     against a pinned copy-on-write snapshot: zero latches shared with
+//     ingest. Both modes run the same ReadView query code; only the view's
+//     construction differs.
 //
 // Loader appends pay a modeled per-row extent write (EngineOptions::
 // latency.extent_append_write) so publish windows have a deterministic
@@ -62,7 +64,7 @@ sky::db::Schema make_objects_schema() {
       .col("dec", sky::db::ColumnType::kDouble)
       .col("mag", sky::db::ColumnType::kDouble);
   objects.primary_key = {"objid"};
-  objects.indexes.push_back({"ix_htmid", {"htmid"}, /*unique=*/false});
+  objects.indexes.push_back({"ix_htmid", {"htmid"}, /*unique=*/false, {}});
   if (!schema.add_table(std::move(objects)).is_ok()) std::abort();
   return schema;
 }
@@ -181,26 +183,23 @@ MixedResult run_mixed(bool use_snapshots, int interactive_clients,
             (high > 0 ? rng.uniform_int(0, high - 1) : 0);
         const int64_t htmid = rng.uniform_int(0, kHtmidSpace - 65);
         const auto begin = std::chrono::steady_clock::now();
+        // One read path for both modes: the query code is written against
+        // ReadView; only where the view comes from differs (admitted
+        // snapshot vs live engine state).
+        sky::db::Admission admission;
         if (use_snapshots) {
-          const sky::db::Admission admission =
-              scheduler.admit(sky::db::QueryLane::kInteractive, &costs);
-          const auto hit = engine.snapshot_pk_lookup(
-              admission.snapshot(), objects, {Value::i64(objid)});
-          if (!hit.is_ok() && hit.status().code() != sky::ErrorCode::kNotFound)
-            std::abort();
-          const auto range = engine.snapshot_index_range(
-              admission.snapshot(), objects, "ix_htmid",
-              {Value::i64(htmid)}, {Value::i64(htmid + 64)});
-          if (!range.is_ok()) std::abort();
-        } else {
-          const auto hit = engine.pk_lookup(objects, {Value::i64(objid)});
-          if (!hit.is_ok() && hit.status().code() != sky::ErrorCode::kNotFound)
-            std::abort();
-          const auto range =
-              engine.index_range(objects, "ix_htmid", {Value::i64(htmid)},
-                                 {Value::i64(htmid + 64)});
-          if (!range.is_ok()) std::abort();
+          admission = scheduler.admit(sky::db::QueryLane::kInteractive,
+                                      &costs);
         }
+        const sky::db::ReadView view =
+            use_snapshots ? admission.view() : engine.live_view();
+        const auto hit = view.pk_lookup(objects, {Value::i64(objid)});
+        if (!hit.is_ok() && hit.status().code() != sky::ErrorCode::kNotFound)
+          std::abort();
+        const auto range = view.index_range(objects, "ix_htmid",
+                                            {Value::i64(htmid)},
+                                            {Value::i64(htmid + 64)});
+        if (!range.is_ok()) std::abort();
         if (samples.size() < samples.capacity()) samples.push_back(since(begin));
       }
       const std::scoped_lock lock(lane_costs_mu);
@@ -223,14 +222,13 @@ MixedResult run_mixed(bool use_snapshots, int interactive_clients,
           return false;  // count, don't collect
         };
         const auto begin = std::chrono::steady_clock::now();
+        sky::db::Admission admission;
         if (use_snapshots) {
-          const sky::db::Admission admission =
-              scheduler.admit(sky::db::QueryLane::kBatch, &costs);
-          engine.snapshot_scan_collect(admission.snapshot(), objects,
-                                       count_bright);
-        } else {
-          engine.scan_collect(objects, count_bright);
+          admission = scheduler.admit(sky::db::QueryLane::kBatch, &costs);
         }
+        const sky::db::ReadView view =
+            use_snapshots ? admission.view() : engine.live_view();
+        view.scan_collect(objects, count_bright);
         if (samples.size() < samples.capacity()) samples.push_back(since(begin));
       }
       const std::scoped_lock lock(lane_costs_mu);

@@ -1,0 +1,246 @@
+// Zone cross-match parallel scaling: a >=1M x 1M synthetic cross-match
+// through db::spatial::xmatch_arrays, with two measurements:
+//
+//   * simulated speedup — the canonical deterministic metric. One serial
+//     run yields the per-zone work funnel (rows scanned through ra windows,
+//     exact-distance tests, matched pairs); each zone is priced by the
+//     CostModel's spatial rates (per_zone_scan_row / per_xmatch_candidate /
+//     per_xmatch_pair) and zones are placed on W workers by least-loaded
+//     (LPT) assignment, exactly how LoadCoordinator spreads files. The
+//     W-worker makespan is the loaded worker's sum; speedup(W) =
+//     makespan(1) / makespan(W). Deterministic, so CI gates on it.
+//   * cpu speedup — wall-clock of the same match fanned out through
+//     core::LoadCoordinator::task_runner() at 1 and 6 workers, plus a
+//     byte-identical-pairs determinism check against the serial run.
+//     Reported, not gated (CI machines share cores).
+//
+// Emits BENCH_xmatch.json. `--smoke` runs a reduced catalog and exits
+// non-zero if the simulated 6-worker speedup falls under 3x — the CI
+// guard, mirroring the full-mode shape check on the ISSUE target.
+#include "bench_util.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+
+#include "client/cost_model.h"
+#include "common/rng.h"
+#include "db/spatial.h"
+
+namespace {
+
+using namespace skybench;
+namespace spatial = sky::db::spatial;
+
+constexpr double kPi = 3.14159265358979323846;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Uniform sky plus seeded counterparts: every 8th B row sits within the
+// match radius of an A row, so the pair count is a real signal.
+void make_catalogs(size_t n, double radius_deg, std::vector<double>* a_ra,
+                   std::vector<double>* a_dec, std::vector<double>* b_ra,
+                   std::vector<double>* b_dec) {
+  sky::Rng rng(0x5EAC47);
+  a_ra->reserve(n);
+  a_dec->reserve(n);
+  b_ra->reserve(n);
+  b_dec->reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    a_ra->push_back(rng.uniform_range(0.0, 360.0));
+    a_dec->push_back(std::asin(rng.uniform_range(-1.0, 1.0)) * 180.0 / kPi);
+    if (i % 8 == 0) {
+      const double offset = rng.uniform_range(-0.6, 0.6) * radius_deg;
+      b_ra->push_back((*a_ra)[i]);
+      b_dec->push_back(
+          std::clamp((*a_dec)[i] + offset, -89.99, 89.99));
+    } else {
+      b_ra->push_back(rng.uniform_range(0.0, 360.0));
+      b_dec->push_back(std::asin(rng.uniform_range(-1.0, 1.0)) * 180.0 /
+                       kPi);
+    }
+  }
+}
+
+// Price one zone's funnel through the CostModel's spatial rates.
+sky::Nanos zone_cost(const sky::client::CostModel& model,
+                     const spatial::ZoneCost& zone) {
+  return zone.scanned * model.per_zone_scan_row +
+         zone.candidates * model.per_xmatch_candidate +
+         zone.pairs * model.per_xmatch_pair;
+}
+
+// Least-loaded (LPT) placement of the priced zones on `workers` workers;
+// returns the makespan (the loaded worker's total).
+sky::Nanos makespan(const std::vector<sky::Nanos>& costs, int workers) {
+  std::vector<sky::Nanos> sorted = costs;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  std::vector<sky::Nanos> load(static_cast<size_t>(workers), 0);
+  for (const sky::Nanos cost : sorted) {
+    *std::min_element(load.begin(), load.end()) += cost;
+  }
+  return *std::max_element(load.begin(), load.end());
+}
+
+struct TimedRun {
+  double seconds = 0;
+  spatial::XmatchResult result;
+};
+
+TimedRun run_xmatch(const std::vector<double>& a_ra,
+                    const std::vector<double>& a_dec,
+                    const std::vector<double>& b_ra,
+                    const std::vector<double>& b_dec,
+                    const spatial::XmatchOptions& options) {
+  TimedRun run;
+  const auto start = std::chrono::steady_clock::now();
+  run.result = spatial::xmatch_arrays(a_ra, a_dec, b_ra, b_dec, options);
+  run.seconds = seconds_since(start);
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  const size_t rows = smoke ? 120'000 : 1'000'000;
+  const double radius_deg = 1.5 / 3600.0;  // 1.5 arcsec
+
+  std::vector<double> a_ra, a_dec, b_ra, b_dec;
+  make_catalogs(rows, radius_deg, &a_ra, &a_dec, &b_ra, &b_dec);
+
+  spatial::XmatchOptions options;
+  options.radius_deg = radius_deg;
+
+  // Serial reference: the per-zone funnel for the simulated model and the
+  // determinism baseline for the threaded runs.
+  const TimedRun serial = run_xmatch(a_ra, a_dec, b_ra, b_dec, options);
+  const spatial::XmatchReport& report = serial.result.report;
+
+  const sky::client::CostModel model = sky::client::paper_calibrated_costs();
+  std::vector<sky::Nanos> costs;
+  costs.reserve(report.per_zone.size());
+  sky::Nanos total_cost = 0;
+  for (const spatial::ZoneCost& zone : report.per_zone) {
+    costs.push_back(zone_cost(model, zone));
+    total_cost += costs.back();
+  }
+
+  const std::vector<int> worker_counts = {1, 2, 4, 6, 8, 12};
+  const sky::Nanos serial_makespan = makespan(costs, 1);
+  FigureTable table("Zone xmatch parallel scaling",
+                    "workers", "simulated speedup over 1 worker");
+  std::vector<double> speedups;
+  for (const int w : worker_counts) {
+    const sky::Nanos span = makespan(costs, w);
+    const double speedup =
+        span > 0 ? static_cast<double>(serial_makespan) /
+                       static_cast<double>(span)
+                 : 0;
+    speedups.push_back(speedup);
+    table.add("sim", w, speedup);
+  }
+  const double sim_speedup_6 = speedups[3];
+
+  // Real threads through the coordinator's task runner: 1 and 6 workers,
+  // with the pair list checked byte-identical against the serial run.
+  spatial::XmatchOptions threaded = options;
+  threaded.fan_out = sky::core::LoadCoordinator::task_runner();
+  threaded.policy.xmatch_workers = 1;
+  const TimedRun one = run_xmatch(a_ra, a_dec, b_ra, b_dec, threaded);
+  threaded.policy.xmatch_workers = 6;
+  const TimedRun six = run_xmatch(a_ra, a_dec, b_ra, b_dec, threaded);
+  bool deterministic = one.result.pairs.size() == serial.result.pairs.size() &&
+                       six.result.pairs.size() == serial.result.pairs.size();
+  if (deterministic) {
+    for (size_t i = 0; i < serial.result.pairs.size(); ++i) {
+      const spatial::MatchPair& s = serial.result.pairs[i];
+      if (one.result.pairs[i].a != s.a || one.result.pairs[i].b != s.b ||
+          six.result.pairs[i].a != s.a || six.result.pairs[i].b != s.b) {
+        deterministic = false;
+        break;
+      }
+    }
+  }
+  const double cpu_speedup =
+      six.seconds > 0 ? one.seconds / six.seconds : 0;
+
+  std::printf("\n=== Zone cross-match (%s, %lld x %lld rows, r=%.2f\") ===\n",
+              smoke ? "smoke" : "full", static_cast<long long>(rows),
+              static_cast<long long>(rows), radius_deg * 3600.0);
+  std::printf("zones: %lld occupied of %lld (height %.2f deg), pairs: %lld\n",
+              static_cast<long long>(report.zones_occupied),
+              static_cast<long long>(report.zones_total),
+              report.zone_height_deg,
+              static_cast<long long>(report.pairs));
+  std::printf("funnel: %lld scanned -> %lld tested -> %lld matched\n",
+              static_cast<long long>(report.costs.zone_scan_rows),
+              static_cast<long long>(report.costs.xmatch_candidates),
+              static_cast<long long>(report.costs.xmatch_pairs));
+  std::printf("simulated zone work: %.3f s serial\n",
+              static_cast<double>(total_cost) / 1e9);
+  table.print();
+  std::printf("\ncpu wall-clock: serial %.3f s, 1 worker %.3f s, "
+              "6 workers %.3f s (%.2fx), deterministic: %s\n",
+              serial.seconds, one.seconds, six.seconds, cpu_speedup,
+              deterministic ? "yes" : "NO");
+
+  {
+    std::ofstream json("BENCH_xmatch.json");
+    char buffer[768];
+    std::snprintf(buffer, sizeof(buffer),
+                  "{\n  \"mode\": \"%s\",\n  \"rows\": %lld,\n"
+                  "  \"radius_arcsec\": %.3f,\n"
+                  "  \"zones_occupied\": %lld,\n  \"pairs\": %lld,\n"
+                  "  \"zone_scan_rows\": %lld,\n"
+                  "  \"xmatch_candidates\": %lld,\n"
+                  "  \"cpu_serial_s\": %.3f,\n  \"cpu_1w_s\": %.3f,\n"
+                  "  \"cpu_6w_s\": %.3f,\n  \"cpu_speedup_6w\": %.3f,\n"
+                  "  \"deterministic\": %s,\n  \"sim_speedup\": {",
+                  smoke ? "smoke" : "full", static_cast<long long>(rows),
+                  radius_deg * 3600.0,
+                  static_cast<long long>(report.zones_occupied),
+                  static_cast<long long>(report.pairs),
+                  static_cast<long long>(report.costs.zone_scan_rows),
+                  static_cast<long long>(report.costs.xmatch_candidates),
+                  serial.seconds, one.seconds, six.seconds, cpu_speedup,
+                  deterministic ? "true" : "false");
+    json << buffer;
+    for (size_t i = 0; i < worker_counts.size(); ++i) {
+      std::snprintf(buffer, sizeof(buffer), "%s\n    \"%d\": %.3f",
+                    i > 0 ? "," : "", worker_counts[i], speedups[i]);
+      json << buffer;
+    }
+    json << "\n  }\n}\n";
+  }
+  std::printf("\nwrote BENCH_xmatch.json\n");
+
+  if (!deterministic) {
+    std::printf("XMATCH-GUARD FAIL: parallel pair list diverged from the "
+                "serial run\n");
+    return 1;
+  }
+  if (smoke) {
+    const bool ok = sim_speedup_6 >= 3.0;
+    std::printf("XMATCH-GUARD %s: simulated 6-worker speedup %.2fx "
+                "(need >=3x)\n",
+                ok ? "PASS" : "FAIL", sim_speedup_6);
+    return ok ? 0 : 1;
+  }
+  shape_check(sim_speedup_6 >= 3.0,
+              "zone xmatch >=3x simulated speedup at 6 workers on the "
+              "1M x 1M match");
+  shape_check(speedups.back() > sim_speedup_6,
+              "scaling continues past 6 workers (zones outnumber workers)");
+  return 0;
+}

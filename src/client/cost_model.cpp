@@ -23,6 +23,9 @@ Nanos CostModel::server_cpu_time(const db::OpCosts& costs,
   time += costs.index_leaf_splits * per_leaf_split;
   time += costs.constraint_failures * per_constraint_failure;
   time += costs.cache.writer_scanned_frames * per_writer_scanned_frame;
+  time += costs.zone_scan_rows * per_zone_scan_row;
+  time += costs.xmatch_candidates * per_xmatch_candidate;
+  time += costs.xmatch_pairs * per_xmatch_pair;
   return time;
 }
 

@@ -95,6 +95,20 @@ struct CostModel {
   // Constraint-failure handling (error raise + statement abort).
   Nanos per_constraint_failure = 300 * kMicrosecond;
 
+  // ---- spatial operators (db/spatial.h) ----
+  // Zone cross-match and cone-search CPU, priced from the OpCosts spatial
+  // funnel. per_zone_scan_row covers pulling one row through a per-zone
+  // ra-sorted window (binary-search amortization plus the Δdec screen) —
+  // sized against the measured zone matcher at ~10^6-row catalogs, where
+  // the window walk runs tens of ns/row. per_xmatch_candidate covers one
+  // exact angular-distance test (two unit-vector transforms + dot product +
+  // acos, ~100-200 ns real), priced above the scan rate so candidate-heavy
+  // (wide-window, polar) zones dominate, matching the real profile.
+  Nanos per_zone_scan_row = 60;
+  Nanos per_xmatch_candidate = 250;
+  // Per matched pair: result formation (pair record + separation).
+  Nanos per_xmatch_pair = 100;
+
   // ---- buffer cache / DBWR ----
   Nanos per_writer_scanned_frame = 250;   // DBWR examining one frame
   // ---- device service times (charged on the owning device's queue) ----

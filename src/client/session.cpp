@@ -55,6 +55,7 @@ void DirectSession::absorb_wait_costs(const db::OpCosts& costs) {
   stats_.itl_wait_time += costs.itl_wait_ns;
   stats_.stall_time += costs.stall_ns;
   stats_.query_lane_wait_time += costs.query_lane_wait_ns;
+  stats_.absorb_spatial_costs(costs);
 }
 
 Result<uint32_t> DirectSession::prepare_insert(std::string_view table_name) {

@@ -69,6 +69,20 @@ struct SessionStats {
   int64_t commit_flushes_led = 0;
   int64_t commit_piggybacks = 0;
   Nanos commit_leader_wait = 0;
+  // Spatial-operator totals (db/spatial.h, OpCosts spatial counters): rows
+  // pulled through cone probes and zone windows, pairs reaching the exact
+  // angular-distance test, and pairs that matched.
+  int64_t zone_scan_rows = 0;
+  int64_t xmatch_candidates = 0;
+  int64_t xmatch_pairs = 0;
+  // Fold one spatial operation's OpCosts tallies into these totals (shared
+  // by DirectSession internals and query-side callers that run spatial
+  // operators against an engine directly).
+  void absorb_spatial_costs(const db::OpCosts& costs) {
+    zone_scan_rows += costs.zone_scan_rows;
+    xmatch_candidates += costs.xmatch_candidates;
+    xmatch_pairs += costs.xmatch_pairs;
+  }
 };
 
 class Session {

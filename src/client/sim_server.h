@@ -15,8 +15,7 @@
 
 #include "client/cost_model.h"
 #include "common/rng.h"
-#include "core/concurrency_policy.h"
-#include "core/query_policy.h"
+#include "core/engine_policies.h"
 #include "db/engine.h"
 #include "sim/environment.h"
 
@@ -39,40 +38,66 @@ struct ServerConfig {
   // dirtied page (cluster interconnect shipping current blocks).
   int nodes = 1;
   Nanos cache_fusion_per_page = 700 * kMicrosecond;
-  // Admission limits and contention cost model, shared with the real
-  // engine's EngineOptions (core/concurrency_policy.h). The sim presets
-  // model the paper's testbed: 8 open-transaction slots (sessions holding a
+  // Every shared policy struct, in the same aggregate the real engine's
+  // EngineOptions embeds (core/engine_policies.h) — tuning code can copy
+  // the whole block between backends. The concurrency preset models the
+  // paper's testbed: 8 open-transaction slots (sessions holding a
   // transaction) and 7 ITL slots per table (concurrent transactions
-  // inserting into one table — the knee of Fig. 7). Escalation and stall
-  // parameters keep the policy's defaults.
-  core::ConcurrencyPolicy concurrency{.max_concurrent_transactions = 8,
-                                      .itl_slots_per_table = 7};
+  // inserting into one table — the knee of Fig. 7).
+  core::EnginePolicies policies = [] {
+    core::EnginePolicies p;
+    p.concurrency.max_concurrent_transactions = 8;
+    p.concurrency.itl_slots_per_table = 7;
+    return p;
+  }();
+  // Reference views keeping the historical field spellings alive
+  // (config.concurrency..., config.query..., config.commit_window...).
+  // The commit knobs mirror the engine's WAL window (storage::WalOptions):
+  // a commit that leads a log flush holds the device write open for
+  // commit_window so commits arriving meanwhile ride the same flush; the
+  // group closes early at max_group_commits members. The engine itself runs
+  // with a zero window in simulation (it must never block in real time
+  // inside a sim process), so the grouping is modeled here, at the log
+  // device — keeping simulated and real-thread runs in agreement.
+  core::ConcurrencyPolicy& concurrency = policies.concurrency;
+  core::QueryPolicy& query = policies.query;
+  core::SpatialPolicy& spatial = policies.spatial;
+  Nanos& commit_window = policies.commit.commit_window;
+  int64_t& max_group_commits = policies.commit.max_group_commits;
   // Instance-wide limit on concurrently *executing* transactional batch
   // work — the "RDBMS limit on the number of concurrent transactions" the
   // paper hits at parallelism 6-7 (section 4.4/5.4). Queueing here triggers
   // lock-management escalation and occasional stalls. Sim-only (real mode
   // has no modeled CPU scheduler to gate).
   int64_t batch_gate_slots = 5;
-  // Two-lane query admission (core/query_policy.h), the sim twin of
-  // db::QueryScheduler: interactive and batch queries queue on separate
-  // resources and batch admission polls until the interactive lane is quiet
-  // when batch_yields_to_interactive is set.
-  core::QueryPolicy query;
-
-  // Commit-coalescing group commit, mirroring the engine's WAL window
-  // (storage::WalOptions): a commit that leads a log flush holds the device
-  // write open for commit_window so commits arriving meanwhile ride the
-  // same flush; the group closes early at max_group_commits members. The
-  // engine itself runs with a zero window in simulation (it must never
-  // block in real time inside a sim process), so the grouping is modeled
-  // here, at the log device — keeping simulated and real-thread runs in
-  // agreement.
-  Nanos commit_window = 0;
-  int64_t max_group_commits = 8;
 
   storage::DeviceLayout device_layout =
       storage::DeviceLayout::separate_raids();
   CostModel costs;
+
+  // The reference members above alias *this* object's `policies`; default
+  // copy semantics would alias the source's. Copies rebind by omitting the
+  // references from the member-init list, so their default initializers
+  // re-run against the new object.
+  ServerConfig() = default;
+  ServerConfig(const ServerConfig& other)
+      : cpus(other.cpus),
+        nodes(other.nodes),
+        cache_fusion_per_page(other.cache_fusion_per_page),
+        policies(other.policies),
+        batch_gate_slots(other.batch_gate_slots),
+        device_layout(other.device_layout),
+        costs(other.costs) {}
+  ServerConfig& operator=(const ServerConfig& other) {
+    cpus = other.cpus;
+    nodes = other.nodes;
+    cache_fusion_per_page = other.cache_fusion_per_page;
+    policies = other.policies;
+    batch_gate_slots = other.batch_gate_slots;
+    device_layout = other.device_layout;
+    costs = other.costs;
+    return *this;
+  }
 };
 
 class SimServer {

@@ -66,6 +66,9 @@ struct WorkerResult {
   Nanos itl_wait = 0;
   Nanos stall_time = 0;
   Nanos query_lane_wait = 0;
+  int64_t zone_scan_rows = 0;
+  int64_t xmatch_candidates = 0;
+  int64_t xmatch_pairs = 0;
   catalog::ParserStats parser;
   int files = 0;
   int files_skipped = 0;
@@ -105,6 +108,9 @@ void worker_loop(int worker, WorkQueue& queue,
   result.itl_wait = session.stats().itl_wait_time;
   result.stall_time = session.stats().stall_time;
   result.query_lane_wait = session.stats().query_lane_wait_time;
+  result.zone_scan_rows = session.stats().zone_scan_rows;
+  result.xmatch_candidates = session.stats().xmatch_candidates;
+  result.xmatch_pairs = session.stats().xmatch_pairs;
 }
 
 ParallelLoadReport assemble(std::vector<WorkerResult> worker_results,
@@ -124,6 +130,9 @@ ParallelLoadReport assemble(std::vector<WorkerResult> worker_results,
     report.itl_wait += worker.itl_wait;
     report.stall_time += worker.stall_time;
     report.query_lane_wait += worker.query_lane_wait;
+    report.zone_scan_rows += worker.zone_scan_rows;
+    report.xmatch_candidates += worker.xmatch_candidates;
+    report.xmatch_pairs += worker.xmatch_pairs;
     report.parser_lines += worker.parser.lines;
     report.parser_data_rows += worker.parser.data_rows;
     report.parser_errors += worker.parser.parse_errors;
@@ -153,10 +162,35 @@ std::function<bool(const std::string&)> make_audit_checker(
   }
   const uint32_t table_id = *audit_table;
   return [&engine, table_id](const std::string& file_name) {
-    return engine
+    return engine.live_view()
         .pk_lookup(table_id,
                    {db::Value::i64(audit_id_for_file(file_name))})
         .is_ok();
+  };
+}
+
+void LoadCoordinator::run_tasks(int workers, size_t tasks, bool dynamic,
+                                const std::function<void(int, size_t)>& body) {
+  if (tasks == 0) return;
+  if (workers < 1) workers = 1;
+  if (static_cast<size_t>(workers) > tasks) {
+    workers = static_cast<int>(tasks);
+  }
+  WorkQueue queue(tasks, workers, dynamic);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&queue, &body, w] {
+      while (const auto task = queue.next(w)) body(w, *task);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+}
+
+db::spatial::FanOut LoadCoordinator::task_runner(bool dynamic) {
+  return [dynamic](int workers, size_t tasks,
+                   const std::function<void(int, size_t)>& body) {
+    run_tasks(workers, tasks, dynamic, body);
   };
 }
 

@@ -23,6 +23,7 @@
 #include "client/sim_session.h"
 #include "core/bulk_loader.h"
 #include "core/load_report.h"
+#include "db/spatial.h"
 #include "sim/environment.h"
 
 namespace sky::core {
@@ -65,6 +66,20 @@ class LoadCoordinator {
       sim::Environment& env, client::SimServer& server,
       const std::vector<CatalogFile>& files, const db::Schema& schema,
       const CoordinatorOptions& options);
+
+  // Generic real-thread fan-out over `tasks` independent task bodies,
+  // through the same shared work queue the file loaders use (dynamic = any
+  // worker pops the next task; static = round-robin pre-partitioning).
+  // body(worker, task) is invoked exactly once per task in [0, tasks);
+  // invocations for different tasks may be concurrent. Joins all workers
+  // before returning. This is what runs the zone cross-match's declination
+  // zones in parallel (db/spatial.h).
+  static void run_tasks(int workers, size_t tasks, bool dynamic,
+                        const std::function<void(int, size_t)>& body);
+
+  // run_tasks packaged as the spatial operators' executor hook:
+  // `opts.fan_out = LoadCoordinator::task_runner();`.
+  static db::spatial::FanOut task_runner(bool dynamic = true);
 };
 
 }  // namespace sky::core

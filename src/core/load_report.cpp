@@ -55,6 +55,12 @@ std::string ParallelLoadReport::summary() const {
   if (query_lane_wait > 0) {
     out += ", query-lane wait " + format_duration(query_lane_wait);
   }
+  if (xmatch_candidates > 0 || zone_scan_rows > 0) {
+    out += str_format(", spatial %lld scanned / %lld tested / %lld matched",
+                      static_cast<long long>(zone_scan_rows),
+                      static_cast<long long>(xmatch_candidates),
+                      static_cast<long long>(xmatch_pairs));
+  }
   return out;
 }
 
@@ -112,6 +118,13 @@ std::string render_markdown_report(const ParallelLoadReport& report,
   if (report.query_lane_wait > 0) {
     out += "\n## Query lanes\n\n";
     out += "- lane wait: " + format_duration(report.query_lane_wait) + "\n";
+  }
+  if (report.zone_scan_rows > 0 || report.xmatch_candidates > 0) {
+    out += "\n## Spatial operators\n\n";
+    out += "- zone-scan rows: " + std::to_string(report.zone_scan_rows) + "\n";
+    out += "- exact-distance tests: " +
+           std::to_string(report.xmatch_candidates) + "\n";
+    out += "- matched pairs: " + std::to_string(report.xmatch_pairs) + "\n";
   }
 
   size_t shown = 0;

@@ -70,6 +70,13 @@ struct ParallelLoadReport {
   // Query-lane admission wait summed across workers that also served
   // queries (db/query_scheduler.h lanes; zero for load-only runs).
   Nanos query_lane_wait = 0;
+  // Spatial-operator totals across workers that ran cone searches or
+  // cross-matches alongside the load (db/spatial.h; zero for load-only
+  // runs): rows pulled through zone/cone windows, pairs reaching the exact
+  // angular-distance test, and pairs matched.
+  int64_t zone_scan_rows = 0;
+  int64_t xmatch_candidates = 0;
+  int64_t xmatch_pairs = 0;
   // Client-side parser totals across workers (summed from each loader's
   // ParserStats): data lines parsed, rows that converted cleanly,
   // structural parse errors, and computed object htmids. These cross-check

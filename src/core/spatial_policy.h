@@ -1,0 +1,52 @@
+// SpatialPolicy: knobs for the zone/HTM spatial query subsystem (db/spatial.h)
+// — the same one-policy-two-backends pattern as core::QueryPolicy: the real
+// engine's cross-match operator and the sim cost model read the same struct.
+//
+// The shape follows "Large-Scale Query and XMatch, Entering the Parallel
+// Zone" (PAPERS.md): catalogs are bucketed into fixed-height declination
+// zones, each zone is cross-matched independently against the zones of the
+// other catalog that its search radius can reach, and zones fan out across
+// worker threads. htm_depth sizes the HTM-keyed secondary index trixels that
+// cone searches cover.
+//
+// Header-only so db/ and client/ headers can embed it without a link
+// dependency on the core library.
+#pragma once
+
+#include <string>
+
+namespace sky::core {
+
+struct SpatialPolicy {
+  // Trixel subdivision depth of HTM-keyed secondary indexes (htm/htm.h;
+  // 14 is the depth the Palomar-Quest repository used for object htmids —
+  // ~7 arcsec trixels). Schema-declared indexes may override per index.
+  int htm_depth = 14;
+  // Declination zone height for xmatch bucketing, degrees. Smaller zones
+  // mean more parallel tasks and tighter candidate windows but more
+  // cross-zone margin work; 0.25 deg suits arcsecond-scale match radii.
+  double zone_height_deg = 0.25;
+  // Worker threads a cross-match fans zones across (1 = sequential).
+  int xmatch_workers = 6;
+
+  // Clamp to runnable values (at least one worker, a positive zone height,
+  // a representable depth).
+  SpatialPolicy normalized() const {
+    SpatialPolicy p = *this;
+    if (p.htm_depth < 0) p.htm_depth = 0;
+    if (p.htm_depth > 30) p.htm_depth = 30;  // htm::kMaxDepth
+    if (p.zone_height_deg <= 0.0) p.zone_height_deg = 0.25;
+    if (p.xmatch_workers < 1) p.xmatch_workers = 1;
+    return p;
+  }
+
+  // e.g. "htm-depth=14, zone=0.25deg, workers=6".
+  std::string describe() const {
+    std::string out = "htm-depth=" + std::to_string(htm_depth);
+    out += ", zone=" + std::to_string(zone_height_deg) + "deg";
+    out += ", workers=" + std::to_string(xmatch_workers);
+    return out;
+  }
+};
+
+}  // namespace sky::core

@@ -9,6 +9,7 @@
 #include <unordered_set>
 
 #include "common/strings.h"
+#include "htm/htm.h"
 #include "index/key_codec.h"
 
 namespace sky::db {
@@ -703,15 +704,29 @@ void Engine::insert_column_run_latched(Transaction& txn, uint32_t tid,
       run.reserve(limit);
       index::KeyEncoder encoder;
       for (size_t i = 0; i < limit; ++i) {
-        for (const int idx : secondary.column_indices) {
-          batch.append_cell_to_key(encoder, first + i,
-                                   static_cast<size_t>(idx));
+        if (secondary.def.htm.has_value()) {
+          // HTM key: trixel id of (ra, dec), one int64. Both columns are
+          // NOT NULL by schema validation, and rows past `limit` (which
+          // failed constraints) never reach this loop.
+          const size_t r = first + i;
+          encoder.append_int64(static_cast<int64_t>(htm::htm_id_radec(
+              batch.f64_at(r,
+                           static_cast<size_t>(secondary.column_indices[0])),
+              batch.f64_at(r,
+                           static_cast<size_t>(secondary.column_indices[1])),
+              secondary.def.htm->depth)));
+          ++result.costs.index_int_columns;
+        } else {
+          for (const int idx : secondary.column_indices) {
+            batch.append_cell_to_key(encoder, first + i,
+                                     static_cast<size_t>(idx));
+          }
+          count_index_columns(def, secondary.column_indices, result.costs);
         }
         encoder.append_int64(static_cast<int64_t>(row_ids[i]));
         std::string key = encoder.take();
         encoder.clear();
         result.costs.index_key_bytes += static_cast<int64_t>(key.size());
-        count_index_columns(def, secondary.column_indices, result.costs);
         txn.undo[undo_base + i].secondary_keys.emplace_back(s, key);
         run.emplace_back(std::move(key), row_ids[i]);
       }
@@ -997,7 +1012,11 @@ Status Engine::insert_row_latched(Transaction& txn, uint32_t tid,
     costs.index_updates += 1;
     costs.index_node_visits += touch.nodes_visited;
     costs.index_key_bytes += static_cast<int64_t>(key.size());
-    count_index_columns(table.def(), secondary.column_indices, costs);
+    if (secondary.def.htm.has_value()) {
+      ++costs.index_int_columns;  // key is one trixel id, not raw ra/dec
+    } else {
+      count_index_columns(table.def(), secondary.column_indices, costs);
+    }
     if (touch.leaf_split) ++costs.index_leaf_splits;
     cache_.touch_write({secondary.cache_file_id, touch.leaf_page_id});
     undo.secondary_keys.emplace_back(s, key);
@@ -1164,13 +1183,6 @@ Status Engine::bulk_load_sorted(uint32_t tid, const std::vector<Row>& rows) {
 
 // ----------------------------------------------------------------- queries
 
-int64_t Engine::row_count(uint32_t tid) const {
-  const std::shared_lock<std::shared_mutex> engine_lock(engine_mu_);
-  if (tid >= tables_.size()) return 0;
-  // Heap counters are latch-free atomics (storage/sharded_heap.h).
-  return tables_[tid].heap().row_count();
-}
-
 int64_t Engine::total_rows() const {
   const std::shared_lock<std::shared_mutex> engine_lock(engine_mu_);
   int64_t total = 0;
@@ -1203,130 +1215,6 @@ Result<Row> Engine::row_at(const Table& table, uint64_t row_id) const {
   return decode_row(bytes);
 }
 
-Result<Row> Engine::pk_lookup(uint32_t tid, const Row& pk_values) const {
-  const std::shared_lock<std::shared_mutex> engine_lock(engine_mu_);
-  if (tid >= tables_.size()) {
-    return Status(ErrorCode::kNotFound, "bad table id");
-  }
-  const Table& table = tables_[tid];
-  if (pk_values.size() != table.pk_column_indices().size()) {
-    return Status(ErrorCode::kInvalidArgument, "pk tuple arity mismatch");
-  }
-  const std::string key =
-      encode_tuple_key(table.def(), table.pk_column_indices(), pk_values);
-  // Tree reads synchronize with row publication on the index latch; the
-  // heap read inside row_at() takes its extent latch underneath.
-  const std::shared_lock<std::shared_mutex> latch(table.index_latch());
-  const auto row_id = table.pk_tree().lookup(key);
-  if (!row_id.has_value()) {
-    return Status(ErrorCode::kNotFound, "no row with given primary key");
-  }
-  return row_at(table, *row_id);
-}
-
-Result<std::vector<Row>> Engine::pk_range(uint32_t tid, const Row& lo,
-                                          const Row& hi) const {
-  const std::shared_lock<std::shared_mutex> engine_lock(engine_mu_);
-  if (tid >= tables_.size()) {
-    return Status(ErrorCode::kNotFound, "bad table id");
-  }
-  const Table& table = tables_[tid];
-  const std::string lo_key =
-      encode_tuple_key(table.def(), table.pk_column_indices(), lo);
-  const std::string hi_key =
-      encode_tuple_key(table.def(), table.pk_column_indices(), hi);
-  const std::shared_lock<std::shared_mutex> latch(table.index_latch());
-  std::vector<Row> rows;
-  for (const uint64_t row_id : table.pk_tree().range_lookup(lo_key, hi_key)) {
-    SKY_ASSIGN_OR_RETURN(Row row, row_at(table, row_id));
-    rows.push_back(std::move(row));
-  }
-  return rows;
-}
-
-Result<std::vector<Row>> Engine::index_range(uint32_t tid,
-                                             std::string_view index_name,
-                                             const Row& lo,
-                                             const Row& hi) const {
-  const std::shared_lock<std::shared_mutex> engine_lock(engine_mu_);
-  if (tid >= tables_.size()) {
-    return Status(ErrorCode::kNotFound, "bad table id");
-  }
-  const Table& table = tables_[tid];
-  for (const SecondaryIndex& secondary : table.secondaries()) {
-    if (secondary.def.name != index_name) continue;
-    if (!secondary.enabled) {
-      return Status(ErrorCode::kFailedPrecondition,
-                    "index is disabled: " + std::string(index_name));
-    }
-    const std::string lo_key =
-        encode_tuple_key(table.def(), secondary.column_indices, lo);
-    const std::string hi_key =
-        encode_tuple_key(table.def(), secondary.column_indices, hi);
-    const std::shared_lock<std::shared_mutex> latch(table.index_latch());
-    std::vector<Row> rows;
-    for (const uint64_t row_id :
-         secondary.tree.range_lookup(lo_key, hi_key)) {
-      SKY_ASSIGN_OR_RETURN(Row row, row_at(table, row_id));
-      rows.push_back(std::move(row));
-    }
-    return rows;
-  }
-  return Status(ErrorCode::kNotFound,
-                "no such index: " + std::string(index_name));
-}
-
-Result<std::vector<Row>> Engine::pk_encoded_range(uint32_t tid,
-                                                  const std::string& lo,
-                                                  const std::string& hi) const {
-  const std::shared_lock<std::shared_mutex> engine_lock(engine_mu_);
-  if (tid >= tables_.size()) {
-    return Status(ErrorCode::kNotFound, "bad table id");
-  }
-  const Table& table = tables_[tid];
-  const std::shared_lock<std::shared_mutex> latch(table.index_latch());
-  const std::vector<uint64_t> row_ids =
-      hi.empty() ? table.pk_tree().range_lookup_unbounded(lo)
-                 : table.pk_tree().range_lookup(lo, hi);
-  std::vector<Row> rows;
-  rows.reserve(row_ids.size());
-  for (const uint64_t row_id : row_ids) {
-    SKY_ASSIGN_OR_RETURN(Row row, row_at(table, row_id));
-    rows.push_back(std::move(row));
-  }
-  return rows;
-}
-
-Result<std::vector<Row>> Engine::index_encoded_range(
-    uint32_t tid, std::string_view index_name, const std::string& lo,
-    const std::string& hi) const {
-  const std::shared_lock<std::shared_mutex> engine_lock(engine_mu_);
-  if (tid >= tables_.size()) {
-    return Status(ErrorCode::kNotFound, "bad table id");
-  }
-  const Table& table = tables_[tid];
-  for (const SecondaryIndex& secondary : table.secondaries()) {
-    if (secondary.def.name != index_name) continue;
-    if (!secondary.enabled) {
-      return Status(ErrorCode::kFailedPrecondition,
-                    "index is disabled: " + std::string(index_name));
-    }
-    const std::shared_lock<std::shared_mutex> latch(table.index_latch());
-    const std::vector<uint64_t> row_ids =
-        hi.empty() ? secondary.tree.range_lookup_unbounded(lo)
-                   : secondary.tree.range_lookup(lo, hi);
-    std::vector<Row> rows;
-    rows.reserve(row_ids.size());
-    for (const uint64_t row_id : row_ids) {
-      SKY_ASSIGN_OR_RETURN(Row row, row_at(table, row_id));
-      rows.push_back(std::move(row));
-    }
-    return rows;
-  }
-  return Status(ErrorCode::kNotFound,
-                "no such index: " + std::string(index_name));
-}
-
 Result<bool> Engine::index_enabled(uint32_t tid,
                                    std::string_view index_name) const {
   const std::shared_lock<std::shared_mutex> engine_lock(engine_mu_);
@@ -1341,28 +1229,6 @@ Result<bool> Engine::index_enabled(uint32_t tid,
   return Status(ErrorCode::kNotFound,
                 "no such index: " + std::string(index_name));
 }
-
-std::vector<Row> Engine::scan_collect(
-    uint32_t tid, const std::function<bool(const Row&)>& pred) const {
-  const std::shared_lock<std::shared_mutex> engine_lock(engine_mu_);
-  std::vector<Row> rows;
-  if (tid >= tables_.size()) return rows;
-  const Table& table = tables_[tid];
-  // Heap-only read: the scan synchronizes on each extent latch inside the
-  // heap and sees published rows exactly (pending rows are hidden).
-  table.heap().scan([&](storage::SlotId, std::string_view bytes) {
-    auto row = decode_row(bytes);
-    if (row.is_ok() && pred(*row)) rows.push_back(std::move(*row));
-  });
-  return rows;
-}
-
-// ---------------------------------------------------------- snapshot reads
-//
-// Everything below touches only immutable chunk data pinned by the Snapshot
-// plus construction-time table metadata (defs, column indices) — no engine
-// rwlock, no table latch, no extent latch. The zero-latch regression test
-// asserts lock_wait_ns stays 0 across these calls.
 
 void Engine::publish_snapshot_chunks(std::vector<UndoEntry> undo) {
   // Group the undo log into one chunk per table, preserving insert order
@@ -1407,69 +1273,21 @@ void Engine::publish_snapshot_chunks(std::vector<UndoEntry> undo) {
   snapshots_.publish(std::move(chunks));
 }
 
-int64_t Engine::snapshot_row_count(const Snapshot& snap,
-                                   uint32_t table_id) const {
-  if (table_id >= tables_.size()) return 0;
-  return snap.row_count(table_id);
-}
-
-std::vector<Row> Engine::snapshot_scan_collect(
-    const Snapshot& snap, uint32_t table_id,
-    const std::function<bool(const Row&)>& pred, OpCosts* costs) const {
-  std::vector<Row> rows;
-  if (table_id >= tables_.size()) return rows;
-  OpCosts scratch;
-  OpCosts& tally = costs != nullptr ? *costs : scratch;
-  // Gather the pinned refs, then visit in physical heap order so the result
-  // matches scan_collect on a quiesced heap.
-  std::vector<SnapshotChunk::RowRef> refs;
-  refs.reserve(static_cast<size_t>(snap.row_count(table_id)));
-  snap.visit_chunks(table_id, [&](const SnapshotChunk& chunk) {
-    refs.insert(refs.end(), chunk.rows.begin(), chunk.rows.end());
-  });
-  std::sort(refs.begin(), refs.end(),
-            [](const SnapshotChunk::RowRef& a, const SnapshotChunk::RowRef& b) {
-              return std::tie(a.slot.extent, a.slot.page, a.slot.slot) <
-                     std::tie(b.slot.extent, b.slot.page, b.slot.slot);
-            });
-  for (const SnapshotChunk::RowRef& ref : refs) {
-    tally.heap_bytes += static_cast<int64_t>(ref.bytes.size());
-    auto row = decode_row(ref.bytes);
-    if (row.is_ok() && pred(*row)) rows.push_back(std::move(*row));
+Status index_unavailable_error(std::string_view index_name,
+                               std::string_view detail) {
+  std::string message = "index unavailable: " + std::string(index_name);
+  if (!detail.empty()) {
+    message += " (";
+    message += detail;
+    message += ")";
   }
-  tally.rows_applied += static_cast<int64_t>(refs.size());
-  return rows;
-}
-
-Result<Row> Engine::snapshot_pk_lookup(const Snapshot& snap, uint32_t table_id,
-                                       const Row& pk_values) const {
-  if (table_id >= tables_.size()) {
-    return Status(ErrorCode::kNotFound, "bad table id");
-  }
-  const Table& table = tables_[table_id];
-  if (pk_values.size() != table.pk_column_indices().size()) {
-    return Status(ErrorCode::kInvalidArgument, "pk tuple arity mismatch");
-  }
-  const std::string key =
-      encode_tuple_key(table.def(), table.pk_column_indices(), pk_values);
-  // Newest chunk first; PKs are unique, so the first hit is the row.
-  for (const SnapshotNode* node = snap.visible_head(table_id); node != nullptr;
-       node = node->prev.get()) {
-    const SnapshotChunk& chunk = node->chunk;
-    const auto it = std::lower_bound(
-        chunk.pk.begin(), chunk.pk.end(), key,
-        [](const std::pair<std::string, uint32_t>& entry,
-           const std::string& k) { return entry.first < k; });
-    if (it != chunk.pk.end() && it->first == key) {
-      return decode_row(chunk.rows[it->second].bytes);
-    }
-  }
-  return Status(ErrorCode::kNotFound, "no row with given primary key");
+  return Status(ErrorCode::kFailedPrecondition, std::move(message));
 }
 
 Result<std::vector<Row>> Engine::snapshot_collect_range(
     const Snapshot& snap, uint32_t table_id, int secondary,
-    const std::string& lo, const std::string& hi) const {
+    std::string_view index_name, const std::string& lo,
+    const std::string& hi) const {
   if (table_id >= tables_.size()) {
     return Status(ErrorCode::kNotFound, "bad table id");
   }
@@ -1484,9 +1302,9 @@ Result<std::vector<Row>> Engine::snapshot_collect_range(
     if (secondary >= 0) {
       const auto s = static_cast<size_t>(secondary);
       if (s >= chunk.secondaries.size() || !chunk.secondaries[s].has_value()) {
-        failure = Status(ErrorCode::kFailedPrecondition,
-                         "snapshot chunk predates index (committed while "
-                         "the index was disabled)");
+        failure = index_unavailable_error(
+            index_name,
+            "snapshot chunk predates index: committed while it was disabled");
         return;
       }
       run = &*chunk.secondaries[s];
@@ -1512,85 +1330,6 @@ Result<std::vector<Row>> Engine::snapshot_collect_range(
   return rows;
 }
 
-Result<std::vector<Row>> Engine::snapshot_pk_range(const Snapshot& snap,
-                                                   uint32_t table_id,
-                                                   const Row& lo,
-                                                   const Row& hi) const {
-  if (table_id >= tables_.size()) {
-    return Status(ErrorCode::kNotFound, "bad table id");
-  }
-  const Table& table = tables_[table_id];
-  return snapshot_collect_range(
-      snap, table_id, -1,
-      encode_tuple_key(table.def(), table.pk_column_indices(), lo),
-      encode_tuple_key(table.def(), table.pk_column_indices(), hi));
-}
-
-Result<std::vector<Row>> Engine::snapshot_index_range(const Snapshot& snap,
-                                                      uint32_t table_id,
-                                                      std::string_view
-                                                          index_name,
-                                                      const Row& lo,
-                                                      const Row& hi) const {
-  if (table_id >= tables_.size()) {
-    return Status(ErrorCode::kNotFound, "bad table id");
-  }
-  const Table& table = tables_[table_id];
-  // def/column_indices are immutable after construction — safe latch-free.
-  // `enabled` is deliberately NOT consulted: visibility is per chunk.
-  for (size_t s = 0; s < table.secondaries().size(); ++s) {
-    const SecondaryIndex& secondary = table.secondaries()[s];
-    if (secondary.def.name != index_name) continue;
-    return snapshot_collect_range(
-        snap, table_id, static_cast<int>(s),
-        encode_tuple_key(table.def(), secondary.column_indices, lo),
-        encode_tuple_key(table.def(), secondary.column_indices, hi));
-  }
-  return Status(ErrorCode::kNotFound,
-                "no such index: " + std::string(index_name));
-}
-
-Result<std::vector<Row>> Engine::snapshot_pk_encoded_range(
-    const Snapshot& snap, uint32_t table_id, const std::string& lo,
-    const std::string& hi) const {
-  return snapshot_collect_range(snap, table_id, -1, lo, hi);
-}
-
-Result<std::vector<Row>> Engine::snapshot_index_encoded_range(
-    const Snapshot& snap, uint32_t table_id, std::string_view index_name,
-    const std::string& lo, const std::string& hi) const {
-  if (table_id >= tables_.size()) {
-    return Status(ErrorCode::kNotFound, "bad table id");
-  }
-  const Table& table = tables_[table_id];
-  for (size_t s = 0; s < table.secondaries().size(); ++s) {
-    if (table.secondaries()[s].def.name != index_name) continue;
-    return snapshot_collect_range(snap, table_id, static_cast<int>(s), lo, hi);
-  }
-  return Status(ErrorCode::kNotFound,
-                "no such index: " + std::string(index_name));
-}
-
-Status Engine::snapshot_scan_heap(
-    const Snapshot& snap, uint32_t table_id,
-    const std::function<void(storage::SlotId, std::string_view)>& fn) const {
-  if (table_id >= tables_.size()) {
-    return Status(ErrorCode::kNotFound, "bad table id");
-  }
-  std::vector<SnapshotChunk::RowRef> refs;
-  refs.reserve(static_cast<size_t>(snap.row_count(table_id)));
-  snap.visit_chunks(table_id, [&](const SnapshotChunk& chunk) {
-    refs.insert(refs.end(), chunk.rows.begin(), chunk.rows.end());
-  });
-  std::sort(refs.begin(), refs.end(),
-            [](const SnapshotChunk::RowRef& a, const SnapshotChunk::RowRef& b) {
-              return std::tie(a.slot.extent, a.slot.page, a.slot.slot) <
-                     std::tie(b.slot.extent, b.slot.page, b.slot.slot);
-            });
-  for (const SnapshotChunk::RowRef& ref : refs) fn(ref.slot, ref.bytes);
-  return ok_status();
-}
-
 // --------------------------------------------------------------- telemetry
 
 ConcurrencyStats Engine::concurrency_stats() const {
@@ -1613,17 +1352,6 @@ Engine::heap_extent_stats(uint32_t tid) const {
     return Status(ErrorCode::kNotFound, "bad table id");
   }
   return tables_[tid].heap().extent_stats();
-}
-
-Status Engine::scan_heap(
-    uint32_t tid,
-    const std::function<void(storage::SlotId, std::string_view)>& fn) const {
-  const std::shared_lock<std::shared_mutex> engine_lock(engine_mu_);
-  if (tid >= tables_.size()) {
-    return Status(ErrorCode::kNotFound, "bad table id");
-  }
-  tables_[tid].heap().scan(fn);
-  return ok_status();
 }
 
 void Engine::set_insert_observer(

@@ -57,10 +57,11 @@
 
 #include "common/status.h"
 #include "common/units.h"
-#include "core/concurrency_policy.h"
+#include "core/engine_policies.h"
 #include "db/column_batch.h"
 #include "db/lock_manager.h"
 #include "db/op_costs.h"
+#include "db/read_view.h"
 #include "db/row.h"
 #include "db/schema.h"
 #include "db/snapshot.h"
@@ -116,11 +117,30 @@ struct EngineOptions {
   int64_t cache_pages = 16384;
   // DBWR dirty-page trigger (fixed count, independent of cache size).
   int64_t dirty_trigger = 256;
-  // Admission limits and contention cost model, shared with the sim server
-  // config (core/concurrency_policy.h). Defaults keep the real engine
-  // permissive: 64 transaction slots, ITL gates off — simulation models the
-  // limits in the server cost model instead.
-  core::ConcurrencyPolicy concurrency;
+  // Every shared policy in one aggregate (core/engine_policies.h): commit
+  // cadence/durability, admission limits, query lanes, and the spatial
+  // subsystem's knobs — the same aggregate client::ServerConfig embeds, so
+  // tuning code can hand one object across both backends. Defaults keep the
+  // real engine permissive: 64 transaction slots, ITL gates off —
+  // simulation models the limits in the server cost model instead.
+  core::EnginePolicies policies;
+  // Source-compatible views of the folded policies: the former loose fields
+  // live on as references into `policies`, so existing call sites
+  // (`options.concurrency.itl_slots_per_table`, `options.commit_window`)
+  // compile unchanged. The copy operations below deliberately omit the
+  // references from their init lists, so each copy's default member
+  // initializers rebind them to the copy's own `policies`.
+  core::ConcurrencyPolicy& concurrency = policies.concurrency;
+  core::SpatialPolicy& spatial = policies.spatial;
+  // Commit-coalescing group commit (section 4.5.2): a commit-flush leader
+  // holds the device write open up to this long (0 = flush immediately) so
+  // other sessions' commits fold into one flush, closing early once
+  // max_group_commits commits are queued. See storage::WalOptions.
+  Nanos& commit_window = policies.commit.commit_window;
+  int64_t& max_group_commits = policies.commit.max_group_commits;
+  // kStrict acks a commit only after the covering flush; kRelaxed acks at
+  // append and exposes the durable-LSN watermark (Engine::wal_durable_lsn).
+  storage::DurabilityMode& durability = policies.commit.durability;
   // Independent append streams per table heap (1 = the pre-sharding layout;
   // clamped to [1, storage::kMaxHeapExtents]). Transactions are assigned an
   // extent round-robin at begin_transaction(), so N parallel loaders of one
@@ -130,23 +150,46 @@ struct EngineOptions {
   storage::DeviceLayout device_layout = storage::DeviceLayout::separate_raids();
   // Keep full WAL records in memory for replay verification (tests only).
   bool retain_wal_records = false;
-  // Commit-coalescing group commit (section 4.5.2): a commit-flush leader
-  // holds the device write open up to this long (0 = flush immediately) so
-  // other sessions' commits fold into one flush, closing early once
-  // max_group_commits commits are queued. See storage::WalOptions.
-  Nanos commit_window = 0;
-  int64_t max_group_commits = 8;
-  // kStrict acks a commit only after the covering flush; kRelaxed acks at
-  // append and exposes the durable-LSN watermark (Engine::wal_durable_lsn).
-  storage::DurabilityMode durability = storage::DurabilityMode::kStrict;
-  // Publish copy-on-write snapshot chunks at commit (db/snapshot.h) so the
-  // snapshot_* read family serves a consistent committed prefix without
-  // touching any latch. Costs commit-time work proportional to the
-  // transaction's rows plus a second copy of its index keys; turn off for
-  // ingest-only instances that never serve snapshot reads.
+  // Publish copy-on-write snapshot chunks at commit (db/snapshot.h) so
+  // snapshot ReadViews serve a consistent committed prefix without touching
+  // any latch. Costs commit-time work proportional to the transaction's
+  // rows plus a second copy of its index keys; turn off for ingest-only
+  // instances that never serve snapshot reads.
   bool snapshot_reads = true;
   ModeledDeviceLatency latency;
+
+  EngineOptions() = default;
+  EngineOptions(const EngineOptions& other)
+      : cache_pages(other.cache_pages),
+        dirty_trigger(other.dirty_trigger),
+        policies(other.policies),
+        heap_extents(other.heap_extents),
+        extent_assignment(other.extent_assignment),
+        device_layout(other.device_layout),
+        retain_wal_records(other.retain_wal_records),
+        snapshot_reads(other.snapshot_reads),
+        latency(other.latency) {}
+  EngineOptions& operator=(const EngineOptions& other) {
+    cache_pages = other.cache_pages;
+    dirty_trigger = other.dirty_trigger;
+    policies = other.policies;  // references already view this object's copy
+    heap_extents = other.heap_extents;
+    extent_assignment = other.extent_assignment;
+    device_layout = other.device_layout;
+    retain_wal_records = other.retain_wal_records;
+    snapshot_reads = other.snapshot_reads;
+    latency = other.latency;
+    return *this;
+  }
 };
+
+// Canonical fail-closed error for a read over an unavailable secondary
+// index. Both read modes report the same code — kFailedPrecondition —
+// whether the index is disabled right now (live) or a visible snapshot
+// chunk was committed while it was disabled (the chunk carries no key run
+// and the read cannot be served without silently missing rows).
+Status index_unavailable_error(std::string_view index_name,
+                               std::string_view detail);
 
 struct BatchError {
   size_t row_index = 0;  // index within the submitted batch
@@ -227,44 +270,21 @@ class Engine {
   // still validated structurally (types, arity, strict PK order).
   Status bulk_load_sorted(uint32_t table_id, const std::vector<Row>& rows);
 
-  // ----------------------------------------------------------------- queries
-  int64_t row_count(uint32_t table_id) const;
-  int64_t total_rows() const;
-  int64_t total_heap_bytes() const;
-  // Look up one row by full primary key.
-  Result<Row> pk_lookup(uint32_t table_id, const Row& pk_values) const;
-  // All rows whose PK is in [lo, hi) — keys built from value tuples.
-  Result<std::vector<Row>> pk_range(uint32_t table_id, const Row& lo,
-                                    const Row& hi) const;
-  // Range over a secondary index: [lo, hi) on the indexed columns.
-  Result<std::vector<Row>> index_range(uint32_t table_id,
-                                       std::string_view index_name,
-                                       const Row& lo, const Row& hi) const;
-  // Full scan with predicate.
-  std::vector<Row> scan_collect(
-      uint32_t table_id, const std::function<bool(const Row&)>& pred) const;
+  // -------------------------------------------------------------- read views
+  // The unified read API (db/read_view.h): one handle carrying every read
+  // operation, constructed live or over a pinned snapshot. All query code —
+  // the planner, the spatial operators, the scheduler's admitted queries —
+  // reads through a ReadView; the per-mode method families below are shims.
+  ReadView live_view() const { return ReadView(this, nullptr); }
+  // View of the pinned committed prefix; reads take no engine lock, table
+  // latch, extent latch, or gate. `snap` must outlive the returned view.
+  ReadView view_at(const Snapshot& snap) const {
+    return ReadView(this, &snap);
+  }
 
-  // Encoded-key range access for the query planner: rows whose PK /
-  // secondary-index key is in [lo, hi); empty `hi` means unbounded. Keys are
-  // built with index::KeyEncoder / db::append_value_to_key in column order.
-  Result<std::vector<Row>> pk_encoded_range(uint32_t table_id,
-                                            const std::string& lo,
-                                            const std::string& hi) const;
-  Result<std::vector<Row>> index_encoded_range(uint32_t table_id,
-                                               std::string_view index_name,
-                                               const std::string& lo,
-                                               const std::string& hi) const;
-  // Is the named secondary index currently enabled?
-  Result<bool> index_enabled(uint32_t table_id,
-                             std::string_view index_name) const;
-
-  // --------------------------------------------------------- snapshot reads
-  // The read path that never blocks ingest (db/snapshot.h): pin a consistent
-  // committed-prefix view, then query it latch-free — none of the snapshot_*
-  // methods takes the engine rwlock, a table latch, an extent latch, or a
-  // gate. Requires EngineOptions::snapshot_reads (the default); with it off,
-  // pins succeed but see an empty repository. A Snapshot must not outlive
-  // its engine.
+  // Pin a consistent committed-prefix snapshot (db/snapshot.h). Requires
+  // EngineOptions::snapshot_reads (the default); with it off, pins succeed
+  // but see an empty repository. A Snapshot must not outlive its engine.
   Snapshot pin_snapshot() const { return snapshots_.pin(); }
   SnapshotStats snapshot_stats() const { return snapshots_.stats(); }
   // Newest publication LSN a fresh pin would read (the snapshot analogue of
@@ -272,42 +292,92 @@ class Engine {
   uint64_t snapshot_published_lsn() const {
     return snapshots_.published_lsn();
   }
-  // Rows of one table visible in the pinned view.
-  int64_t snapshot_row_count(const Snapshot& snap, uint32_t table_id) const;
-  // scan_collect against the pinned view: rows visited in physical heap
-  // order (extent, page, slot), matching scan_collect on a quiesced heap.
-  // `costs` (optional) is filled the same way the live path would fill it —
-  // in particular lock_wait_ns stays 0 by construction, which the zero-latch
-  // regression test asserts.
+
+  int64_t total_rows() const;
+  int64_t total_heap_bytes() const;
+  // Is the named secondary index currently enabled?
+  Result<bool> index_enabled(uint32_t table_id,
+                             std::string_view index_name) const;
+
+  // ------------------------------------------------- live read shims
+  // DEPRECATED: thin shims over live_view() — the pre-ReadView live query
+  // family, kept so existing call sites compile. New code constructs a
+  // ReadView (live_view() / view_at()) and reads through it.
+  int64_t row_count(uint32_t table_id) const {
+    return live_view().row_count(table_id);
+  }
+  Result<Row> pk_lookup(uint32_t table_id, const Row& pk_values) const {
+    return live_view().pk_lookup(table_id, pk_values);
+  }
+  Result<std::vector<Row>> pk_range(uint32_t table_id, const Row& lo,
+                                    const Row& hi) const {
+    return live_view().pk_range(table_id, lo, hi);
+  }
+  Result<std::vector<Row>> index_range(uint32_t table_id,
+                                       std::string_view index_name,
+                                       const Row& lo, const Row& hi) const {
+    return live_view().index_range(table_id, index_name, lo, hi);
+  }
+  std::vector<Row> scan_collect(
+      uint32_t table_id, const std::function<bool(const Row&)>& pred) const {
+    return live_view().scan_collect(table_id, pred);
+  }
+  Result<std::vector<Row>> pk_encoded_range(uint32_t table_id,
+                                            const std::string& lo,
+                                            const std::string& hi) const {
+    return live_view().pk_encoded_range(table_id, lo, hi);
+  }
+  Result<std::vector<Row>> index_encoded_range(uint32_t table_id,
+                                               std::string_view index_name,
+                                               const std::string& lo,
+                                               const std::string& hi) const {
+    return live_view().index_encoded_range(table_id, index_name, lo, hi);
+  }
+
+  // --------------------------------------------- snapshot read shims
+  // DEPRECATED: thin shims over view_at(snap) — the former snapshot_* twin
+  // family, kept so existing call sites compile. New code constructs a
+  // ReadView (view_at(snap)) and reads through it.
+  int64_t snapshot_row_count(const Snapshot& snap, uint32_t table_id) const {
+    return view_at(snap).row_count(table_id);
+  }
   std::vector<Row> snapshot_scan_collect(
       const Snapshot& snap, uint32_t table_id,
       const std::function<bool(const Row&)>& pred,
-      OpCosts* costs = nullptr) const;
-  // Point and range lookups mirroring the live query family. Range reads
-  // over a secondary index fail with kFailedPrecondition when any visible
-  // chunk predates the index (committed while it was disabled) — the
-  // snapshot cannot serve them without silently missing rows.
+      OpCosts* costs = nullptr) const {
+    return view_at(snap).scan_collect(table_id, pred, costs);
+  }
   Result<Row> snapshot_pk_lookup(const Snapshot& snap, uint32_t table_id,
-                                 const Row& pk_values) const;
+                                 const Row& pk_values) const {
+    return view_at(snap).pk_lookup(table_id, pk_values);
+  }
   Result<std::vector<Row>> snapshot_pk_range(const Snapshot& snap,
                                              uint32_t table_id, const Row& lo,
-                                             const Row& hi) const;
+                                             const Row& hi) const {
+    return view_at(snap).pk_range(table_id, lo, hi);
+  }
   Result<std::vector<Row>> snapshot_index_range(const Snapshot& snap,
                                                 uint32_t table_id,
                                                 std::string_view index_name,
                                                 const Row& lo,
-                                                const Row& hi) const;
+                                                const Row& hi) const {
+    return view_at(snap).index_range(table_id, index_name, lo, hi);
+  }
   Result<std::vector<Row>> snapshot_pk_encoded_range(
       const Snapshot& snap, uint32_t table_id, const std::string& lo,
-      const std::string& hi) const;
+      const std::string& hi) const {
+    return view_at(snap).pk_encoded_range(table_id, lo, hi);
+  }
   Result<std::vector<Row>> snapshot_index_encoded_range(
       const Snapshot& snap, uint32_t table_id, std::string_view index_name,
-      const std::string& lo, const std::string& hi) const;
-  // Physical visit of the pinned view in heap order (the snapshot analogue
-  // of scan_heap; recovery tests compare it against a replayed engine).
+      const std::string& lo, const std::string& hi) const {
+    return view_at(snap).index_encoded_range(table_id, index_name, lo, hi);
+  }
   Status snapshot_scan_heap(
       const Snapshot& snap, uint32_t table_id,
-      const std::function<void(storage::SlotId, std::string_view)>& fn) const;
+      const std::function<void(storage::SlotId, std::string_view)>& fn) const {
+    return view_at(snap).scan_heap(table_id, fn);
+  }
 
   // -------------------------------------------------------------- telemetry
   // All telemetry returns copied snapshots taken under the owning
@@ -340,9 +410,12 @@ class Engine {
   // Physical heap scan in extent order (extent 0 first, pages and slots
   // ascending within). Tests use it to assert a recovered repository is
   // extent-identical to a clean reload, not just row-equivalent.
+  // DEPRECATED shim over live_view().scan_heap().
   Status scan_heap(
       uint32_t table_id,
-      const std::function<void(storage::SlotId, std::string_view)>& fn) const;
+      const std::function<void(storage::SlotId, std::string_view)>& fn) const {
+    return live_view().scan_heap(table_id, fn);
+  }
   // Observer invoked (under the destination table's latch) after each
   // successful insert; tests use it to audit parent-before-child ordering.
   // Setting it quiesces the engine (engine-exclusive).
@@ -353,6 +426,11 @@ class Engine {
   Status verify_integrity() const;
 
  private:
+  // ReadView (db/read_view.h) is the implementation of the read API: its
+  // methods live in read_view.cpp and work directly against the engine's
+  // internals (latches for live reads, pinned chunks for snapshot reads).
+  friend class ReadView;
+
   struct UndoEntry {
     uint32_t table_id;
     storage::SlotId slot;
@@ -435,10 +513,12 @@ class Engine {
   void publish_snapshot_chunks(std::vector<UndoEntry> undo);
   // Shared core of the snapshot range reads: collect [lo, hi) (empty hi =
   // unbounded) from each visible chunk's PK run (secondary < 0) or the
-  // given secondary run, merge by key order, decode.
+  // given secondary run, merge by key order, decode. `index_name` labels
+  // the fail-closed error when a chunk predates the secondary index.
   Result<std::vector<Row>> snapshot_collect_range(const Snapshot& snap,
                                                   uint32_t table_id,
                                                   int secondary,
+                                                  std::string_view index_name,
                                                   const std::string& lo,
                                                   const std::string& hi) const;
   storage::IoRole role_of_file(uint32_t file_id) const;

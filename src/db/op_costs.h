@@ -55,6 +55,13 @@ struct OpCosts {
   int64_t commit_flushes_led = 0;
   int64_t commit_piggybacks = 0;
   int64_t commit_leader_wait_ns = 0;
+  // Spatial-operator accounting (db/spatial.h). zone_scan_rows counts rows
+  // pulled through declination-zone windows (cone probes and per-zone ra
+  // scans); xmatch_candidates counts pairs that reached the exact
+  // angular-distance test; xmatch_pairs counts pairs that passed.
+  int64_t zone_scan_rows = 0;
+  int64_t xmatch_candidates = 0;
+  int64_t xmatch_pairs = 0;
   storage::CacheEvents cache;      // delta attributable to this call
   storage::IoTally io;             // physical I/O by device role
 
@@ -82,6 +89,9 @@ struct OpCosts {
     commit_flushes_led += other.commit_flushes_led;
     commit_piggybacks += other.commit_piggybacks;
     commit_leader_wait_ns += other.commit_leader_wait_ns;
+    zone_scan_rows += other.zone_scan_rows;
+    xmatch_candidates += other.xmatch_candidates;
+    xmatch_pairs += other.xmatch_pairs;
     cache += other.cache;
     io += other.io;
     return *this;

@@ -61,6 +61,12 @@ Admission::~Admission() {
   if (scheduler_ != nullptr) scheduler_->release(*this);
 }
 
+ReadView Admission::view() const {
+  if (scheduler_ == nullptr) return ReadView();
+  if (snapshot_.valid()) return scheduler_->engine_.view_at(snapshot_);
+  return scheduler_->engine_.live_view();
+}
+
 // --------------------------------------------------------- QueryScheduler
 
 QueryScheduler::QueryScheduler(Engine& engine, core::QueryPolicy policy)

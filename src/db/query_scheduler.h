@@ -89,9 +89,14 @@ class Admission {
 
   bool valid() const { return scheduler_ != nullptr; }
   QueryLane lane() const { return lane_; }
-  // Pinned read view; valid() && snapshot().valid() iff the policy has
-  // use_snapshots on. Read through Engine::snapshot_*.
+  // Pinned snapshot; valid() && snapshot().valid() iff the policy has
+  // use_snapshots on. Most callers want view() instead.
   const Snapshot& snapshot() const { return snapshot_; }
+  // The read view this admission should query through: the pinned snapshot
+  // when the policy pinned one, the live engine state otherwise — so query
+  // code is written once against ReadView and the snapshot/live split stays
+  // a QueryPolicy decision. Empty ReadView on an invalid admission.
+  ReadView view() const;
   Nanos queue_wait() const { return queue_wait_; }
 
  private:

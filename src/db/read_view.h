@@ -1,0 +1,105 @@
+// ReadView: the one read handle over the engine.
+//
+// The read API used to be forked into two parallel method families — the
+// live queries (Engine::pk_lookup / index_range / scan_collect / ...) that
+// synchronize with writers on the index latch, and their eight snapshot_*
+// twins that read a pinned copy-on-write prefix latch-free (db/snapshot.h).
+// Every new read operator had to be written twice. A ReadView carries each
+// operation once and is constructed in either mode:
+//
+//   db::ReadView live = engine.live_view();        // latch-shared, freshest
+//   db::Snapshot snap = engine.pin_snapshot();
+//   db::ReadView pinned = engine.view_at(snap);    // latch-free, committed
+//                                                  // prefix at pin time
+//
+// Operators written against ReadView (spatial::cone_search,
+// spatial::xmatch, the query planner) serve both modes for free, and
+// QueryScheduler::Admission::view() hands an admitted query the right mode
+// per QueryPolicy::use_snapshots without branching at the call site.
+//
+// A ReadView is a non-owning handle: it must not outlive the engine, and a
+// snapshot view must not outlive the Snapshot it was constructed from (the
+// typical shape — pin, build the view, query, drop both — makes this
+// natural). Copying a view is free; it carries no state beyond the two
+// pointers.
+//
+// Error contract: reads over an unavailable secondary index fail closed
+// with the same canonical code in both modes — kFailedPrecondition, whether
+// the index is disabled right now (live) or a visible chunk was committed
+// while it was disabled (snapshot). See index_unavailable_error in
+// engine.h.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "db/op_costs.h"
+#include "db/row.h"
+#include "storage/sharded_heap.h"
+
+namespace sky::db {
+
+class Engine;
+class Snapshot;
+
+class ReadView {
+ public:
+  // An empty view; every query on it fails with kFailedPrecondition.
+  ReadView() = default;
+
+  bool valid() const { return engine_ != nullptr; }
+  // Reading a pinned snapshot (latch-free committed prefix) vs. live state?
+  bool is_snapshot() const { return snap_ != nullptr; }
+  // The engine under this view (valid views only — callers resolve schema
+  // metadata, e.g. table ids and index definitions, through this).
+  const Engine& engine() const { return *engine_; }
+  // The pinned snapshot under a snapshot view (nullptr on live views).
+  const Snapshot* snapshot() const { return snap_; }
+
+  // Rows of the table visible to this view.
+  int64_t row_count(uint32_t table_id) const;
+  // Look up one row by full primary key.
+  Result<Row> pk_lookup(uint32_t table_id, const Row& pk_values) const;
+  // All rows whose PK is in [lo, hi) — keys built from value tuples.
+  Result<std::vector<Row>> pk_range(uint32_t table_id, const Row& lo,
+                                    const Row& hi) const;
+  // Range over a secondary index: [lo, hi) on the indexed columns. On an
+  // HTM-keyed index (IndexDef::htm) the tuples are single int64 trixel ids,
+  // not (ra, dec) pairs.
+  Result<std::vector<Row>> index_range(uint32_t table_id,
+                                       std::string_view index_name,
+                                       const Row& lo, const Row& hi) const;
+  // Encoded-key ranges for the query planner: [lo, hi) over pre-encoded
+  // keys (index::KeyEncoder order); empty `hi` means unbounded.
+  Result<std::vector<Row>> pk_encoded_range(uint32_t table_id,
+                                            const std::string& lo,
+                                            const std::string& hi) const;
+  Result<std::vector<Row>> index_encoded_range(uint32_t table_id,
+                                               std::string_view index_name,
+                                               const std::string& lo,
+                                               const std::string& hi) const;
+  // Full scan with predicate. `costs` (optional) tallies rows visited and
+  // heap bytes decoded on the snapshot path; the live path's costs are
+  // attributed by the engine's own instrumentation.
+  std::vector<Row> scan_collect(uint32_t table_id,
+                                const std::function<bool(const Row&)>& pred,
+                                OpCosts* costs = nullptr) const;
+  // Physical visit in heap order (extent, page, slot ascending).
+  Status scan_heap(
+      uint32_t table_id,
+      const std::function<void(storage::SlotId, std::string_view)>& fn) const;
+
+ private:
+  friend class Engine;
+  ReadView(const Engine* engine, const Snapshot* snap)
+      : engine_(engine), snap_(snap) {}
+
+  const Engine* engine_ = nullptr;
+  const Snapshot* snap_ = nullptr;
+};
+
+}  // namespace sky::db

@@ -3,8 +3,59 @@
 #include <set>
 
 #include "common/strings.h"
+#include "htm/htm.h"
 
 namespace sky::db {
+
+namespace {
+
+// An HTM index keys rows by trixel id computed from two position columns.
+// Requirements: non-unique (trixels are shared), both columns declared
+// kDouble NOT NULL (a row without a position cannot be placed on the mesh),
+// depth within the id space htm/htm.h supports. On success the IndexDef's
+// column list is auto-filled to {ra, dec} so the rest of the engine (column
+// resolution, rebuilds, column-batch key builders) treats it like any other
+// secondary index.
+Status validate_htm_index(const TableDef& table, IndexDef& index) {
+  const HtmIndexSpec& spec = *index.htm;
+  if (index.unique) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "HTM index " + index.name + " cannot be unique");
+  }
+  if (spec.depth < 0 || spec.depth > htm::kMaxDepth) {
+    return Status(ErrorCode::kInvalidArgument,
+                  str_format("HTM index %s depth %d out of range [0, %d]",
+                             index.name.c_str(), spec.depth, htm::kMaxDepth));
+  }
+  for (const std::string* column : {&spec.ra_column, &spec.dec_column}) {
+    const int idx = table.column_index(*column);
+    if (idx < 0) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "HTM index column " + *column + " missing in " +
+                        table.name);
+    }
+    const ColumnDef& def = table.columns[static_cast<size_t>(idx)];
+    if (def.type != ColumnType::kDouble) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "HTM index column " + *column + " must be DOUBLE");
+    }
+    if (def.nullable) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "HTM index column " + *column + " must be NOT NULL");
+    }
+  }
+  if (index.columns.empty()) {
+    index.columns = {spec.ra_column, spec.dec_column};
+  } else if (index.columns !=
+             std::vector<std::string>{spec.ra_column, spec.dec_column}) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "HTM index " + index.name +
+                      " columns must be empty or {ra, dec}");
+  }
+  return ok_status();
+}
+
+}  // namespace
 
 int TableDef::column_index(std::string_view column_name) const {
   for (size_t i = 0; i < columns.size(); ++i) {
@@ -79,10 +130,13 @@ Status Schema::add_table(TableDef def) {
     }
   }
   std::set<std::string_view> index_names;
-  for (const IndexDef& index : def.indexes) {
+  for (IndexDef& index : def.indexes) {
     if (index.name.empty() || !index_names.insert(index.name).second) {
       return Status(ErrorCode::kInvalidArgument,
                     "bad or duplicate index name in " + def.name);
+    }
+    if (index.htm.has_value()) {
+      SKY_RETURN_IF_ERROR(validate_htm_index(def, index));
     }
     if (index.columns.empty()) {
       return Status(ErrorCode::kInvalidArgument,

@@ -35,10 +35,27 @@ struct ForeignKey {
   std::string parent_table;
 };
 
+// Declares a secondary index keyed by HTM trixel id: each row's (ra, dec)
+// position — degrees, J2000 — is mapped to the id of the depth-`depth`
+// Hierarchical Triangular Mesh trixel containing it (htm/htm.h), and the
+// index stores that single int64 id. Because every trixel's descendants
+// occupy one contiguous id range, a cone search becomes a handful of index
+// range probes (htm::cone_cover). The spec's columns must be NOT NULL
+// doubles; the index cannot be unique (many rows share a trixel).
+struct HtmIndexSpec {
+  std::string ra_column;
+  std::string dec_column;
+  int depth = 14;  // ~20 arcsec trixels; validated against htm::kMaxDepth
+};
+
 struct IndexDef {
   std::string name;
   std::vector<std::string> columns;
   bool unique = false;
+  // When set, this is an HTM spatial index: `columns` is auto-filled to
+  // {ra_column, dec_column} by Schema::add_table and keys are trixel ids
+  // computed from those columns, not their raw values.
+  std::optional<HtmIndexSpec> htm;
 };
 
 struct TableDef {

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "htm/htm.h"
 #include "index/key_codec.h"
 
 namespace sky::db {
@@ -63,9 +64,20 @@ std::string Table::encode_index_key(
     const SecondaryIndex& index, const Row& row,
     std::optional<uint64_t> row_id_suffix) const {
   index::KeyEncoder encoder;
-  for (const int idx : index.column_indices) {
-    append_value_to_key(encoder, row[static_cast<size_t>(idx)],
-                        def_.columns[static_cast<size_t>(idx)].type);
+  if (index.def.htm.has_value()) {
+    // HTM index: the key is the trixel id containing (ra, dec), not the raw
+    // column values. column_indices is {ra, dec} (schema.cpp auto-fill);
+    // both are NOT NULL by validation.
+    const double ra = row[static_cast<size_t>(index.column_indices[0])].as_f64();
+    const double dec =
+        row[static_cast<size_t>(index.column_indices[1])].as_f64();
+    encoder.append_int64(
+        static_cast<int64_t>(htm::htm_id_radec(ra, dec, index.def.htm->depth)));
+  } else {
+    for (const int idx : index.column_indices) {
+      append_value_to_key(encoder, row[static_cast<size_t>(idx)],
+                          def_.columns[static_cast<size_t>(idx)].type);
+    }
   }
   if (!index.def.unique && row_id_suffix.has_value()) {
     encoder.append_int64(static_cast<int64_t>(*row_id_suffix));

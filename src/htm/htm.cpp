@@ -259,9 +259,39 @@ CapRelation classify(const Trixel& t, const Vec3& center, double radius_deg) {
   return CapRelation::kDisjoint;
 }
 
+// Wide caps (radius > 90) are not convex, but their complement is: a cap of
+// radius 180 - r around the antipode. Classify against the complement and
+// invert. A trixel fully inside the closed complement touches the original
+// cap at most on the shared rim circle — kept as partial unless every
+// vertex is strictly interior, so exact-rim points are never dropped.
+CapRelation classify_wide(const Trixel& t, const Vec3& center,
+                          double radius_deg) {
+  const Vec3 anti = center * -1.0;
+  const double complement = 180.0 - radius_deg;
+  switch (classify(t, anti, complement)) {
+    case CapRelation::kDisjoint:
+      return CapRelation::kFull;
+    case CapRelation::kFull: {
+      int strictly_inside = 0;
+      for (const Vec3& v : t.v) {
+        if (angular_distance_deg(anti, v) < complement - 1e-12) {
+          ++strictly_inside;
+        }
+      }
+      return strictly_inside == 3 ? CapRelation::kDisjoint
+                                  : CapRelation::kPartial;
+    }
+    case CapRelation::kPartial:
+      break;
+  }
+  return CapRelation::kPartial;
+}
+
 void cover_recursive(const Trixel& t, int level, int depth, const Vec3& center,
                      double radius_deg, std::vector<IdRange>& out) {
-  const CapRelation relation = classify(t, center, radius_deg);
+  const CapRelation relation = radius_deg > 90.0
+                                   ? classify_wide(t, center, radius_deg)
+                                   : classify(t, center, radius_deg);
   if (relation == CapRelation::kDisjoint) return;
   const int remaining = depth - level;
   if (relation == CapRelation::kFull || remaining == 0) {
@@ -279,7 +309,7 @@ void cover_recursive(const Trixel& t, int level, int depth, const Vec3& center,
 std::vector<IdRange> cone_cover(const Vec3& center, double radius_deg,
                                 int depth) {
   assert(depth >= 0 && depth <= kMaxDepth);
-  const double clamped_radius = std::clamp(radius_deg, 0.0, 90.0);
+  const double clamped_radius = std::clamp(radius_deg, 0.0, 180.0);
   const Vec3 c = center.normalized();
   std::vector<IdRange> ranges;
   for (const Trixel& root : root_trixels()) {

@@ -536,7 +536,7 @@ TEST(EngineConcurrencyTest, QuerySchedulerMixedWorkloadStress) {
   objects.col("objid", db::ColumnType::kInt64, false);
   objects.col("htmid", db::ColumnType::kInt64, false);
   objects.primary_key = {"objid"};
-  objects.indexes.push_back(db::IndexDef{"ix_htmid", {"htmid"}, false});
+  objects.indexes.push_back(db::IndexDef{"ix_htmid", {"htmid"}, false, {}});
   ASSERT_TRUE(schema.add_table(objects).is_ok());
   db::EngineOptions options;
   options.heap_extents = 4;
@@ -596,14 +596,15 @@ TEST(EngineConcurrencyTest, QuerySchedulerMixedWorkloadStress) {
           const int64_t id = static_cast<int64_t>(loader) * 1'000'000 +
                              static_cast<int64_t>(probe >> 32) %
                                  (high % 1'000'000 + 1);
-          const auto row = engine.snapshot_pk_lookup(
-              grant.snapshot(), tid, {db::Value::i64(id)});
+          const auto row = engine.view_at(grant.snapshot())
+                               .pk_lookup(tid, {db::Value::i64(id)});
           EXPECT_TRUE(row.is_ok()) << id;
         } else {
           const int64_t h = static_cast<int64_t>(probe % 4096);
-          const auto hits = engine.snapshot_index_range(
-              grant.snapshot(), tid, "ix_htmid", {db::Value::i64(h)},
-              {db::Value::i64(h + 16)});
+          const auto hits = engine.view_at(grant.snapshot())
+                                .index_range(tid, "ix_htmid",
+                                             {db::Value::i64(h)},
+                                             {db::Value::i64(h + 16)});
           EXPECT_TRUE(hits.is_ok());
         }
       }
@@ -617,9 +618,10 @@ TEST(EngineConcurrencyTest, QuerySchedulerMixedWorkloadStress) {
             scheduler.admit(db::QueryLane::kBatch, &costs);
         ASSERT_TRUE(grant.valid());
         const int64_t pinned =
-            engine.snapshot_row_count(grant.snapshot(), tid);
-        const std::vector<db::Row> rows = engine.snapshot_scan_collect(
-            grant.snapshot(), tid, [](const db::Row&) { return true; });
+            engine.view_at(grant.snapshot()).row_count(tid);
+        const std::vector<db::Row> rows =
+            engine.view_at(grant.snapshot())
+                .scan_collect(tid, [](const db::Row&) { return true; });
         // The pinned view is frozen: the scan sees exactly its row count.
         EXPECT_EQ(static_cast<int64_t>(rows.size()), pinned);
       }
@@ -638,9 +640,9 @@ TEST(EngineConcurrencyTest, QuerySchedulerMixedWorkloadStress) {
   EXPECT_EQ(stats.batch.queue_depth, 0);
   // Everything committed is in the final snapshot.
   const db::Snapshot snap = engine.pin_snapshot();
-  EXPECT_EQ(engine.snapshot_row_count(snap, tid),
+  EXPECT_EQ(engine.view_at(snap).row_count(tid),
             static_cast<int64_t>(kLoaders) * kTxnsPerLoader * 8);
-  EXPECT_EQ(engine.row_count(tid), engine.snapshot_row_count(snap, tid));
+  EXPECT_EQ(engine.row_count(tid), engine.view_at(snap).row_count(tid));
   EXPECT_TRUE(engine.verify_integrity().is_ok());
 }
 

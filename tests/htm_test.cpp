@@ -307,5 +307,134 @@ TEST(ConeCoverTest, ZeroRadiusStillFindsHostTrixel) {
   EXPECT_TRUE(ranges_cover(ranges, htm_id(p, 12)));
 }
 
+// ------------------------------------------------------- edge geometry ---
+
+TEST(HtmIdTest, PolesProduceValidIds) {
+  // The poles are root-trixel corners (four trixels meet there), so the id
+  // itself may tie-break either way — but it must stay a valid id of the
+  // requested depth, at every depth and any nominal ra.
+  for (int depth : {0, 4, 10, kDefaultDepth}) {
+    const uint64_t lo = 8ULL << (2 * depth);
+    const uint64_t hi = 16ULL << (2 * depth);
+    for (double ra : {0.0, 12.3, 181.5, 359.999}) {
+      for (double dec : {90.0, -90.0}) {
+        const uint64_t id = htm_id_radec(ra, dec, depth);
+        EXPECT_GE(id, lo);
+        EXPECT_LT(id, hi);
+        EXPECT_EQ(depth_of_id(id).value(), depth);
+      }
+    }
+  }
+}
+
+TEST(ConeCoverTest, PolarCapCoversAllRightAscensions) {
+  // A cap centered exactly on a pole touches every meridian; the cover
+  // must hold points at every ra near the pole and stay sorted/disjoint.
+  const int depth = 8;
+  for (const double pole : {90.0, -90.0}) {
+    const auto ranges = cone_cover(radec_to_vector(0.0, pole), 1.0, depth);
+    ASSERT_FALSE(ranges.empty());
+    for (size_t i = 1; i < ranges.size(); ++i) {
+      EXPECT_GT(ranges[i].first, ranges[i - 1].last);
+    }
+    const double dec = pole > 0 ? 89.5 : -89.5;
+    for (double ra = 0.0; ra < 360.0; ra += 7.3) {
+      EXPECT_TRUE(ranges_cover(ranges, htm_id_radec(ra, dec, depth)))
+          << "pole=" << pole << " ra=" << ra;
+    }
+  }
+}
+
+TEST(ConeCoverTest, RaWrapCoversAcrossZeroMeridian) {
+  // A cap centered just east of ra=0 reaches west of the wrap; points on
+  // both sides of the 0/360 seam (including ra=360 itself) are covered.
+  const int depth = 10;
+  const auto ranges = cone_cover(radec_to_vector(0.25, 20.0), 1.0, depth);
+  for (double ra : {359.5, 359.9, 0.0, 0.9, 360.0}) {
+    EXPECT_TRUE(ranges_cover(ranges, htm_id_radec(ra, 20.0, depth)))
+        << "ra=" << ra;
+  }
+}
+
+TEST(ConeCoverTest, RadiusNinetyDegreesAndBeyond) {
+  const int depth = 4;
+  const uint64_t total = 8ULL << (2 * depth);
+  // radius 180 is the whole sphere: every trixel is covered, and since
+  // depth-4 ids are contiguous the coalescer must fold the cover into the
+  // single range [8*4^4, 16*4^4).
+  {
+    const auto ranges = cone_cover(radec_to_vector(10, 10), 180.0, depth);
+    uint64_t covered = 0;
+    for (const IdRange& range : ranges) covered += range.last - range.first;
+    EXPECT_EQ(covered, total);
+    EXPECT_EQ(ranges.size(), 1u);
+  }
+  // A 120-degree cap is 3/4 of the sphere, and its antipode is excludable.
+  {
+    const Vec3 center = radec_to_vector(10, 10);
+    const auto ranges = cone_cover(center, 120.0, depth);
+    uint64_t covered = 0;
+    for (const IdRange& range : ranges) covered += range.last - range.first;
+    EXPECT_GE(covered, (total * 3) / 4);
+    EXPECT_LT(covered, total);
+    // Points just inside the rim are covered.
+    Rng rng(21);
+    for (int i = 0; i < 200; ++i) {
+      const Vec3 p = random_direction(rng);
+      if (angular_distance_deg(center, p) <= 119.0) {
+        EXPECT_TRUE(ranges_cover(ranges, htm_id(p, depth)));
+      }
+    }
+  }
+}
+
+TEST(ConeCoverTest, MatchesBruteForceTrixelOracle) {
+  // Classify every depth-4 trixel against the cap by direct geometry:
+  // any corner / edge-midpoint / center inside the cap is an intersection
+  // witness (the cover MUST include the trixel); a trixel whose center is
+  // farther than radius + its circumradius cannot intersect (the cover
+  // MUST exclude it). Trixels between the two bounds are the cover's
+  // conservative slack and may go either way.
+  Rng rng(123);
+  const int depth = 4;
+  const uint64_t lo = 8ULL << (2 * depth);
+  const uint64_t hi = 16ULL << (2 * depth);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Vec3 center = random_direction(rng);
+    const double radius = 7.0 * (trial + 1);  // 7..35 degrees
+    const auto ranges = cone_cover(center, radius, depth);
+    for (size_t i = 1; i < ranges.size(); ++i) {
+      EXPECT_GT(ranges[i].first, ranges[i - 1].last);  // sorted + coalesced
+    }
+    for (uint64_t id = lo; id < hi; ++id) {
+      const auto trixel = trixel_from_id(id);
+      ASSERT_TRUE(trixel.is_ok());
+      const Vec3 c =
+          (trixel->v[0] + trixel->v[1] + trixel->v[2]).normalized();
+      std::vector<Vec3> witnesses = {c};
+      double circumradius = 0;
+      for (size_t k = 0; k < 3; ++k) {
+        witnesses.push_back(trixel->v[k]);
+        witnesses.push_back(
+            (trixel->v[k] + trixel->v[(k + 1) % 3]).normalized());
+        circumradius =
+            std::max(circumradius, angular_distance_deg(c, trixel->v[k]));
+      }
+      double nearest_witness = 1e9;
+      for (const Vec3& w : witnesses) {
+        nearest_witness =
+            std::min(nearest_witness, angular_distance_deg(center, w));
+      }
+      const bool covered = ranges_cover(ranges, id);
+      if (nearest_witness <= radius) {
+        EXPECT_TRUE(covered) << "id=" << id << " radius=" << radius;
+      } else if (angular_distance_deg(center, c) >
+                 radius + circumradius + 1e-9) {
+        EXPECT_FALSE(covered) << "id=" << id << " radius=" << radius;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace sky::htm

@@ -625,7 +625,7 @@ TEST(RecoveryTest, CrashDuringPinnedSnapshotScanReplaysClean) {
     const uint32_t tid = static_cast<uint32_t>(t);
     std::multiset<std::pair<uint32_t, std::string>> snapshot_view, replayed;
     ASSERT_TRUE(engine
-                    .snapshot_scan_heap(pinned, tid,
+                    .view_at(pinned).scan_heap(tid,
                                         [&](storage::SlotId slot,
                                             std::string_view bytes) {
                                           snapshot_view.emplace(
@@ -642,7 +642,7 @@ TEST(RecoveryTest, CrashDuringPinnedSnapshotScanReplaysClean) {
                     .is_ok());
     EXPECT_EQ(snapshot_view, replayed) << "table " << schema.table(tid).name;
   }
-  EXPECT_EQ(engine.snapshot_row_count(pinned, 0), 12);
+  EXPECT_EQ(engine.view_at(pinned).row_count(0), 12);
   EXPECT_EQ((*recovered)->row_count(0), 12);
   EXPECT_FALSE((*recovered)->pk_lookup(0, {Value::i64(999)}).is_ok());
   EXPECT_TRUE((*recovered)->verify_integrity().is_ok());
@@ -654,7 +654,7 @@ TEST(RecoveryTest, CrashDuringPinnedSnapshotScanReplaysClean) {
   EXPECT_EQ(engine.snapshot_stats().active_pins, 0);
   EXPECT_EQ(engine.snapshot_published_lsn(), 3u);
   const Snapshot again = engine.pin_snapshot();
-  EXPECT_EQ(engine.snapshot_row_count(again, 0), 12);
+  EXPECT_EQ(engine.view_at(again).row_count(0), 12);
 
   // Clean teardown of the source engine.
   ASSERT_TRUE(engine.rollback(torn).is_ok());

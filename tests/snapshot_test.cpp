@@ -15,6 +15,7 @@
 #include "common/rng.h"
 #include "db/engine.h"
 #include "db/query_scheduler.h"
+#include "index/key_codec.h"
 
 namespace sky::db {
 namespace {
@@ -31,7 +32,7 @@ Schema batches_schema() {
   batches.col("batch_seq", ColumnType::kInt64, false);
   batches.col("batch_total", ColumnType::kInt64, false);
   batches.primary_key = {"pk"};
-  batches.indexes.push_back(IndexDef{"ix_batch", {"batch_id"}, false});
+  batches.indexes.push_back(IndexDef{"ix_batch", {"batch_id"}, false, {}});
   EXPECT_TRUE(schema.add_table(batches).is_ok());
   return schema;
 }
@@ -69,7 +70,7 @@ class SnapshotTest : public ::testing::Test {
 TEST_F(SnapshotTest, PinSeesOnlyCommittedPrefix) {
   commit_batch(0, 1, 4);
   const Snapshot before = engine_.pin_snapshot();
-  EXPECT_EQ(engine_.snapshot_row_count(before, table_), 4);
+  EXPECT_EQ(engine_.view_at(before).row_count(table_), 4);
 
   // Uncommitted rows are live-visible (read-uncommitted two-phase insert)
   // but must not appear in any snapshot.
@@ -80,21 +81,21 @@ TEST_F(SnapshotTest, PinSeesOnlyCommittedPrefix) {
   ASSERT_TRUE(
       engine_.insert_row(txn, table_, batch_row(101, 2, 1, 2), costs).is_ok());
   EXPECT_EQ(engine_.row_count(table_), 6);  // live sees the pending rows
-  EXPECT_EQ(engine_.snapshot_row_count(before, table_), 4);
+  EXPECT_EQ(engine_.view_at(before).row_count(table_), 4);
   const Snapshot during = engine_.pin_snapshot();
-  EXPECT_EQ(engine_.snapshot_row_count(during, table_), 4);
+  EXPECT_EQ(engine_.view_at(during).row_count(table_), 4);
   EXPECT_FALSE(
-      engine_.snapshot_pk_lookup(during, table_, {Value::i64(100)}).is_ok());
+      engine_.view_at(during).pk_lookup(table_, {Value::i64(100)}).is_ok());
 
   ASSERT_TRUE(engine_.commit(txn).is_ok());
   // Pins taken before the commit stay frozen; a fresh pin advances.
-  EXPECT_EQ(engine_.snapshot_row_count(before, table_), 4);
-  EXPECT_EQ(engine_.snapshot_row_count(during, table_), 4);
+  EXPECT_EQ(engine_.view_at(before).row_count(table_), 4);
+  EXPECT_EQ(engine_.view_at(during).row_count(table_), 4);
   const Snapshot after = engine_.pin_snapshot();
-  EXPECT_EQ(engine_.snapshot_row_count(after, table_), 6);
+  EXPECT_EQ(engine_.view_at(after).row_count(table_), 6);
   EXPECT_GT(after.read_lsn(), during.read_lsn());
   EXPECT_TRUE(
-      engine_.snapshot_pk_lookup(after, table_, {Value::i64(100)}).is_ok());
+      engine_.view_at(after).pk_lookup(table_, {Value::i64(100)}).is_ok());
 }
 
 TEST_F(SnapshotTest, RolledBackRowsNeverPublished) {
@@ -105,9 +106,9 @@ TEST_F(SnapshotTest, RolledBackRowsNeverPublished) {
       engine_.insert_row(txn, table_, batch_row(50, 9, 0, 1), costs).is_ok());
   ASSERT_TRUE(engine_.rollback(txn).is_ok());
   const Snapshot snap = engine_.pin_snapshot();
-  EXPECT_EQ(engine_.snapshot_row_count(snap, table_), 2);
+  EXPECT_EQ(engine_.view_at(snap).row_count(table_), 2);
   EXPECT_FALSE(
-      engine_.snapshot_pk_lookup(snap, table_, {Value::i64(50)}).is_ok());
+      engine_.view_at(snap).pk_lookup(table_, {Value::i64(50)}).is_ok());
   EXPECT_TRUE(engine_.verify_integrity().is_ok());
 }
 
@@ -131,19 +132,19 @@ TEST_F(SnapshotTest, QuiescedEquivalenceWithLiveReads) {
   commit_batch(200, 3, 4);
 
   const Snapshot snap = engine_.pin_snapshot();
-  EXPECT_EQ(engine_.snapshot_row_count(snap, table_),
+  EXPECT_EQ(engine_.view_at(snap).row_count(table_),
             engine_.row_count(table_));
 
   const auto all_live =
       engine_.scan_collect(table_, [](const Row&) { return true; });
-  const auto all_snap = engine_.snapshot_scan_collect(
-      snap, table_, [](const Row&) { return true; });
+  const auto all_snap = engine_.view_at(snap).scan_collect(
+      table_, [](const Row&) { return true; });
   EXPECT_EQ(all_live, all_snap);
 
   const auto live_range =
       engine_.pk_range(table_, {Value::i64(0)}, {Value::i64(150)});
   const auto snap_range =
-      engine_.snapshot_pk_range(snap, table_, {Value::i64(0)},
+      engine_.view_at(snap).pk_range(table_, {Value::i64(0)},
                                 {Value::i64(150)});
   ASSERT_TRUE(live_range.is_ok());
   ASSERT_TRUE(snap_range.is_ok());
@@ -152,8 +153,8 @@ TEST_F(SnapshotTest, QuiescedEquivalenceWithLiveReads) {
   const auto live_ix =
       engine_.index_range(table_, "ix_batch", {Value::i64(2)},
                           {Value::i64(3)});
-  const auto snap_ix = engine_.snapshot_index_range(
-      snap, table_, "ix_batch", {Value::i64(2)}, {Value::i64(3)});
+  const auto snap_ix = engine_.view_at(snap).index_range(
+      table_, "ix_batch", {Value::i64(2)}, {Value::i64(3)});
   ASSERT_TRUE(live_ix.is_ok());
   ASSERT_TRUE(snap_ix.is_ok());
   EXPECT_EQ(live_ix->size(), 16u);
@@ -162,13 +163,13 @@ TEST_F(SnapshotTest, QuiescedEquivalenceWithLiveReads) {
   for (const int64_t pk : {0L, 107L, 203L}) {
     const auto live = engine_.pk_lookup(table_, {Value::i64(pk)});
     const auto snapped =
-        engine_.snapshot_pk_lookup(snap, table_, {Value::i64(pk)});
+        engine_.view_at(snap).pk_lookup(table_, {Value::i64(pk)});
     ASSERT_TRUE(live.is_ok());
     ASSERT_TRUE(snapped.is_ok());
     EXPECT_EQ(*live, *snapped);
   }
   EXPECT_FALSE(
-      engine_.snapshot_pk_lookup(snap, table_, {Value::i64(9999)}).is_ok());
+      engine_.view_at(snap).pk_lookup(table_, {Value::i64(9999)}).is_ok());
 
   // Physical view matches the heap exactly (quiesced).
   std::multiset<std::pair<uint32_t, std::string>> live_heap;
@@ -181,8 +182,7 @@ TEST_F(SnapshotTest, QuiescedEquivalenceWithLiveReads) {
                   .is_ok());
   std::multiset<std::pair<uint32_t, std::string>> snap_heap;
   ASSERT_TRUE(engine_
-                  .snapshot_scan_heap(
-                      snap, table_,
+                  .view_at(snap).scan_heap(table_,
                       [&](storage::SlotId slot, std::string_view bytes) {
                         snap_heap.emplace(slot.extent, std::string(bytes));
                       })
@@ -200,9 +200,9 @@ TEST_F(SnapshotTest, BulkLoadSortedPublishesOneChunk) {
   EXPECT_EQ(stats.chunks_published, 1);
   EXPECT_EQ(stats.rows_published, 32);
   const Snapshot snap = engine_.pin_snapshot();
-  EXPECT_EQ(engine_.snapshot_row_count(snap, table_), 32);
-  const auto by_batch = engine_.snapshot_index_range(
-      snap, table_, "ix_batch", {Value::i64(1)}, {Value::i64(2)});
+  EXPECT_EQ(engine_.view_at(snap).row_count(table_), 32);
+  const auto by_batch = engine_.view_at(snap).index_range(
+      table_, "ix_batch", {Value::i64(1)}, {Value::i64(2)});
   ASSERT_TRUE(by_batch.is_ok());
   EXPECT_EQ(by_batch->size(), 8u);
 }
@@ -223,15 +223,72 @@ TEST_F(SnapshotTest, ChunkPredatingIndexFailsClosed) {
   ASSERT_TRUE(live.is_ok());
   EXPECT_EQ(live->size(), 4u);
   const Snapshot snap = engine_.pin_snapshot();
-  const auto snapped = engine_.snapshot_index_range(
-      snap, table_, "ix_batch", {Value::i64(2)}, {Value::i64(3)});
+  const auto snapped = engine_.view_at(snap).index_range(
+      table_, "ix_batch", {Value::i64(2)}, {Value::i64(3)});
   ASSERT_FALSE(snapped.is_ok());
   EXPECT_EQ(snapped.status().code(), ErrorCode::kFailedPrecondition);
   // PK reads are unaffected.
-  const auto pk = engine_.snapshot_pk_range(snap, table_, {Value::i64(0)},
+  const auto pk = engine_.view_at(snap).pk_range(table_, {Value::i64(0)},
                                             {Value::i64(1000)});
   ASSERT_TRUE(pk.is_ok());
   EXPECT_EQ(pk->size(), 12u);
+}
+
+// Fail-closed symmetry: an index that cannot serve a read reports one
+// canonical code — kFailedPrecondition — on every secondary read spelling,
+// live or snapshot, value-tuple or encoded-key. The live reads fail because
+// the index is disabled right now; the snapshot reads fail because a chunk
+// in the pinned chain was committed without index entries. Callers branch
+// on the code only (never the message), so the four paths must agree.
+TEST_F(SnapshotTest, IndexUnavailableIsSymmetricAcrossReadPaths) {
+  commit_batch(0, 1, 4);
+  ASSERT_TRUE(engine_.set_index_enabled(table_, "ix_batch", false).is_ok());
+  commit_batch(100, 2, 4);  // chunk committed with the index disabled
+  const Snapshot stale = engine_.pin_snapshot();
+
+  index::KeyEncoder enc;
+  enc.append_int64(1);
+  const std::string lo = enc.take();
+  enc.clear();
+  enc.append_int64(3);
+  const std::string hi = enc.take();
+
+  struct ReadCase {
+    const char* name;
+    bool snapshot;  // read through the stale pin instead of the live state
+    bool encoded;   // encoded-key spelling instead of value tuples
+  };
+  const ReadCase kCases[] = {
+      {"live/index_range", false, false},
+      {"live/index_encoded_range", false, true},
+      {"snapshot/index_range", true, false},
+      {"snapshot/index_encoded_range", true, true},
+  };
+  const auto probe = [&](const ReadCase& c) {
+    const ReadView view =
+        c.snapshot ? engine_.view_at(stale) : engine_.live_view();
+    return c.encoded
+               ? view.index_encoded_range(table_, "ix_batch", lo, hi).status()
+               : view.index_range(table_, "ix_batch", {Value::i64(1)},
+                                  {Value::i64(3)})
+                     .status();
+  };
+
+  for (const ReadCase& c : kCases) {
+    EXPECT_EQ(probe(c).code(), ErrorCode::kFailedPrecondition) << c.name;
+  }
+
+  // Re-enabling and rebuilding heals the live paths only: the stale pin
+  // still chains over the index-less chunk and keeps failing closed.
+  ASSERT_TRUE(engine_.set_index_enabled(table_, "ix_batch", true).is_ok());
+  ASSERT_TRUE(engine_.rebuild_index(table_, "ix_batch").is_ok());
+  for (const ReadCase& c : kCases) {
+    if (c.snapshot) {
+      EXPECT_EQ(probe(c).code(), ErrorCode::kFailedPrecondition) << c.name;
+    } else {
+      EXPECT_TRUE(probe(c).is_ok()) << c.name;
+    }
+  }
 }
 
 // Regression for the tentpole guarantee: a snapshot read completes without
@@ -276,10 +333,11 @@ TEST_F(SnapshotTest, ScanAcquiresZeroLatchesWhileLoaderHoldsExtent) {
   const auto begin = std::chrono::steady_clock::now();
   const Admission admission =
       scheduler.admit(QueryLane::kInteractive, &costs);
-  const auto rows = engine.snapshot_scan_collect(
-      admission.snapshot(), table, [](const Row&) { return true; }, &costs);
-  const auto hit = engine.snapshot_pk_lookup(admission.snapshot(), table,
-                                             {Value::i64(0)});
+  const auto rows = engine.view_at(admission.snapshot())
+                        .scan_collect(table, [](const Row&) { return true; },
+                                      &costs);
+  const auto hit =
+      engine.view_at(admission.snapshot()).pk_lookup(table, {Value::i64(0)});
   const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
                            std::chrono::steady_clock::now() - begin)
                            .count();
@@ -361,14 +419,14 @@ TEST_F(SnapshotTest, ConcurrentLoadersSnapshotConsistencyProperty) {
       while (loaders_done.load() < kLoaders) {
         const Snapshot snap = engine.pin_snapshot();
         ASSERT_GE(snap.read_lsn(), last_lsn);
-        const int64_t rows = engine.snapshot_row_count(snap, table);
+        const int64_t rows = engine.view_at(snap).row_count(table);
         ASSERT_GE(rows, last_rows);
 
         std::map<int64_t, std::pair<int64_t, int64_t>> seen;  // id -> (n,total)
         std::set<int64_t> pks;
         int64_t visited = 0;
-        const auto all = engine.snapshot_scan_collect(
-            snap, table, [](const Row&) { return true; });
+        const auto all = engine.view_at(snap).scan_collect(
+            table, [](const Row&) { return true; });
         for (const Row& row : all) {
           ++visited;
           ASSERT_TRUE(pks.insert(row[0].as_i64()).second)
@@ -393,8 +451,8 @@ TEST_F(SnapshotTest, ConcurrentLoadersSnapshotConsistencyProperty) {
         // scan proved visible must be fully readable through ix_batch.
         if (!ids.empty() && rng.bernoulli(0.5)) {
           const int64_t probe = *ids.begin();
-          const auto by_index = engine.snapshot_index_range(
-              snap, table, "ix_batch", {Value::i64(probe)},
+          const auto by_index = engine.view_at(snap).index_range(
+              table, "ix_batch", {Value::i64(probe)},
               {Value::i64(probe + 1)});
           ASSERT_TRUE(by_index.is_ok());
           ASSERT_EQ(static_cast<int64_t>(by_index->size()),
@@ -411,8 +469,8 @@ TEST_F(SnapshotTest, ConcurrentLoadersSnapshotConsistencyProperty) {
   // Quiesced: the final pin is the committed ledger exactly, and matches
   // the live scan.
   const Snapshot final_snap = engine.pin_snapshot();
-  const auto all = engine.snapshot_scan_collect(
-      final_snap, table, [](const Row&) { return true; });
+  const auto all = engine.view_at(final_snap).scan_collect(
+      table, [](const Row&) { return true; });
   std::set<int64_t> final_ids;
   for (const Row& row : all) final_ids.insert(row[1].as_i64());
   EXPECT_EQ(final_ids, committed_ids);
