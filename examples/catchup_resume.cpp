@@ -77,7 +77,7 @@ int main() {
 
   // Nothing duplicated: audit says 3 nights x 28 files.
   const int64_t audits =
-      engine.row_count(engine.table_id("load_audit").value());
+      engine.live_view().row_count(engine.table_id("load_audit").value());
   std::printf("load_audit rows: %lld (expected %d)\n",
               static_cast<long long>(audits),
               3 * catalog::kFilesPerObservation);

@@ -41,13 +41,13 @@ int main(int argc, char** argv) {
   if (!report.is_ok()) return 1;
   const uint32_t objects = engine.table_id("objects").value();
   std::printf("loaded %lld objects\n",
-              static_cast<long long>(engine.row_count(objects)));
+              static_cast<long long>(engine.live_view().row_count(objects)));
 
   // Center defaults to the densest part of this synthetic field: take the
   // first object's position.
   double ra = 0, dec = 0, radius = 0.5;
   const auto sample =
-      engine.scan_collect(objects, [](const db::Row&) { return true; });
+      engine.live_view().scan_collect(objects, [](const db::Row&) { return true; });
   if (!sample.empty()) {
     ra = sample.front()[2].as_f64();
     dec = sample.front()[3].as_f64();
@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
   int64_t candidates = 0;
   std::vector<db::Row> hits;
   for (const htm::IdRange& range : cover) {
-    const auto rows = engine.index_range(
+    const auto rows = engine.live_view().index_range(
         objects, catalog::kIndexHtmid,
         {db::Value::i64(static_cast<int64_t>(range.first))},
         {db::Value::i64(static_cast<int64_t>(range.last))});
@@ -93,7 +93,7 @@ int main(int argc, char** argv) {
               static_cast<long long>(candidates), hits.size());
 
   // Cross-check against a full scan.
-  const auto brute = engine.scan_collect(objects, [&](const db::Row& row) {
+  const auto brute = engine.live_view().scan_collect(objects, [&](const db::Row& row) {
     const htm::Vec3 position = htm::radec_to_vector(
         row[static_cast<size_t>(ra_col)].as_f64(),
         row[static_cast<size_t>(dec_col)].as_f64());

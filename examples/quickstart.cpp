@@ -62,16 +62,16 @@ int main() {
        {"observations", "ccd_frames", "objects", "fingers", "load_audit"}) {
     std::printf("  %-22s %8lld\n", table,
                 static_cast<long long>(
-                    engine.row_count(engine.table_id(table).value())));
+                    engine.live_view().row_count(engine.table_id(table).value())));
   }
 
   // Point lookup by primary key.
   const uint32_t objects = engine.table_id("objects").value();
-  const auto sample = engine.scan_collect(
+  const auto sample = engine.live_view().scan_collect(
       objects, [](const db::Row&) { return true; });
   if (!sample.empty()) {
     const auto row =
-        engine.pk_lookup(objects, {sample.front()[0]});
+        engine.live_view().pk_lookup(objects, {sample.front()[0]});
     std::printf("\npk_lookup(objects, %s) -> %s\n",
                 sample.front()[0].to_display().c_str(),
                 row.is_ok() ? db::row_to_display(*row).c_str() : "miss");
@@ -79,7 +79,7 @@ int main() {
 
   // Magnitude range over the htmid... no — use a magnitude scan, then an
   // htmid index range (the index kept hot for science queries).
-  const auto bright = engine.scan_collect(objects, [](const db::Row& row) {
+  const auto bright = engine.live_view().scan_collect(objects, [](const db::Row& row) {
     return !row[4].is_null() && row[4].as_f64() < 17.0;
   });
   std::printf("objects brighter than mag 17: %zu\n", bright.size());

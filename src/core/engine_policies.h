@@ -1,7 +1,8 @@
 // EnginePolicies: the one aggregate holding every shared policy struct —
 // commit cadence/durability (CommitPolicy), admission limits
-// (ConcurrencyPolicy), query-lane scheduling (QueryPolicy), and the spatial
-// subsystem's knobs (SpatialPolicy).
+// (ConcurrencyPolicy), query-lane scheduling (QueryPolicy), the spatial
+// subsystem's knobs (SpatialPolicy), and the multi-engine scale-out layout
+// (ShardPolicy).
 //
 // Both execution backends embed one EnginePolicies: db::EngineOptions (real
 // threads) and client::ServerConfig (simulation). The policies used to be
@@ -20,6 +21,7 @@
 #include "core/commit_policy.h"
 #include "core/concurrency_policy.h"
 #include "core/query_policy.h"
+#include "core/shard_policy.h"
 #include "core/spatial_policy.h"
 
 namespace sky::core {
@@ -29,6 +31,7 @@ struct EnginePolicies {
   ConcurrencyPolicy concurrency;
   QueryPolicy query;
   SpatialPolicy spatial;
+  ShardPolicy shard;
 };
 
 }  // namespace sky::core

@@ -85,6 +85,12 @@ struct ParallelLoadReport {
   int64_t parser_data_rows = 0;
   int64_t parser_errors = 0;
   int64_t htmids_computed = 0;
+  // Multi-engine scale-out telemetry (db::ShardedRepository): committed
+  // rows per shard and the skew ratio max/mean (1.0 = perfectly balanced).
+  // Empty / 0.0 for single-engine runs; filled by
+  // ShardedRepository::fill_shard_telemetry after a sharded load.
+  std::vector<int64_t> shard_rows;
+  double shard_skew = 0.0;
 
   double throughput_mb_per_s() const {
     if (makespan <= 0) return 0.0;

@@ -550,8 +550,11 @@ void Engine::insert_column_run_latched(Transaction& txn, uint32_t tid,
 
   // Foreign keys: parent index latch shared per probe, memoized on every
   // probe key already verified this call (catalog blocks repeat parents
-  // heavily, but not always on adjacent rows).
-  for (size_t f = 0; f < def.foreign_keys.size() && limit > 0; ++f) {
+  // heavily, but not always on adjacent rows). Skipped entirely when the
+  // engine runs FK-deferred (shard instances: parents may be remote).
+  const size_t fk_count =
+      options_.enforce_foreign_keys ? def.foreign_keys.size() : 0;
+  for (size_t f = 0; f < fk_count && limit > 0; ++f) {
     const ForeignKey& fk = def.foreign_keys[f];
     const Table& parent = tables_[table.fk_parent_ids[f]];
     const TableDef& parent_def = parent.def();
@@ -863,8 +866,11 @@ Status Engine::check_constraints(const Table& table, uint32_t tid,
   // Foreign keys: shared index latch on each parent, held only for the
   // probe. Nested order is child index latch -> parent index latch, i.e.
   // descending table id (FKs only reference earlier tables), so the
-  // hierarchy is acyclic.
-  for (size_t f = 0; f < table.def().foreign_keys.size(); ++f) {
+  // hierarchy is acyclic. FK-deferred engines (shard instances) skip the
+  // probes; the sharded repository reconciles edges across shards instead.
+  const size_t row_fk_count =
+      options_.enforce_foreign_keys ? table.def().foreign_keys.size() : 0;
+  for (size_t f = 0; f < row_fk_count; ++f) {
     const ForeignKey& fk = table.def().foreign_keys[f];
     const uint32_t parent_id = table.fk_parent_ids[f];
     const Table& parent = tables_[parent_id];
@@ -1382,16 +1388,22 @@ Status Engine::verify_integrity() const {
                          table.def().name + ": PK tree disagrees with heap");
         return;
       }
-      for (const ForeignKey& fk : table.def().foreign_keys) {
-        const uint32_t parent_id = schema_.table_id(fk.parent_table).value();
-        const auto probe = Table::encode_fk_probe(table.def(), fk, *row,
-                                                  tables_[parent_id].def());
-        if (probe.has_value() &&
-            !tables_[parent_id].pk_tree().contains(*probe)) {
-          failure = Status(ErrorCode::kInternal,
-                           table.def().name + ": dangling FK to " +
-                               fk.parent_table);
-          return;
+      // FK closure holds per engine only when FKs are enforced here; an
+      // FK-deferred shard's parents may live on sibling shards, audited by
+      // ShardedRepository::reconcile_foreign_keys instead.
+      if (options_.enforce_foreign_keys) {
+        for (const ForeignKey& fk : table.def().foreign_keys) {
+          const uint32_t parent_id =
+              schema_.table_id(fk.parent_table).value();
+          const auto probe = Table::encode_fk_probe(table.def(), fk, *row,
+                                                    tables_[parent_id].def());
+          if (probe.has_value() &&
+              !tables_[parent_id].pk_tree().contains(*probe)) {
+            failure = Status(ErrorCode::kInternal,
+                             table.def().name + ": dangling FK to " +
+                                 fk.parent_table);
+            return;
+          }
         }
       }
     });

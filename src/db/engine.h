@@ -150,6 +150,14 @@ struct EngineOptions {
   storage::DeviceLayout device_layout = storage::DeviceLayout::separate_raids();
   // Keep full WAL records in memory for replay verification (tests only).
   bool retain_wal_records = false;
+  // Probe foreign keys on insert (and audit FK closure in
+  // verify_integrity). Shard engines inside a db::ShardedRepository turn
+  // this off: a child row's parent may live on another shard, so per-engine
+  // FK probes would spuriously reject valid rows — the repository defers FK
+  // checking to its cross-shard reconciliation pass
+  // (ShardedRepository::reconcile_foreign_keys). PK/NOT NULL/range/unique
+  // constraints are unaffected.
+  bool enforce_foreign_keys = true;
   // Publish copy-on-write snapshot chunks at commit (db/snapshot.h) so
   // snapshot ReadViews serve a consistent committed prefix without touching
   // any latch. Costs commit-time work proportional to the transaction's
@@ -167,6 +175,7 @@ struct EngineOptions {
         extent_assignment(other.extent_assignment),
         device_layout(other.device_layout),
         retain_wal_records(other.retain_wal_records),
+        enforce_foreign_keys(other.enforce_foreign_keys),
         snapshot_reads(other.snapshot_reads),
         latency(other.latency) {}
   EngineOptions& operator=(const EngineOptions& other) {
@@ -177,6 +186,7 @@ struct EngineOptions {
     extent_assignment = other.extent_assignment;
     device_layout = other.device_layout;
     retain_wal_records = other.retain_wal_records;
+    enforce_foreign_keys = other.enforce_foreign_keys;
     snapshot_reads = other.snapshot_reads;
     latency = other.latency;
     return *this;
@@ -301,61 +311,70 @@ class Engine {
 
   // ------------------------------------------------- live read shims
   // DEPRECATED: thin shims over live_view() — the pre-ReadView live query
-  // family, kept so existing call sites compile. New code constructs a
-  // ReadView (live_view() / view_at()) and reads through it.
-  int64_t row_count(uint32_t table_id) const {
+  // family. Every internal call site now reads through a ReadView
+  // (live_view() / view_at()); these remain only for external callers and
+  // are slated for removal (see DESIGN.md §10). New code constructs a
+  // ReadView and reads through it.
+  [[deprecated("read through live_view() instead")]] int64_t row_count(uint32_t table_id) const {
     return live_view().row_count(table_id);
   }
-  Result<Row> pk_lookup(uint32_t table_id, const Row& pk_values) const {
+  [[deprecated("read through live_view() instead")]] Result<Row> pk_lookup(
+      uint32_t table_id, const Row& pk_values) const {
     return live_view().pk_lookup(table_id, pk_values);
   }
-  Result<std::vector<Row>> pk_range(uint32_t table_id, const Row& lo,
-                                    const Row& hi) const {
+  [[deprecated("read through live_view() instead")]] Result<std::vector<Row>>
+  pk_range(uint32_t table_id, const Row& lo, const Row& hi) const {
     return live_view().pk_range(table_id, lo, hi);
   }
-  Result<std::vector<Row>> index_range(uint32_t table_id,
-                                       std::string_view index_name,
-                                       const Row& lo, const Row& hi) const {
+  [[deprecated("read through live_view() instead")]] Result<std::vector<Row>>
+  index_range(uint32_t table_id, std::string_view index_name, const Row& lo,
+              const Row& hi) const {
     return live_view().index_range(table_id, index_name, lo, hi);
   }
-  std::vector<Row> scan_collect(
-      uint32_t table_id, const std::function<bool(const Row&)>& pred) const {
+  [[deprecated("read through live_view() instead")]] std::vector<Row>
+  scan_collect(uint32_t table_id,
+               const std::function<bool(const Row&)>& pred) const {
     return live_view().scan_collect(table_id, pred);
   }
-  Result<std::vector<Row>> pk_encoded_range(uint32_t table_id,
-                                            const std::string& lo,
-                                            const std::string& hi) const {
+  [[deprecated("read through live_view() instead")]] Result<std::vector<Row>>
+  pk_encoded_range(uint32_t table_id, const std::string& lo,
+                   const std::string& hi) const {
     return live_view().pk_encoded_range(table_id, lo, hi);
   }
-  Result<std::vector<Row>> index_encoded_range(uint32_t table_id,
-                                               std::string_view index_name,
-                                               const std::string& lo,
-                                               const std::string& hi) const {
+  [[deprecated("read through live_view() instead")]] Result<std::vector<Row>>
+  index_encoded_range(uint32_t table_id, std::string_view index_name,
+                      const std::string& lo, const std::string& hi) const {
     return live_view().index_encoded_range(table_id, index_name, lo, hi);
   }
 
   // --------------------------------------------- snapshot read shims
   // DEPRECATED: thin shims over view_at(snap) — the former snapshot_* twin
-  // family, kept so existing call sites compile. New code constructs a
-  // ReadView (view_at(snap)) and reads through it.
-  int64_t snapshot_row_count(const Snapshot& snap, uint32_t table_id) const {
+  // family. No internal call sites remain; slated for removal (DESIGN.md
+  // §10). New code constructs a ReadView (view_at(snap)) and reads through
+  // it.
+  [[deprecated(
+      "read through view_at(snap) instead")]] int64_t snapshot_row_count(const Snapshot& snap, uint32_t table_id) const {
     return view_at(snap).row_count(table_id);
   }
-  std::vector<Row> snapshot_scan_collect(
+  [[deprecated("read through view_at(snap) instead")]] std::vector<Row>
+  snapshot_scan_collect(
       const Snapshot& snap, uint32_t table_id,
       const std::function<bool(const Row&)>& pred,
       OpCosts* costs = nullptr) const {
     return view_at(snap).scan_collect(table_id, pred, costs);
   }
-  Result<Row> snapshot_pk_lookup(const Snapshot& snap, uint32_t table_id,
+  [[deprecated("read through view_at(snap) instead")]] Result<Row>
+  snapshot_pk_lookup(const Snapshot& snap, uint32_t table_id,
                                  const Row& pk_values) const {
     return view_at(snap).pk_lookup(table_id, pk_values);
   }
+  [[deprecated("read through view_at(snap) instead")]]
   Result<std::vector<Row>> snapshot_pk_range(const Snapshot& snap,
                                              uint32_t table_id, const Row& lo,
                                              const Row& hi) const {
     return view_at(snap).pk_range(table_id, lo, hi);
   }
+  [[deprecated("read through view_at(snap) instead")]]
   Result<std::vector<Row>> snapshot_index_range(const Snapshot& snap,
                                                 uint32_t table_id,
                                                 std::string_view index_name,
@@ -363,17 +382,20 @@ class Engine {
                                                 const Row& hi) const {
     return view_at(snap).index_range(table_id, index_name, lo, hi);
   }
+  [[deprecated("read through view_at(snap) instead")]]
   Result<std::vector<Row>> snapshot_pk_encoded_range(
       const Snapshot& snap, uint32_t table_id, const std::string& lo,
       const std::string& hi) const {
     return view_at(snap).pk_encoded_range(table_id, lo, hi);
   }
+  [[deprecated("read through view_at(snap) instead")]]
   Result<std::vector<Row>> snapshot_index_encoded_range(
       const Snapshot& snap, uint32_t table_id, std::string_view index_name,
       const std::string& lo, const std::string& hi) const {
     return view_at(snap).index_encoded_range(table_id, index_name, lo, hi);
   }
-  Status snapshot_scan_heap(
+  [[deprecated("read through view_at(snap) instead")]] Status
+  snapshot_scan_heap(
       const Snapshot& snap, uint32_t table_id,
       const std::function<void(storage::SlotId, std::string_view)>& fn) const {
     return view_at(snap).scan_heap(table_id, fn);
@@ -410,8 +432,9 @@ class Engine {
   // Physical heap scan in extent order (extent 0 first, pages and slots
   // ascending within). Tests use it to assert a recovered repository is
   // extent-identical to a clean reload, not just row-equivalent.
-  // DEPRECATED shim over live_view().scan_heap().
-  Status scan_heap(
+  // DEPRECATED shim over live_view().scan_heap(); slated for removal
+  // (DESIGN.md §10).
+  [[deprecated("read through live_view() instead")]] Status scan_heap(
       uint32_t table_id,
       const std::function<void(storage::SlotId, std::string_view)>& fn) const {
     return live_view().scan_heap(table_id, fn);

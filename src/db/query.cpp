@@ -196,20 +196,21 @@ Result<QueryResult> QueryPlanner::execute(const QuerySpec& spec) const {
   switch (path.kind) {
     case AccessPath::Kind::kPkRange: {
       SKY_ASSIGN_OR_RETURN(
-          fetched, engine_.pk_encoded_range(table_id, path.lo, path.hi));
+          fetched,
+          engine_.live_view().pk_encoded_range(table_id, path.lo, path.hi));
       result.plan = "PK RANGE " + def.name;
       break;
     }
     case AccessPath::Kind::kIndexRange: {
       SKY_ASSIGN_OR_RETURN(fetched,
-                           engine_.index_encoded_range(
+                           engine_.live_view().index_encoded_range(
                                table_id, path.index_name, path.lo, path.hi));
       result.plan = "INDEX RANGE " + path.index_name;
       break;
     }
     case AccessPath::Kind::kFullScan:
-      fetched = engine_.scan_collect(table_id,
-                                     [](const Row&) { return true; });
+      fetched = engine_.live_view().scan_collect(
+          table_id, [](const Row&) { return true; });
       result.plan = "FULL SCAN " + def.name;
       break;
   }

@@ -109,15 +109,17 @@ Status engines_equivalent(const Engine& a, const Engine& b) {
   if (a.schema().table_count() != b.schema().table_count()) {
     return Status(ErrorCode::kFailedPrecondition, "schema table counts differ");
   }
+  const ReadView view_a = a.live_view();
+  const ReadView view_b = b.live_view();
   for (uint32_t tid = 0; tid < static_cast<uint32_t>(a.schema().table_count());
        ++tid) {
     const TableDef& def = a.schema().table(tid);
-    if (a.row_count(tid) != b.row_count(tid)) {
+    if (view_a.row_count(tid) != view_b.row_count(tid)) {
       return Status(ErrorCode::kInternal,
                     str_format("%s: row counts differ (%lld vs %lld)",
                                def.name.c_str(),
-                               static_cast<long long>(a.row_count(tid)),
-                               static_cast<long long>(b.row_count(tid))));
+                               static_cast<long long>(view_a.row_count(tid)),
+                               static_cast<long long>(view_b.row_count(tid))));
     }
     // Every row of a must exist identically in b (counts equal => bijection
     // because primary keys are unique).
@@ -126,13 +128,13 @@ Status engines_equivalent(const Engine& a, const Engine& b) {
       pk_columns.push_back(def.column_index(pk));
     }
     const std::vector<Row> rows_a =
-        a.scan_collect(tid, [](const Row&) { return true; });
+        view_a.scan_collect(tid, [](const Row&) { return true; });
     for (const Row& row : rows_a) {
       Row pk_values;
       for (const int idx : pk_columns) {
         pk_values.push_back(row[static_cast<size_t>(idx)]);
       }
-      const auto row_b = b.pk_lookup(tid, pk_values);
+      const auto row_b = view_b.pk_lookup(tid, pk_values);
       if (!row_b.is_ok()) {
         return Status(ErrorCode::kInternal,
                       def.name + ": row missing in second engine: " +

@@ -1,0 +1,347 @@
+#include <algorithm>
+#include <utility>
+
+#include "db/table.h"
+#include "htm/htm.h"
+#include "index/key_codec.h"
+#include "shard/sharded_repository.h"
+
+namespace sky::db {
+
+namespace {
+
+Status empty_view_error() {
+  return Status(ErrorCode::kFailedPrecondition,
+                "query on an empty ShardedReadView");
+}
+
+// Re-encode a row's primary key from the table definition (the comparison
+// key the engine's PK tree ordered each shard's run by).
+std::string encode_pk_of(const TableDef& def, const Row& row) {
+  index::KeyEncoder encoder;
+  for (const std::string& column : def.primary_key) {
+    const int c = def.column_index(column);
+    append_value_to_key(encoder, row[static_cast<size_t>(c)],
+                        def.columns[static_cast<size_t>(c)].type);
+  }
+  return encoder.take();
+}
+
+// Re-encode a row's indexed-value key (no row-id suffix — per-shard row ids
+// are not comparable across shards, so merges order by value only).
+std::string encode_index_value_of(const TableDef& def, const IndexDef& index,
+                                  const Row& row) {
+  index::KeyEncoder encoder;
+  if (index.htm.has_value()) {
+    const int ra = def.column_index(index.htm->ra_column);
+    const int dec = def.column_index(index.htm->dec_column);
+    encoder.append_int64(static_cast<int64_t>(
+        htm::htm_id_radec(row[static_cast<size_t>(ra)].as_f64(),
+                          row[static_cast<size_t>(dec)].as_f64(),
+                          index.htm->depth)));
+  } else {
+    for (const std::string& column : index.columns) {
+      const int c = def.column_index(column);
+      append_value_to_key(encoder, row[static_cast<size_t>(c)],
+                          def.columns[static_cast<size_t>(c)].type);
+    }
+  }
+  return encoder.take();
+}
+
+const IndexDef* find_index(const TableDef& def, std::string_view name) {
+  for (const IndexDef& index : def.indexes) {
+    if (index.name == name) return &index;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::vector<Row> ShardedReadView::merge_by_key(
+    std::vector<std::vector<Row>> per_shard,
+    const std::function<std::string(const Row&)>& key) {
+  size_t total = 0;
+  std::vector<std::vector<std::string>> keys(per_shard.size());
+  for (size_t s = 0; s < per_shard.size(); ++s) {
+    keys[s].reserve(per_shard[s].size());
+    for (const Row& row : per_shard[s]) keys[s].push_back(key(row));
+    total += per_shard[s].size();
+  }
+  std::vector<Row> out;
+  out.reserve(total);
+  std::vector<size_t> pos(per_shard.size(), 0);
+  while (out.size() < total) {
+    // Smallest current key wins; ties go to the lowest shard (shard-major).
+    int best = -1;
+    for (size_t s = 0; s < per_shard.size(); ++s) {
+      if (pos[s] >= per_shard[s].size()) continue;
+      if (best < 0 ||
+          keys[s][pos[s]] < keys[static_cast<size_t>(best)]
+                                [pos[static_cast<size_t>(best)]]) {
+        best = static_cast<int>(s);
+      }
+    }
+    const size_t b = static_cast<size_t>(best);
+    out.push_back(std::move(per_shard[b][pos[b]]));
+    ++pos[b];
+  }
+  return out;
+}
+
+int64_t ShardedReadView::row_count(uint32_t table_id) const {
+  int64_t total = 0;
+  for (const ReadView& view : views_) total += view.row_count(table_id);
+  return total;
+}
+
+Result<Row> ShardedReadView::pk_lookup(uint32_t table_id,
+                                       const Row& pk_values) const {
+  if (!valid()) return empty_view_error();
+  const ShardRouter& router = repo_->router();
+  if (router.pk_routable(table_id)) {
+    // The PK determines the owner: one probe, no scatter.
+    const int shard = router.shard_of_pk(table_id, pk_values);
+    return views_[static_cast<size_t>(shard)].pk_lookup(table_id, pk_values);
+  }
+  // Position-routed table: the PK alone does not name the shard. Probe in
+  // shard order, short-circuiting on the first hit (PKs are unique, so at
+  // most one shard answers).
+  Status miss = Status::ok();
+  for (const ReadView& view : views_) {
+    auto row = view.pk_lookup(table_id, pk_values);
+    if (row.is_ok()) return row;
+    if (row.status().code() != ErrorCode::kNotFound) return row.status();
+    miss = row.status();
+  }
+  return miss;
+}
+
+Result<std::vector<Row>> ShardedReadView::pk_range(uint32_t table_id,
+                                                   const Row& lo,
+                                                   const Row& hi) const {
+  if (!valid()) return empty_view_error();
+  std::vector<std::vector<Row>> per_shard;
+  per_shard.reserve(views_.size());
+  for (const ReadView& view : views_) {
+    SKY_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                         view.pk_range(table_id, lo, hi));
+    per_shard.push_back(std::move(rows));
+  }
+  const TableDef& def = repo_->schema().table(table_id);
+  return merge_by_key(std::move(per_shard), [&def](const Row& row) {
+    return encode_pk_of(def, row);
+  });
+}
+
+Result<std::vector<Row>> ShardedReadView::index_range(
+    uint32_t table_id, std::string_view index_name, const Row& lo,
+    const Row& hi) const {
+  if (!valid()) return empty_view_error();
+  std::vector<std::vector<Row>> per_shard;
+  per_shard.reserve(views_.size());
+  for (const ReadView& view : views_) {
+    SKY_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                         view.index_range(table_id, index_name, lo, hi));
+    per_shard.push_back(std::move(rows));
+  }
+  const TableDef& def = repo_->schema().table(table_id);
+  const IndexDef* index = find_index(def, index_name);
+  if (index == nullptr) {
+    return Status(ErrorCode::kNotFound, "no index named " +
+                                            std::string(index_name));
+  }
+  return merge_by_key(std::move(per_shard), [&def, index](const Row& row) {
+    return encode_index_value_of(def, *index, row);
+  });
+}
+
+Result<std::vector<Row>> ShardedReadView::pk_encoded_range(
+    uint32_t table_id, const std::string& lo, const std::string& hi) const {
+  if (!valid()) return empty_view_error();
+  std::vector<std::vector<Row>> per_shard;
+  per_shard.reserve(views_.size());
+  for (const ReadView& view : views_) {
+    SKY_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                         view.pk_encoded_range(table_id, lo, hi));
+    per_shard.push_back(std::move(rows));
+  }
+  const TableDef& def = repo_->schema().table(table_id);
+  return merge_by_key(std::move(per_shard), [&def](const Row& row) {
+    return encode_pk_of(def, row);
+  });
+}
+
+Result<std::vector<Row>> ShardedReadView::index_encoded_range(
+    uint32_t table_id, std::string_view index_name, const std::string& lo,
+    const std::string& hi) const {
+  if (!valid()) return empty_view_error();
+  std::vector<std::vector<Row>> per_shard;
+  per_shard.reserve(views_.size());
+  for (const ReadView& view : views_) {
+    SKY_ASSIGN_OR_RETURN(
+        std::vector<Row> rows,
+        view.index_encoded_range(table_id, index_name, lo, hi));
+    per_shard.push_back(std::move(rows));
+  }
+  const TableDef& def = repo_->schema().table(table_id);
+  const IndexDef* index = find_index(def, index_name);
+  if (index == nullptr) {
+    return Status(ErrorCode::kNotFound, "no index named " +
+                                            std::string(index_name));
+  }
+  return merge_by_key(std::move(per_shard), [&def, index](const Row& row) {
+    return encode_index_value_of(def, *index, row);
+  });
+}
+
+std::vector<Row> ShardedReadView::scan_collect(
+    uint32_t table_id, const std::function<bool(const Row&)>& pred,
+    OpCosts* costs) const {
+  std::vector<Row> out;
+  for (const ReadView& view : views_) {
+    std::vector<Row> rows = view.scan_collect(table_id, pred, costs);
+    out.insert(out.end(), std::make_move_iterator(rows.begin()),
+               std::make_move_iterator(rows.end()));
+  }
+  return out;
+}
+
+Status ShardedReadView::scan_heap(
+    uint32_t table_id,
+    const std::function<void(storage::SlotId, std::string_view)>& fn) const {
+  if (!valid()) return empty_view_error();
+  for (const ReadView& view : views_) {
+    SKY_RETURN_IF_ERROR(view.scan_heap(table_id, fn));
+  }
+  return Status::ok();
+}
+
+namespace shard {
+
+Result<std::vector<Row>> cone_search(const ShardedReadView& view,
+                                     const spatial::SpatialTableSpec& spec,
+                                     double ra_deg, double dec_deg,
+                                     double radius_deg, OpCosts* costs,
+                                     int* shards_probed) {
+  if (!view.valid()) return empty_view_error();
+  const ShardRouter& router = view.repository().router();
+  const htm::Vec3 center = htm::radec_to_vector(ra_deg, dec_deg);
+  const std::vector<htm::IdRange> cover =
+      htm::cone_cover(center, radius_deg, spec.htm_depth);
+  // At index depth >= policy depth every trixel's rows live on exactly one
+  // shard, so the segment walk is exact and already key-ascending.
+  const bool exact = spec.htm_depth >= router.policy().htm_depth;
+  std::vector<char> touched(static_cast<size_t>(view.shard_count()), 0);
+  std::vector<Row> out;
+  const auto filter_append = [&](std::vector<Row> rows) {
+    for (Row& row : rows) {
+      const double row_ra = row[static_cast<size_t>(spec.ra_column)].as_f64();
+      const double row_dec =
+          row[static_cast<size_t>(spec.dec_column)].as_f64();
+      if (costs != nullptr) {
+        ++costs->zone_scan_rows;
+        ++costs->xmatch_candidates;
+      }
+      if (htm::angular_distance_deg(center,
+                                    htm::radec_to_vector(row_ra, row_dec)) <=
+          radius_deg) {
+        if (costs != nullptr) ++costs->xmatch_pairs;
+        out.push_back(std::move(row));
+      }
+    }
+  };
+  for (const htm::IdRange& range : cover) {
+    const std::vector<ShardRouter::Segment> segments =
+        router.segments_for_range(range.first, range.last, spec.htm_depth);
+    if (exact) {
+      for (const ShardRouter::Segment& seg : segments) {
+        touched[static_cast<size_t>(seg.shard)] = 1;
+        index::KeyEncoder lo;
+        index::KeyEncoder hi;
+        lo.append_int64(static_cast<int64_t>(seg.first));
+        hi.append_int64(static_cast<int64_t>(seg.last));
+        SKY_ASSIGN_OR_RETURN(
+            std::vector<Row> rows,
+            view.shard_view(seg.shard).index_encoded_range(
+                spec.table_id, spec.htm_index, lo.take(), hi.take()));
+        filter_append(std::move(rows));
+      }
+    } else {
+      // Index coarser than the shard layout: a trixel can straddle shards,
+      // so broadcast the range to every candidate shard and merge by
+      // trixel key before filtering (keeps the cover-range-major,
+      // key-ascending order of the single-shard path).
+      std::vector<std::pair<std::string, Row>> keyed;
+      for (const ShardRouter::Segment& seg : segments) {
+        touched[static_cast<size_t>(seg.shard)] = 1;
+        index::KeyEncoder lo;
+        index::KeyEncoder hi;
+        lo.append_int64(static_cast<int64_t>(seg.first));
+        hi.append_int64(static_cast<int64_t>(seg.last));
+        SKY_ASSIGN_OR_RETURN(
+            std::vector<Row> rows,
+            view.shard_view(seg.shard).index_encoded_range(
+                spec.table_id, spec.htm_index, lo.take(), hi.take()));
+        for (Row& row : rows) {
+          index::KeyEncoder key;
+          key.append_int64(static_cast<int64_t>(htm::htm_id_radec(
+              row[static_cast<size_t>(spec.ra_column)].as_f64(),
+              row[static_cast<size_t>(spec.dec_column)].as_f64(),
+              spec.htm_depth)));
+          keyed.emplace_back(key.take(), std::move(row));
+        }
+      }
+      std::stable_sort(keyed.begin(), keyed.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.first < b.first;
+                       });
+      std::vector<Row> merged;
+      merged.reserve(keyed.size());
+      for (auto& [key, row] : keyed) merged.push_back(std::move(row));
+      filter_append(std::move(merged));
+    }
+  }
+  if (shards_probed != nullptr) {
+    *shards_probed = static_cast<int>(
+        std::count(touched.begin(), touched.end(), static_cast<char>(1)));
+  }
+  return out;
+}
+
+Result<spatial::XmatchResult> xmatch(const ShardedReadView& view_a,
+                                     const spatial::SpatialTableSpec& spec_a,
+                                     const ShardedReadView& view_b,
+                                     const spatial::SpatialTableSpec& spec_b,
+                                     const spatial::XmatchOptions& options,
+                                     std::vector<Row>* a_rows_out,
+                                     std::vector<Row>* b_rows_out) {
+  if (!view_a.valid() || !view_b.valid()) return empty_view_error();
+  const auto collect = [](const ShardedReadView& view,
+                          const spatial::SpatialTableSpec& spec,
+                          std::vector<double>& ra, std::vector<double>& dec,
+                          std::vector<Row>* rows_out) {
+    // Shard-major concatenation: deterministic for any worker count, and
+    // MatchPair indices resolve against exactly this order.
+    std::vector<Row> rows =
+        view.scan_collect(spec.table_id, [](const Row&) { return true; });
+    ra.reserve(rows.size());
+    dec.reserve(rows.size());
+    for (const Row& row : rows) {
+      ra.push_back(row[static_cast<size_t>(spec.ra_column)].as_f64());
+      dec.push_back(row[static_cast<size_t>(spec.dec_column)].as_f64());
+    }
+    if (rows_out != nullptr) *rows_out = std::move(rows);
+  };
+  std::vector<double> a_ra;
+  std::vector<double> a_dec;
+  std::vector<double> b_ra;
+  std::vector<double> b_dec;
+  collect(view_a, spec_a, a_ra, a_dec, a_rows_out);
+  collect(view_b, spec_b, b_ra, b_dec, b_rows_out);
+  return spatial::xmatch_arrays(a_ra, a_dec, b_ra, b_dec, options);
+}
+
+}  // namespace shard
+
+}  // namespace sky::db

@@ -85,7 +85,7 @@ class BulkLoaderTest : public ::testing::Test {
   }
 
   int64_t count(const char* table) {
-    return engine_.row_count(engine_.table_id(table).value());
+    return engine_.live_view().row_count(engine_.table_id(table).value());
   }
 
   db::Schema schema_;
@@ -234,7 +234,7 @@ TEST_F(BulkLoaderTest, AuditRowWrittenPerFile) {
       loader.load_text("audited.cat", example1_text(1, 10, std::nullopt));
   ASSERT_TRUE(report.is_ok());
   EXPECT_EQ(count("load_audit"), 1);
-  const auto audits = engine_.scan_collect(
+  const auto audits = engine_.live_view().scan_collect(
       engine_.table_id("load_audit").value(),
       [](const db::Row&) { return true; });
   ASSERT_EQ(audits.size(), 1u);
@@ -478,7 +478,7 @@ TEST(LoaderEquivalenceTest, ColumnarMatchesRowPathExactly) {
     for (const auto& table : schema.tables()) {
       const uint32_t table_id = engine.table_id(table.name).value();
       auto& rows = snap.heap[table.name];
-      EXPECT_TRUE(engine
+      EXPECT_TRUE(engine.live_view()
                       .scan_heap(table_id,
                                  [&](storage::SlotId slot,
                                      std::string_view bytes) {

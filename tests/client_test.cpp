@@ -53,7 +53,7 @@ TEST(DirectSessionTest, BatchRoundTrip) {
   EXPECT_EQ(outcome.applied, 3);
   EXPECT_FALSE(outcome.error.has_value());
   ASSERT_TRUE(session.commit().is_ok());
-  EXPECT_EQ(engine.row_count(frames), 3);
+  EXPECT_EQ(engine.live_view().row_count(frames), 3);
   EXPECT_EQ(session.stats().db_calls, 2);  // batch + commit
   EXPECT_EQ(session.stats().rows_applied, 3);
 }
@@ -68,7 +68,7 @@ TEST(DirectSessionTest, BatchErrorSemantics) {
   ASSERT_TRUE(outcome.error.has_value());
   EXPECT_EQ(outcome.error->row_index, 2u);
   // Row 4 was discarded with the rest of the failed batch.
-  EXPECT_EQ(engine.row_count(frames), 2);
+  EXPECT_EQ(engine.live_view().row_count(frames), 2);
   EXPECT_EQ(session.stats().failed_calls, 1);
 }
 
@@ -98,12 +98,12 @@ TEST(DirectSessionTest, AbandonedTransactionRollsBackOnClose) {
     ASSERT_TRUE(session.execute_single(frames, frame(1)).is_ok());
     // No commit: destructor must roll back.
   }
-  EXPECT_EQ(engine.row_count(frames), 0);
+  EXPECT_EQ(engine.live_view().row_count(frames), 0);
   // And a fresh session can reuse the key.
   DirectSession session(engine);
   EXPECT_TRUE(session.execute_single(frames, frame(1)).is_ok());
   EXPECT_TRUE(session.commit().is_ok());
-  EXPECT_EQ(engine.row_count(frames), 1);
+  EXPECT_EQ(engine.live_view().row_count(frames), 1);
 }
 
 // -------------------------------------------------------------- CostModel ---
@@ -198,7 +198,7 @@ TEST(SimSessionTest, VirtualTimeAdvancesPerCall) {
   EXPECT_LT(batch_time, 40 * single_time);
   // But a batch still costs more than one single call.
   EXPECT_GT(batch_time, single_time);
-  EXPECT_EQ(engine.row_count(0), 41);
+  EXPECT_EQ(engine.live_view().row_count(0), 41);
 }
 
 TEST(SimSessionTest, DeterministicAcrossRuns) {

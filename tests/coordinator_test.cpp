@@ -64,7 +64,7 @@ TEST(CoordinatorThreadsTest, ParallelNightLoadsEverything) {
   EXPECT_EQ(skipped, 0);
   EXPECT_GT(report->total_rows_loaded, 0);
   // One audit row per file.
-  EXPECT_EQ(engine.row_count(engine.table_id("load_audit").value()), 8);
+  EXPECT_EQ(engine.live_view().row_count(engine.table_id("load_audit").value()), 8);
   EXPECT_TRUE(engine.verify_integrity().is_ok());
   // Dynamic assignment: all files distributed; with real threads on a
   // loaded host some workers may drain the queue before others start, so
@@ -296,12 +296,12 @@ TEST(TuningTest, IndexPolicyApplies) {
   ASSERT_TRUE(TuningProfile::production().apply_index_policy(engine).is_ok());
   const uint32_t objects = engine.table_id("objects").value();
   // htmid index queryable; composite index disabled.
-  EXPECT_TRUE(engine
+  EXPECT_TRUE(engine.live_view()
                   .index_range(objects, catalog::kIndexHtmid,
                                {db::Value::i64(0)},
                                {db::Value::i64(INT64_MAX)})
                   .is_ok());
-  EXPECT_EQ(engine
+  EXPECT_EQ(engine.live_view()
                 .index_range(objects, catalog::kIndexRaDecMag,
                              {db::Value::f64(0)}, {db::Value::f64(360)})
                 .status()

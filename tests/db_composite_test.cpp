@@ -54,7 +54,7 @@ TEST(CompositeKeyTest, CompositePkUniqueness) {
   // Exact duplicate of the pair fails.
   EXPECT_EQ(engine.insert_row(txn, 0, scan(1, 1), costs).code(),
             ErrorCode::kConstraintPrimaryKey);
-  EXPECT_EQ(engine.row_count(0), 3);
+  EXPECT_EQ(engine.live_view().row_count(0), 3);
 }
 
 TEST(CompositeKeyTest, MultiColumnFkChecksWholeTuple) {
@@ -79,12 +79,12 @@ TEST(CompositeKeyTest, CompositePkLookupAndRange) {
       ASSERT_TRUE(engine.insert_row(txn, 0, scan(night, ccd), costs).is_ok());
     }
   }
-  const auto exact = engine.pk_lookup(0, {Value::i64(2), Value::i32(3)});
+  const auto exact = engine.live_view().pk_lookup(0, {Value::i64(2), Value::i32(3)});
   ASSERT_TRUE(exact.is_ok());
   EXPECT_EQ((*exact)[0].as_i64(), 2);
   EXPECT_EQ((*exact)[1].as_i32(), 3);
   // All of night 2: prefix range (2,min) .. (3,min).
-  const auto night2 = engine.pk_range(0, {Value::i64(2)}, {Value::i64(3)});
+  const auto night2 = engine.live_view().pk_range(0, {Value::i64(2)}, {Value::i64(3)});
   ASSERT_TRUE(night2.is_ok());
   EXPECT_EQ(night2->size(), 4u);
 }
@@ -163,14 +163,14 @@ TEST_P(TxnLifecycleFuzz, CommitRollbackInterleaving) {
     } else {
       ASSERT_TRUE(engine.rollback(txn).is_ok());
     }
-    ASSERT_EQ(engine.row_count(0),
+    ASSERT_EQ(engine.live_view().row_count(0),
               static_cast<int64_t>(committed_scans.size()));
   }
   EXPECT_TRUE(engine.verify_integrity().is_ok());
   // Every committed scan is present; no others are.
   for (const auto& [night, ccd] : committed_scans) {
     EXPECT_TRUE(
-        engine.pk_lookup(0, {Value::i64(night), Value::i32(ccd)}).is_ok());
+        engine.live_view().pk_lookup(0, {Value::i64(night), Value::i32(ccd)}).is_ok());
   }
 }
 

@@ -72,8 +72,8 @@ TEST_F(EngineTest, BasicInsertAndCount) {
   const uint64_t txn = engine_.begin_transaction();
   ASSERT_TRUE(insert(txn, frames_, frame_row(1)).is_ok());
   ASSERT_TRUE(insert(txn, objects_, object_row(100, 1)).is_ok());
-  EXPECT_EQ(engine_.row_count(frames_), 1);
-  EXPECT_EQ(engine_.row_count(objects_), 1);
+  EXPECT_EQ(engine_.live_view().row_count(frames_), 1);
+  EXPECT_EQ(engine_.live_view().row_count(objects_), 1);
   EXPECT_EQ(engine_.total_rows(), 2);
   ASSERT_TRUE(engine_.commit(txn).is_ok());
   EXPECT_TRUE(engine_.verify_integrity().is_ok());
@@ -84,9 +84,9 @@ TEST_F(EngineTest, PrimaryKeyViolation) {
   ASSERT_TRUE(insert(txn, frames_, frame_row(1)).is_ok());
   const Status dup = insert(txn, frames_, frame_row(1, 99.0));
   EXPECT_EQ(dup.code(), ErrorCode::kConstraintPrimaryKey);
-  EXPECT_EQ(engine_.row_count(frames_), 1);
+  EXPECT_EQ(engine_.live_view().row_count(frames_), 1);
   // Original row unchanged.
-  const auto row = engine_.pk_lookup(frames_, {Value::i64(1)});
+  const auto row = engine_.live_view().pk_lookup(frames_, {Value::i64(1)});
   ASSERT_TRUE(row.is_ok());
   EXPECT_DOUBLE_EQ((*row)[1].as_f64(), 60.0);
 }
@@ -95,7 +95,7 @@ TEST_F(EngineTest, ForeignKeyViolation) {
   const uint64_t txn = engine_.begin_transaction();
   const Status orphan = insert(txn, objects_, object_row(100, 42));
   EXPECT_EQ(orphan.code(), ErrorCode::kConstraintForeignKey);
-  EXPECT_EQ(engine_.row_count(objects_), 0);
+  EXPECT_EQ(engine_.live_view().row_count(objects_), 0);
   // After the parent exists, the same row loads.
   ASSERT_TRUE(insert(txn, frames_, frame_row(42)).is_ok());
   EXPECT_TRUE(insert(txn, objects_, object_row(100, 42)).is_ok());
@@ -165,7 +165,7 @@ TEST_F(EngineTest, BatchAppliesAllWhenClean) {
   const BatchResult result = engine_.insert_batch(txn, frames_, rows);
   EXPECT_EQ(result.rows_applied, 40);
   EXPECT_FALSE(result.error.has_value());
-  EXPECT_EQ(engine_.row_count(frames_), 40);
+  EXPECT_EQ(engine_.live_view().row_count(frames_), 40);
 }
 
 TEST_F(EngineTest, BatchStopsAtFirstErrorEarlierRowsStay) {
@@ -180,8 +180,8 @@ TEST_F(EngineTest, BatchStopsAtFirstErrorEarlierRowsStay) {
   EXPECT_EQ(result.error->row_index, 5u);
   EXPECT_EQ(result.error->status.code(), ErrorCode::kConstraintPrimaryKey);
   // Rows 6..9 were NOT applied (JDBC: remainder of batch discarded).
-  EXPECT_EQ(engine_.row_count(frames_), 6);  // 0..4 plus the original 5
-  EXPECT_FALSE(engine_.pk_lookup(frames_, {Value::i64(7)}).is_ok());
+  EXPECT_EQ(engine_.live_view().row_count(frames_), 6);  // 0..4 plus the original 5
+  EXPECT_FALSE(engine_.live_view().pk_lookup(frames_, {Value::i64(7)}).is_ok());
 }
 
 TEST_F(EngineTest, EmptyBatchIsNoOp) {
@@ -229,8 +229,8 @@ TEST_F(EngineTest, RollbackUndoesInserts) {
   EXPECT_EQ(engine_.total_rows(), 3);
   ASSERT_TRUE(engine_.rollback(doomed).is_ok());
   EXPECT_EQ(engine_.total_rows(), 1);
-  EXPECT_FALSE(engine_.pk_lookup(frames_, {Value::i64(2)}).is_ok());
-  EXPECT_TRUE(engine_.pk_lookup(frames_, {Value::i64(1)}).is_ok());
+  EXPECT_FALSE(engine_.live_view().pk_lookup(frames_, {Value::i64(2)}).is_ok());
+  EXPECT_TRUE(engine_.live_view().pk_lookup(frames_, {Value::i64(1)}).is_ok());
   EXPECT_TRUE(engine_.verify_integrity().is_ok());
   // Rolled-back keys can be re-inserted.
   const uint64_t retry = engine_.begin_transaction();
@@ -320,7 +320,7 @@ TEST_F(EngineTest, SecondaryIndexRangeQuery) {
         insert(txn, objects_, object_row(i, 1, 10, 5, 15.0 + i * 0.1))
             .is_ok());
   }
-  const auto bright = engine_.index_range(objects_, "idx_mag",
+  const auto bright = engine_.live_view().index_range(objects_, "idx_mag",
                                           {Value::f64(15.0)},
                                           {Value::f64(16.0)});
   ASSERT_TRUE(bright.is_ok());
@@ -338,7 +338,7 @@ TEST_F(EngineTest, DisableAndRebuildIndex) {
     ASSERT_TRUE(insert(txn, objects_, object_row(i, 1)).is_ok());
   }
   // Disabled index rejects queries.
-  EXPECT_EQ(engine_
+  EXPECT_EQ(engine_.live_view()
                 .index_range(objects_, "idx_mag", {Value::f64(0)},
                              {Value::f64(100)})
                 .status()
@@ -346,7 +346,7 @@ TEST_F(EngineTest, DisableAndRebuildIndex) {
             ErrorCode::kFailedPrecondition);
   // Rebuild restores it with all rows.
   ASSERT_TRUE(engine_.rebuild_index(objects_, "idx_mag").is_ok());
-  const auto all = engine_.index_range(objects_, "idx_mag", {Value::f64(0)},
+  const auto all = engine_.live_view().index_range(objects_, "idx_mag", {Value::f64(0)},
                                        {Value::f64(100)});
   ASSERT_TRUE(all.is_ok());
   EXPECT_EQ(all->size(), 20u);
@@ -380,8 +380,8 @@ TEST_F(EngineTest, BulkLoadSortedPreload) {
   std::vector<Row> rows;
   for (int i = 0; i < 1000; ++i) rows.push_back(frame_row(i));
   ASSERT_TRUE(engine_.bulk_load_sorted(frames_, rows).is_ok());
-  EXPECT_EQ(engine_.row_count(frames_), 1000);
-  EXPECT_TRUE(engine_.pk_lookup(frames_, {Value::i64(500)}).is_ok());
+  EXPECT_EQ(engine_.live_view().row_count(frames_), 1000);
+  EXPECT_TRUE(engine_.live_view().pk_lookup(frames_, {Value::i64(500)}).is_ok());
   EXPECT_TRUE(engine_.verify_integrity().is_ok());
   // Preload requires empty table.
   EXPECT_EQ(engine_.bulk_load_sorted(frames_, rows).code(),
@@ -406,20 +406,20 @@ TEST_F(EngineTest, PkRangeAndScan) {
     ASSERT_TRUE(insert(txn, frames_, frame_row(i, i * 10.0)).is_ok());
   }
   const auto range =
-      engine_.pk_range(frames_, {Value::i64(10)}, {Value::i64(20)});
+      engine_.live_view().pk_range(frames_, {Value::i64(10)}, {Value::i64(20)});
   ASSERT_TRUE(range.is_ok());
   EXPECT_EQ(range->size(), 10u);
-  const auto filtered = engine_.scan_collect(frames_, [](const Row& row) {
+  const auto filtered = engine_.live_view().scan_collect(frames_, [](const Row& row) {
     return row[1].as_f64() >= 250.0;
   });
   EXPECT_EQ(filtered.size(), 5u);  // 250, 260, 270, 280, 290
 }
 
 TEST_F(EngineTest, PkLookupErrors) {
-  EXPECT_FALSE(engine_.pk_lookup(frames_, {Value::i64(1)}).is_ok());
-  EXPECT_FALSE(engine_.pk_lookup(frames_, {Value::i64(1), Value::i64(2)})
+  EXPECT_FALSE(engine_.live_view().pk_lookup(frames_, {Value::i64(1)}).is_ok());
+  EXPECT_FALSE(engine_.live_view().pk_lookup(frames_, {Value::i64(1), Value::i64(2)})
                    .is_ok());  // arity
-  EXPECT_FALSE(engine_.pk_lookup(999, {Value::i64(1)}).is_ok());
+  EXPECT_FALSE(engine_.live_view().pk_lookup(999, {Value::i64(1)}).is_ok());
 }
 
 // --------------------------------------------------------------- telemetry ---
@@ -486,7 +486,7 @@ TEST_F(EngineTest, ConcurrentLoadersKeepIntegrity) {
   }
   for (auto& worker : workers) worker.join();
   EXPECT_EQ(failures.load(), 0);
-  EXPECT_EQ(engine_.row_count(objects_), 2000);
+  EXPECT_EQ(engine_.live_view().row_count(objects_), 2000);
   EXPECT_TRUE(engine_.verify_integrity().is_ok());
 }
 
@@ -553,7 +553,7 @@ TEST_F(EngineTest, ColumnBatchMatchesRowBatchFinalState) {
   // Physically identical heaps: same extent/page/slot layout, same bytes.
   for (uint32_t tid : {frames, objects}) {
     std::vector<std::tuple<uint32_t, uint32_t, uint32_t, std::string>> a, b;
-    ASSERT_TRUE(row_engine
+    ASSERT_TRUE(row_engine.live_view()
                     .scan_heap(tid,
                                [&](storage::SlotId slot,
                                    std::string_view bytes) {
@@ -561,7 +561,7 @@ TEST_F(EngineTest, ColumnBatchMatchesRowBatchFinalState) {
                                                 slot.slot, std::string(bytes));
                                })
                     .is_ok());
-    ASSERT_TRUE(col_engine
+    ASSERT_TRUE(col_engine.live_view()
                     .scan_heap(tid,
                                [&](storage::SlotId slot,
                                    std::string_view bytes) {
@@ -573,9 +573,9 @@ TEST_F(EngineTest, ColumnBatchMatchesRowBatchFinalState) {
   }
 
   // Identical secondary-index contents (same rows, same iteration order).
-  const auto row_mag = row_engine.index_range(
+  const auto row_mag = row_engine.live_view().index_range(
       objects, "idx_mag", {Value::f64(18.0)}, {Value::f64(20.0)});
-  const auto col_mag = col_engine.index_range(
+  const auto col_mag = col_engine.live_view().index_range(
       objects, "idx_mag", {Value::f64(18.0)}, {Value::f64(20.0)});
   ASSERT_TRUE(row_mag.is_ok());
   ASSERT_TRUE(col_mag.is_ok());
@@ -601,8 +601,8 @@ TEST_F(EngineTest, ColumnBatchStopsAtFirstErrorJdbcSemantics) {
   EXPECT_EQ(result.error->row_index, 5u);
   EXPECT_EQ(result.error->status.code(), ErrorCode::kConstraintPrimaryKey);
   // Remainder of the batch discarded, exactly like insert_batch.
-  EXPECT_EQ(engine_.row_count(frames_), 6);
-  EXPECT_FALSE(engine_.pk_lookup(frames_, {Value::i64(7)}).is_ok());
+  EXPECT_EQ(engine_.live_view().row_count(frames_), 6);
+  EXPECT_FALSE(engine_.live_view().pk_lookup(frames_, {Value::i64(7)}).is_ok());
   EXPECT_TRUE(engine_.verify_integrity().is_ok());
 }
 
@@ -619,7 +619,7 @@ TEST_F(EngineTest, ColumnBatchSubrangeReportsRelativeErrorIndex) {
   EXPECT_EQ(result.rows_applied, 2);  // keys 6 and 7
   ASSERT_TRUE(result.error.has_value());
   EXPECT_EQ(result.error->row_index, 2u);
-  EXPECT_EQ(engine_.row_count(frames_), 3);  // 6, 7 and the original 8
+  EXPECT_EQ(engine_.live_view().row_count(frames_), 3);  // 6, 7 and the original 8
 }
 
 TEST_F(EngineTest, ColumnBatchUnsortedKeysFallBackWithSameSemantics) {
@@ -636,7 +636,7 @@ TEST_F(EngineTest, ColumnBatchUnsortedKeysFallBackWithSameSemantics) {
   ASSERT_TRUE(col_engine.commit(txn).is_ok());
   EXPECT_TRUE(col_engine.verify_integrity().is_ok());
   for (int64_t id : {1, 3, 5, 7, 9}) {
-    EXPECT_TRUE(col_engine.pk_lookup(frames, {Value::i64(id)}).is_ok()) << id;
+    EXPECT_TRUE(col_engine.live_view().pk_lookup(frames, {Value::i64(id)}).is_ok()) << id;
   }
 }
 
@@ -645,10 +645,10 @@ TEST_F(EngineTest, ColumnBatchRollbackUndoesTheRun) {
   const uint64_t txn = engine_.begin_transaction();
   const ColumnBatch batch = column_frames(schema, {0, 1, 2, 3, 4});
   ASSERT_EQ(engine_.insert_column_batch(txn, frames_, batch).rows_applied, 5);
-  EXPECT_EQ(engine_.row_count(frames_), 5);
+  EXPECT_EQ(engine_.live_view().row_count(frames_), 5);
   ASSERT_TRUE(engine_.rollback(txn).is_ok());
-  EXPECT_EQ(engine_.row_count(frames_), 0);
-  EXPECT_FALSE(engine_.pk_lookup(frames_, {Value::i64(2)}).is_ok());
+  EXPECT_EQ(engine_.live_view().row_count(frames_), 0);
+  EXPECT_FALSE(engine_.live_view().pk_lookup(frames_, {Value::i64(2)}).is_ok());
   EXPECT_TRUE(engine_.verify_integrity().is_ok());
 }
 
@@ -712,9 +712,9 @@ TEST_P(EngineFuzz, MatchesReferenceModel) {
       }
     }
   }
-  EXPECT_EQ(engine.row_count(frames),
+  EXPECT_EQ(engine.live_view().row_count(frames),
             static_cast<int64_t>(ref_frames.size()));
-  EXPECT_EQ(engine.row_count(objects),
+  EXPECT_EQ(engine.live_view().row_count(objects),
             static_cast<int64_t>(ref_objects.size()));
   EXPECT_TRUE(engine.verify_integrity().is_ok());
 }

@@ -80,7 +80,7 @@ TEST(EngineConcurrencyTest, EightLoadersWithErrorsAndPeriodicCommits) {
   EXPECT_EQ(engine.total_rows(), rows_before + report->total_rows_loaded);
   for (const auto& [table, rows] : totals.loaded_per_table) {
     const uint32_t tid = engine.table_id(table).value();
-    EXPECT_GE(engine.row_count(tid), rows) << table;
+    EXPECT_GE(engine.live_view().row_count(tid), rows) << table;
   }
   EXPECT_TRUE(engine.verify_integrity().is_ok());
 
@@ -186,8 +186,8 @@ TEST(EngineConcurrencyTest, MixedWritersReadersTelemetry) {
   threads.emplace_back([&] {
     int64_t probe = 0;
     while (!stop_readers.load()) {
-      (void)engine.pk_lookup(parent_id, {db::Value::i64(probe % 4'000'000)});
-      (void)engine.row_count(child_id);
+      (void)engine.live_view().pk_lookup(parent_id, {db::Value::i64(probe % 4'000'000)});
+      (void)engine.live_view().row_count(child_id);
       probe += 37;
       std::this_thread::yield();
     }
@@ -220,7 +220,7 @@ TEST(EngineConcurrencyTest, MixedWritersReadersTelemetry) {
   // Duplicates and dangling FKs were actually planted and rejected.
   EXPECT_LT(engine.total_rows(),
             static_cast<int64_t>(kWriters) * kRowsPerWriter * 3 / 2);
-  EXPECT_EQ(engine.pk_lookup(parent_id, {db::Value::i64(9'000'042)})
+  EXPECT_EQ(engine.live_view().pk_lookup(parent_id, {db::Value::i64(9'000'042)})
                 .status()
                 .code(),
             ErrorCode::kNotFound);
@@ -291,7 +291,7 @@ TEST(EngineConcurrencyTest, ShardedSameTableAppendRollbackScanStress) {
   // Logical scanner + extent-stat poller racing the writers.
   threads.emplace_back([&] {
     while (!stop_readers.load()) {
-      (void)engine.scan_collect(tid, [](const db::Row&) { return true; });
+      (void)engine.live_view().scan_collect(tid, [](const db::Row&) { return true; });
       const auto stats = engine.heap_extent_stats(tid);
       EXPECT_TRUE(stats.is_ok());
       std::this_thread::yield();
@@ -300,7 +300,7 @@ TEST(EngineConcurrencyTest, ShardedSameTableAppendRollbackScanStress) {
   // Physical heap scanner: every visible slot well-formed and non-empty.
   threads.emplace_back([&] {
     while (!stop_readers.load()) {
-      EXPECT_TRUE(engine
+      EXPECT_TRUE(engine.live_view()
                       .scan_heap(tid,
                                  [](storage::SlotId slot,
                                     std::string_view bytes) {
@@ -319,7 +319,7 @@ TEST(EngineConcurrencyTest, ShardedSameTableAppendRollbackScanStress) {
   // Exact accounting: committed rows and nothing else, spread across the
   // extents. 48 transactions round-robin over 8 extents and only 8 roll
   // back, so at most one extent can end up empty.
-  EXPECT_EQ(engine.row_count(tid), committed_rows.load());
+  EXPECT_EQ(engine.live_view().row_count(tid), committed_rows.load());
   const auto stats = engine.heap_extent_stats(tid);
   ASSERT_TRUE(stats.is_ok());
   ASSERT_EQ(stats->size(), 8u);
@@ -432,7 +432,7 @@ TEST(EngineConcurrencyTest, ItlGateContentionWithAborts) {
   // One admission per (transaction, table) first write, no double-acquire.
   EXPECT_EQ(stats.itl.acquires, admissions.load());
   // Rolled-back rows are gone, committed rows are all there.
-  EXPECT_EQ(engine.row_count(tid), committed_rows.load());
+  EXPECT_EQ(engine.live_view().row_count(tid), committed_rows.load());
   EXPECT_TRUE(engine.verify_integrity().is_ok());
 }
 
@@ -642,7 +642,7 @@ TEST(EngineConcurrencyTest, QuerySchedulerMixedWorkloadStress) {
   const db::Snapshot snap = engine.pin_snapshot();
   EXPECT_EQ(engine.view_at(snap).row_count(tid),
             static_cast<int64_t>(kLoaders) * kTxnsPerLoader * 8);
-  EXPECT_EQ(engine.row_count(tid), engine.view_at(snap).row_count(tid));
+  EXPECT_EQ(engine.live_view().row_count(tid), engine.view_at(snap).row_count(tid));
   EXPECT_TRUE(engine.verify_integrity().is_ok());
 }
 
@@ -675,7 +675,7 @@ TEST(EngineConcurrencyTest, GroupCommitAccounting) {
 
   const storage::WalStats wal = engine.wal_stats();
   EXPECT_EQ(wal.bytes_flushed, wal.bytes_appended);
-  EXPECT_EQ(engine.row_count(tid), kThreads * 50);
+  EXPECT_EQ(engine.live_view().row_count(tid), kThreads * 50);
   EXPECT_TRUE(engine.verify_integrity().is_ok());
 }
 

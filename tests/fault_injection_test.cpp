@@ -92,7 +92,7 @@ TEST_F(FaultInjectionTest, IoErrorAbortsTheFileLoad) {
     EXPECT_EQ(report.status().code(), ErrorCode::kIoError);
     // The failed session's open transaction rolls back on close.
   }
-  EXPECT_EQ(engine_.row_count(engine_.table_id("objects").value()), 0);
+  EXPECT_EQ(engine_.live_view().row_count(engine_.table_id("objects").value()), 0);
   EXPECT_TRUE(engine_.verify_integrity().is_ok());
 }
 

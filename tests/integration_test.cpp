@@ -224,7 +224,7 @@ TEST(IntegrationTest, ConeSearchThroughHtmIndexMatchesBruteForce) {
 
   const uint32_t objects = engine.table_id("objects").value();
   const auto sample =
-      engine.scan_collect(objects, [](const db::Row&) { return true; });
+      engine.live_view().scan_collect(objects, [](const db::Row&) { return true; });
   ASSERT_FALSE(sample.empty());
   const double ra = sample[sample.size() / 2][2].as_f64();
   const double dec = sample[sample.size() / 2][3].as_f64();
@@ -233,7 +233,7 @@ TEST(IntegrationTest, ConeSearchThroughHtmIndexMatchesBruteForce) {
     std::set<int64_t> via_index;
     for (const htm::IdRange& range : htm::cone_cover(
              center, radius, catalog::CatalogParser::kHtmDepth)) {
-      const auto rows = engine.index_range(
+      const auto rows = engine.live_view().index_range(
           objects, catalog::kIndexHtmid,
           {db::Value::i64(static_cast<int64_t>(range.first))},
           {db::Value::i64(static_cast<int64_t>(range.last))});
@@ -282,7 +282,7 @@ TEST(IntegrationTest, TwoNightsAccumulate) {
   EXPECT_GT(engine.total_rows(), after_first * 3 / 2);
   EXPECT_TRUE(engine.verify_integrity().is_ok());
   // 28 audit rows per night.
-  EXPECT_EQ(engine.row_count(engine.table_id("load_audit").value()), 56);
+  EXPECT_EQ(engine.live_view().row_count(engine.table_id("load_audit").value()), 56);
 }
 
 }  // namespace

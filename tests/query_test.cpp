@@ -267,7 +267,7 @@ TEST_P(QueryFuzz, MatchesBruteForce) {
     }
     const auto result = planner.execute(spec);
     ASSERT_TRUE(result.is_ok());
-    const auto brute = engine.scan_collect(0, [&](const Row& row) {
+    const auto brute = engine.live_view().scan_collect(0, [&](const Row& row) {
       for (const Condition& cond : spec.conditions) {
         const auto ok = condition_matches(def, cond, row);
         if (!ok.is_ok() || !*ok) return false;

@@ -65,7 +65,7 @@ TEST(SdssLoaderTest, CleanFileMatchesSkyLoaderResults) {
   }
   // Same row counts table by table.
   for (uint32_t t = 0; t < static_cast<uint32_t>(schema.table_count()); ++t) {
-    EXPECT_EQ(sdss_engine.row_count(t), sky_engine.row_count(t))
+    EXPECT_EQ(sdss_engine.live_view().row_count(t), sky_engine.live_view().row_count(t))
         << schema.table(t).name;
   }
   EXPECT_TRUE(sdss_engine.verify_integrity().is_ok());

@@ -80,7 +80,7 @@ TEST_F(SnapshotTest, PinSeesOnlyCommittedPrefix) {
       engine_.insert_row(txn, table_, batch_row(100, 2, 0, 2), costs).is_ok());
   ASSERT_TRUE(
       engine_.insert_row(txn, table_, batch_row(101, 2, 1, 2), costs).is_ok());
-  EXPECT_EQ(engine_.row_count(table_), 6);  // live sees the pending rows
+  EXPECT_EQ(engine_.live_view().row_count(table_), 6);  // live sees the pending rows
   EXPECT_EQ(engine_.view_at(before).row_count(table_), 4);
   const Snapshot during = engine_.pin_snapshot();
   EXPECT_EQ(engine_.view_at(during).row_count(table_), 4);
@@ -133,16 +133,16 @@ TEST_F(SnapshotTest, QuiescedEquivalenceWithLiveReads) {
 
   const Snapshot snap = engine_.pin_snapshot();
   EXPECT_EQ(engine_.view_at(snap).row_count(table_),
-            engine_.row_count(table_));
+            engine_.live_view().row_count(table_));
 
   const auto all_live =
-      engine_.scan_collect(table_, [](const Row&) { return true; });
+      engine_.live_view().scan_collect(table_, [](const Row&) { return true; });
   const auto all_snap = engine_.view_at(snap).scan_collect(
       table_, [](const Row&) { return true; });
   EXPECT_EQ(all_live, all_snap);
 
   const auto live_range =
-      engine_.pk_range(table_, {Value::i64(0)}, {Value::i64(150)});
+      engine_.live_view().pk_range(table_, {Value::i64(0)}, {Value::i64(150)});
   const auto snap_range =
       engine_.view_at(snap).pk_range(table_, {Value::i64(0)},
                                 {Value::i64(150)});
@@ -151,7 +151,7 @@ TEST_F(SnapshotTest, QuiescedEquivalenceWithLiveReads) {
   EXPECT_EQ(*live_range, *snap_range);
 
   const auto live_ix =
-      engine_.index_range(table_, "ix_batch", {Value::i64(2)},
+      engine_.live_view().index_range(table_, "ix_batch", {Value::i64(2)},
                           {Value::i64(3)});
   const auto snap_ix = engine_.view_at(snap).index_range(
       table_, "ix_batch", {Value::i64(2)}, {Value::i64(3)});
@@ -161,7 +161,7 @@ TEST_F(SnapshotTest, QuiescedEquivalenceWithLiveReads) {
   EXPECT_EQ(*live_ix, *snap_ix);
 
   for (const int64_t pk : {0L, 107L, 203L}) {
-    const auto live = engine_.pk_lookup(table_, {Value::i64(pk)});
+    const auto live = engine_.live_view().pk_lookup(table_, {Value::i64(pk)});
     const auto snapped =
         engine_.view_at(snap).pk_lookup(table_, {Value::i64(pk)});
     ASSERT_TRUE(live.is_ok());
@@ -173,7 +173,7 @@ TEST_F(SnapshotTest, QuiescedEquivalenceWithLiveReads) {
 
   // Physical view matches the heap exactly (quiesced).
   std::multiset<std::pair<uint32_t, std::string>> live_heap;
-  ASSERT_TRUE(engine_
+  ASSERT_TRUE(engine_.live_view()
                   .scan_heap(table_,
                              [&](storage::SlotId slot, std::string_view bytes) {
                                live_heap.emplace(slot.extent,
@@ -218,7 +218,7 @@ TEST_F(SnapshotTest, ChunkPredatingIndexFailsClosed) {
   // The live index was rebuilt and serves everything; the snapshot chain
   // still contains the index-less chunk and must fail closed rather than
   // silently miss its rows.
-  const auto live = engine_.index_range(table_, "ix_batch", {Value::i64(2)},
+  const auto live = engine_.live_view().index_range(table_, "ix_batch", {Value::i64(2)},
                                         {Value::i64(3)});
   ASSERT_TRUE(live.is_ok());
   EXPECT_EQ(live->size(), 4u);
@@ -478,12 +478,12 @@ TEST_F(SnapshotTest, ConcurrentLoadersSnapshotConsistencyProperty) {
     EXPECT_EQ(final_ids.count(batch_id), 0u);
   }
   const auto live =
-      engine.scan_collect(table, [](const Row&) { return true; });
+      engine.live_view().scan_collect(table, [](const Row&) { return true; });
   EXPECT_EQ(all, live);
   EXPECT_TRUE(engine.verify_integrity().is_ok());
   const SnapshotStats stats = engine.snapshot_stats();
   EXPECT_EQ(stats.active_pins, 1);  // final_snap
-  EXPECT_EQ(stats.rows_published, engine.row_count(table));
+  EXPECT_EQ(stats.rows_published, engine.live_view().row_count(table));
 }
 
 }  // namespace

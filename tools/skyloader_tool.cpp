@@ -304,7 +304,7 @@ int cmd_cone(const Args& args) {
   int64_t matches = 0;
   for (const htm::IdRange& range :
        htm::cone_cover(center, radius, catalog::CatalogParser::kHtmDepth)) {
-    const auto rows = engine.index_range(
+    const auto rows = engine.live_view().index_range(
         objects, catalog::kIndexHtmid,
         {db::Value::i64(static_cast<int64_t>(range.first))},
         {db::Value::i64(static_cast<int64_t>(range.last))});
@@ -406,7 +406,7 @@ int cmd_recover(const Args& args) {
               static_cast<long long>(stats.transactions_committed),
               static_cast<long long>(stats.transactions_discarded));
   for (uint32_t t = 0; t < static_cast<uint32_t>(schema.table_count()); ++t) {
-    const int64_t rows = (*recovered)->row_count(t);
+    const int64_t rows = (*recovered)->live_view().row_count(t);
     if (rows > 0) {
       std::printf("  %-22s %8lld\n", schema.table(t).name.c_str(),
                   static_cast<long long>(rows));
