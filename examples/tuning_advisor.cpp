@@ -5,21 +5,117 @@
 // "methodical experimentation" the paper advocates ("even when the detailed
 // database system implementation is unknown"), automated.
 //
+// `--live` runs the closed-loop alternative: instead of sweeping knobs
+// offline, it loads the sample under core::Controller and prints every
+// ControlTrace decision — the same feedback loop that re-tunes a production
+// engine mid-run (core/controller.h).
+//
 //   $ ./tuning_advisor [sample_megabytes]
+//   $ ./tuning_advisor --live [sample_megabytes]
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "catalog/generator.h"
 #include "catalog/pq_schema.h"
 #include "client/sim_session.h"
 #include "core/bulk_loader.h"
+#include "core/controller.h"
 #include "core/coordinator.h"
 #include "core/tuning.h"
+#include "db/control_plane.h"
 #include "db/engine.h"
 
 using namespace sky;
 
 namespace {
+
+// All policy values read through the one EnginePolicies aggregate — the
+// block tuning code copies between backends (`options.policies =
+// config.policies`), not the per-field compat spellings.
+void print_policies(const core::EnginePolicies& policies) {
+  std::printf(
+      "  commit:      window %.2f ms, max group %lld, %s\n"
+      "  concurrency: %lld transaction slots, %lld itl slots/table\n"
+      "  query:       %lld interactive / %lld batch lane slots%s\n",
+      static_cast<double>(policies.commit.commit_window) / 1e6,
+      static_cast<long long>(policies.commit.max_group_commits),
+      policies.commit.durability == storage::DurabilityMode::kRelaxed
+          ? "relaxed durability"
+          : "strict durability",
+      static_cast<long long>(policies.concurrency.max_concurrent_transactions),
+      static_cast<long long>(policies.concurrency.itl_slots_per_table),
+      static_cast<long long>(policies.query.normalized().interactive_slots),
+      static_cast<long long>(policies.query.normalized().batch_slots),
+      policies.query.batch_yields_to_interactive ? " (batch yields)" : "");
+}
+
+// --live: load the sample under the adaptive controller instead of sweeping
+// knobs offline. Four parallel loaders, the controller ticking on virtual
+// time through the SimControlPlane; prints every decision it took.
+int run_live(int64_t sample_mb) {
+  const db::Schema schema = catalog::make_pq_schema();
+  db::Engine engine(schema,
+                    core::TuningProfile::production().engine_options());
+  sim::Environment env;
+  client::ServerConfig config = core::TuningProfile::production()
+                                    .server_config();
+  // Neutral start: no commit window, lean slots; everything else the
+  // controller learns from EngineStats.
+  config.policies.commit.commit_window = 0;
+  config.policies.concurrency.max_concurrent_transactions = 4;
+  client::SimServer server(env, engine, config);
+
+  std::printf("live-tuned load of a %lld MB sample, starting from:\n",
+              static_cast<long long>(sample_mb));
+  print_policies(config.policies);
+
+  constexpr int kLoaders = 4;
+  int active = kLoaders;
+  for (int w = 0; w < kLoaders; ++w) {
+    catalog::FileSpec spec;
+    spec.name = "live-" + std::to_string(w) + ".cat";
+    spec.seed = 9600 + static_cast<uint64_t>(w);
+    spec.unit_id = 90 + w;
+    spec.target_bytes = sample_mb * 1000 * 1000 / kLoaders;
+    env.spawn(spec.name, [&server, &schema, &active, spec] {
+      client::SimSession session(server);
+      core::BulkLoaderOptions options;
+      options.write_audit_row = false;
+      // Autocommit-style cadence: gives the controller real commit traffic
+      // to steer the group-commit window against.
+      options.commit.every_batches = 1;
+      core::BulkLoader loader(session, schema, options);
+      const std::string text = catalog::CatalogGenerator::generate(spec).text;
+      (void)loader.load_text(spec.name, text);
+      --active;
+    });
+  }
+
+  client::SimControlPlane plane(server);
+  core::ControllerPolicy policy;
+  core::Controller controller(plane, policy);
+  env.spawn("controller", [&env, &active, &policy, &controller] {
+    while (active > 0) {
+      env.delay(policy.tick_interval);
+      controller.tick(env.now());
+    }
+  });
+  env.run();
+
+  std::printf("\nloaded in %.2f virtual seconds; %llu ticks, %llu patches\n",
+              to_seconds(env.now()),
+              static_cast<unsigned long long>(controller.ticks()),
+              static_cast<unsigned long long>(controller.trace().total()));
+  std::printf("\ncontrol trace (%s):\n", policy.describe().c_str());
+  for (const core::ControlDecision& decision :
+       controller.trace().snapshot()) {
+    std::printf("  %s\n", decision.render().c_str());
+  }
+  std::printf("\nsettled policies:\n");
+  print_policies(server.config().policies);
+  return 0;
+}
 
 // One simulated single-loader run over the sample; returns virtual seconds.
 double run_single(const db::Schema& schema, const std::string& text,
@@ -75,7 +171,16 @@ double run_parallel(const db::Schema& schema,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int64_t sample_mb = argc > 1 ? std::atoll(argv[1]) : 2;
+  bool live = false;
+  int64_t sample_mb = 2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--live") == 0) {
+      live = true;
+    } else {
+      sample_mb = std::atoll(argv[i]);
+    }
+  }
+  if (live) return run_live(sample_mb);
   const db::Schema schema = catalog::make_pq_schema();
 
   catalog::FileSpec spec;
@@ -148,6 +253,8 @@ int main(int argc, char** argv) {
   std::printf("\nrecommended profile (backing off one loader from the peak, "
               "as the paper's production system does):\n  %s\n",
               recommended.describe().c_str());
+  std::printf("server policies for this profile:\n");
+  print_policies(recommended.server_config().policies);
   std::printf("expected throughput near %.2f MB/s on this substrate\n",
               best_throughput);
   return 0;

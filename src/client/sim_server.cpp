@@ -106,10 +106,12 @@ void SimServer::release_query(bool interactive) {
   }
 }
 
-SimServer::QueryLaneStats SimServer::query_lane_stats() const {
-  QueryLaneStats stats;
-  stats.interactive = gate_stats_from(*interactive_lane_);
-  stats.batch = gate_stats_from(*batch_lane_);
+core::QueryStats SimServer::query_lane_stats() const {
+  core::QueryStats stats;
+  stats.interactive.gate = gate_stats_from(*interactive_lane_);
+  stats.interactive.queue_depth = interactive_lane_->queue_depth();
+  stats.batch.gate = gate_stats_from(*batch_lane_);
+  stats.batch.queue_depth = batch_lane_->queue_depth();
   stats.batch_yields = batch_yields_;
   return stats;
 }
@@ -128,6 +130,71 @@ int64_t SimServer::note_table_writer(uint32_t table_id, int node,
   const bool transfer = last >= 0 && last != node;
   last = node;
   return transfer ? pages_touched : 0;
+}
+
+Status SimServer::update_policies(const db::PolicyPatch& patch) {
+  if (patch.commit_window.has_value() && *patch.commit_window < 0) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "update_policies: commit_window must be >= 0");
+  }
+  if (patch.max_group_commits.has_value() && *patch.max_group_commits < 1) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "update_policies: max_group_commits must be >= 1");
+  }
+  if (patch.transaction_slots.has_value() && *patch.transaction_slots < 1) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "update_policies: transaction_slots must be >= 1");
+  }
+  if (patch.itl_slots_per_table.has_value() && *patch.itl_slots_per_table < 1) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "update_policies: itl_slots_per_table must be >= 1");
+  }
+  if (patch.extent_assignment.has_value()) {
+    // The embedded engine places rows even in sim mode; let it apply (and
+    // validate) the placement flip, but keep the sim-owned knobs out of the
+    // forwarded patch.
+    db::PolicyPatch placement;
+    placement.extent_assignment = patch.extent_assignment;
+    const Status status = engine_.update_policies(placement);
+    if (!status.is_ok()) return status;
+  }
+  if (patch.commit_window.has_value()) {
+    config_.commit_window = *patch.commit_window;
+  }
+  if (patch.max_group_commits.has_value()) {
+    config_.max_group_commits = *patch.max_group_commits;
+  }
+  if (patch.transaction_slots.has_value()) {
+    config_.concurrency.max_concurrent_transactions =
+        static_cast<int>(*patch.transaction_slots);
+    transaction_slots_->set_capacity(*patch.transaction_slots);
+  }
+  if (patch.itl_slots_per_table.has_value()) {
+    config_.concurrency.itl_slots_per_table =
+        static_cast<int>(*patch.itl_slots_per_table);
+    for (auto& itl : itl_) itl->set_capacity(*patch.itl_slots_per_table);
+  }
+  return Status::ok();
+}
+
+db::EngineStats SimControlPlane::stats() const {
+  db::EngineStats stats = server_.engine().stats();
+  // Overlay the surfaces the sim models itself: admission gates, query
+  // lanes, and the live commit/slot policy values, which live in SimServer
+  // (the engine runs with a zero window and ungated in sim mode).
+  stats.concurrency = server_.concurrency_stats();
+  stats.query = server_.query_lane_stats();
+  const ServerConfig& config = server_.config();
+  stats.policies.commit_window = config.commit_window;
+  stats.policies.max_group_commits = config.max_group_commits;
+  stats.policies.transaction_slots =
+      config.concurrency.max_concurrent_transactions;
+  stats.policies.itl_slots_per_table = config.concurrency.itl_slots_per_table;
+  return stats;
+}
+
+Status SimControlPlane::apply(const db::PolicyPatch& patch) {
+  return server_.update_policies(patch);
 }
 
 }  // namespace sky::client

@@ -16,6 +16,8 @@
 #include "client/cost_model.h"
 #include "common/rng.h"
 #include "core/engine_policies.h"
+#include "core/query_stats.h"
+#include "db/control_plane.h"
 #include "db/engine.h"
 #include "sim/environment.h"
 
@@ -150,12 +152,11 @@ class SimServer {
   // policy says batch yields. Pair each admit with release_query.
   void admit_query(bool interactive);
   void release_query(bool interactive);
-  struct QueryLaneStats {
-    db::GateStats interactive;
-    db::GateStats batch;
-    int64_t batch_yields = 0;
-  };
-  QueryLaneStats query_lane_stats() const;
+  // Same schema the real QueryScheduler::stats() reports
+  // (core/query_stats.h) — per-lane gate accounting from the sim resources
+  // plus the yield counter. Latency percentiles stay zero: sim benches
+  // measure query latency in virtual time at the call site.
+  core::QueryStats query_lane_stats() const;
 
   // Log-device group commit (ServerConfig::commit_window). A committing
   // session asks whether it leads a new flush group or joins the one in
@@ -169,6 +170,15 @@ class SimServer {
     Nanos flush_eta = 0;    // virtual time the group's device write lands
   };
   LogGroupDecision join_log_group();
+
+  // Live policy application, the sim twin of Engine::update_policies.
+  // Commit-window knobs mutate config_ (join_log_group reads them per call;
+  // sim processes are serialized, so no lock is needed); slot counts resize
+  // the corresponding sim resources (growing grants queued waiters at the
+  // current virtual time, shrinking drains); extent assignment is forwarded
+  // to the embedded engine, which places rows even in sim mode. Validates
+  // the whole patch before applying any field.
+  Status update_policies(const db::PolicyPatch& patch);
 
  private:
   sim::Environment& env_;
@@ -190,6 +200,24 @@ class SimServer {
   Nanos log_group_close_ = -1;
   Nanos log_group_eta_ = 0;
   int64_t log_group_members_ = 0;
+};
+
+// ControlPlane over a SimServer: the controller that tunes a live engine
+// drives the simulated testbed through the same interface. stats() starts
+// from the embedded engine's snapshot (heap extents, snapshots, WAL — all
+// real even in sim mode) and overlays the parts the sim models itself:
+// admission-gate accounting, query lanes, and the live commit/slot policy
+// values, which live in SimServer, not the engine. apply() goes through
+// SimServer::update_policies.
+class SimControlPlane : public db::ControlPlane {
+ public:
+  explicit SimControlPlane(SimServer& server) : server_(server) {}
+
+  db::EngineStats stats() const override;
+  Status apply(const db::PolicyPatch& patch) override;
+
+ private:
+  SimServer& server_;
 };
 
 }  // namespace sky::client

@@ -19,6 +19,7 @@ std::string_view error_code_name(ErrorCode code) {
     case ErrorCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
     case ErrorCode::kAborted: return "ABORTED";
+    case ErrorCode::kDeadlockDetected: return "DEADLOCK_DETECTED";
     case ErrorCode::kUnimplemented: return "UNIMPLEMENTED";
     case ErrorCode::kInternal: return "INTERNAL";
   }

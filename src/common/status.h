@@ -32,6 +32,11 @@ enum class ErrorCode {
   kResourceExhausted,      // e.g. transaction slots
   kFailedPrecondition,
   kAborted,
+  // Waits-for cycle on admission gates: this transaction was chosen as the
+  // deadlock victim and must roll back (db/lock_manager.h WaitGraph).
+  // Deliberately NOT in the constraint family — the loader must not skip
+  // the row and move on; it aborts and retries the unit.
+  kDeadlockDetected,
   kUnimplemented,
   kInternal,
 };

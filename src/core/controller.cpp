@@ -1,0 +1,273 @@
+#include "core/controller.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace sky::core {
+
+namespace {
+Nanos steady_now() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double ms(Nanos t) { return static_cast<double>(t) / kMillisecond; }
+}  // namespace
+
+std::string ControllerPolicy::describe() const {
+  return str_format(
+      "tick=%.0fms confirm=%d deadband=%.2f window=[%.1fms..%.1fms] "
+      "step=%.1fms target_group=%lld group_conc=%lld txn=[%lld..%lld] "
+      "itl=[%lld..%lld] wait_high=%.2f stall_high=%.3f skew=[%.2f..%.2f]",
+      ms(tick_interval), confirm_ticks, deadband, ms(min_commit_window),
+      ms(max_commit_window), ms(window_step),
+      static_cast<long long>(target_group_commits),
+      static_cast<long long>(window_commit_concurrency),
+      static_cast<long long>(min_transaction_slots),
+      static_cast<long long>(max_transaction_slots),
+      static_cast<long long>(min_itl_slots),
+      static_cast<long long>(max_itl_slots), wait_share_high,
+      stall_share_high, skew_low, skew_high);
+}
+
+std::string ControlDecision::render() const {
+  return str_format("tick %llu @%.2fs: %s — %s%s",
+                    static_cast<unsigned long long>(tick), to_seconds(at),
+                    patch.describe().c_str(), reason.c_str(),
+                    applied ? "" : " [REJECTED]");
+}
+
+void ControlTrace::record(ControlDecision decision) {
+  const std::scoped_lock lock(mu_);
+  ++total_;
+  ring_.push_back(std::move(decision));
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::vector<ControlDecision> ControlTrace::snapshot() const {
+  const std::scoped_lock lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+uint64_t ControlTrace::total() const {
+  const std::scoped_lock lock(mu_);
+  return total_;
+}
+
+Controller::Controller(db::ControlPlane& plane, ControllerPolicy policy)
+    : plane_(plane), policy_(policy) {}
+
+Controller::~Controller() { stop(); }
+
+int Controller::accumulate_vote(int streak, int vote) {
+  if (vote == 0) return 0;  // a neutral interval breaks any streak
+  if (streak == 0 || (vote > 0) == (streak > 0)) return streak + vote;
+  return vote;  // direction change: restart the streak the new way
+}
+
+db::PolicyPatch Controller::tick(Nanos now) {
+  const std::scoped_lock lock(tick_mu_);
+  const uint64_t tick_no = tick_count_.fetch_add(1, std::memory_order_relaxed) + 1;
+  const db::EngineStats stats = plane_.stats();
+  if (!has_baseline_) {
+    has_baseline_ = true;
+    baseline_ = stats;
+    baseline_at_ = now;
+    return {};
+  }
+  const db::EngineStats delta = stats.delta_since(baseline_);
+  Nanos dt = now - baseline_at_;
+  if (dt <= 0) dt = policy_.tick_interval;
+  baseline_ = stats;
+  baseline_at_ = now;
+
+  db::PolicyPatch patch;
+  std::string reason;
+  const auto add_reason = [&reason](std::string part) {
+    if (!reason.empty()) reason += "; ";
+    reason += std::move(part);
+  };
+
+  // --- commit window from the observed commit arrival rate and commit
+  // concurrency. With >= window_commit_concurrency committers in flight the
+  // window can actually fill a group: steer toward target_group_commits /
+  // rate (the window that coalesces ~target commits per flush — note a
+  // rate depressed by serialized ungrouped flushes yields a *wide* target,
+  // which is exactly the bootstrap out of log-device saturation). With few
+  // open transactions nobody can ride the flush, so the window is pure
+  // leader latency: steer to min. Either way move at most window_step per
+  // tick and hold inside the deadband so noise never jiggles the WAL.
+  const int64_t commits = delta.wal.commit_requests + delta.wal.relaxed_acks;
+  const Nanos current_window = stats.policies.commit_window.value_or(0);
+  if (commits > 0) {
+    const double rate =
+        static_cast<double>(commits) / std::max(to_seconds(dt), 1e-9);
+    double target;
+    if (stats.concurrency.transaction_gate.in_use >=
+        policy_.window_commit_concurrency) {
+      target = static_cast<double>(policy_.target_group_commits) / rate *
+               static_cast<double>(kSecond);
+      target = std::clamp(target,
+                          static_cast<double>(policy_.min_commit_window),
+                          static_cast<double>(policy_.max_commit_window));
+    } else {
+      target = static_cast<double>(policy_.min_commit_window);
+    }
+    const double diff = target - static_cast<double>(current_window);
+    const double band =
+        policy_.deadband * std::max<double>(static_cast<double>(current_window),
+                                            static_cast<double>(policy_.window_step));
+    if (std::abs(diff) > band) {
+      const double step = static_cast<double>(policy_.window_step);
+      Nanos next = current_window +
+                   static_cast<Nanos>(std::clamp(diff, -step, step));
+      next = std::clamp(next, policy_.min_commit_window,
+                        policy_.max_commit_window);
+      if (next != current_window) {
+        patch.commit_window = next;
+        add_reason(str_format("commit rate %.0f/s wants %.2fms window",
+                              rate, target / kMillisecond));
+      }
+    }
+  }
+
+  // --- transaction slots from gate pressure: grow when a high share of
+  // acquires block; shrink when the gate is quiet and mostly idle (frees
+  // headroom the query lanes can use). confirm_ticks agreeing votes gate
+  // every move.
+  const db::GateStats& txn_gate = delta.concurrency.transaction_gate;
+  const int64_t txn_slots = stats.policies.transaction_slots.value_or(0);
+  int txn_vote = 0;
+  if (txn_gate.acquires > 0 && txn_slots > 0) {
+    const double wait_share = static_cast<double>(txn_gate.waits) /
+                              static_cast<double>(txn_gate.acquires);
+    if (wait_share > policy_.wait_share_high) {
+      txn_vote = 1;
+    } else if (txn_gate.waits == 0 && txn_gate.in_use * 2 < txn_slots) {
+      txn_vote = -1;
+    }
+  }
+  txn_slot_streak_ = accumulate_vote(txn_slot_streak_, txn_vote);
+  if (txn_slots > 0 && std::abs(txn_slot_streak_) >= policy_.confirm_ticks) {
+    const int64_t next =
+        std::clamp(txn_slots + (txn_slot_streak_ > 0 ? policy_.slot_step
+                                                     : -policy_.slot_step),
+                   policy_.min_transaction_slots,
+                   policy_.max_transaction_slots);
+    if (next != txn_slots) {
+      patch.transaction_slots = next;
+      add_reason(str_format("txn gate %s (waits %llu / acquires %llu)",
+                            txn_slot_streak_ > 0 ? "queued" : "idle",
+                            static_cast<unsigned long long>(txn_gate.waits),
+                            static_cast<unsigned long long>(txn_gate.acquires)));
+    }
+    txn_slot_streak_ = 0;
+  }
+
+  // --- ITL slots: stall share is the past-the-knee signal (Fig. 7) and
+  // votes shrink; a high blocked share with no stalls votes grow. Only on
+  // engines running ITL gates (live value 0 means disabled).
+  const db::GateStats& itl_gate = delta.concurrency.itl;
+  const int64_t itl_slots = stats.policies.itl_slots_per_table.value_or(0);
+  if (itl_slots > 0) {
+    int itl_vote = 0;
+    if (itl_gate.acquires > 0) {
+      const double stall_share = static_cast<double>(itl_gate.stalls) /
+                                 static_cast<double>(itl_gate.acquires);
+      const double wait_share = static_cast<double>(itl_gate.waits) /
+                                static_cast<double>(itl_gate.acquires);
+      if (stall_share > policy_.stall_share_high) {
+        itl_vote = -1;
+      } else if (wait_share > policy_.wait_share_high) {
+        itl_vote = 1;
+      }
+    }
+    itl_slot_streak_ = accumulate_vote(itl_slot_streak_, itl_vote);
+    if (std::abs(itl_slot_streak_) >= policy_.confirm_ticks) {
+      const int64_t next =
+          std::clamp(itl_slots + (itl_slot_streak_ > 0 ? policy_.slot_step
+                                                       : -policy_.slot_step),
+                     policy_.min_itl_slots, policy_.max_itl_slots);
+      if (next != itl_slots) {
+        patch.itl_slots_per_table = next;
+        add_reason(str_format(
+            "itl %s (stalls %llu, waits %llu / acquires %llu)",
+            itl_slot_streak_ > 0 ? "queued" : "past the knee",
+            static_cast<unsigned long long>(itl_gate.stalls),
+            static_cast<unsigned long long>(itl_gate.waits),
+            static_cast<unsigned long long>(itl_gate.acquires)));
+      }
+      itl_slot_streak_ = 0;
+    }
+  }
+
+  // --- extent assignment from cumulative appended-bytes skew, inside a
+  // hysteresis band: above skew_high switch to least-loaded (which then
+  // erodes the imbalance), back to round-robin only once the *cumulative*
+  // occupancy rebalanced below skew_low — so the flip cannot flap on one
+  // interval's noise.
+  const double skew = stats.extent_skew();
+  const db::ExtentAssignment assignment =
+      stats.policies.extent_assignment.value_or(
+          db::ExtentAssignment::kRoundRobin);
+  if (skew > policy_.skew_high &&
+      assignment == db::ExtentAssignment::kRoundRobin) {
+    patch.extent_assignment = db::ExtentAssignment::kLeastLoaded;
+    add_reason(str_format("extent skew %.2f > %.2f", skew, policy_.skew_high));
+  } else if (skew < policy_.skew_low &&
+             assignment == db::ExtentAssignment::kLeastLoaded) {
+    patch.extent_assignment = db::ExtentAssignment::kRoundRobin;
+    add_reason(str_format("extent skew %.2f < %.2f", skew, policy_.skew_low));
+  }
+
+  if (patch.empty()) return patch;
+  const Status status = plane_.apply(patch);
+  ControlDecision decision;
+  decision.tick = tick_no;
+  decision.at = now;
+  decision.patch = patch;
+  decision.applied = status.is_ok();
+  decision.reason = std::move(reason);
+  if (!status.is_ok()) {
+    decision.reason += " [" + status.to_string() + "]";
+  }
+  trace_.record(std::move(decision));
+  return status.is_ok() ? patch : db::PolicyPatch{};
+}
+
+void Controller::start() {
+  const std::scoped_lock lock(thread_mu_);
+  if (thread_.joinable()) return;
+  stop_requested_ = false;
+  thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> wait_lock(thread_mu_);
+    while (true) {
+      if (stop_cv_.wait_for(
+              wait_lock, std::chrono::nanoseconds(policy_.tick_interval),
+              [this] { return stop_requested_; })) {
+        return;
+      }
+      wait_lock.unlock();
+      tick(steady_now());
+      wait_lock.lock();
+    }
+  });
+}
+
+void Controller::stop() {
+  std::thread worker;
+  {
+    const std::scoped_lock lock(thread_mu_);
+    if (!thread_.joinable()) return;
+    stop_requested_ = true;
+    stop_cv_.notify_all();
+    worker = std::move(thread_);
+  }
+  worker.join();
+}
+
+}  // namespace sky::core

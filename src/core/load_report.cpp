@@ -61,6 +61,11 @@ std::string ParallelLoadReport::summary() const {
                       static_cast<long long>(xmatch_candidates),
                       static_cast<long long>(xmatch_pairs));
   }
+  if (control_ticks > 0) {
+    out += str_format(", control %llu ticks / %llu patches",
+                      static_cast<unsigned long long>(control_ticks),
+                      static_cast<unsigned long long>(control_patches));
+  }
   return out;
 }
 
@@ -118,6 +123,15 @@ std::string render_markdown_report(const ParallelLoadReport& report,
   if (report.query_lane_wait > 0) {
     out += "\n## Query lanes\n\n";
     out += "- lane wait: " + format_duration(report.query_lane_wait) + "\n";
+  }
+  if (report.control_ticks > 0) {
+    out += "\n## Adaptive control\n\n";
+    out += "- ticks: " + std::to_string(report.control_ticks) + "\n";
+    out += "- patches applied: " + std::to_string(report.control_patches) +
+           "\n";
+    for (const std::string& decision : report.control_decisions) {
+      out += "- " + decision + "\n";
+    }
   }
   if (report.zone_scan_rows > 0 || report.xmatch_candidates > 0) {
     out += "\n## Spatial operators\n\n";

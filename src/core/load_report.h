@@ -91,6 +91,12 @@ struct ParallelLoadReport {
   // ShardedRepository::fill_shard_telemetry after a sharded load.
   std::vector<int64_t> shard_rows;
   double shard_skew = 0.0;
+  // Adaptive-control telemetry (core/controller.h; zero/empty when the run
+  // had no controller): feedback ticks taken, policy patches applied, and
+  // the rendered tail of the ControlTrace decision ring.
+  uint64_t control_ticks = 0;
+  uint64_t control_patches = 0;
+  std::vector<std::string> control_decisions;
 
   double throughput_mb_per_s() const {
     if (makespan <= 0) return 0.0;

@@ -9,6 +9,7 @@
 #include <unordered_set>
 
 #include "common/strings.h"
+#include "db/control_plane.h"
 #include "htm/htm.h"
 #include "index/key_codec.h"
 
@@ -103,10 +104,13 @@ Engine::Engine(Schema schema, EngineOptions options)
           GateStallModel{policy.stall_probability,
                                    policy.stall_duration,
                                    policy.stall_seed ^
-                                       (0x9E3779B97F4A7C15ULL * (id + 1))}));
+                                       (0x9E3779B97F4A7C15ULL * (id + 1))},
+          &itl_wait_graph_));
     }
     tables_.push_back(std::move(table));
   }
+  extent_assignment_.store(options_.extent_assignment,
+                           std::memory_order_relaxed);
   cache_.set_io_hook([this](storage::CachePageId page,
                             storage::BufferCache::IoKind kind) {
     const storage::IoRole role = role_of_file(page.file_id);
@@ -170,8 +174,9 @@ uint64_t Engine::begin_transaction(OpCosts* costs) {
   return id;
 }
 
-Engine::TableAdmission Engine::admit_table(Transaction& txn, uint32_t tid,
-                                           OpCosts& costs) {
+Result<Engine::TableAdmission> Engine::admit_table(Transaction& txn,
+                                                   uint32_t tid,
+                                                   OpCosts& costs) {
   for (const TableAdmission& admission : txn.admissions) {
     if (admission.table_id == tid) return admission;
   }
@@ -181,7 +186,17 @@ Engine::TableAdmission Engine::admit_table(Transaction& txn, uint32_t tid,
   // Gate first, extent second: blocked admissions hold nothing, and a
   // least-loaded pick made after the wait sees the post-wait occupancy.
   if (SlotGate* gate = table.itl_gate(); gate != nullptr) {
-    const GateAcquire acquired = gate->acquire();
+    // Owner-attributed acquire: before blocking, the gate consults the
+    // shared waits-for graph; a wait that would close a cycle is refused
+    // and the requester becomes the deadlock victim (its transaction stays
+    // live — the caller rolls back, releasing every slot it holds).
+    const GateAcquire acquired = gate->acquire_as(txn.id);
+    if (acquired.deadlock) {
+      return Status(ErrorCode::kDeadlockDetected,
+                    "insert: waits-for cycle on ITL admission to table " +
+                        table.def().name + " (transaction " +
+                        std::to_string(txn.id) + " chosen as victim)");
+    }
     admission.gated = true;
     admission.contended = acquired.contended;
     admission.queue_depth = acquired.queue_depth;
@@ -189,10 +204,10 @@ Engine::TableAdmission Engine::admit_table(Transaction& txn, uint32_t tid,
     costs.lock_wait_ns += acquired.wait_ns;
     costs.stall_ns += acquired.stall_ns;
   }
-  admission.extent =
-      options_.extent_assignment == ExtentAssignment::kLeastLoaded
-          ? table.heap().least_loaded_extent()
-          : txn.extent;
+  admission.extent = extent_assignment_.load(std::memory_order_relaxed) ==
+                             ExtentAssignment::kLeastLoaded
+                         ? table.heap().least_loaded_extent()
+                         : txn.extent;
   txn.admissions.push_back(admission);
   return admission;
 }
@@ -253,7 +268,9 @@ Result<CommitResult> Engine::commit(uint64_t txn_id) {
   // Gates released outside every lock, ITL first then the transaction slot
   // (reverse of the acquisition order).
   for (const TableAdmission& admission : admissions) {
-    if (admission.gated) tables_[admission.table_id].itl_gate()->release();
+    if (admission.gated) {
+      tables_[admission.table_id].itl_gate()->release_as(txn_id);
+    }
   }
   txn_gate_->release();
   return result;
@@ -292,9 +309,12 @@ Status Engine::rollback(uint64_t txn_id) {
     transactions_.erase(it);
   }
   // Abort path releases every admission gate too — outside the locks, same
-  // order as commit — so an aborted transaction never leaks an ITL slot.
+  // order as commit — so an aborted transaction never leaks an ITL slot
+  // (and a deadlock victim's rollback unwedges the cycle's survivors).
   for (const TableAdmission& admission : admissions) {
-    if (admission.gated) tables_[admission.table_id].itl_gate()->release();
+    if (admission.gated) {
+      tables_[admission.table_id].itl_gate()->release_as(txn_id);
+    }
   }
   txn_gate_->release();
   return ok_status();
@@ -322,7 +342,13 @@ BatchResult Engine::insert_batch(uint64_t txn_id, uint32_t tid,
   // ITL admission precedes the engine rwlock in the lock order: a session
   // blocked on a full gate holds no engine lock, so DDL and rollback (which
   // take the rwlock exclusive) can always drain ahead of it.
-  const TableAdmission admission = admit_table(*txn, tid, result.costs);
+  const Result<TableAdmission> admitted = admit_table(*txn, tid, result.costs);
+  if (!admitted.is_ok()) {
+    result.error = BatchError{0, admitted.status()};
+    ++result.costs.constraint_failures;
+    return result;
+  }
+  const TableAdmission admission = *admitted;
   result.costs.lock_wait_ns += lock_shared_timed(engine_mu_);
   std::shared_lock<std::shared_mutex> engine_lock(engine_mu_, std::adopt_lock);
   {
@@ -377,7 +403,13 @@ BatchResult Engine::insert_column_batch(uint64_t txn_id, uint32_t tid,
   if (first > batch.size()) first = batch.size();
   count = std::min(count, batch.size() - first);
   // Same admission-before-rwlock envelope as insert_batch.
-  const TableAdmission admission = admit_table(*txn, tid, result.costs);
+  const Result<TableAdmission> admitted = admit_table(*txn, tid, result.costs);
+  if (!admitted.is_ok()) {
+    result.error = BatchError{0, admitted.status()};
+    ++result.costs.constraint_failures;
+    return result;
+  }
+  const TableAdmission admission = *admitted;
   result.costs.lock_wait_ns += lock_shared_timed(engine_mu_);
   std::shared_lock<std::shared_mutex> engine_lock(engine_mu_, std::adopt_lock);
   {
@@ -772,7 +804,12 @@ Status Engine::insert_row(uint64_t txn_id, uint32_t tid, const Row& row,
     return Status(ErrorCode::kNotFound, "insert: bad table id");
   }
   // Same admission-before-rwlock ordering as insert_batch.
-  const TableAdmission admission = admit_table(*txn, tid, costs);
+  const Result<TableAdmission> admitted = admit_table(*txn, tid, costs);
+  if (!admitted.is_ok()) {
+    ++costs.constraint_failures;
+    return admitted.status();
+  }
+  const TableAdmission admission = *admitted;
   costs.lock_wait_ns += lock_shared_timed(engine_mu_);
   std::shared_lock<std::shared_mutex> engine_lock(engine_mu_, std::adopt_lock);
   Status status = ok_status();
@@ -1122,7 +1159,8 @@ Status Engine::bulk_load_sorted(uint32_t tid, const std::vector<Row>& rows) {
   // kLeastLoaded, whichever extent of this heap currently holds the fewest
   // bytes — successive preloads balance instead of merely alternating.
   const uint32_t extent =
-      options_.extent_assignment == ExtentAssignment::kLeastLoaded
+      extent_assignment_.load(std::memory_order_relaxed) ==
+              ExtentAssignment::kLeastLoaded
           ? table.heap().least_loaded_extent()
           : next_extent_.fetch_add(1, std::memory_order_relaxed) %
                 options_.heap_extents;
@@ -1337,6 +1375,100 @@ Result<std::vector<Row>> Engine::snapshot_collect_range(
 }
 
 // --------------------------------------------------------------- telemetry
+
+EngineStats Engine::stats() const {
+  EngineStats stats;
+  stats.wal = wal_.stats();
+  stats.concurrency = concurrency_stats();
+  stats.snapshots = snapshots_.stats();
+  {
+    const std::shared_lock<std::shared_mutex> engine_lock(engine_mu_);
+    stats.extents.reserve(tables_.size());
+    for (const Table& table : tables_) {
+      stats.extents.push_back(
+          TableExtentStats{table.id(), table.heap().extent_stats()});
+      stats.total_rows += table.heap().row_count();
+      stats.total_heap_bytes += table.heap().total_bytes();
+    }
+  }
+  {
+    // Held across the call so a concurrent detach cannot destroy the source
+    // mid-invocation. The source (QueryScheduler::stats) takes only gate
+    // and snapshot-manager internal locks — leaves in the lock order.
+    const std::scoped_lock hook_lock(query_stats_mu_);
+    if (query_stats_source_) stats.query = query_stats_source_();
+  }
+  // Live policy values, read from the owning subsystems (EngineOptions is
+  // never mutated after construction).
+  const storage::WalOptions wal_options = wal_.wal_options();
+  stats.policies.commit_window = wal_options.commit_window;
+  stats.policies.max_group_commits = wal_options.max_group_commits;
+  stats.policies.transaction_slots = txn_gate_->slots();
+  int64_t itl_slots = 0;  // 0 = ITL gates disabled on this engine
+  for (const Table& table : tables_) {
+    if (const SlotGate* gate = table.itl_gate(); gate != nullptr) {
+      itl_slots = gate->slots();
+      break;
+    }
+  }
+  stats.policies.itl_slots_per_table = itl_slots;
+  stats.policies.extent_assignment =
+      extent_assignment_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+Status Engine::update_policies(const PolicyPatch& patch) {
+  // Validate the whole patch first; apply nothing on failure.
+  if (patch.commit_window.has_value() && *patch.commit_window < 0) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "update_policies: commit_window must be >= 0");
+  }
+  if (patch.max_group_commits.has_value() && *patch.max_group_commits < 1) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "update_policies: max_group_commits must be >= 1");
+  }
+  if (patch.transaction_slots.has_value() && *patch.transaction_slots < 1) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "update_policies: transaction_slots must be >= 1");
+  }
+  if (patch.itl_slots_per_table.has_value()) {
+    if (*patch.itl_slots_per_table < 1) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "update_policies: itl_slots_per_table must be >= 1");
+    }
+    if (!options_.concurrency.itl_gated()) {
+      // Creating gates live would race the lock-free gate-pointer reads on
+      // the insert path; only existing gates can be resized.
+      return Status(ErrorCode::kFailedPrecondition,
+                    "update_policies: engine runs without ITL gates");
+    }
+  }
+  const std::scoped_lock lock(policy_mu_);
+  if (patch.commit_window.has_value() || patch.max_group_commits.has_value()) {
+    wal_.set_commit_policy(patch.commit_window, patch.max_group_commits);
+  }
+  if (patch.transaction_slots.has_value()) {
+    txn_gate_->set_slots(*patch.transaction_slots);
+  }
+  if (patch.itl_slots_per_table.has_value()) {
+    for (Table& table : tables_) {
+      if (SlotGate* gate = table.itl_gate(); gate != nullptr) {
+        gate->set_slots(*patch.itl_slots_per_table);
+      }
+    }
+  }
+  if (patch.extent_assignment.has_value()) {
+    extent_assignment_.store(*patch.extent_assignment,
+                             std::memory_order_relaxed);
+  }
+  return ok_status();
+}
+
+void Engine::set_query_stats_source(
+    std::function<core::QueryStats()> source) {
+  const std::scoped_lock lock(query_stats_mu_);
+  query_stats_source_ = std::move(source);
+}
 
 ConcurrencyStats Engine::concurrency_stats() const {
   ConcurrencyStats stats;

@@ -58,6 +58,7 @@
 #include "common/status.h"
 #include "common/units.h"
 #include "core/engine_policies.h"
+#include "core/query_stats.h"
 #include "db/column_batch.h"
 #include "db/lock_manager.h"
 #include "db/op_costs.h"
@@ -201,6 +202,11 @@ struct EngineOptions {
 Status index_unavailable_error(std::string_view index_name,
                                std::string_view detail);
 
+// Unified stats snapshot / live-policy patch (db/control_plane.h). Declared
+// here so Engine can return/accept them by value without the header cycle.
+struct EngineStats;
+struct PolicyPatch;
+
 struct BatchError {
   size_t row_index = 0;  // index within the submitted batch
   Status status;
@@ -309,97 +315,27 @@ class Engine {
   Result<bool> index_enabled(uint32_t table_id,
                              std::string_view index_name) const;
 
-  // ------------------------------------------------- live read shims
-  // DEPRECATED: thin shims over live_view() — the pre-ReadView live query
-  // family. Every internal call site now reads through a ReadView
-  // (live_view() / view_at()); these remain only for external callers and
-  // are slated for removal (see DESIGN.md §10). New code constructs a
-  // ReadView and reads through it.
-  [[deprecated("read through live_view() instead")]] int64_t row_count(uint32_t table_id) const {
-    return live_view().row_count(table_id);
-  }
-  [[deprecated("read through live_view() instead")]] Result<Row> pk_lookup(
-      uint32_t table_id, const Row& pk_values) const {
-    return live_view().pk_lookup(table_id, pk_values);
-  }
-  [[deprecated("read through live_view() instead")]] Result<std::vector<Row>>
-  pk_range(uint32_t table_id, const Row& lo, const Row& hi) const {
-    return live_view().pk_range(table_id, lo, hi);
-  }
-  [[deprecated("read through live_view() instead")]] Result<std::vector<Row>>
-  index_range(uint32_t table_id, std::string_view index_name, const Row& lo,
-              const Row& hi) const {
-    return live_view().index_range(table_id, index_name, lo, hi);
-  }
-  [[deprecated("read through live_view() instead")]] std::vector<Row>
-  scan_collect(uint32_t table_id,
-               const std::function<bool(const Row&)>& pred) const {
-    return live_view().scan_collect(table_id, pred);
-  }
-  [[deprecated("read through live_view() instead")]] Result<std::vector<Row>>
-  pk_encoded_range(uint32_t table_id, const std::string& lo,
-                   const std::string& hi) const {
-    return live_view().pk_encoded_range(table_id, lo, hi);
-  }
-  [[deprecated("read through live_view() instead")]] Result<std::vector<Row>>
-  index_encoded_range(uint32_t table_id, std::string_view index_name,
-                      const std::string& lo, const std::string& hi) const {
-    return live_view().index_encoded_range(table_id, index_name, lo, hi);
-  }
+  // The pre-ReadView per-mode read families (pk_lookup / snapshot_* /
+  // scan_heap shims) were deprecated and have been removed — every read
+  // goes through live_view() / view_at() (see DESIGN.md §10).
 
-  // --------------------------------------------- snapshot read shims
-  // DEPRECATED: thin shims over view_at(snap) — the former snapshot_* twin
-  // family. No internal call sites remain; slated for removal (DESIGN.md
-  // §10). New code constructs a ReadView (view_at(snap)) and reads through
-  // it.
-  [[deprecated(
-      "read through view_at(snap) instead")]] int64_t snapshot_row_count(const Snapshot& snap, uint32_t table_id) const {
-    return view_at(snap).row_count(table_id);
-  }
-  [[deprecated("read through view_at(snap) instead")]] std::vector<Row>
-  snapshot_scan_collect(
-      const Snapshot& snap, uint32_t table_id,
-      const std::function<bool(const Row&)>& pred,
-      OpCosts* costs = nullptr) const {
-    return view_at(snap).scan_collect(table_id, pred, costs);
-  }
-  [[deprecated("read through view_at(snap) instead")]] Result<Row>
-  snapshot_pk_lookup(const Snapshot& snap, uint32_t table_id,
-                                 const Row& pk_values) const {
-    return view_at(snap).pk_lookup(table_id, pk_values);
-  }
-  [[deprecated("read through view_at(snap) instead")]]
-  Result<std::vector<Row>> snapshot_pk_range(const Snapshot& snap,
-                                             uint32_t table_id, const Row& lo,
-                                             const Row& hi) const {
-    return view_at(snap).pk_range(table_id, lo, hi);
-  }
-  [[deprecated("read through view_at(snap) instead")]]
-  Result<std::vector<Row>> snapshot_index_range(const Snapshot& snap,
-                                                uint32_t table_id,
-                                                std::string_view index_name,
-                                                const Row& lo,
-                                                const Row& hi) const {
-    return view_at(snap).index_range(table_id, index_name, lo, hi);
-  }
-  [[deprecated("read through view_at(snap) instead")]]
-  Result<std::vector<Row>> snapshot_pk_encoded_range(
-      const Snapshot& snap, uint32_t table_id, const std::string& lo,
-      const std::string& hi) const {
-    return view_at(snap).pk_encoded_range(table_id, lo, hi);
-  }
-  [[deprecated("read through view_at(snap) instead")]]
-  Result<std::vector<Row>> snapshot_index_encoded_range(
-      const Snapshot& snap, uint32_t table_id, std::string_view index_name,
-      const std::string& lo, const std::string& hi) const {
-    return view_at(snap).index_encoded_range(table_id, index_name, lo, hi);
-  }
-  [[deprecated("read through view_at(snap) instead")]] Status
-  snapshot_scan_heap(
-      const Snapshot& snap, uint32_t table_id,
-      const std::function<void(storage::SlotId, std::string_view)>& fn) const {
-    return view_at(snap).scan_heap(table_id, fn);
-  }
+  // ----------------------------------------------------------- control plane
+  // The unified telemetry snapshot: every per-subsystem surface below plus
+  // the live policy values, in one EngineStats (db/control_plane.h). This
+  // is the public stats entry point; the per-subsystem getters in the
+  // telemetry block are its components, kept for callers that need just one
+  // surface.
+  EngineStats stats() const;
+  // Apply a bounded set of live policy adjustments (commit window, gate
+  // slot counts, extent assignment) atomically with respect to concurrent
+  // appliers. Validates the whole patch first and applies nothing on
+  // failure. Safe to call while loaders and queries run: each field lands
+  // under its owning subsystem's lock (or an atomic), never by mutating
+  // EngineOptions — options() stays the construction-time snapshot.
+  Status update_policies(const PolicyPatch& patch);
+  // Attach/detach (pass nullptr-equivalent empty function) the query-lane
+  // stats source stats() folds in — the QueryScheduler registers itself.
+  void set_query_stats_source(std::function<core::QueryStats()> source);
 
   // -------------------------------------------------------------- telemetry
   // All telemetry returns copied snapshots taken under the owning
@@ -429,16 +365,6 @@ class Engine {
   // extent) — how evenly a parallel load spread across append streams.
   Result<std::vector<storage::ShardedHeap::ExtentStats>> heap_extent_stats(
       uint32_t table_id) const;
-  // Physical heap scan in extent order (extent 0 first, pages and slots
-  // ascending within). Tests use it to assert a recovered repository is
-  // extent-identical to a clean reload, not just row-equivalent.
-  // DEPRECATED shim over live_view().scan_heap(); slated for removal
-  // (DESIGN.md §10).
-  [[deprecated("read through live_view() instead")]] Status scan_heap(
-      uint32_t table_id,
-      const std::function<void(storage::SlotId, std::string_view)>& fn) const {
-    return live_view().scan_heap(table_id, fn);
-  }
   // Observer invoked (under the destination table's latch) after each
   // successful insert; tests use it to audit parent-before-child ordering.
   // Setting it quiesces the engine (engine-exclusive).
@@ -498,9 +424,11 @@ class Engine {
   // engine lock or latch held (gates precede the rwlock in the lock order)
   // — and resolve the heap extent per the extent-assignment policy. Gate
   // waits/stalls are attributed to `costs`. Returns the admission record
-  // (copied: the vector may grow later).
-  TableAdmission admit_table(Transaction& txn, uint32_t table_id,
-                             OpCosts& costs);
+  // (copied: the vector may grow later) — or kDeadlockDetected when the
+  // blocked acquisition would close a waits-for cycle (the requester is the
+  // victim; its transaction stays live so the caller can roll back).
+  Result<TableAdmission> admit_table(Transaction& txn, uint32_t table_id,
+                                     OpCosts& costs);
   // One row, three phases: pre-check constraints (index latch shared),
   // append to the admitted heap extent as a hidden pending row (extent
   // latch only — parallel across extents), then re-check and publish (index
@@ -555,6 +483,9 @@ class Engine {
   mutable std::shared_mutex engine_mu_;
   Schema schema_;
   EngineOptions options_;
+  // Waits-for graph shared by every ITL gate (declared before tables_ so
+  // the gates' back-pointers outlive them on destruction).
+  WaitGraph itl_wait_graph_;
   std::vector<Table> tables_;
   storage::BufferCache cache_;
   storage::WriteAheadLog wal_;
@@ -563,6 +494,17 @@ class Engine {
   std::unordered_map<uint64_t, Transaction> transactions_;
   std::atomic<uint64_t> next_txn_id_{1};
   std::atomic<uint32_t> next_extent_{0};  // round-robin extent assignment
+  // Live extent-assignment policy (update_policies); seeded from options_.
+  // Atomic: admit_table reads it with no lock held.
+  std::atomic<ExtentAssignment> extent_assignment_{
+      ExtentAssignment::kRoundRobin};
+  // Serializes update_policies() appliers (each field still lands under its
+  // owning subsystem's lock; this only makes a whole patch atomic with
+  // respect to other patches).
+  std::mutex policy_mu_;
+  // Query-lane stats source folded into stats() (set by QueryScheduler).
+  mutable std::mutex query_stats_mu_;
+  std::function<core::QueryStats()> query_stats_source_;
   std::vector<storage::IoRole> file_roles_;  // cache file id -> device role
   storage::SharedIoTally global_io_;
   // Mutable: pinning is logically const (a read) but registers the pin.

@@ -28,6 +28,68 @@ Nanos lock_shared_timed(std::shared_mutex& mu) {
   return latch_now() - start;
 }
 
+void WaitGraph::add_hold(uint64_t owner, const void* gate) {
+  const std::scoped_lock lock(mu_);
+  ++holders_[gate][owner];
+}
+
+void WaitGraph::remove_hold(uint64_t owner, const void* gate) {
+  const std::scoped_lock lock(mu_);
+  auto git = holders_.find(gate);
+  if (git == holders_.end()) return;
+  auto oit = git->second.find(owner);
+  if (oit == git->second.end()) return;
+  if (--oit->second <= 0) git->second.erase(oit);
+  if (git->second.empty()) holders_.erase(git);
+}
+
+bool WaitGraph::add_wait(uint64_t owner, const void* gate) {
+  const std::scoped_lock lock(mu_);
+  // Would this wait close a cycle? owner -> gate -> holder -> ... -> owner.
+  const auto git = holders_.find(gate);
+  if (git != holders_.end()) {
+    for (const auto& [holder, count] : git->second) {
+      (void)count;
+      if (holder == owner) continue;  // own slots on this gate are not a wait
+      if (reachable_locked(holder, owner)) return true;
+    }
+  }
+  waiting_[owner] = gate;
+  return false;
+}
+
+void WaitGraph::grant(uint64_t owner, const void* gate) {
+  const std::scoped_lock lock(mu_);
+  waiting_.erase(owner);
+  ++holders_[gate][owner];
+}
+
+size_t WaitGraph::waiting_count() const {
+  const std::scoped_lock lock(mu_);
+  return waiting_.size();
+}
+
+bool WaitGraph::reachable_locked(uint64_t from_owner,
+                                 uint64_t target_owner) const {
+  std::vector<uint64_t> frontier{from_owner};
+  std::unordered_set<uint64_t> seen;
+  while (!frontier.empty()) {
+    const uint64_t current = frontier.back();
+    frontier.pop_back();
+    if (current == target_owner) return true;
+    if (!seen.insert(current).second) continue;
+    const auto wait_it = waiting_.find(current);
+    if (wait_it == waiting_.end()) continue;
+    const auto hold_it = holders_.find(wait_it->second);
+    if (hold_it == holders_.end()) continue;
+    for (const auto& [holder, count] : hold_it->second) {
+      (void)count;
+      frontier.push_back(holder);
+    }
+  }
+  return false;
+}
+
 GateAcquire NullSlotGate::acquire() {
   const std::scoped_lock lock(mu_);
   ++stats_.acquires;
@@ -45,8 +107,24 @@ GateStats NullSlotGate::stats() const {
   return stats_;
 }
 
-BlockingSlotGate::BlockingSlotGate(int64_t slots) : available_(slots) {
+BlockingSlotGate::BlockingSlotGate(int64_t slots)
+    : slots_(slots), available_(slots) {
   assert(slots > 0);
+}
+
+void BlockingSlotGate::set_slots(int64_t slots) {
+  assert(slots > 0);
+  {
+    const std::scoped_lock lock(mu_);
+    available_ += slots - slots_;  // shrink may drive available_ negative
+    slots_ = slots;
+  }
+  cv_.notify_all();
+}
+
+int64_t BlockingSlotGate::slots() const {
+  const std::scoped_lock lock(mu_);
+  return slots_;
 }
 
 GateAcquire BlockingSlotGate::acquire() {
@@ -87,15 +165,52 @@ GateStats BlockingSlotGate::stats() const {
   return stats_;
 }
 
-FairSlotGate::FairSlotGate(int64_t slots, GateStallModel stall)
-    : slots_(slots), stall_(stall), stall_rng_(stall.seed) {
+FairSlotGate::FairSlotGate(int64_t slots, GateStallModel stall,
+                           WaitGraph* wait_graph)
+    : slots_(slots),
+      stall_(stall),
+      stall_rng_(stall.seed),
+      wait_graph_(wait_graph) {
   assert(slots > 0);
 }
 
-GateAcquire FairSlotGate::acquire() {
+void FairSlotGate::set_slots(int64_t slots) {
+  assert(slots > 0);
+  {
+    const std::scoped_lock lock(mu_);
+    slots_ = slots;  // shrink bites as holders release; grow admits now
+  }
+  cv_.notify_all();
+}
+
+int64_t FairSlotGate::slots() const {
+  const std::scoped_lock lock(mu_);
+  return slots_;
+}
+
+GateAcquire FairSlotGate::acquire() { return acquire_impl(0, false); }
+
+GateAcquire FairSlotGate::acquire_as(uint64_t owner) {
+  return acquire_impl(owner, wait_graph_ != nullptr);
+}
+
+GateAcquire FairSlotGate::acquire_impl(uint64_t owner, bool track_owner) {
   std::unique_lock<std::mutex> lock(mu_);
-  ++stats_.acquires;
   GateAcquire result;
+  const bool would_wait = next_ticket_ != serving_ || in_use_ >= slots_;
+  if (track_owner && would_wait) {
+    // Check BEFORE taking a ticket: every issued ticket must be served in
+    // order, so a refused admission must leave the FIFO protocol untouched.
+    // add_wait atomically (under the graph mutex) either refuses the wait
+    // or registers the edge other transactions' cycle checks will see.
+    if (wait_graph_->add_wait(owner, this)) {
+      result.deadlock = true;
+      result.contended = true;
+      result.queue_depth = static_cast<int64_t>(next_ticket_ - serving_);
+      return result;
+    }
+  }
+  ++stats_.acquires;
   const uint64_t ticket = next_ticket_++;
   // Tickets in [serving_, ticket) are still queued for admission.
   result.queue_depth = static_cast<int64_t>(ticket - serving_);
@@ -115,6 +230,13 @@ GateAcquire FairSlotGate::acquire() {
   ++serving_;
   ++in_use_;
   ++stats_.in_use;
+  if (track_owner) {
+    if (would_wait) {
+      wait_graph_->grant(owner, this);
+    } else {
+      wait_graph_->add_hold(owner, this);
+    }
+  }
   bool stall_hit = false;
   if (result.contended && stall_.probability > 0) {
     stall_hit = stall_rng_.bernoulli(stall_.probability);
@@ -143,6 +265,11 @@ void FairSlotGate::release() {
     --stats_.in_use;
   }
   cv_.notify_all();
+}
+
+void FairSlotGate::release_as(uint64_t owner) {
+  if (wait_graph_ != nullptr) wait_graph_->remove_hold(owner, this);
+  release();
 }
 
 GateStats FairSlotGate::stats() const {

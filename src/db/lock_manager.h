@@ -22,6 +22,9 @@
 #include <cstdint>
 #include <mutex>
 #include <shared_mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/units.h"
@@ -66,6 +69,48 @@ struct GateAcquire {
   Nanos stall_ns = 0;
   int64_t queue_depth = 0;  // acquirers queued ahead when this one arrived
   bool contended = false;   // had to queue for a slot
+  bool deadlock = false;    // admission refused: this wait would close a cycle
+};
+
+// Waits-for graph over admission gates, shared by every ITL gate of one
+// engine. An edge owner -> gate means "owner is blocked waiting for a slot
+// on gate"; holders(gate) is the set of owners currently occupying slots.
+// A blocked acquisition closes a deadlock iff some current holder of the
+// requested gate (transitively, through its own wait edge) waits on a gate
+// the requester already holds slots on.
+//
+// Soundness: one mutex serializes add_wait, so the cycle check and the
+// wait-edge registration are a single atomic step — two concurrent
+// would-be-cyclic waits cannot both miss each other; the later one sees the
+// earlier one's edge and is refused. The victim is always the requester
+// that would close the cycle, which holds no gate mutex while being refused
+// (the check runs before a FIFO ticket is taken), so refusal never wedges
+// the gate's ticket protocol.
+class WaitGraph {
+ public:
+  // Register that `owner` holds a slot on `gate` (uncontended admission).
+  void add_hold(uint64_t owner, const void* gate);
+  // Drop one hold of `owner` on `gate`.
+  void remove_hold(uint64_t owner, const void* gate);
+  // `owner` is about to block on `gate`. Returns true (and registers
+  // nothing) if the wait would close a cycle; otherwise records the wait
+  // edge and returns false.
+  bool add_wait(uint64_t owner, const void* gate);
+  // `owner`'s blocked wait on `gate` was admitted: wait edge -> hold.
+  void grant(uint64_t owner, const void* gate);
+
+  // Owners currently blocked (for tests / introspection).
+  size_t waiting_count() const;
+
+ private:
+  bool reachable_locked(uint64_t from_owner, uint64_t target_owner) const;
+
+  mutable std::mutex mu_;
+  // gate -> owners holding at least one slot (multiset semantics via count).
+  std::unordered_map<const void*, std::unordered_map<uint64_t, int>> holders_;
+  // owner -> the single gate it is blocked on (an owner blocks on at most
+  // one gate at a time: acquisitions are sequential within a transaction).
+  std::unordered_map<uint64_t, const void*> waiting_;
 };
 
 class SlotGate {
@@ -74,6 +119,15 @@ class SlotGate {
   virtual GateAcquire acquire() = 0;
   virtual void release() = 0;
   virtual GateStats stats() const = 0;
+
+  // Live policy surface (control plane). Default: fixed-capacity gate.
+  virtual void set_slots(int64_t /*slots*/) {}
+  virtual int64_t slots() const { return 0; }  // 0 = unbounded / not modeled
+
+  // Owner-attributed acquisition for deadlock detection. Gates that do not
+  // participate in a WaitGraph fall back to the anonymous protocol.
+  virtual GateAcquire acquire_as(uint64_t /*owner*/) { return acquire(); }
+  virtual void release_as(uint64_t /*owner*/) { release(); }
 };
 
 // Snapshot of every admission gate an engine (or sim server) runs:
@@ -106,11 +160,14 @@ class BlockingSlotGate final : public SlotGate {
   GateAcquire acquire() override;
   void release() override;
   GateStats stats() const override;
+  void set_slots(int64_t slots) override;
+  int64_t slots() const override;
 
  private:
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  int64_t available_;
+  int64_t slots_;
+  int64_t available_;  // may go negative transiently after a shrink
   GateStats stats_;
 };
 
@@ -134,21 +191,33 @@ struct GateStallModel {
 
 class FairSlotGate final : public SlotGate {
  public:
-  explicit FairSlotGate(int64_t slots, GateStallModel stall = {});
+  explicit FairSlotGate(int64_t slots, GateStallModel stall = {},
+                        WaitGraph* wait_graph = nullptr);
   GateAcquire acquire() override;
   void release() override;
   GateStats stats() const override;
+  void set_slots(int64_t slots) override;
+  int64_t slots() const override;
+
+  // Owner-attributed protocol: consults the WaitGraph *before* taking a
+  // FIFO ticket, so a refused (deadlocked) acquisition never leaves a
+  // ticket that would wedge serving_ order.
+  GateAcquire acquire_as(uint64_t owner) override;
+  void release_as(uint64_t owner) override;
 
  private:
+  GateAcquire acquire_impl(uint64_t owner, bool track_owner);
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  const int64_t slots_;
+  int64_t slots_;  // live-adjustable via set_slots
   int64_t in_use_ = 0;
   uint64_t next_ticket_ = 0;  // handed to arriving acquirers
   uint64_t serving_ = 0;      // tickets admitted so far
   GateStats stats_;
   const GateStallModel stall_;
   Rng stall_rng_;
+  WaitGraph* const wait_graph_;  // not owned; nullptr = detection off
 };
 
 }  // namespace sky::db

@@ -73,7 +73,17 @@ QueryScheduler::QueryScheduler(Engine& engine, core::QueryPolicy policy)
     : engine_(engine),
       policy_(policy.normalized()),
       interactive_gate_(policy_.interactive_slots),
-      batch_gate_(policy_.batch_slots) {}
+      batch_gate_(policy_.batch_slots) {
+  // Fold this scheduler's lane telemetry into Engine::stats() — the unified
+  // snapshot the control plane reads.
+  engine_.set_query_stats_source([this] { return stats(); });
+}
+
+QueryScheduler::~QueryScheduler() {
+  // Detach before the gates are destroyed; the engine holds its hook mutex
+  // across invocation, so after this returns no stats() call is in flight.
+  engine_.set_query_stats_source({});
+}
 
 Admission QueryScheduler::admit(QueryLane lane, OpCosts* costs) {
   const auto arrival = std::chrono::steady_clock::now();

@@ -33,6 +33,7 @@
 
 #include "common/units.h"
 #include "core/query_policy.h"
+#include "core/query_stats.h"
 #include "db/engine.h"
 #include "db/lock_manager.h"
 #include "db/snapshot.h"
@@ -57,22 +58,10 @@ class LatencyHistogram {
   std::atomic<int64_t> total_{0};
 };
 
-struct QueryLaneStats {
-  GateStats gate;            // slot accounting for the lane's FairSlotGate
-  int64_t completed = 0;     // admissions fully released
-  int64_t queue_depth = 0;   // admitters currently waiting (gate or yield)
-  Nanos p50_latency = 0;     // admission-to-release, histogram upper bound
-  Nanos p99_latency = 0;
-};
-
-struct QueryStats {
-  QueryLaneStats interactive;
-  QueryLaneStats batch;
-  int64_t batch_yields = 0;      // batch admissions that waited for quiet
-  uint64_t read_lsn = 0;         // engine's snapshot_published_lsn()
-  int64_t snapshot_pins = 0;     // live pins (engine snapshot_stats())
-  Nanos snapshot_pin_age = 0;    // oldest live pin's age
-};
+// The stats schema is shared with the sim lanes (core/query_stats.h); db
+// keeps its historical spellings as aliases.
+using QueryLaneStats = core::QueryLaneStats;
+using QueryStats = core::QueryStats;
 
 class QueryScheduler;
 
@@ -112,7 +101,10 @@ class Admission {
 // shared by every query client of an engine. Must not outlive the engine.
 class QueryScheduler {
  public:
+  // Registers itself as the engine's query-stats source (Engine::stats());
+  // the destructor detaches. One scheduler per engine at a time.
   explicit QueryScheduler(Engine& engine, core::QueryPolicy policy = {});
+  ~QueryScheduler();
 
   // Block until the lane admits, then pin a snapshot (policy permitting).
   // Batch admissions yield: they wait until no interactive query is queued

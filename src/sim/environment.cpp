@@ -222,6 +222,18 @@ void Resource::release(int64_t units) {
   grant_waiters_locked();
 }
 
+void Resource::set_capacity(int64_t capacity) {
+  assert(capacity > 0);
+  std::unique_lock<std::mutex> lock(env_.mu_);
+  if (capacity == capacity_) return;
+  accrue_busy_locked();
+  // Shift available_ by the delta so in-flight holders keep their units;
+  // shrinking below in_use leaves available_ negative until holders drain.
+  available_ += capacity - capacity_;
+  capacity_ = capacity;
+  grant_waiters_locked();
+}
+
 int64_t Resource::available() const {
   std::unique_lock<std::mutex> lock(env_.mu_);
   return available_;

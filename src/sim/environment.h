@@ -133,6 +133,10 @@ class Resource {
   void release(int64_t units = 1);
 
   int64_t capacity() const { return capacity_; }
+  // Live-resize the resource (control plane). Growing grants queued waiters
+  // immediately; shrinking lets in-flight holders drain — available() may go
+  // negative until enough units release. New capacity must be positive.
+  void set_capacity(int64_t capacity);
   int64_t available() const;
   // Number of processes currently queued waiting for units.
   int64_t queue_depth() const;
@@ -165,7 +169,7 @@ class Resource {
   void accrue_busy_locked();
 
   Environment& env_;
-  const int64_t capacity_;
+  int64_t capacity_;  // mutable via set_capacity
   const std::string name_;
   int64_t available_;
   std::deque<Waiter*> waiters_;

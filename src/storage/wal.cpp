@@ -17,6 +17,23 @@ Nanos steady_now() {
 }
 }  // namespace
 
+void WriteAheadLog::set_commit_policy(
+    std::optional<Nanos> commit_window,
+    std::optional<int64_t> max_group_commits) {
+  {
+    const std::scoped_lock lock(mu_);
+    if (commit_window.has_value()) {
+      options_.commit_window = std::max<Nanos>(*commit_window, 0);
+    }
+    if (max_group_commits.has_value()) {
+      options_.max_group_commits = std::max<int64_t>(*max_group_commits, 1);
+    }
+  }
+  // A leader holding the window open re-reads max_group_commits on wakeup;
+  // poke it so a lowered cap closes the window without waiting it out.
+  window_cv_.notify_all();
+}
+
 void WriteAheadLog::append(WalRecordType type, uint64_t txn_id,
                            uint32_t table_id, std::string payload,
                            uint32_t extent) {

@@ -44,6 +44,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -135,7 +136,20 @@ class WriteAheadLog {
  public:
   explicit WriteAheadLog(WalOptions options = {}) : options_(options) {}
 
-  const WalOptions& wal_options() const { return options_; }
+  // Copy under the log mutex: commit policy is live-adjustable, so a
+  // reference into options_ would race set_commit_policy.
+  WalOptions wal_options() const {
+    const std::scoped_lock lock(mu_);
+    return options_;
+  }
+
+  // Live commit-policy update (control plane). Takes effect on the next
+  // flush: a leader already holding the window open keeps its original
+  // deadline (bounded staleness of one window), but max_group_commits is
+  // re-read at every wakeup and applies immediately. Unset fields keep
+  // their current value.
+  void set_commit_policy(std::optional<Nanos> commit_window,
+                         std::optional<int64_t> max_group_commits);
 
   void append(WalRecordType type, uint64_t txn_id, uint32_t table_id,
               std::string payload, uint32_t extent = 0);
@@ -174,7 +188,7 @@ class WriteAheadLog {
   // dropped); advances durable_seq_. Returns bytes written.
   int64_t write_out_locked(std::unique_lock<std::mutex>& lock);
 
-  const WalOptions options_;
+  WalOptions options_;  // commit_window / max_group_commits mutate under mu_
   mutable std::mutex mu_;
   std::condition_variable flush_cv_;   // flush completion (followers wait)
   std::condition_variable window_cv_;  // wakes a leader holding the window
